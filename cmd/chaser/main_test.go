@@ -1,0 +1,160 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chaser/internal/trace"
+)
+
+func runCmd(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, &sb)
+	return sb.String(), err
+}
+
+func TestList(t *testing.T) {
+	out, err := runCmd(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"matvec", "clamr", "bfs", "kmeans", "lud"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGoldenRun(t *testing.T) {
+	out, err := runCmd(t, "-app", "bfs", "-golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rank 0: exited(0)") {
+		t.Errorf("out = %s", out)
+	}
+}
+
+func TestDeterministicInjection(t *testing.T) {
+	out, err := runCmd(t, "-app", "kmeans", "-n", "500", "-bits", "2", "-seed", "9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "injected:") {
+		t.Errorf("no injection in output:\n%s", out)
+	}
+}
+
+func TestTraceToFile(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "prop.jsonl")
+	out, err := runCmd(t, "-app", "clamr", "-n", "200", "-trace", "-trace-out", logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "propagation:") {
+		t.Errorf("no propagation summary:\n%s", out)
+	}
+	f, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	col, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.TotalReads()+col.TotalWrites() == 0 {
+		t.Error("written propagation log is empty")
+	}
+}
+
+func TestProbabilisticAndGroupModels(t *testing.T) {
+	if _, err := runCmd(t, "-app", "lud", "-prob", "0.001"); err != nil {
+		t.Errorf("prob run: %v", err)
+	}
+	if _, err := runCmd(t, "-app", "lud", "-group", "100:200", "-count", "3"); err != nil {
+		t.Errorf("group run: %v", err)
+	}
+}
+
+func TestCustomOps(t *testing.T) {
+	out, err := runCmd(t, "-app", "clamr", "-ops", "fmul", "-n", "100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fmul") {
+		t.Errorf("injection record missing fmul:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tests := [][]string{
+		{}, // no app
+		{"-app", "nosuch", "-n", "1"},
+		{"-app", "bfs"}, // no model
+		{"-app", "bfs", "-ops", "bogus", "-n", "1"},
+		{"-app", "bfs", "-group", "xx", "-n", "0"},
+	}
+	for _, args := range tests {
+		if _, err := runCmd(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestExecTraceOnCrash(t *testing.T) {
+	// Force a crash with a 64-bit flip into a load's base register and
+	// check the post-mortem trace is printed.
+	out, err := runCmd(t, "-app", "matvec", "-ops", "ld", "-n", "50",
+		"-bits", "40", "-seed", "3", "-exec-trace", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "killed(SIGSEGV)") {
+		t.Skipf("this seed did not crash; output:\n%s", out)
+	}
+	if !strings.Contains(out, "last instructions on rank") {
+		t.Errorf("no exec trace printed:\n%s", out)
+	}
+}
+
+func TestUserProgramGolden(t *testing.T) {
+	out, err := runCmd(t, "-prog", "../../examples/guest_programs/pi.gl", "-golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "exited(0)") {
+		t.Errorf("pi.gl golden failed:\n%s", out)
+	}
+	out, err = runCmd(t, "-prog", "../../examples/guest_programs/ring.gl", "-world", "4", "-golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		if !strings.Contains(out, "exited(0)") {
+			t.Errorf("ring.gl rank %d failed:\n%s", r, out)
+		}
+	}
+}
+
+func TestUserProgramInjection(t *testing.T) {
+	out, err := runCmd(t, "-prog", "../../examples/guest_programs/pi.gl",
+		"-ops", "fadd,fdiv", "-n", "500", "-bits", "1", "-seed", "3", "-trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "injected:") {
+		t.Errorf("no injection:\n%s", out)
+	}
+	// -prog without -ops or -golden is an error.
+	if _, err := runCmd(t, "-prog", "../../examples/guest_programs/pi.gl", "-n", "5"); err == nil {
+		t.Error("-prog without -ops accepted")
+	}
+	if _, err := runCmd(t, "-prog", "/nonexistent.gl", "-golden"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

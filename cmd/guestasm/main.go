@@ -1,0 +1,79 @@
+// Command guestasm assembles, disassembles, and runs standalone guest
+// programs for the Chaser virtual machine.
+//
+// Usage:
+//
+//	guestasm -dis prog.s          # assemble and print the disassembly
+//	guestasm -run prog.s          # assemble and execute
+//	guestasm -run -taint prog.s   # execute with taint tracking enabled
+//	guestasm -run -lang prog.gl   # compile guest-language source and execute
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"chaser/internal/asm"
+	"chaser/internal/isa"
+	"chaser/internal/lang"
+	"chaser/internal/vm"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "guestasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("guestasm", flag.ContinueOnError)
+	dis := fs.Bool("dis", false, "print disassembly")
+	exec := fs.Bool("run", false, "execute the program")
+	taint := fs.Bool("taint", false, "enable taint tracking during -run")
+	langSrc := fs.Bool("lang", false, "treat the input as guest-language source instead of assembly")
+	budget := fs.Uint64("max-instructions", 0, "instruction budget (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: guestasm [-dis] [-run] [-taint] <file.s>")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var prog *isa.Program
+	if *langSrc {
+		prog, err = lang.ParseAndCompile(fs.Arg(0), string(src))
+	} else {
+		prog, err = asm.Assemble(fs.Arg(0), string(src))
+	}
+	if err != nil {
+		return err
+	}
+	if *dis || !*exec {
+		fmt.Fprint(out, prog.Disassemble())
+	}
+	if !*exec {
+		return nil
+	}
+	m := vm.New(prog, vm.Config{MaxInstructions: *budget})
+	m.TaintEnabled = *taint
+	term := m.Run()
+	if s := m.Console(); s != "" {
+		fmt.Fprint(out, s)
+	}
+	c := m.Counters()
+	fmt.Fprintf(out, "-- %s | %d instructions, %d TBs, %d syscalls\n",
+		term, c.Instructions, c.TBsExecuted, c.Syscalls)
+	if o := m.Output(); len(o) > 0 {
+		fmt.Fprintf(out, "-- output file: %d bytes\n", len(o))
+	}
+	if term.Abnormal() {
+		return fmt.Errorf("guest terminated abnormally: %s", term)
+	}
+	return nil
+}

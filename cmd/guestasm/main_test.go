@@ -1,0 +1,135 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const demoSrc = `
+; sum 1..5 and print it
+.data
+banner: .ascii "sum:\n"
+.text
+main:
+    movi r1, banner
+    movi r2, 5
+    syscall print_str
+    movi r4, 0
+    movi r5, 5
+loop:
+    add r4, r4, r5
+    addi r5, r5, -1
+    cmpi r5, 0
+    jg loop
+    mov r1, r4
+    syscall print_int
+    movi r1, 0
+    syscall exit
+`
+
+func writeDemo(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "demo.s")
+	if err := os.WriteFile(path, []byte(demoSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDisassemble(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-dis", writeDemo(t)}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"movi r1,", "add r4, r4, r5", "syscall 1"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("disassembly missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestRunProgram(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", writeDemo(t)}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "sum:\n15\n") {
+		t.Errorf("console output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "exited(0)") {
+		t.Errorf("termination missing:\n%s", out)
+	}
+}
+
+func TestRunWithTaint(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "-taint", writeDemo(t)}, &sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbnormalExit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.s")
+	if err := os.WriteFile(path, []byte("main:\n movi r1, 1\n movi r2, 0\n div r3, r1, r2\n hlt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run([]string{"-run", path}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "abnormal") {
+		t.Errorf("err = %v", err)
+	}
+	if !strings.Contains(sb.String(), "SIGFPE") {
+		t.Errorf("output missing signal:\n%s", sb.String())
+	}
+}
+
+func TestArgErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("no file accepted")
+	}
+	if err := run([]string{"/nonexistent.s"}, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "syntax.s")
+	if err := os.WriteFile(bad, []byte("main:\n bogus\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &sb); err == nil {
+		t.Error("syntax error accepted")
+	}
+}
+
+func TestLangMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prog.gl")
+	src := `
+func main() {
+	total := 0
+	for i := 1; i < 11; i = i + 1 {
+		total = total + i
+	}
+	print(total)
+}
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-run", "-lang", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "55\n") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+	// Parse errors surface.
+	bad := filepath.Join(t.TempDir(), "bad.gl")
+	if err := os.WriteFile(bad, []byte("func main() { x = }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", "-lang", bad}, &sb); err == nil {
+		t.Error("parse error swallowed")
+	}
+}

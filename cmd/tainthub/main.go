@@ -1,0 +1,45 @@
+// Command tainthub runs a standalone TaintHub server: the head-node service
+// that coordinates MPI message taint between Chaser instances (paper
+// Fig. 5).
+//
+// Usage:
+//
+//	tainthub [-addr host:port]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"chaser/internal/tainthub"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tainthub:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tainthub", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv, err := tainthub.NewServer(tainthub.NewLocal(), *addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("tainthub listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("tainthub: shutting down")
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"syscall"
+	"testing"
+	"time"
+
+	"chaser/internal/tainthub"
+)
+
+func TestServerServesUntilSignal(t *testing.T) {
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-addr", "127.0.0.1:0"}) }()
+
+	// The server binds an ephemeral port we cannot read from here, so this
+	// test exercises startup/shutdown; protocol coverage lives in the
+	// tainthub package. Give the goroutine a moment to bind, then signal.
+	time.Sleep(50 * time.Millisecond)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down on SIGTERM")
+	}
+}
+
+func TestBadAddr(t *testing.T) {
+	if err := run([]string{"-addr", "256.0.0.1:99999"}); err == nil {
+		t.Error("bad address accepted")
+	}
+}
+
+func TestEndToEndAgainstPackageServer(t *testing.T) {
+	// Full protocol round trip against the same server implementation the
+	// command wraps.
+	srv, err := tainthub.NewServer(tainthub.NewLocal(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := tainthub.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	k := tainthub.Key{Src: 1, Dst: 2, Tag: 3}
+	if err := c.Publish(k, 0, []uint8{9}); err != nil {
+		t.Fatal(err)
+	}
+	if masks, ok, err := c.Poll(k, 0); err != nil || !ok || masks[0] != 9 {
+		t.Fatalf("poll = %v %v %v", masks, ok, err)
+	}
+}

@@ -1,0 +1,62 @@
+// Quickstart: inject a single bit flip into a floating-point instruction of
+// the k-means kernel and see what happens to the program.
+//
+//	go run ./examples/quickstart
+//
+// The example walks the full Chaser pipeline in a few lines: pick an
+// application, arm a deterministic fault model, run, and inspect the
+// outcome — the same flow the cmd/chaser binary drives from flags.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"chaser/internal/apps"
+	"chaser/internal/core"
+)
+
+func main() {
+	app, err := apps.ByName("kmeans")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Golden (fault-free) reference run.
+	golden, err := core.Golden(app.Prog, app.WorldSize, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("golden run: %s, %d instructions\n",
+		golden.Terms[0], golden.Counters[0].Instructions)
+
+	// Inject one bit flip into the 2000th floating-point operation.
+	res, err := core.Run(core.RunConfig{
+		Prog:      app.Prog,
+		WorldSize: app.WorldSize,
+		Spec: &core.Spec{
+			Target: app.Name,
+			Ops:    app.DefaultOps,
+			Cond:   core.Deterministic{N: 2000},
+			Bits:   1,
+			Seed:   42,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rec := range res.Records {
+		fmt.Printf("injected: %s\n", rec)
+	}
+	fmt.Printf("faulty run: %s\n", res.Terms[0])
+
+	switch {
+	case res.Terms[0].Abnormal():
+		fmt.Println("outcome: terminated (the fault crashed the program)")
+	case bytes.Equal(res.Outputs[0], golden.Outputs[0]):
+		fmt.Println("outcome: benign (output identical to golden run)")
+	default:
+		fmt.Println("outcome: silent data corruption (output differs from golden run)")
+	}
+}

@@ -1,0 +1,3 @@
+module chaser
+
+go 1.22

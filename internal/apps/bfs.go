@@ -1,0 +1,75 @@
+package apps
+
+import "chaser/internal/lang"
+
+// Default BFS parameters.
+const (
+	DefaultBFSNodes  = 256
+	DefaultBFSDegree = 4
+)
+
+// BFSProgram builds a breadth-first search over a synthetic directed graph,
+// in the style of Rodinia's bfs benchmark. The graph has `nodes` vertices,
+// each with `degree` out-edges drawn from an in-guest LCG. BFS runs
+// frontier-by-frontier from vertex 0 using an explicit queue and a visited
+// array, which makes the kernel dominated by comparison instructions —
+// matching the paper's choice of cmp as the injection target for bfs.
+//
+// Output: the distance of every vertex (or -1 if unreachable), then the
+// number of reached vertices.
+func BFSProgram(nodes, degree int64) *lang.Program {
+	I, V, B := lang.I, lang.V, lang.Block
+
+	return &lang.Program{
+		Name: "bfs",
+		Funcs: []*lang.Func{{
+			Name: "main",
+			Body: B(
+				lang.Let("n", I(nodes)),
+				lang.Let("deg", I(degree)),
+				// Edge list: edges[i*deg + k] is the k-th successor of i.
+				lang.Let("edges", lang.Alloc(lang.Mul(V("n"), V("deg")))),
+				lang.Let("dist", lang.Alloc(V("n"))),
+				lang.Let("queue", lang.Alloc(V("n"))),
+				lang.Let("seed", I(987654321)),
+				lang.Let("r", I(0)),
+				lang.For{Var: "i", From: I(0), To: V("n"), Body: cat(
+					B(lang.SetAt(V("dist"), V("i"), I(-1))),
+					B(lang.For{Var: "k", From: I(0), To: V("deg"), Body: cat(
+						lcgNext("seed", "r", nodes),
+						B(lang.SetAt(V("edges"),
+							lang.Add(lang.Mul(V("i"), V("deg")), V("k")), V("r"))),
+					)}),
+				)},
+				// BFS from vertex 0.
+				lang.SetAt(V("dist"), I(0), I(0)),
+				lang.SetAt(V("queue"), I(0), I(0)),
+				lang.Let("head", I(0)),
+				lang.Let("tail", I(1)),
+				lang.While{Cond: lang.Lt(V("head"), V("tail")), Body: B(
+					lang.Let("u", lang.At(V("queue"), V("head"))),
+					lang.Set("head", lang.Add(V("head"), I(1))),
+					lang.Let("du", lang.At(V("dist"), V("u"))),
+					lang.For{Var: "k", From: I(0), To: V("deg"), Body: B(
+						lang.Let("v", lang.At(V("edges"),
+							lang.Add(lang.Mul(V("u"), V("deg")), V("k")))),
+						lang.If{Cond: lang.Eq(lang.At(V("dist"), V("v")), I(-1)), Then: B(
+							lang.SetAt(V("dist"), V("v"), lang.Add(V("du"), I(1))),
+							lang.SetAt(V("queue"), V("tail"), V("v")),
+							lang.Set("tail", lang.Add(V("tail"), I(1))),
+						)},
+					)},
+				)},
+				// Output distances and the reached count.
+				lang.Let("reached", I(0)),
+				lang.For{Var: "i", From: I(0), To: V("n"), Body: B(
+					lang.OutInt{E: lang.At(V("dist"), V("i"))},
+					lang.If{Cond: lang.Ne(lang.At(V("dist"), V("i")), I(-1)), Then: B(
+						lang.Set("reached", lang.Add(V("reached"), I(1))),
+					)},
+				)},
+				lang.OutInt{E: V("reached")},
+			),
+		}},
+	}
+}

@@ -1,0 +1,178 @@
+package apps
+
+import "chaser/internal/lang"
+
+// Default CLAMR parameters (a scaled-down "-n 48 -t 24 -i 8" configuration).
+const (
+	DefaultCLAMRCells = 48
+	DefaultCLAMRSteps = 24
+	// clamrCheckpointEvery is the checkpoint frequency in steps.
+	clamrCheckpointEvery = 8
+)
+
+// CLAMRProgram builds a cell-based adaptive-mesh-refinement shallow-water
+// mini-app modelled on the DOE CLAMR proxy application:
+//
+//   - state: water height h and momentum hu on a periodic 1-D mesh;
+//   - initialization: a dam-break column in the middle of the domain;
+//   - time stepping: a conservative Lax-Friedrichs scheme with a CFL-derived
+//     time step (the wave speed uses an in-guest Newton square root);
+//   - refinement: cells whose height gradient exceeds a threshold are
+//     marked refined each step and receive a conservative sub-cell
+//     correction exchange, modelling the extra resolution AMR grants steep
+//     regions; the refined-cell count is part of the checkpoint output;
+//   - correctness checker: CLAMR's domain-specific mass-conservation
+//     criterion — the total mass must match the initial mass to a relative
+//     tolerance at every checkpoint and at completion, asserted in-guest.
+//     A violated assertion terminates the run, which campaigns classify as
+//     "detected" (paper Section IV-B);
+//   - output: checkpoint records (step, mass, refined count) and the final
+//     height field, compared bit-wise against the golden run for SDC.
+func CLAMRProgram(cells, steps int64) *lang.Program {
+	I, F, V, B := lang.I, lang.F, lang.V, lang.Block
+	// mod n for periodic neighbors.
+	wrap := func(e lang.Expr) lang.Expr {
+		return lang.Mod(lang.Add(e, V("n")), V("n"))
+	}
+
+	sqrtFn := SqrtFunc()
+
+	main := &lang.Func{
+		Name: "main",
+		Body: B(
+			lang.Let("n", I(cells)),
+			lang.Let("steps", I(steps)),
+			lang.Let("h", lang.Alloc(V("n"))),
+			lang.Let("hu", lang.Alloc(V("n"))),
+			lang.Let("hn", lang.Alloc(V("n"))),
+			lang.Let("hun", lang.Alloc(V("n"))),
+			lang.Let("refined", lang.Alloc(V("n"))),
+			lang.Let("g", F(9.8)),
+			lang.Let("dx", F(1.0)),
+
+			// Dam break: a tall column in the middle third of the domain.
+			lang.For{Var: "i", From: I(0), To: V("n"), Body: B(
+				lang.Let("hv", F(1.0)),
+				lang.If{
+					Cond: lang.Bin{Op: lang.OpAnd,
+						L: lang.Ge(V("i"), lang.Div(V("n"), I(3))),
+						R: lang.Lt(V("i"), lang.Mul(lang.Div(V("n"), I(3)), I(2)))},
+					Then: B(lang.Set("hv", F(4.0))),
+				},
+				lang.SetAt(V("h"), V("i"), V("hv")),
+				lang.SetAt(V("hu"), V("i"), F(0)),
+			)},
+
+			// Initial mass, momentum, and the CFL time step from the
+			// maximum wave speed.
+			lang.Let("mass0", F(0)),
+			lang.Let("mom0", F(0)),
+			lang.Let("hmax", F(0)),
+			lang.For{Var: "i", From: I(0), To: V("n"), Body: B(
+				lang.Set("mass0", lang.Add(V("mass0"), lang.Mul(lang.AtF(V("h"), V("i")), V("dx")))),
+				lang.Set("mom0", lang.Add(V("mom0"), lang.Mul(lang.AtF(V("hu"), V("i")), V("dx")))),
+				lang.If{Cond: lang.Gt(lang.AtF(V("h"), V("i")), V("hmax")), Then: B(
+					lang.Set("hmax", lang.AtF(V("h"), V("i"))),
+				)},
+			)},
+			lang.Let("cmax", lang.Call("sqrt", lang.Mul(V("g"), V("hmax")))),
+			lang.Let("dt", lang.Div(lang.Mul(F(0.4), V("dx")), lang.Add(V("cmax"), F(0.001)))),
+			lang.Let("lam", lang.Div(V("dt"), lang.Mul(F(2.0), V("dx")))),
+
+			lang.For{Var: "t", From: I(0), To: V("steps"), Body: B(
+				// Lax-Friedrichs update on the base mesh (periodic).
+				lang.For{Var: "i", From: I(0), To: V("n"), Body: B(
+					lang.Let("im", wrap(lang.Sub(V("i"), I(1)))),
+					lang.Let("ip", wrap(lang.Add(V("i"), I(1)))),
+					lang.Let("hm", lang.AtF(V("h"), V("im"))),
+					lang.Let("hp", lang.AtF(V("h"), V("ip"))),
+					lang.Let("qm", lang.AtF(V("hu"), V("im"))),
+					lang.Let("qp", lang.AtF(V("hu"), V("ip"))),
+					// Momentum flux F = hu^2/h + g*h^2/2 at the neighbors.
+					lang.Let("fm", lang.Add(lang.Div(lang.Mul(V("qm"), V("qm")), V("hm")),
+						lang.Mul(lang.Mul(F(0.5), V("g")), lang.Mul(V("hm"), V("hm"))))),
+					lang.Let("fp", lang.Add(lang.Div(lang.Mul(V("qp"), V("qp")), V("hp")),
+						lang.Mul(lang.Mul(F(0.5), V("g")), lang.Mul(V("hp"), V("hp"))))),
+					lang.SetAt(V("hn"), V("i"),
+						lang.Sub(lang.Mul(F(0.5), lang.Add(V("hm"), V("hp"))),
+							lang.Mul(V("lam"), lang.Sub(V("qp"), V("qm"))))),
+					lang.SetAt(V("hun"), V("i"),
+						lang.Sub(lang.Mul(F(0.5), lang.Add(V("qm"), V("qp"))),
+							lang.Mul(V("lam"), lang.Sub(V("fp"), V("fm"))))),
+				)},
+				// Regrid: mark cells whose height gradient is steep.
+				lang.Let("nref", I(0)),
+				lang.For{Var: "i", From: I(0), To: V("n"), Body: B(
+					lang.Let("ip", wrap(lang.Add(V("i"), I(1)))),
+					lang.Let("grad", lang.Sub(lang.AtF(V("hn"), V("ip")), lang.AtF(V("hn"), V("i")))),
+					lang.If{Cond: lang.Lt(V("grad"), F(0)), Then: B(
+						lang.Set("grad", lang.Neg{E: V("grad")}),
+					)},
+					lang.If{
+						Cond: lang.Gt(V("grad"), F(0.15)),
+						Then: B(
+							lang.SetAt(V("refined"), V("i"), I(1)),
+							lang.Set("nref", lang.Add(V("nref"), I(1))),
+						),
+						Else: B(lang.SetAt(V("refined"), V("i"), I(0))),
+					},
+				)},
+				// Refined cells exchange a conservative sub-cell correction
+				// with their right neighbor (total mass unchanged).
+				lang.For{Var: "i", From: I(0), To: V("n"), Body: B(
+					lang.If{Cond: lang.Eq(lang.At(V("refined"), V("i")), I(1)), Then: B(
+						lang.Let("ip", wrap(lang.Add(V("i"), I(1)))),
+						lang.Let("corr", lang.Mul(F(0.05),
+							lang.Sub(lang.AtF(V("hn"), V("ip")), lang.AtF(V("hn"), V("i"))))),
+						lang.SetAt(V("hn"), V("i"), lang.Add(lang.AtF(V("hn"), V("i")), V("corr"))),
+						lang.SetAt(V("hn"), V("ip"), lang.Sub(lang.AtF(V("hn"), V("ip")), V("corr"))),
+					)},
+				)},
+				// Commit the step.
+				lang.For{Var: "i", From: I(0), To: V("n"), Body: B(
+					lang.SetAt(V("h"), V("i"), lang.AtF(V("hn"), V("i"))),
+					lang.SetAt(V("hu"), V("i"), lang.AtF(V("hun"), V("i"))),
+				)},
+				// Checkpoint with the conservation correctness checks
+				// (CLAMR verifies the conservation laws of mass and
+				// momentum).
+				lang.If{Cond: lang.Eq(lang.Mod(V("t"), I(clamrCheckpointEvery)), I(0)), Then: B(
+					lang.Let("mass", F(0)),
+					lang.Let("mom", F(0)),
+					lang.For{Var: "i", From: I(0), To: V("n"), Body: B(
+						lang.Set("mass", lang.Add(V("mass"), lang.Mul(lang.AtF(V("h"), V("i")), V("dx")))),
+						lang.Set("mom", lang.Add(V("mom"), lang.Mul(lang.AtF(V("hu"), V("i")), V("dx")))),
+					)},
+					lang.Let("err", lang.Sub(V("mass"), V("mass0"))),
+					lang.If{Cond: lang.Lt(V("err"), F(0)), Then: B(lang.Set("err", lang.Neg{E: V("err")}))},
+					lang.Assert{Cond: lang.Lt(V("err"), lang.Mul(F(1e-11), V("mass0"))), Code: 200},
+					lang.Let("merr", lang.Sub(V("mom"), V("mom0"))),
+					lang.If{Cond: lang.Lt(V("merr"), F(0)), Then: B(lang.Set("merr", lang.Neg{E: V("merr")}))},
+					lang.Assert{Cond: lang.Lt(V("merr"), lang.Mul(F(1e-11), V("mass0"))), Code: 202},
+					lang.OutInt{E: V("t")},
+					lang.OutFloat{E: V("mass")},
+					lang.OutInt{E: V("nref")},
+				)},
+			)},
+
+			// Final conservation checks and result output.
+			lang.Let("massF", F(0)),
+			lang.Let("momF", F(0)),
+			lang.For{Var: "i", From: I(0), To: V("n"), Body: B(
+				lang.Set("massF", lang.Add(V("massF"), lang.Mul(lang.AtF(V("h"), V("i")), V("dx")))),
+				lang.Set("momF", lang.Add(V("momF"), lang.Mul(lang.AtF(V("hu"), V("i")), V("dx")))),
+			)},
+			lang.Let("errF", lang.Sub(V("massF"), V("mass0"))),
+			lang.If{Cond: lang.Lt(V("errF"), F(0)), Then: B(lang.Set("errF", lang.Neg{E: V("errF")}))},
+			lang.Assert{Cond: lang.Lt(V("errF"), lang.Mul(F(1e-11), V("mass0"))), Code: 201},
+			lang.Let("merrF", lang.Sub(V("momF"), V("mom0"))),
+			lang.If{Cond: lang.Lt(V("merrF"), F(0)), Then: B(lang.Set("merrF", lang.Neg{E: V("merrF")}))},
+			lang.Assert{Cond: lang.Lt(V("merrF"), lang.Mul(F(1e-11), V("mass0"))), Code: 203},
+			lang.For{Var: "i", From: I(0), To: V("n"), Body: B(
+				lang.OutFloat{E: lang.AtF(V("h"), V("i"))},
+			)},
+		),
+	}
+
+	return &lang.Program{Name: "clamr", Funcs: []*lang.Func{main, sqrtFn}}
+}

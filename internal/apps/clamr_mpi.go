@@ -1,0 +1,182 @@
+package apps
+
+import (
+	"chaser/internal/isa"
+	"chaser/internal/lang"
+)
+
+// Default parallel-CLAMR parameters: 4 ranks each owning 16 cells.
+const (
+	DefaultCLAMRMPIRanks = 4
+	DefaultCLAMRMPICells = 64 // total, divided evenly across ranks
+	DefaultCLAMRMPISteps = 24
+)
+
+// CLAMRMPIProgram builds the MPI-parallel variant of the CLAMR mini-app:
+// the periodic 1-D shallow-water mesh is block-decomposed across the ranks
+// of the world, each step exchanges one-cell halos with both neighbours
+// (ring topology), and the mass/momentum conservation checker runs over
+// MPI_Allreduce-combined global sums — so the checker itself exercises the
+// collective path and a fault anywhere shows up on every rank.
+//
+// This is the configuration the paper's cross-rank propagation study needs:
+// an injected fault contaminates a halo cell, rides an MPI message to the
+// neighbour rank through the TaintHub, and keeps propagating there.
+//
+// totalCells must be divisible by the world size; each rank asserts this.
+func CLAMRMPIProgram(totalCells, steps int64) *lang.Program {
+	I, F, V, B := lang.I, lang.F, lang.V, lang.Block
+	dtF := int64(isa.TypeFloat64)
+	const (
+		tagLeft  = 11 // message travelling leftwards (my left edge -> left neighbour)
+		tagRight = 12 // message travelling rightwards
+	)
+	// Local arrays hold n local cells in slots 1..n with ghosts at 0 and n+1.
+	ghost := func(arr string, idx lang.Expr) lang.Expr { return lang.AtF(V(arr), idx) }
+
+	sqrtFn := SqrtFunc()
+
+	// exchange sends this rank's edge cells to both neighbours and fills
+	// the ghost cells from their replies. Send-first/receive-second works
+	// because sends are eagerly buffered by the runtime.
+	exchange := func(arr string) []lang.Stmt {
+		return B(
+			// Left edge (slot 1) travels to the left neighbour's right ghost.
+			lang.MPISend{Buf: lang.Add(V(arr), I(8)), Count: I(1), Dtype: dtF,
+				Dest: V("left"), Tag: I(tagLeft)},
+			// Right edge (slot n) travels to the right neighbour's left ghost.
+			lang.MPISend{Buf: lang.Add(V(arr), lang.Mul(V("n"), I(8))), Count: I(1), Dtype: dtF,
+				Dest: V("right"), Tag: I(tagRight)},
+			// Right ghost (slot n+1) comes from the right neighbour's left edge.
+			lang.MPIRecv{Buf: lang.Add(V(arr), lang.Mul(lang.Add(V("n"), I(1)), I(8))),
+				Count: I(1), Dtype: dtF, Source: V("right"), Tag: I(tagLeft)},
+			// Left ghost (slot 0) comes from the left neighbour's right edge.
+			lang.MPIRecv{Buf: V(arr), Count: I(1), Dtype: dtF,
+				Source: V("left"), Tag: I(tagRight)},
+		)
+	}
+
+	// localSums computes this rank's mass and momentum into the two-element
+	// scratch array "loc".
+	localSums := B(
+		lang.SetAt(V("loc"), I(0), F(0)),
+		lang.SetAt(V("loc"), I(1), F(0)),
+		lang.For{Var: "i", From: I(1), To: lang.Add(V("n"), I(1)), Body: B(
+			lang.SetAt(V("loc"), I(0), lang.Add(lang.AtF(V("loc"), I(0)),
+				lang.Mul(ghost("h", V("i")), V("dx")))),
+			lang.SetAt(V("loc"), I(1), lang.Add(lang.AtF(V("loc"), I(1)),
+				lang.Mul(ghost("hu", V("i")), V("dx")))),
+		)},
+	)
+
+	main := &lang.Func{
+		Name: "main",
+		Body: cat(
+			B(
+				lang.Let("total", I(totalCells)),
+				lang.Let("steps", I(steps)),
+				lang.Let("rank", lang.RankExpr{}),
+				lang.Let("size", lang.SizeExpr{}),
+				lang.Assert{Cond: lang.Eq(lang.Mod(V("total"), V("size")), I(0)), Code: 210},
+				lang.Let("n", lang.Div(V("total"), V("size"))),
+				lang.Let("left", lang.Mod(lang.Add(lang.Sub(V("rank"), I(1)), V("size")), V("size"))),
+				lang.Let("right", lang.Mod(lang.Add(V("rank"), I(1)), V("size"))),
+				// n locals + 2 ghosts per field.
+				lang.Let("h", lang.Alloc(lang.Add(V("n"), I(2)))),
+				lang.Let("hu", lang.Alloc(lang.Add(V("n"), I(2)))),
+				lang.Let("hn", lang.Alloc(lang.Add(V("n"), I(2)))),
+				lang.Let("hun", lang.Alloc(lang.Add(V("n"), I(2)))),
+				lang.Let("loc", lang.Alloc(I(2))),
+				lang.Let("glob", lang.Alloc(I(2))),
+				lang.Let("g", F(9.8)),
+				lang.Let("dx", F(1.0)),
+
+				// Dam break over the global domain: global cells in
+				// [total/3, 2*total/3) start at height 4.
+				lang.For{Var: "i", From: I(1), To: lang.Add(V("n"), I(1)), Body: B(
+					lang.Let("gi", lang.Add(lang.Mul(V("rank"), V("n")), lang.Sub(V("i"), I(1)))),
+					lang.Let("hv", F(1.0)),
+					lang.If{
+						Cond: lang.Bin{Op: lang.OpAnd,
+							L: lang.Ge(V("gi"), lang.Div(V("total"), I(3))),
+							R: lang.Lt(V("gi"), lang.Mul(lang.Div(V("total"), I(3)), I(2)))},
+						Then: B(lang.Set("hv", F(4.0))),
+					},
+					lang.SetAt(V("h"), V("i"), V("hv")),
+					lang.SetAt(V("hu"), V("i"), F(0)),
+				)},
+			),
+			// Global initial mass/momentum via allreduce.
+			localSums,
+			B(
+				lang.Allreduce{SendBuf: V("loc"), RecvBuf: V("glob"), Count: I(2),
+					Dtype: dtF, ReduceOp: int64(isa.ReduceSum)},
+				lang.Let("mass0", lang.AtF(V("glob"), I(0))),
+				lang.Let("mom0", lang.AtF(V("glob"), I(1))),
+				// CFL time step from the global maximum height (4.0 by
+				// construction, but computed honestly via allreduce-max).
+				lang.SetAt(V("loc"), I(0), F(0)),
+				lang.For{Var: "i", From: I(1), To: lang.Add(V("n"), I(1)), Body: B(
+					lang.If{Cond: lang.Gt(ghost("h", V("i")), lang.AtF(V("loc"), I(0))), Then: B(
+						lang.SetAt(V("loc"), I(0), ghost("h", V("i"))),
+					)},
+				)},
+				lang.Allreduce{SendBuf: V("loc"), RecvBuf: V("glob"), Count: I(1),
+					Dtype: dtF, ReduceOp: int64(isa.ReduceMax)},
+				lang.Let("cmax", lang.Call("sqrt", lang.Mul(V("g"), lang.AtF(V("glob"), I(0))))),
+				lang.Let("dt", lang.Div(lang.Mul(F(0.4), V("dx")), lang.Add(V("cmax"), F(0.001)))),
+				lang.Let("lam", lang.Div(V("dt"), lang.Mul(F(2.0), V("dx")))),
+
+				lang.For{Var: "t", From: I(0), To: V("steps"), Body: cat(
+					exchange("h"),
+					exchange("hu"),
+					B(
+						// Lax-Friedrichs over local cells using ghosts.
+						lang.For{Var: "i", From: I(1), To: lang.Add(V("n"), I(1)), Body: B(
+							lang.Let("hm", ghost("h", lang.Sub(V("i"), I(1)))),
+							lang.Let("hp", ghost("h", lang.Add(V("i"), I(1)))),
+							lang.Let("qm", ghost("hu", lang.Sub(V("i"), I(1)))),
+							lang.Let("qp", ghost("hu", lang.Add(V("i"), I(1)))),
+							lang.Let("fm", lang.Add(lang.Div(lang.Mul(V("qm"), V("qm")), V("hm")),
+								lang.Mul(lang.Mul(F(0.5), V("g")), lang.Mul(V("hm"), V("hm"))))),
+							lang.Let("fp", lang.Add(lang.Div(lang.Mul(V("qp"), V("qp")), V("hp")),
+								lang.Mul(lang.Mul(F(0.5), V("g")), lang.Mul(V("hp"), V("hp"))))),
+							lang.SetAt(V("hn"), V("i"),
+								lang.Sub(lang.Mul(F(0.5), lang.Add(V("hm"), V("hp"))),
+									lang.Mul(V("lam"), lang.Sub(V("qp"), V("qm"))))),
+							lang.SetAt(V("hun"), V("i"),
+								lang.Sub(lang.Mul(F(0.5), lang.Add(V("qm"), V("qp"))),
+									lang.Mul(V("lam"), lang.Sub(V("fp"), V("fm"))))),
+						)},
+						// Commit.
+						lang.For{Var: "i", From: I(1), To: lang.Add(V("n"), I(1)), Body: B(
+							lang.SetAt(V("h"), V("i"), lang.AtF(V("hn"), V("i"))),
+							lang.SetAt(V("hu"), V("i"), lang.AtF(V("hun"), V("i"))),
+						)},
+					),
+					// Checkpoint: global conservation via allreduce.
+					B(lang.If{Cond: lang.Eq(lang.Mod(V("t"), I(clamrCheckpointEvery)), I(0)), Then: cat(
+						localSums,
+						B(
+							lang.Allreduce{SendBuf: V("loc"), RecvBuf: V("glob"), Count: I(2),
+								Dtype: dtF, ReduceOp: int64(isa.ReduceSum)},
+							lang.Let("err", lang.Sub(lang.AtF(V("glob"), I(0)), V("mass0"))),
+							lang.If{Cond: lang.Lt(V("err"), F(0)), Then: B(lang.Set("err", lang.Neg{E: V("err")}))},
+							lang.Assert{Cond: lang.Lt(V("err"), lang.Mul(F(1e-11), V("mass0"))), Code: 211},
+							lang.Let("merr", lang.Sub(lang.AtF(V("glob"), I(1)), V("mom0"))),
+							lang.If{Cond: lang.Lt(V("merr"), F(0)), Then: B(lang.Set("merr", lang.Neg{E: V("merr")}))},
+							lang.Assert{Cond: lang.Lt(V("merr"), lang.Mul(F(1e-11), V("mass0"))), Code: 212},
+						),
+					)}),
+				)},
+
+				// Output the local field for SDC comparison.
+				lang.For{Var: "i", From: I(1), To: lang.Add(V("n"), I(1)), Body: B(
+					lang.OutFloat{E: ghost("h", V("i"))},
+				)},
+			),
+		),
+	}
+
+	return &lang.Program{Name: "clamr_mpi", Funcs: []*lang.Func{main, sqrtFn}}
+}

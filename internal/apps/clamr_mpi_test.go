@@ -1,0 +1,175 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"chaser/internal/campaign"
+	"chaser/internal/core"
+	"chaser/internal/injectors"
+	"chaser/internal/isa"
+	"chaser/internal/vm"
+)
+
+func TestCLAMRMPIGoldenConservation(t *testing.T) {
+	res, _ := golden(t, "clamr_mpi")
+	for r, term := range res.Terms {
+		if term.Reason != vm.ReasonExited || term.Code != 0 {
+			t.Fatalf("rank %d: %v (conservation must hold on golden run)", r, term)
+		}
+	}
+	// The concatenated per-rank fields must sum to the initial global mass.
+	total := int64(DefaultCLAMRMPICells)
+	high := total/3*2 - total/3
+	mass0 := float64(high)*4 + float64(total-high)
+	var sum float64
+	cells := 0
+	for r := range res.Outputs {
+		for _, h := range floats(t, res.Outputs[r]) {
+			if h <= 0 {
+				t.Errorf("rank %d has non-positive height %v", r, h)
+			}
+			sum += h
+			cells++
+		}
+	}
+	if cells != int(total) {
+		t.Fatalf("output cells = %d, want %d", cells, total)
+	}
+	if math.Abs(sum-mass0) > 1e-9*mass0 {
+		t.Errorf("global mass = %v, want %v", sum, mass0)
+	}
+}
+
+func TestCLAMRMPIGoldenMatchesSerialPhysics(t *testing.T) {
+	// The decomposed solver must produce the same physical field as a
+	// serial run of the same global mesh (identical scheme, identical
+	// float ordering per cell update).
+	mpiRes, _ := golden(t, "clamr_mpi")
+	var parallel []float64
+	for r := range mpiRes.Outputs {
+		parallel = append(parallel, floats(t, mpiRes.Outputs[r])...)
+	}
+
+	// Serial reference on the same mesh size/steps: CLAMRProgram has an
+	// extra refinement pass, so compute the reference directly in Go.
+	n := int64(DefaultCLAMRMPICells)
+	steps := int64(DefaultCLAMRMPISteps)
+	h := make([]float64, n)
+	hu := make([]float64, n)
+	for i := int64(0); i < n; i++ {
+		h[i] = 1.0
+		if i >= n/3 && i < n/3*2 {
+			h[i] = 4.0
+		}
+	}
+	g, dx := 9.8, 1.0
+	// sqrt via the same 8-iteration Newton the guest uses.
+	sqrt := func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		y := x
+		if y < 1 {
+			y = 1
+		}
+		for i := 0; i < 8; i++ {
+			y = 0.5 * (y + x/y)
+		}
+		return y
+	}
+	cmax := sqrt(g * 4.0)
+	dt := 0.4 * dx / (cmax + 0.001)
+	lam := dt / (2 * dx)
+	hn := make([]float64, n)
+	hun := make([]float64, n)
+	for t2 := int64(0); t2 < steps; t2++ {
+		for i := int64(0); i < n; i++ {
+			im, ip := (i-1+n)%n, (i+1)%n
+			hm, hp := h[im], h[ip]
+			qm, qp := hu[im], hu[ip]
+			fm := qm*qm/hm + 0.5*g*hm*hm
+			fp := qp*qp/hp + 0.5*g*hp*hp
+			hn[i] = 0.5*(hm+hp) - lam*(qp-qm)
+			hun[i] = 0.5*(qm+qp) - lam*(fp-fm)
+		}
+		copy(h, hn)
+		copy(hu, hun)
+	}
+	if len(parallel) != int(n) {
+		t.Fatalf("parallel cells = %d", len(parallel))
+	}
+	for i := int64(0); i < n; i++ {
+		if math.Abs(parallel[i]-h[i]) > 1e-12 {
+			t.Errorf("cell %d: parallel %v vs serial %v", i, parallel[i], h[i])
+		}
+	}
+}
+
+func TestCLAMRMPIHaloPropagation(t *testing.T) {
+	// A fault injected on rank 0 must cross into neighbour ranks through
+	// the halo exchange, coordinated by the TaintHub.
+	app, err := ByName("clamr_mpi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the corruption to rank 0's hn[1] (the update buffer's first local
+	// cell): the end-of-step commit copies it into h[1], and the next halo
+	// exchange ships that cell to the left neighbour. Layout: h and hu are
+	// the first two allocations of n+2 = 18 slots each, so hn starts at
+	// HeapBase + 2*18*8 and hn[1] is one slot further.
+	perField := uint64(DefaultCLAMRMPICells/DefaultCLAMRMPIRanks+2) * 8
+	edgeCell := isa.HeapBase + 2*perField + 8
+	res, err := core.Run(core.RunConfig{
+		Prog:      app.Prog,
+		WorldSize: app.WorldSize,
+		Spec: &core.Spec{
+			Target: app.Name, Ops: app.DefaultOps,
+			TargetRank: 0,
+			Cond:       core.Deterministic{N: 2000},
+			Inj:        injectors.DeterministicInjector{N: 2000, Mask: 1 << 20, Address: &edgeCell},
+			Seed:       12, Trace: true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Injected() {
+		t.Fatal("no injection")
+	}
+	if !res.Trace.Propagated() {
+		t.Fatal("taint never crossed a rank boundary")
+	}
+	// Neighbour ranks (1 and/or 3 in the ring) must show local taint
+	// activity after receiving the contaminated halo.
+	if res.Trace.Reads(1)+res.Trace.Reads(3) == 0 {
+		t.Error("no tainted reads on neighbour ranks")
+	}
+	if res.HubStats.Published == 0 || res.HubStats.Hits == 0 {
+		t.Errorf("hub unused: %+v", res.HubStats)
+	}
+}
+
+func TestCLAMRMPICampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-rank campaign")
+	}
+	app, err := ByName("clamr_mpi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := campaign.Run(campaign.Config{
+		Name: app.Name, Prog: app.Prog, WorldSize: app.WorldSize,
+		Ops: app.DefaultOps, TargetRank: 0,
+		Runs: 60, Bits: 1, Seed: 77, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Detected == 0 {
+		t.Errorf("allreduce-based checker never fired: %+v", sum)
+	}
+	if sum.PropagatedRuns == 0 {
+		t.Error("no run propagated taint across ranks")
+	}
+}

@@ -1,0 +1,97 @@
+package apps
+
+import "chaser/internal/lang"
+
+// Default k-means parameters.
+const (
+	DefaultKMeansPoints = 128
+	DefaultKMeansK      = 4
+	DefaultKMeansIters  = 5
+)
+
+// KMeansProgram builds a 2-D k-means clustering kernel in the style of
+// Rodinia's kmeans: `points` samples, `k` clusters, a fixed number of
+// Lloyd iterations. The distance computation (fsub/fmul/fadd) dominates,
+// matching the paper's floating-point injection target for kmeans.
+//
+// Output: the final centroid coordinates and every point's assignment.
+func KMeansProgram(points, k, iters int64) *lang.Program {
+	I, F, V, B := lang.I, lang.F, lang.V, lang.Block
+
+	return &lang.Program{
+		Name: "kmeans",
+		Funcs: []*lang.Func{{
+			Name: "main",
+			Body: B(
+				lang.Let("np", I(points)),
+				lang.Let("k", I(k)),
+				lang.Let("px", lang.Alloc(V("np"))),
+				lang.Let("py", lang.Alloc(V("np"))),
+				lang.Let("cx", lang.Alloc(V("k"))),
+				lang.Let("cy", lang.Alloc(V("k"))),
+				lang.Let("sumx", lang.Alloc(V("k"))),
+				lang.Let("sumy", lang.Alloc(V("k"))),
+				lang.Let("cnt", lang.Alloc(V("k"))),
+				lang.Let("assign", lang.Alloc(V("np"))),
+				lang.Let("seed", I(13579)),
+				lang.Let("r", I(0)),
+				// Generate points in [0, 10) x [0, 10).
+				lang.For{Var: "i", From: I(0), To: V("np"), Body: cat(
+					lcgNext("seed", "r", 1000),
+					B(lang.SetAt(V("px"), V("i"), lang.Div(lang.ToFloat(V("r")), F(100)))),
+					lcgNext("seed", "r", 1000),
+					B(lang.SetAt(V("py"), V("i"), lang.Div(lang.ToFloat(V("r")), F(100)))),
+				)},
+				// Initial centroids: the first k points.
+				lang.For{Var: "c", From: I(0), To: V("k"), Body: B(
+					lang.SetAt(V("cx"), V("c"), lang.AtF(V("px"), V("c"))),
+					lang.SetAt(V("cy"), V("c"), lang.AtF(V("py"), V("c"))),
+				)},
+				lang.For{Var: "it", From: I(0), To: I(iters), Body: B(
+					lang.For{Var: "c", From: I(0), To: V("k"), Body: B(
+						lang.SetAt(V("sumx"), V("c"), F(0)),
+						lang.SetAt(V("sumy"), V("c"), F(0)),
+						lang.SetAt(V("cnt"), V("c"), I(0)),
+					)},
+					// Assignment step: nearest centroid by squared distance.
+					lang.For{Var: "i", From: I(0), To: V("np"), Body: B(
+						lang.Let("bestd", F(1e30)),
+						lang.Let("best", I(0)),
+						lang.For{Var: "c", From: I(0), To: V("k"), Body: B(
+							lang.Let("dx", lang.Sub(lang.AtF(V("px"), V("i")), lang.AtF(V("cx"), V("c")))),
+							lang.Let("dy", lang.Sub(lang.AtF(V("py"), V("i")), lang.AtF(V("cy"), V("c")))),
+							lang.Let("d", lang.Add(lang.Mul(V("dx"), V("dx")), lang.Mul(V("dy"), V("dy")))),
+							lang.If{Cond: lang.Lt(V("d"), V("bestd")), Then: B(
+								lang.Set("bestd", V("d")),
+								lang.Set("best", V("c")),
+							)},
+						)},
+						lang.SetAt(V("assign"), V("i"), V("best")),
+						lang.SetAt(V("sumx"), V("best"),
+							lang.Add(lang.AtF(V("sumx"), V("best")), lang.AtF(V("px"), V("i")))),
+						lang.SetAt(V("sumy"), V("best"),
+							lang.Add(lang.AtF(V("sumy"), V("best")), lang.AtF(V("py"), V("i")))),
+						lang.SetAt(V("cnt"), V("best"),
+							lang.Add(lang.At(V("cnt"), V("best")), I(1))),
+					)},
+					// Update step.
+					lang.For{Var: "c", From: I(0), To: V("k"), Body: B(
+						lang.If{Cond: lang.Gt(lang.At(V("cnt"), V("c")), I(0)), Then: B(
+							lang.Let("m", lang.ToFloat(lang.At(V("cnt"), V("c")))),
+							lang.SetAt(V("cx"), V("c"), lang.Div(lang.AtF(V("sumx"), V("c")), V("m"))),
+							lang.SetAt(V("cy"), V("c"), lang.Div(lang.AtF(V("sumy"), V("c")), V("m"))),
+						)},
+					)},
+				)},
+				// Output centroids and assignments.
+				lang.For{Var: "c", From: I(0), To: V("k"), Body: B(
+					lang.OutFloat{E: lang.AtF(V("cx"), V("c"))},
+					lang.OutFloat{E: lang.AtF(V("cy"), V("c"))},
+				)},
+				lang.For{Var: "i", From: I(0), To: V("np"), Body: B(
+					lang.OutInt{E: lang.At(V("assign"), V("i"))},
+				)},
+			),
+		}},
+	}
+}

@@ -1,0 +1,102 @@
+package apps
+
+import "chaser/internal/lang"
+
+// DefaultLUDN is the default LU decomposition dimension.
+const DefaultLUDN = 24
+
+// LUDProgram builds an in-place LU decomposition (Doolittle, no pivoting)
+// of a diagonally dominant n×n matrix, in the style of Rodinia's lud. The
+// kernel mixes floating-point arithmetic with loop-bound comparisons, which
+// is why the paper uses a combined floating-point + cmp fault target for
+// lud.
+//
+// Output: the factored matrix (L below the diagonal, U on and above it) and
+// a reconstruction residual computed against the original matrix.
+func LUDProgram(n int64) *lang.Program {
+	I, F, V, B := lang.I, lang.F, lang.V, lang.Block
+	idx := func(i, j lang.Expr) lang.Expr { return lang.Add(lang.Mul(i, V("n")), j) }
+
+	return &lang.Program{
+		Name: "lud",
+		Funcs: []*lang.Func{{
+			Name: "main",
+			Body: B(
+				lang.Let("n", I(n)),
+				lang.Let("a", lang.Alloc(lang.Mul(V("n"), V("n")))),
+				lang.Let("orig", lang.Alloc(lang.Mul(V("n"), V("n")))),
+				lang.Let("seed", I(424242)),
+				lang.Let("r", I(0)),
+				// Generate a diagonally dominant matrix so the factorization
+				// is stable without pivoting.
+				lang.For{Var: "i", From: I(0), To: V("n"), Body: B(
+					lang.For{Var: "j", From: I(0), To: V("n"), Body: cat(
+						lcgNext("seed", "r", 200),
+						B(
+							lang.Let("v", lang.Div(lang.ToFloat(V("r")), F(100))),
+							lang.If{Cond: lang.Eq(V("i"), V("j")), Then: B(
+								lang.Set("v", lang.Add(V("v"), lang.ToFloat(V("n")))),
+							)},
+							lang.SetAt(V("a"), idx(V("i"), V("j")), V("v")),
+							lang.SetAt(V("orig"), idx(V("i"), V("j")), V("v")),
+						),
+					)},
+				)},
+				// Doolittle factorization, in place.
+				lang.For{Var: "kk", From: I(0), To: V("n"), Body: B(
+					lang.Let("pivot", lang.AtF(V("a"), idx(V("kk"), V("kk")))),
+					lang.For{Var: "i", From: lang.Add(V("kk"), I(1)), To: V("n"), Body: B(
+						lang.Let("f", lang.Div(lang.AtF(V("a"), idx(V("i"), V("kk"))), V("pivot"))),
+						lang.SetAt(V("a"), idx(V("i"), V("kk")), V("f")),
+						lang.For{Var: "j", From: lang.Add(V("kk"), I(1)), To: V("n"), Body: B(
+							lang.SetAt(V("a"), idx(V("i"), V("j")),
+								lang.Sub(lang.AtF(V("a"), idx(V("i"), V("j"))),
+									lang.Mul(V("f"), lang.AtF(V("a"), idx(V("kk"), V("j")))))),
+						)},
+					)},
+				)},
+				// Residual: max |(L*U)[i][j] - orig[i][j]| over a sampled set
+				// of entries (every row, three columns) to keep the check
+				// cheap but sensitive.
+				lang.Let("maxerr", F(0)),
+				lang.For{Var: "i", From: I(0), To: V("n"), Body: B(
+					lang.For{Var: "js", From: I(0), To: I(3), Body: B(
+						lang.Let("j", lang.Mod(lang.Add(lang.Mul(V("js"), I(11)), V("i")), V("n"))),
+						// (L*U)[i][j] = sum_m L[i][m]*U[m][j], with L unit
+						// lower triangular.
+						lang.Let("acc", F(0)),
+						lang.Let("lim", V("i")),
+						lang.If{Cond: lang.Gt(V("lim"), V("j")), Then: B(lang.Set("lim", V("j")))},
+						lang.For{Var: "m", From: I(0), To: V("lim"), Body: B(
+							lang.Set("acc", lang.Add(V("acc"), lang.Mul(
+								lang.AtF(V("a"), idx(V("i"), V("m"))),
+								lang.AtF(V("a"), idx(V("m"), V("j")))))),
+						)},
+						// Diagonal contribution: L[i][i] = 1 when i <= j,
+						// else U[j][j] factor via L[i][j].
+						lang.If{
+							Cond: lang.Le(V("i"), V("j")),
+							Then: B(lang.Set("acc", lang.Add(V("acc"),
+								lang.AtF(V("a"), idx(V("i"), V("j")))))),
+							Else: B(lang.Set("acc", lang.Add(V("acc"), lang.Mul(
+								lang.AtF(V("a"), idx(V("i"), V("j"))),
+								lang.AtF(V("a"), idx(V("j"), V("j"))))))),
+						},
+						lang.Let("diff", lang.Sub(V("acc"), lang.AtF(V("orig"), idx(V("i"), V("j"))))),
+						lang.If{Cond: lang.Lt(V("diff"), F(0)), Then: B(
+							lang.Set("diff", lang.Neg{E: V("diff")}),
+						)},
+						lang.If{Cond: lang.Gt(V("diff"), V("maxerr")), Then: B(
+							lang.Set("maxerr", V("diff")),
+						)},
+					)},
+				)},
+				// Output the factored matrix and the residual.
+				lang.For{Var: "i", From: I(0), To: lang.Mul(V("n"), V("n")), Body: B(
+					lang.OutFloat{E: lang.AtF(V("a"), V("i"))},
+				)},
+				lang.OutFloat{E: V("maxerr")},
+			),
+		}},
+	}
+}

@@ -1,0 +1,130 @@
+package apps
+
+import (
+	"chaser/internal/isa"
+	"chaser/internal/lang"
+)
+
+// DefaultMatvecN is the default matrix dimension (divisible by the number of
+// worker ranks, world size - 1).
+const DefaultMatvecN = 24
+
+// MatvecProgram builds the MPI matrix-vector product b = A*x after the
+// classic master/slave matvec_mpi.c the paper evaluates:
+//
+//   - rank 0 (master) generates A (n×n) and x, broadcasts x, and sends each
+//     worker a work header [start, rows] followed by that block of rows;
+//   - workers trust the header: they allocate from it, receive the block,
+//     compute their partial products, and send them back;
+//   - the master assembles b and writes it to the output file.
+//
+// The unvalidated header is the realistic control-metadata path of
+// master/worker codes: a fault that corrupts start/rows in the master's
+// memory propagates to a worker and can kill it there (a huge allocation,
+// a truncated receive), producing the paper's rare "slave node failed"
+// termination class.
+//
+// n must be divisible by (world size - 1); the master asserts this.
+func MatvecProgram(n int64) *lang.Program {
+	I, F, V, B := lang.I, lang.F, lang.V, lang.Block
+	const (
+		tagHdr    = 1
+		tagRows   = 2
+		tagResult = 3
+	)
+	dtI := int64(isa.TypeInt64)
+	dtF := int64(isa.TypeFloat64)
+
+	return &lang.Program{
+		Name: "matvec",
+		Funcs: []*lang.Func{{
+			Name: "main",
+			Body: B(
+				lang.Let("n", I(n)),
+				lang.Let("rank", lang.RankExpr{}),
+				lang.Let("size", lang.SizeExpr{}),
+				lang.Let("workers", lang.Sub(V("size"), I(1))),
+				lang.Let("x", lang.Alloc(V("n"))),
+
+				lang.If{
+					Cond: lang.Eq(V("rank"), I(0)),
+					Then: B(
+						// The master requires at least one worker and an even
+						// row split.
+						lang.Assert{Cond: lang.Gt(V("workers"), I(0)), Code: 100},
+						lang.Assert{Cond: lang.Eq(lang.Mod(V("n"), V("workers")), I(0)), Code: 101},
+						lang.Let("rows", lang.Div(V("n"), V("workers"))),
+						lang.Let("a", lang.Alloc(lang.Mul(V("n"), V("n")))),
+						lang.Let("b", lang.Alloc(V("n"))),
+						lang.Let("hdr", lang.Alloc(I(2))),
+						lang.Let("seed", I(20200651)),
+						lang.Let("r", I(0)),
+						// Generate A and x deterministically.
+						lang.For{Var: "i", From: I(0), To: V("n"), Body: cat(
+							lcgNext("seed", "r", 1000),
+							B(lang.SetAt(V("x"), V("i"),
+								lang.Div(lang.ToFloat(V("r")), F(100)))),
+							B(lang.For{Var: "j", From: I(0), To: V("n"), Body: cat(
+								lcgNext("seed", "r", 1000),
+								B(lang.SetAt(V("a"), lang.Add(lang.Mul(V("i"), V("n")), V("j")),
+									lang.Div(lang.ToFloat(V("r")), F(100)))),
+							)}),
+						)},
+						// Broadcast x, then send each worker its header and
+						// row block.
+						lang.Bcast{Buf: V("x"), Count: V("n"), Dtype: dtF, Root: I(0)},
+						lang.For{Var: "w", From: I(1), To: V("size"), Body: B(
+							lang.Let("start", lang.Mul(lang.Sub(V("w"), I(1)), V("rows"))),
+							lang.SetAt(V("hdr"), I(0), V("start")),
+							lang.SetAt(V("hdr"), I(1), V("rows")),
+							lang.MPISend{Buf: V("hdr"), Count: I(2), Dtype: dtI,
+								Dest: V("w"), Tag: I(tagHdr)},
+							lang.MPISend{
+								Buf:   lang.Add(V("a"), lang.Mul(lang.Mul(V("start"), V("n")), I(8))),
+								Count: lang.Mul(V("rows"), V("n")), Dtype: dtF,
+								Dest: V("w"), Tag: I(tagRows),
+							},
+						)},
+						// Collect partial results in worker order.
+						lang.For{Var: "w", From: I(1), To: V("size"), Body: B(
+							lang.Let("off", lang.Mul(lang.Sub(V("w"), I(1)), V("rows"))),
+							lang.MPIRecv{
+								Buf:   lang.Add(V("b"), lang.Mul(V("off"), I(8))),
+								Count: V("rows"), Dtype: dtF,
+								Source: V("w"), Tag: I(tagResult),
+							},
+						)},
+						// Output b for SDC comparison.
+						lang.For{Var: "i", From: I(0), To: V("n"), Body: B(
+							lang.OutFloat{E: lang.AtF(V("b"), V("i"))},
+						)},
+					),
+					Else: B(
+						lang.Bcast{Buf: V("x"), Count: V("n"), Dtype: dtF, Root: I(0)},
+						// Receive and trust the work header.
+						lang.Let("hdr", lang.Alloc(I(2))),
+						lang.MPIRecv{Buf: V("hdr"), Count: I(2), Dtype: dtI,
+							Source: I(0), Tag: I(tagHdr)},
+						lang.Let("myrows", lang.At(V("hdr"), I(1))),
+						lang.Let("block", lang.Alloc(lang.Mul(V("myrows"), V("n")))),
+						lang.Let("part", lang.Alloc(V("myrows"))),
+						lang.MPIRecv{Buf: V("block"), Count: lang.Mul(V("myrows"), V("n")),
+							Dtype: dtF, Source: I(0), Tag: I(tagRows)},
+						lang.For{Var: "i", From: I(0), To: V("myrows"), Body: B(
+							lang.Let("acc", F(0)),
+							lang.For{Var: "j", From: I(0), To: V("n"), Body: B(
+								lang.Set("acc", lang.Add(V("acc"), lang.Mul(
+									lang.AtF(V("block"), lang.Add(lang.Mul(V("i"), V("n")), V("j"))),
+									lang.AtF(V("x"), V("j")),
+								))),
+							)},
+							lang.SetAt(V("part"), V("i"), V("acc")),
+						)},
+						lang.MPISend{Buf: V("part"), Count: V("myrows"), Dtype: dtF,
+							Dest: I(0), Tag: I(tagResult)},
+					),
+				},
+			),
+		}},
+	}
+}

@@ -1,0 +1,64 @@
+package apps
+
+import "chaser/internal/lang"
+
+// This file holds the small guest "standard library": routines shared by
+// the application programs, each returning a lang.Func to splice into a
+// program's function list.
+
+// SqrtFunc returns the in-guest Newton square root used by the CLAMR
+// variants for wave-speed computation: 8 Newton iterations from a clamped
+// initial guess, accurate to ~1 ulp over the solvers' operating range.
+func SqrtFunc() *lang.Func {
+	I, F, V, B := lang.I, lang.F, lang.V, lang.Block
+	return &lang.Func{
+		Name:   "sqrt",
+		Params: []lang.Param{{Name: "x", Type: lang.TFloat}},
+		Ret:    lang.TFloat,
+		Body: B(
+			lang.If{Cond: lang.Le(V("x"), F(0)), Then: B(lang.Return{E: F(0)})},
+			lang.Let("y", V("x")),
+			lang.If{Cond: lang.Lt(V("y"), F(1)), Then: B(lang.Set("y", F(1)))},
+			lang.For{Var: "i", From: I(0), To: I(8), Body: B(
+				lang.Set("y", lang.Mul(F(0.5), lang.Add(V("y"), lang.Div(V("x"), V("y"))))),
+			)},
+			lang.Return{E: V("y")},
+		),
+	}
+}
+
+// AbsFunc returns |x| for floats.
+func AbsFunc() *lang.Func {
+	F, V, B := lang.F, lang.V, lang.Block
+	return &lang.Func{
+		Name:   "fabs",
+		Params: []lang.Param{{Name: "x", Type: lang.TFloat}},
+		Ret:    lang.TFloat,
+		Body: B(
+			lang.If{Cond: lang.Lt(V("x"), F(0)), Then: B(lang.Return{E: lang.Neg{E: V("x")}})},
+			lang.Return{E: V("x")},
+		),
+	}
+}
+
+// MinMaxFuncs returns float min and max helpers.
+func MinMaxFuncs() []*lang.Func {
+	V, B := lang.V, lang.Block
+	params := []lang.Param{{Name: "a", Type: lang.TFloat}, {Name: "b", Type: lang.TFloat}}
+	return []*lang.Func{
+		{
+			Name: "fmin", Params: params, Ret: lang.TFloat,
+			Body: B(
+				lang.If{Cond: lang.Lt(V("a"), V("b")), Then: B(lang.Return{E: V("a")})},
+				lang.Return{E: V("b")},
+			),
+		},
+		{
+			Name: "fmax", Params: params, Ret: lang.TFloat,
+			Body: B(
+				lang.If{Cond: lang.Gt(V("a"), V("b")), Then: B(lang.Return{E: V("a")})},
+				lang.Return{E: V("b")},
+			),
+		},
+	}
+}

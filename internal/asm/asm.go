@@ -1,0 +1,491 @@
+// Package asm implements a two-pass text assembler for the guest ISA. It is
+// used by tests, the guestasm tool, and small examples; larger guest
+// applications are authored with the internal/lang compiler.
+//
+// Source syntax:
+//
+//	; line comment (also #)
+//	.entry main            ; entry label (default: first code label)
+//	.data                  ; switch to data segment
+//	vec:    .quad 1, 2, 3  ; 64-bit little-endian words
+//	pi:     .double 3.14   ; IEEE-754 float64
+//	msg:    .ascii "hi"    ; raw bytes
+//	buf:    .zero 64       ; zero fill
+//	.text                  ; switch to code segment (default)
+//	main:
+//	        movi r1, 10
+//	        fmovi f0, 1.5
+//	        ld r2, [r1+8]
+//	        st [r1+8], r2
+//	        movi r3, vec   ; data labels resolve to absolute addresses
+//	        jne main
+//	        syscall exit   ; syscall names or raw numbers
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"chaser/internal/isa"
+)
+
+// SyntaxError reports an assembly error with its source line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
+
+type fixup struct {
+	instrIdx int
+	label    string
+	line     int
+}
+
+type assembler struct {
+	code      []isa.Instr
+	data      []byte
+	labels    map[string]uint64
+	fixups    []fixup
+	entryName string
+	inData    bool
+	firstCode string
+}
+
+// Assemble translates assembler source into a loadable program.
+func Assemble(name, src string) (*isa.Program, error) {
+	a := &assembler{labels: make(map[string]uint64)}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		if err := a.line(lineNo+1, raw); err != nil {
+			return nil, err
+		}
+	}
+	if err := a.resolve(); err != nil {
+		return nil, err
+	}
+	entry := a.entryName
+	if entry == "" {
+		entry = a.firstCode
+	}
+	if entry == "" {
+		return nil, &SyntaxError{Line: 0, Msg: "no code labels defined"}
+	}
+	addr, ok := a.labels[entry]
+	if !ok {
+		return nil, &SyntaxError{Line: 0, Msg: fmt.Sprintf("entry label %q undefined", entry)}
+	}
+	p := &isa.Program{Name: name, Entry: addr, Code: a.code, Data: a.data}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (a *assembler) line(n int, raw string) error {
+	s := raw
+	if i := strings.IndexAny(s, ";#"); i >= 0 {
+		// Keep comment markers inside string literals.
+		if q := strings.Index(s, `"`); q < 0 || q > i {
+			s = s[:i]
+		}
+	}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	// Labels, possibly followed by an instruction/directive on the same line.
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 || strings.ContainsAny(s[:i], " \t\".,[") {
+			break
+		}
+		label := s[:i]
+		if _, dup := a.labels[label]; dup {
+			return &SyntaxError{Line: n, Msg: fmt.Sprintf("duplicate label %q", label)}
+		}
+		if a.inData {
+			a.labels[label] = isa.DataBase + uint64(len(a.data))
+		} else {
+			a.labels[label] = isa.CodeBase + uint64(len(a.code))*isa.InstrSize
+			if a.firstCode == "" {
+				a.firstCode = label
+			}
+		}
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			return nil
+		}
+	}
+	if strings.HasPrefix(s, ".") {
+		return a.directive(n, s)
+	}
+	return a.instruction(n, s)
+}
+
+func (a *assembler) directive(n int, s string) error {
+	word, rest, _ := strings.Cut(s, " ")
+	rest = strings.TrimSpace(rest)
+	switch word {
+	case ".text":
+		a.inData = false
+	case ".data":
+		a.inData = true
+	case ".entry":
+		if rest == "" {
+			return &SyntaxError{Line: n, Msg: ".entry needs a label"}
+		}
+		a.entryName = rest
+	case ".quad":
+		for _, f := range splitOperands(rest) {
+			v, err := parseInt(f)
+			if err != nil {
+				return &SyntaxError{Line: n, Msg: fmt.Sprintf("bad .quad value %q", f)}
+			}
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(v))
+			a.data = append(a.data, b[:]...)
+		}
+	case ".double":
+		for _, f := range splitOperands(rest) {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return &SyntaxError{Line: n, Msg: fmt.Sprintf("bad .double value %q", f)}
+			}
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			a.data = append(a.data, b[:]...)
+		}
+	case ".ascii":
+		str, err := strconv.Unquote(rest)
+		if err != nil {
+			return &SyntaxError{Line: n, Msg: fmt.Sprintf("bad .ascii string %s", rest)}
+		}
+		a.data = append(a.data, str...)
+	case ".zero":
+		v, err := parseInt(rest)
+		if err != nil || v < 0 {
+			return &SyntaxError{Line: n, Msg: fmt.Sprintf("bad .zero size %q", rest)}
+		}
+		a.data = append(a.data, make([]byte, v)...)
+	default:
+		return &SyntaxError{Line: n, Msg: fmt.Sprintf("unknown directive %s", word)}
+	}
+	return nil
+}
+
+func (a *assembler) instruction(n int, s string) error {
+	mnem, rest, _ := strings.Cut(s, " ")
+	op := isa.OpByName(mnem)
+	if op == isa.OpInvalid {
+		return &SyntaxError{Line: n, Msg: fmt.Sprintf("unknown mnemonic %q", mnem)}
+	}
+	ops := splitOperands(strings.TrimSpace(rest))
+	ins, err := a.encodeOperands(n, op, ops)
+	if err != nil {
+		return err
+	}
+	a.code = append(a.code, ins)
+	return nil
+}
+
+func (a *assembler) encodeOperands(n int, op isa.Op, ops []string) (isa.Instr, error) {
+	ins := isa.Instr{Op: op}
+	fail := func(format string, args ...any) (isa.Instr, error) {
+		return isa.Instr{}, &SyntaxError{Line: n, Msg: fmt.Sprintf(format, args...)}
+	}
+	need := func(k int) error {
+		if len(ops) != k {
+			return &SyntaxError{Line: n, Msg: fmt.Sprintf("%s takes %d operands, got %d", op, k, len(ops))}
+		}
+		return nil
+	}
+	reg := func(s string, float bool) (isa.Reg, error) {
+		return parseReg(s, float)
+	}
+	switch op {
+	case isa.OpNop, isa.OpHlt, isa.OpRet:
+		if err := need(0); err != nil {
+			return isa.Instr{}, err
+		}
+	case isa.OpMovI:
+		if err := need(2); err != nil {
+			return isa.Instr{}, err
+		}
+		rd, err := reg(ops[0], false)
+		if err != nil {
+			return fail("%v", err)
+		}
+		ins.Rd = rd
+		if v, err := parseInt(ops[1]); err == nil {
+			ins.Imm = v
+		} else {
+			a.fixups = append(a.fixups, fixup{len(a.code), ops[1], n})
+		}
+	case isa.OpFMovI:
+		if err := need(2); err != nil {
+			return isa.Instr{}, err
+		}
+		rd, err := reg(ops[0], true)
+		if err != nil {
+			return fail("%v", err)
+		}
+		v, err := strconv.ParseFloat(ops[1], 64)
+		if err != nil {
+			return fail("bad float immediate %q", ops[1])
+		}
+		ins.Rd = rd
+		ins.Imm = int64(math.Float64bits(v))
+	case isa.OpMov, isa.OpNot, isa.OpFMov, isa.OpFNeg, isa.OpCvtIF, isa.OpCvtFI:
+		if err := need(2); err != nil {
+			return isa.Instr{}, err
+		}
+		dFloat := op == isa.OpFMov || op == isa.OpFNeg || op == isa.OpCvtIF
+		sFloat := op == isa.OpFMov || op == isa.OpFNeg || op == isa.OpCvtFI
+		rd, err := reg(ops[0], dFloat)
+		if err != nil {
+			return fail("%v", err)
+		}
+		rs, err := reg(ops[1], sFloat)
+		if err != nil {
+			return fail("%v", err)
+		}
+		ins.Rd, ins.Rs1 = rd, rs
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpMod,
+		isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr,
+		isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv:
+		if err := need(3); err != nil {
+			return isa.Instr{}, err
+		}
+		fl := op.IsFloat()
+		rd, err := reg(ops[0], fl)
+		if err != nil {
+			return fail("%v", err)
+		}
+		r1, err := reg(ops[1], fl)
+		if err != nil {
+			return fail("%v", err)
+		}
+		r2, err := reg(ops[2], fl)
+		if err != nil {
+			return fail("%v", err)
+		}
+		ins.Rd, ins.Rs1, ins.Rs2 = rd, r1, r2
+	case isa.OpAddI, isa.OpMulI:
+		if err := need(3); err != nil {
+			return isa.Instr{}, err
+		}
+		rd, err := reg(ops[0], false)
+		if err != nil {
+			return fail("%v", err)
+		}
+		r1, err := reg(ops[1], false)
+		if err != nil {
+			return fail("%v", err)
+		}
+		ins.Rd, ins.Rs1 = rd, r1
+		if v, err := parseInt(ops[2]); err == nil {
+			ins.Imm = v
+		} else {
+			a.fixups = append(a.fixups, fixup{len(a.code), ops[2], n})
+		}
+	case isa.OpLd, isa.OpLdB, isa.OpFLd:
+		if err := need(2); err != nil {
+			return isa.Instr{}, err
+		}
+		rd, err := reg(ops[0], op == isa.OpFLd)
+		if err != nil {
+			return fail("%v", err)
+		}
+		base, disp, err := parseMem(ops[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		ins.Rd, ins.Rs1, ins.Imm = rd, base, disp
+	case isa.OpSt, isa.OpStB, isa.OpFSt:
+		if err := need(2); err != nil {
+			return isa.Instr{}, err
+		}
+		base, disp, err := parseMem(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		rs, err := reg(ops[1], op == isa.OpFSt)
+		if err != nil {
+			return fail("%v", err)
+		}
+		ins.Rs1, ins.Rs2, ins.Imm = base, rs, disp
+	case isa.OpCmp, isa.OpFCmp:
+		if err := need(2); err != nil {
+			return isa.Instr{}, err
+		}
+		fl := op == isa.OpFCmp
+		r1, err := reg(ops[0], fl)
+		if err != nil {
+			return fail("%v", err)
+		}
+		r2, err := reg(ops[1], fl)
+		if err != nil {
+			return fail("%v", err)
+		}
+		ins.Rs1, ins.Rs2 = r1, r2
+	case isa.OpCmpI:
+		if err := need(2); err != nil {
+			return isa.Instr{}, err
+		}
+		r1, err := reg(ops[0], false)
+		if err != nil {
+			return fail("%v", err)
+		}
+		v, err := parseInt(ops[1])
+		if err != nil {
+			return fail("bad immediate %q", ops[1])
+		}
+		ins.Rs1, ins.Imm = r1, v
+	case isa.OpJmp, isa.OpJe, isa.OpJne, isa.OpJl, isa.OpJle, isa.OpJg, isa.OpJge, isa.OpCall:
+		if err := need(1); err != nil {
+			return isa.Instr{}, err
+		}
+		if v, err := parseInt(ops[0]); err == nil {
+			ins.Imm = v
+		} else {
+			a.fixups = append(a.fixups, fixup{len(a.code), ops[0], n})
+		}
+	case isa.OpPush, isa.OpFPush:
+		if err := need(1); err != nil {
+			return isa.Instr{}, err
+		}
+		r, err := reg(ops[0], op == isa.OpFPush)
+		if err != nil {
+			return fail("%v", err)
+		}
+		ins.Rs1 = r
+	case isa.OpPop, isa.OpFPop:
+		if err := need(1); err != nil {
+			return isa.Instr{}, err
+		}
+		r, err := reg(ops[0], op == isa.OpFPop)
+		if err != nil {
+			return fail("%v", err)
+		}
+		ins.Rd = r
+	case isa.OpSyscall:
+		if err := need(1); err != nil {
+			return isa.Instr{}, err
+		}
+		if v, err := parseInt(ops[0]); err == nil {
+			ins.Imm = v
+		} else if sys := sysByName(ops[0]); sys.Valid() {
+			ins.Imm = int64(sys)
+		} else {
+			return fail("unknown syscall %q", ops[0])
+		}
+	default:
+		return fail("unsupported opcode %v", op)
+	}
+	return ins, nil
+}
+
+func (a *assembler) resolve() error {
+	for _, f := range a.fixups {
+		addr, ok := a.labels[f.label]
+		if !ok {
+			return &SyntaxError{Line: f.line, Msg: fmt.Sprintf("undefined label %q", f.label)}
+		}
+		a.code[f.instrIdx].Imm = int64(addr)
+	}
+	return nil
+}
+
+func splitOperands(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg, s = true, s[1:]
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "+"), 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	out := int64(v)
+	if neg {
+		out = -out
+	}
+	return out, nil
+}
+
+func parseReg(s string, float bool) (isa.Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch s {
+	case "sp":
+		return isa.SP, nil
+	case "fp":
+		return isa.FP, nil
+	}
+	prefix := "r"
+	if float {
+		prefix = "f"
+	}
+	if !strings.HasPrefix(s, prefix) {
+		return 0, fmt.Errorf("expected %s-register, got %q", prefix, s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+// parseMem parses a memory operand of the form [rN], [rN+imm], or [rN-imm].
+func parseMem(s string) (isa.Reg, int64, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("expected memory operand [reg+disp], got %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sep := strings.IndexAny(inner, "+-")
+	regPart, dispPart := inner, ""
+	if sep > 0 {
+		regPart, dispPart = inner[:sep], inner[sep:]
+	}
+	base, err := parseReg(regPart, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	var disp int64
+	if dispPart != "" {
+		disp, err = parseInt(dispPart)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad displacement %q", dispPart)
+		}
+	}
+	return base, disp, nil
+}
+
+func sysByName(name string) isa.Sys {
+	for s := isa.Sys(1); s.Valid(); s++ {
+		if s.String() == name {
+			return s
+		}
+	}
+	return 0
+}

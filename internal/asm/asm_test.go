@@ -1,0 +1,287 @@
+package asm
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"chaser/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := Assemble("test", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestAssembleBasic(t *testing.T) {
+	p := mustAssemble(t, `
+; a tiny program
+main:
+    movi r1, 42
+    movi r2, 0x10
+    add r3, r1, r2
+    hlt
+`)
+	if p.Entry != isa.CodeBase {
+		t.Errorf("entry = %#x, want %#x", p.Entry, isa.CodeBase)
+	}
+	want := []isa.Instr{
+		{Op: isa.OpMovI, Rd: isa.R1, Imm: 42},
+		{Op: isa.OpMovI, Rd: isa.R2, Imm: 16},
+		{Op: isa.OpAdd, Rd: isa.R3, Rs1: isa.R1, Rs2: isa.R2},
+		{Op: isa.OpHlt},
+	}
+	if len(p.Code) != len(want) {
+		t.Fatalf("code len = %d, want %d", len(p.Code), len(want))
+	}
+	for i := range want {
+		if p.Code[i] != want[i] {
+			t.Errorf("instr %d = %+v, want %+v", i, p.Code[i], want[i])
+		}
+	}
+}
+
+func TestAssembleLabelsAndBranches(t *testing.T) {
+	p := mustAssemble(t, `
+.entry start
+start:
+    movi r1, 3
+loop:
+    addi r1, r1, -1
+    cmpi r1, 0
+    jne loop
+    jmp done
+done:
+    hlt
+`)
+	loopAddr := isa.CodeBase + 1*isa.InstrSize
+	doneAddr := isa.CodeBase + 5*isa.InstrSize
+	if got := uint64(p.Code[3].Imm); got != loopAddr {
+		t.Errorf("jne target = %#x, want %#x", got, loopAddr)
+	}
+	if got := uint64(p.Code[4].Imm); got != doneAddr {
+		t.Errorf("jmp target = %#x, want %#x", got, doneAddr)
+	}
+}
+
+func TestAssembleData(t *testing.T) {
+	p := mustAssemble(t, `
+.data
+vec: .quad 1, 2, -3
+pi:  .double 3.5
+msg: .ascii "hi\n"
+buf: .zero 4
+.text
+main:
+    movi r1, vec
+    movi r2, pi
+    hlt
+`)
+	if len(p.Data) != 24+8+3+4 {
+		t.Fatalf("data len = %d", len(p.Data))
+	}
+	if got := uint64(p.Code[0].Imm); got != isa.DataBase {
+		t.Errorf("vec addr = %#x, want %#x", got, isa.DataBase)
+	}
+	if got := uint64(p.Code[1].Imm); got != isa.DataBase+24 {
+		t.Errorf("pi addr = %#x, want %#x", got, isa.DataBase+24)
+	}
+	// -3 little-endian at offset 16.
+	if p.Data[16] != 0xfd || p.Data[23] != 0xff {
+		t.Errorf("quad -3 encoded wrong: % x", p.Data[16:24])
+	}
+	if got := math.Float64frombits(leU64(p.Data[24:32])); got != 3.5 {
+		t.Errorf("double = %v, want 3.5", got)
+	}
+	if string(p.Data[32:35]) != "hi\n" {
+		t.Errorf("ascii = %q", p.Data[32:35])
+	}
+}
+
+func leU64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func TestAssembleMemoryOperands(t *testing.T) {
+	p := mustAssemble(t, `
+main:
+    ld r1, [r2+8]
+    ld r1, [r2-8]
+    ld r1, [r2]
+    st [sp+16], r3
+    fld f1, [fp-24]
+    fst [r4], f2
+    ldb r5, [r6+1]
+    stb [r6+1], r5
+    hlt
+`)
+	tests := []struct {
+		idx  int
+		want isa.Instr
+	}{
+		{0, isa.Instr{Op: isa.OpLd, Rd: isa.R1, Rs1: isa.R2, Imm: 8}},
+		{1, isa.Instr{Op: isa.OpLd, Rd: isa.R1, Rs1: isa.R2, Imm: -8}},
+		{2, isa.Instr{Op: isa.OpLd, Rd: isa.R1, Rs1: isa.R2}},
+		{3, isa.Instr{Op: isa.OpSt, Rs1: isa.SP, Rs2: isa.R3, Imm: 16}},
+		{4, isa.Instr{Op: isa.OpFLd, Rd: isa.F1, Rs1: isa.FP, Imm: -24}},
+		{5, isa.Instr{Op: isa.OpFSt, Rs1: isa.R4, Rs2: isa.F2}},
+		{6, isa.Instr{Op: isa.OpLdB, Rd: isa.R5, Rs1: isa.R6, Imm: 1}},
+		{7, isa.Instr{Op: isa.OpStB, Rs1: isa.R6, Rs2: isa.R5, Imm: 1}},
+	}
+	for _, tt := range tests {
+		if p.Code[tt.idx] != tt.want {
+			t.Errorf("instr %d = %+v, want %+v", tt.idx, p.Code[tt.idx], tt.want)
+		}
+	}
+}
+
+func TestAssembleFloatOps(t *testing.T) {
+	p := mustAssemble(t, `
+main:
+    fmovi f0, 2.5
+    fmov f1, f0
+    fadd f2, f0, f1
+    fneg f3, f2
+    cvtif f4, r1
+    cvtfi r2, f4
+    fcmp f0, f1
+    fpush f2
+    fpop f3
+    hlt
+`)
+	if got := math.Float64frombits(uint64(p.Code[0].Imm)); got != 2.5 {
+		t.Errorf("fmovi imm = %v, want 2.5", got)
+	}
+	if p.Code[2] != (isa.Instr{Op: isa.OpFAdd, Rd: isa.F2, Rs1: isa.F0, Rs2: isa.F1}) {
+		t.Errorf("fadd = %+v", p.Code[2])
+	}
+	if p.Code[4] != (isa.Instr{Op: isa.OpCvtIF, Rd: isa.F4, Rs1: isa.R1}) {
+		t.Errorf("cvtif = %+v", p.Code[4])
+	}
+	if p.Code[5] != (isa.Instr{Op: isa.OpCvtFI, Rd: isa.R2, Rs1: isa.F4}) {
+		t.Errorf("cvtfi = %+v", p.Code[5])
+	}
+}
+
+func TestAssembleSyscallNames(t *testing.T) {
+	p := mustAssemble(t, `
+main:
+    syscall exit
+    syscall mpi_send
+    syscall 3
+`)
+	if isa.Sys(p.Code[0].Imm) != isa.SysExit {
+		t.Errorf("syscall exit = %d", p.Code[0].Imm)
+	}
+	if isa.Sys(p.Code[1].Imm) != isa.SysMPISend {
+		t.Errorf("syscall mpi_send = %d", p.Code[1].Imm)
+	}
+	if isa.Sys(p.Code[2].Imm) != isa.SysPrintFloat {
+		t.Errorf("syscall 3 = %d", p.Code[2].Imm)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	tests := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "main:\n bogus r1, r2\n", "unknown mnemonic"},
+		{"bad register", "main:\n mov r1, r99\n", "bad register"},
+		{"wrong float reg", "main:\n fadd r1, f2, f3\n", "expected f-register"},
+		{"wrong operand count", "main:\n add r1, r2\n", "takes 3 operands"},
+		{"undefined label", "main:\n jmp nowhere\n", "undefined label"},
+		{"duplicate label", "main:\nmain:\n hlt\n", "duplicate label"},
+		{"bad directive", ".bogus 1\nmain:\n hlt\n", "unknown directive"},
+		{"bad quad", ".data\nx: .quad zap\n.text\nmain:\n hlt\n", "bad .quad"},
+		{"bad double", ".data\nx: .double zap\n.text\nmain:\n hlt\n", "bad .double"},
+		{"bad zero", ".data\nx: .zero -1\n.text\nmain:\n hlt\n", "bad .zero"},
+		{"bad ascii", ".data\nx: .ascii hi\n.text\nmain:\n hlt\n", "bad .ascii"},
+		{"bad mem", "main:\n ld r1, r2\n", "expected memory operand"},
+		{"unknown syscall", "main:\n syscall zap\n", "unknown syscall"},
+		{"no code", ".data\nx: .quad 1\n", "no code labels"},
+		{"bad entry", ".entry zap\nmain:\n hlt\n", `entry label "zap" undefined`},
+		{"entry no arg", ".entry\nmain:\n hlt\n", ".entry needs a label"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Assemble("t", tt.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q missing %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestSyntaxErrorLineNumbers(t *testing.T) {
+	_, err := Assemble("t", "main:\n movi r1, 1\n bogus\n")
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *SyntaxError", err)
+	}
+	if se.Line != 3 {
+		t.Errorf("line = %d, want 3", se.Line)
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	p := mustAssemble(t, `
+# hash comment
+main:            ; label comment
+    movi r1, 1   ; trailing
+    hlt
+`)
+	if len(p.Code) != 2 {
+		t.Fatalf("code len = %d, want 2", len(p.Code))
+	}
+}
+
+// Round trip: disassembled output of an assembled program reassembles to the
+// identical instruction stream (for ops whose String form is re-parseable).
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	src := `
+main:
+    movi r1, 100
+    addi r2, r1, 8
+    muli r3, r2, 2
+    and r4, r1, r2
+    or r4, r1, r2
+    xor r4, r1, r2
+    shl r4, r1, r2
+    shr r4, r1, r2
+    not r5, r4
+    mod r6, r1, r2
+    div r6, r1, r2
+    sub r6, r1, r2
+    mul r6, r1, r2
+    push r6
+    pop r6
+    nop
+    ret
+`
+	p1 := mustAssemble(t, src)
+	var rebuilt []string
+	for _, ins := range p1.Code {
+		rebuilt = append(rebuilt, ins.String())
+	}
+	p2 := mustAssemble(t, "main:\n"+strings.Join(rebuilt, "\n")+"\n")
+	if len(p1.Code) != len(p2.Code) {
+		t.Fatalf("lengths differ: %d vs %d", len(p1.Code), len(p2.Code))
+	}
+	for i := range p1.Code {
+		if p1.Code[i] != p2.Code[i] {
+			t.Errorf("instr %d: %+v vs %+v", i, p1.Code[i], p2.Code[i])
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package asm
+
+import (
+	"testing"
+
+	"chaser/internal/isa"
+)
+
+// FuzzAssemble checks the assembler never panics and that anything it
+// accepts round-trips through the encoder and validates.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"main:\n hlt\n",
+		"main:\n movi r1, 42\n add r2, r1, r1\n hlt\n",
+		".data\nv: .quad 1,2\n.text\nmain:\n movi r1, v\n ld r2, [r1+8]\n hlt\n",
+		".entry start\nstart:\n fmovi f0, 1.5\n fadd f1, f0, f0\n ret\n",
+		"main:\n syscall exit\n",
+		"loop:\n cmpi r1, 0\n jne loop\n hlt\n",
+		"main:\n push r1\n pop r2\n fpush f1\n fpop f2\n hlt\n",
+		"; comment\nmain: hlt\n",
+		".data\ns: .ascii \"hi\\n\"\n.text\nmain:\n hlt\n",
+		"main:\n ld r1, [sp-8]\n st [fp+16], r2\n hlt\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble("fuzz", src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted programs must encode/decode cleanly and validate.
+		img := isa.EncodeProgram(prog.Code)
+		back, err := isa.DecodeProgram(img)
+		if err != nil {
+			t.Fatalf("accepted program fails decode: %v", err)
+		}
+		if len(back) != len(prog.Code) {
+			t.Fatalf("round trip length mismatch")
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("accepted program fails validation: %v", err)
+		}
+	})
+}

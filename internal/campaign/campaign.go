@@ -1,0 +1,307 @@
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"chaser/internal/core"
+	"chaser/internal/isa"
+	"chaser/internal/stats"
+	"chaser/internal/tainthub"
+)
+
+// Config parameterizes a fault-injection campaign against one application.
+type Config struct {
+	// Name identifies the application (used for Spec.Target and reports).
+	Name string
+	// Prog is the guest program; WorldSize its rank count.
+	Prog      *isa.Program
+	WorldSize int
+	// Ops are the targeted instruction opcodes.
+	Ops []isa.Op
+	// TargetRank restricts injection to one rank; -1 picks a random rank
+	// per run.
+	TargetRank int
+	// Runs is the number of injection runs (one fault per run).
+	Runs int
+	// Bits is the number of bits flipped per injection.
+	Bits int
+	// Seed makes the whole campaign reproducible.
+	Seed int64
+	// Trace enables propagation tracing on every run (needed for the
+	// propagation figures and Table III's propagation subset; adds
+	// overhead).
+	Trace bool
+	// Parallel is the worker count (0 = GOMAXPROCS).
+	Parallel int
+	// MaxInstructions caps each rank per run (0 = 64x the golden run,
+	// bounding fault-induced loops).
+	MaxInstructions uint64
+	// KeepRunOutcomes retains each run's classified outcome in the summary.
+	KeepRunOutcomes bool
+	// Hub, when set, is shared by every run (e.g. a TCP client to a
+	// head-node TaintHub); each run gets its own namespace on it. Nil runs
+	// use private in-process hubs.
+	Hub tainthub.Hub
+}
+
+// Summary aggregates a campaign.
+type Summary struct {
+	Name     string
+	Runs     int
+	Injected int
+
+	Benign     int
+	SDC        int
+	Detected   int
+	Terminated int
+
+	TermOS    int
+	TermMPI   int
+	TermSlave int
+	TermHang  int
+
+	// Propagation subset (tracing campaigns): runs where taint crossed
+	// ranks, and what killed the slave when one died.
+	PropagatedRuns int
+	PropSlaveOS    int
+	PropSlaveMPI   int
+
+	// Distributions of tainted memory operations per run (tracing
+	// campaigns; Figs. 8 and 9).
+	ReadsHist  *stats.Histogram
+	WritesHist *stats.Histogram
+
+	// ReadOnlyRuns / WriteOnlyRuns / ReadHeavyRuns mirror the paper's
+	// Section IV-C accounting over runs with any taint activity.
+	ReadOnlyRuns  int
+	WriteOnlyRuns int
+	ReadHeavyRuns int
+
+	// PerOp breaks outcomes down by the opcode the fault actually hit —
+	// the "relationship between injection points and the propagation of
+	// faults" analysis of Section IV-C.
+	PerOp map[string]*OpOutcomes
+
+	Outcomes []RunOutcome // populated when Config.KeepRunOutcomes
+}
+
+// OpOutcomes tallies outcomes for one injected opcode.
+type OpOutcomes struct {
+	Benign, SDC, Detected, Terminated int
+	Propagated                        int
+}
+
+// Run executes the campaign: one golden run, then cfg.Runs injection runs
+// in parallel, each flipping cfg.Bits bits at a uniformly random execution
+// of a targeted instruction (chosen from the golden run's execution counts,
+// like the paper's "after it is executed n times" methodology).
+func Run(cfg Config) (*Summary, error) {
+	if cfg.Prog == nil || cfg.Runs <= 0 {
+		return nil, fmt.Errorf("campaign: need a program and a positive run count")
+	}
+	if len(cfg.Ops) == 0 {
+		return nil, fmt.Errorf("campaign: no target opcodes")
+	}
+	world := cfg.WorldSize
+	if world == 0 {
+		world = 1
+	}
+	bits := cfg.Bits
+	if bits == 0 {
+		bits = 1
+	}
+
+	golden, err := core.Golden(cfg.Prog, world, cfg.MaxInstructions)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: golden run: %w", err)
+	}
+	for r, t := range golden.Terms {
+		if t.Abnormal() {
+			return nil, fmt.Errorf("campaign: golden run failed on rank %d: %s", r, t)
+		}
+	}
+	maxInstr := cfg.MaxInstructions
+	if maxInstr == 0 {
+		var peak uint64
+		for _, c := range golden.Counters {
+			if c.Instructions > peak {
+				peak = c.Instructions
+			}
+		}
+		maxInstr = peak * 64
+	}
+
+	// Injection points are drawn from the golden execution counts of the
+	// targeted ops on each rank.
+	totals := make([]uint64, world)
+	for r := 0; r < world; r++ {
+		for _, op := range cfg.Ops {
+			totals[r] += golden.Counters[r].PerOp[op]
+		}
+	}
+	if cfg.TargetRank >= 0 && totals[cfg.TargetRank] == 0 {
+		return nil, fmt.Errorf("campaign: rank %d never executes %v", cfg.TargetRank, cfg.Ops)
+	}
+
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type task struct {
+		idx  int
+		rank int
+		n    uint64
+		seed int64
+	}
+	tasks := make([]task, cfg.Runs)
+	seedRng := rand.New(rand.NewSource(cfg.Seed))
+	for i := range tasks {
+		rank := cfg.TargetRank
+		if rank < 0 {
+			rank = seedRng.Intn(world)
+			for totals[rank] == 0 { // skip ranks that never run the ops
+				rank = seedRng.Intn(world)
+			}
+		}
+		tasks[i] = task{
+			idx:  i,
+			rank: rank,
+			n:    1 + uint64(seedRng.Int63n(int64(totals[rank]))),
+			seed: cfg.Seed + int64(i)*7919,
+		}
+	}
+
+	outcomes := make([]RunOutcome, cfg.Runs)
+	errs := make([]error, cfg.Runs)
+	var wg sync.WaitGroup
+	ch := make(chan task)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range ch {
+				var hub tainthub.Hub
+				if cfg.Hub != nil {
+					hub = tainthub.WithNamespace(cfg.Hub, tk.idx)
+				}
+				res, err := core.Run(core.RunConfig{
+					Prog:            cfg.Prog,
+					WorldSize:       world,
+					Hub:             hub,
+					MaxInstructions: maxInstr,
+					Spec: &core.Spec{
+						Target:     cfg.Prog.Name,
+						Ops:        cfg.Ops,
+						TargetRank: tk.rank,
+						Cond:       core.Deterministic{N: tk.n},
+						Bits:       bits,
+						Seed:       tk.seed,
+						Trace:      cfg.Trace,
+					},
+				})
+				if err != nil {
+					errs[tk.idx] = err
+					continue
+				}
+				outcomes[tk.idx] = Classify(res, golden.Outputs, tk.rank)
+			}
+		}()
+	}
+	for _, tk := range tasks {
+		ch <- tk
+	}
+	close(ch)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("campaign: run failed: %w", err)
+		}
+	}
+	return summarize(cfg, outcomes), nil
+}
+
+func summarize(cfg Config, outcomes []RunOutcome) *Summary {
+	s := &Summary{
+		Name:       cfg.Name,
+		Runs:       len(outcomes),
+		ReadsHist:  stats.NewHistogram(10, 100, 1000, 10_000, 100_000, 1_000_000),
+		WritesHist: stats.NewHistogram(10, 100, 1000, 10_000, 100_000, 1_000_000),
+		PerOp:      make(map[string]*OpOutcomes),
+	}
+	for _, o := range outcomes {
+		if o.Outcome != OutcomeNoInjection {
+			s.Injected++
+		}
+		if op := o.InjectedOp(); op != "" {
+			oo := s.PerOp[op]
+			if oo == nil {
+				oo = &OpOutcomes{}
+				s.PerOp[op] = oo
+			}
+			switch o.Outcome {
+			case OutcomeBenign:
+				oo.Benign++
+			case OutcomeSDC:
+				oo.SDC++
+			case OutcomeDetected:
+				oo.Detected++
+			case OutcomeTerminated:
+				oo.Terminated++
+			}
+			if o.Propagated {
+				oo.Propagated++
+			}
+		}
+		switch o.Outcome {
+		case OutcomeBenign:
+			s.Benign++
+		case OutcomeSDC:
+			s.SDC++
+		case OutcomeDetected:
+			s.Detected++
+		case OutcomeTerminated:
+			s.Terminated++
+			switch o.Term {
+			case TermOS:
+				s.TermOS++
+			case TermMPI:
+				s.TermMPI++
+			case TermSlaveNode:
+				s.TermSlave++
+			case TermHang:
+				s.TermHang++
+			}
+		}
+		if o.Propagated {
+			s.PropagatedRuns++
+			if o.Term == TermSlaveNode {
+				if o.SlaveTermOS {
+					s.PropSlaveOS++
+				}
+				if o.SlaveTermMPI {
+					s.PropSlaveMPI++
+				}
+			}
+		}
+		if cfg.Trace {
+			s.ReadsHist.Add(float64(o.TaintedReads))
+			s.WritesHist.Add(float64(o.TaintedWrites))
+			switch {
+			case o.TaintedReads > 0 && o.TaintedWrites == 0:
+				s.ReadOnlyRuns++
+			case o.TaintedWrites > 0 && o.TaintedReads == 0:
+				s.WriteOnlyRuns++
+			case o.TaintedReads > o.TaintedWrites:
+				s.ReadHeavyRuns++
+			}
+		}
+	}
+	if cfg.KeepRunOutcomes {
+		s.Outcomes = outcomes
+	}
+	return s
+}

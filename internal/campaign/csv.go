@@ -1,0 +1,52 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteOutcomesCSV writes one row per run (requires Config.KeepRunOutcomes)
+// with the injection record and classified outcome — the raw material for
+// external statistical analysis of a campaign.
+func (s *Summary) WriteOutcomesCSV(w io.Writer) error {
+	if s.Outcomes == nil {
+		return fmt.Errorf("campaign: no per-run outcomes (set Config.KeepRunOutcomes)")
+	}
+	cw := csv.NewWriter(w)
+	header := []string{
+		"run", "outcome", "term_class", "root_rank", "opcode", "exec_count",
+		"target", "mask", "before", "after", "propagated",
+		"tainted_reads", "tainted_writes",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, o := range s.Outcomes {
+		row := []string{
+			strconv.Itoa(i),
+			o.Outcome.String(),
+			o.Term.String(),
+			strconv.Itoa(o.RootRank),
+			"", "", "", "", "", "",
+			strconv.FormatBool(o.Propagated),
+			strconv.FormatUint(o.TaintedReads, 10),
+			strconv.FormatUint(o.TaintedWrites, 10),
+		}
+		if len(o.Records) > 0 {
+			r := o.Records[0]
+			row[4] = r.GuestOpS
+			row[5] = strconv.FormatUint(r.ExecCount, 10)
+			row[6] = r.Target
+			row[7] = fmt.Sprintf("%#x", r.Mask)
+			row[8] = fmt.Sprintf("%#x", r.Before)
+			row[9] = fmt.Sprintf("%#x", r.After)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

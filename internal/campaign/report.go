@@ -1,0 +1,83 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chaser/internal/stats"
+)
+
+// Report renders a Fig. 6-style outcome summary.
+func (s *Summary) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %d runs (%d injected) ===\n", s.Name, s.Runs, s.Injected)
+	fmt.Fprintf(&sb, "  benign:     %6d  (%s)\n", s.Benign, stats.Pct(s.Benign, s.Injected))
+	fmt.Fprintf(&sb, "  sdc:        %6d  (%s)\n", s.SDC, stats.Pct(s.SDC, s.Injected))
+	if s.Detected > 0 {
+		fmt.Fprintf(&sb, "  detected:   %6d  (%s)\n", s.Detected, stats.Pct(s.Detected, s.Injected))
+	}
+	fmt.Fprintf(&sb, "  terminated: %6d  (%s)\n", s.Terminated, stats.Pct(s.Terminated, s.Injected))
+	return sb.String()
+}
+
+// PerOpReport renders the per-opcode outcome breakdown sorted by opcode.
+func (s *Summary) PerOpReport() string {
+	ops := make([]string, 0, len(s.PerOp))
+	for op := range s.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: outcomes by injected opcode ===\n", s.Name)
+	fmt.Fprintf(&sb, "%-8s %8s %8s %8s %10s %10s %10s\n",
+		"opcode", "runs", "benign", "sdc", "detected", "terminated", "propagated")
+	for _, op := range ops {
+		oo := s.PerOp[op]
+		total := oo.Benign + oo.SDC + oo.Detected + oo.Terminated
+		fmt.Fprintf(&sb, "%-8s %8d %8d %8d %10d %10d %10d\n",
+			op, total, oo.Benign, oo.SDC, oo.Detected, oo.Terminated, oo.Propagated)
+	}
+	return sb.String()
+}
+
+// TerminationTable renders the Table III breakdown: the share of
+// OS-exception, MPI-error and slave-node terminations over all terminated
+// runs, plus the slave-side breakdown over the propagation subset.
+func (s *Summary) TerminationTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: termination breakdown (Table III) ===\n", s.Name)
+	fmt.Fprintf(&sb, "%-14s %-16s %-20s %-18s\n", "Tests", "OS Exceptions", "MPI error detected", "Slave Node failed")
+	fmt.Fprintf(&sb, "%-14s %-16s %-20s %-18s\n", "Total",
+		stats.Pct(s.TermOS, s.Terminated),
+		stats.Pct(s.TermMPI+s.TermHang, s.Terminated),
+		stats.Pct(s.TermSlave, s.Terminated))
+	propSlaveTotal := s.PropSlaveOS + s.PropSlaveMPI
+	fmt.Fprintf(&sb, "%-14s %-16s %-20s %-18s\n", "Propagation",
+		stats.Pct(s.PropSlaveOS, propSlaveTotal),
+		stats.Pct(s.PropSlaveMPI, propSlaveTotal),
+		"-")
+	fmt.Fprintf(&sb, "(terminated=%d, propagated runs=%d, slave failures in propagation=%d)\n",
+		s.Terminated, s.PropagatedRuns, propSlaveTotal)
+	return sb.String()
+}
+
+// MemOpsReport renders the Figs. 8/9 distributions: tainted memory reads
+// and writes per run, plus the read-only/write-only/read-heavy accounting
+// of Section IV-C.
+func (s *Summary) MemOpsReport() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: tainted memory reads per run (Fig. 8) ===\n", s.Name)
+	sb.WriteString(s.ReadsHist.Render(40))
+	fmt.Fprintf(&sb, "max=%.0f mean=%.1f p50=%.0f p95=%.0f\n",
+		s.ReadsHist.Max(), s.ReadsHist.Mean(), s.ReadsHist.Quantile(0.5), s.ReadsHist.Quantile(0.95))
+	fmt.Fprintf(&sb, "=== %s: tainted memory writes per run (Fig. 9) ===\n", s.Name)
+	sb.WriteString(s.WritesHist.Render(40))
+	fmt.Fprintf(&sb, "max=%.0f mean=%.1f p50=%.0f p95=%.0f\n",
+		s.WritesHist.Max(), s.WritesHist.Mean(), s.WritesHist.Quantile(0.5), s.WritesHist.Quantile(0.95))
+	fmt.Fprintf(&sb, "read-heavy runs: %d (%s), read-only: %d (%s), write-only: %d (%s)\n",
+		s.ReadHeavyRuns, stats.Pct(s.ReadHeavyRuns, s.Injected),
+		s.ReadOnlyRuns, stats.Pct(s.ReadOnlyRuns, s.Injected),
+		s.WriteOnlyRuns, stats.Pct(s.WriteOnlyRuns, s.Injected))
+	return sb.String()
+}

@@ -1,0 +1,107 @@
+package campaign
+
+import (
+	"testing"
+
+	"chaser/internal/apps"
+	"chaser/internal/core"
+	"chaser/internal/isa"
+	"chaser/internal/tcg"
+)
+
+// hdrInjector corrupts the value register of the store that writes the
+// worker-1 row count into Matvec's work header, reproducing the paper's
+// rare "slave node failed" mechanism deterministically: the corrupted
+// header propagates to the worker and kills it there.
+type hdrInjector struct {
+	hdrSlot uint64 // guest address of hdr[1]
+	mask    uint64
+}
+
+func (h hdrInjector) Inject(ctx *core.Context) (core.InjectionRecord, error) {
+	if ctx.Instr.Op != isa.OpSt {
+		return core.InjectionRecord{}, core.ErrDeclined
+	}
+	// The store's effective address is base register + displacement.
+	addr := ctx.Machine.GPR(ctx.Instr.Rs1) + uint64(ctx.Instr.Imm)
+	if addr != h.hdrSlot {
+		return core.InjectionRecord{}, core.ErrDeclined
+	}
+	reg := tcg.GPR(ctx.Instr.Rs2) // the store's value register
+	before, after := core.CorruptRegister(ctx.Machine, reg, h.mask, ctx.Trace)
+	return core.InjectionRecord{
+		Rank: ctx.Machine.Rank, PC: ctx.Op.GuestPC, GuestOp: ctx.Instr.Op,
+		GuestOpS: ctx.Instr.Op.String(), ExecCount: ctx.ExecCount,
+		Target: "reg " + reg.String(), Mask: h.mask, Before: before, After: after,
+	}, nil
+}
+
+// matvecHdrAddr computes the guest address of hdr[1] on the master: the
+// fourth heap allocation after x (n), a (n*n), and b (n).
+func matvecHdrAddr(n uint64) uint64 {
+	return isa.HeapBase + 8*(n+n*n+n) + 8 // hdr[1]
+}
+
+func TestSlaveNodeFailureMechanism(t *testing.T) {
+	app, err := apps.ByName("matvec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint64(apps.DefaultMatvecN)
+	golden, err := core.Golden(app.Prog, app.WorldSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name     string
+		mask     uint64
+		wantTerm TermClass
+	}{
+		// A high-bit flip makes the worker's row count astronomically
+		// large: the worker's allocation fails with an OS exception.
+		{"huge rows kills worker with OOM", 1 << 40, TermSlaveNode},
+		// Flipping rows 8 -> 0 makes the worker receive fewer elements
+		// than the master sends: truncation detected by MPI on the worker.
+		{"shrunk rows trips MPI truncation on worker", 1 << 3, TermSlaveNode},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := core.Run(core.RunConfig{
+				Prog:      app.Prog,
+				WorldSize: app.WorldSize,
+				Spec: &core.Spec{
+					Target:     app.Prog.Name,
+					Ops:        []isa.Op{isa.OpSt},
+					TargetRank: 0,
+					Cond:       core.Group{Start: 1, Every: 1}, // offer every st
+					Inj: hdrInjector{
+						hdrSlot: matvecHdrAddr(n),
+						mask:    tt.mask,
+					},
+					Seed:  1,
+					Trace: true,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Injected() {
+				t.Fatal("header store never hit")
+			}
+			out := Classify(res, golden.Outputs, 0)
+			if out.Outcome != OutcomeTerminated {
+				t.Fatalf("outcome = %v (terms: %v)", out.Outcome, res.Terms)
+			}
+			if out.Term != tt.wantTerm {
+				t.Fatalf("term = %v, want %v (terms: %v)", out.Term, tt.wantTerm, res.Terms)
+			}
+			if out.RootRank == 0 {
+				t.Error("root rank is the master; fatal event should be on a worker")
+			}
+			if !out.SlaveTermOS && !out.SlaveTermMPI {
+				t.Error("slave breakdown flags not set")
+			}
+		})
+	}
+}

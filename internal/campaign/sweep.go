@@ -1,0 +1,50 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"chaser/internal/stats"
+)
+
+// SweepResult pairs a flipped-bit count with its campaign summary.
+type SweepResult struct {
+	Bits    int
+	Summary *Summary
+}
+
+// BitSweep runs the same campaign at several per-injection bit counts —
+// the paper's "the faults are x bits flipped within the operand" parameter
+// — quantifying how fault magnitude shifts the outcome distribution
+// (single-bit flips are often benign; multi-bit flips crash or corrupt).
+func BitSweep(cfg Config, bitCounts []int) ([]SweepResult, error) {
+	out := make([]SweepResult, 0, len(bitCounts))
+	for _, bits := range bitCounts {
+		c := cfg
+		c.Bits = bits
+		c.Name = fmt.Sprintf("%s/bits=%d", cfg.Name, bits)
+		sum, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: sweep bits=%d: %w", bits, err)
+		}
+		out = append(out, SweepResult{Bits: bits, Summary: sum})
+	}
+	return out, nil
+}
+
+// SweepTable renders the sweep as one row per bit count.
+func SweepTable(results []SweepResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %10s %10s %10s %10s\n",
+		"bits", "benign", "sdc", "detected", "terminated")
+	for _, r := range results {
+		s := r.Summary
+		fmt.Fprintf(&sb, "%-6d %10s %10s %10s %10s\n",
+			r.Bits,
+			stats.Pct(s.Benign, s.Injected),
+			stats.Pct(s.SDC, s.Injected),
+			stats.Pct(s.Detected, s.Injected),
+			stats.Pct(s.Terminated, s.Injected))
+	}
+	return sb.String()
+}

@@ -1,0 +1,428 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+
+	"chaser/internal/decaf"
+	"chaser/internal/isa"
+	"chaser/internal/tainthub"
+	"chaser/internal/tcg"
+	"chaser/internal/trace"
+	"chaser/internal/vm"
+)
+
+// Spec is a complete fault-injection command (the paper's fi_cmds_st): what
+// application to inject into, which instructions, when, and how.
+type Spec struct {
+	// Target is the guest process name to inject into ("what application").
+	Target string
+	// Ops are the targeted instruction opcodes ("when to inject" is checked
+	// only in front of these).
+	Ops []isa.Op
+	// TargetRank restricts injection to one MPI rank; -1 targets all ranks.
+	TargetRank int
+	// Cond decides when to inject (defaults to Deterministic{N: 1}).
+	Cond Condition
+	// Inj performs the corruption (defaults to OperandInjector{Bits: Bits}).
+	Inj Injector
+	// Bits is the number of bits the default injector flips.
+	Bits int
+	// MaxInjections bounds how many faults fire in one run (default 1; the
+	// group model typically raises it).
+	MaxInjections int
+	// Seed makes runs reproducible; each rank derives its RNG from it.
+	Seed int64
+	// Trace enables fault-propagation tracing (taint tracking, the
+	// propagation log, and TaintHub coordination).
+	Trace bool
+}
+
+// Validate reports configuration errors a campaign would otherwise only
+// hit at arm time.
+func (s *Spec) Validate() error {
+	if s.Target == "" {
+		return fmt.Errorf("core: spec has no target application")
+	}
+	if len(s.Ops) == 0 {
+		return fmt.Errorf("core: spec targets no instructions")
+	}
+	for _, op := range s.Ops {
+		if !op.Valid() {
+			return fmt.Errorf("core: spec targets invalid opcode %d", uint8(op))
+		}
+	}
+	if s.Bits < 0 || s.Bits > 64 {
+		return fmt.Errorf("core: bit count %d out of [0,64]", s.Bits)
+	}
+	if s.MaxInjections < 0 {
+		return fmt.Errorf("core: negative MaxInjections")
+	}
+	if p, ok := s.Cond.(Probabilistic); ok && (p.P < 0 || p.P > 1) {
+		return fmt.Errorf("core: probability %v out of [0,1]", p.P)
+	}
+	return nil
+}
+
+func (s *Spec) withDefaults() *Spec {
+	out := *s
+	if out.Cond == nil {
+		out.Cond = Deterministic{N: 1}
+	}
+	if out.Inj == nil {
+		out.Inj = OperandInjector{Bits: out.Bits}
+	}
+	if out.MaxInjections == 0 {
+		out.MaxInjections = 1
+	}
+	return &out
+}
+
+func (s *Spec) targetsOp(op isa.Op) bool {
+	for _, o := range s.Ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// Chaser is the fault-injection plugin. Load it into a decaf.Platform, arm
+// it with a Spec (programmatically via Arm or through the inject_fault
+// terminal command), then create the target processes.
+type Chaser struct {
+	platform *decaf.Platform
+	hub      tainthub.Hub
+
+	mu      sync.Mutex
+	spec    *Spec
+	records []InjectionRecord
+
+	collector *trace.Collector
+
+	// armed maps machines to their per-rank injection state. It is written
+	// only during process creation (before guests run) and read without
+	// locking afterwards.
+	armed map[*vm.Machine]*armState
+}
+
+type armState struct {
+	ch        *Chaser
+	m         *vm.Machine
+	spec      *Spec
+	rng       *rand.Rand
+	execCount uint64
+	injected  int
+	detached  bool
+
+	sendSeq map[tainthub.Key]uint64
+	recvSeq map[tainthub.Key]uint64
+}
+
+var _ decaf.Plugin = (*Chaser)(nil)
+
+// Options parameterize Chaser construction.
+type Options struct {
+	// Hub coordinates cross-rank message taint; nil creates a private
+	// in-process hub.
+	Hub tainthub.Hub
+	// MaxTraceEvents caps the in-memory propagation log (0 = default).
+	MaxTraceEvents int
+}
+
+// New creates an unarmed Chaser.
+func New(opts Options) *Chaser {
+	hub := opts.Hub
+	if hub == nil {
+		hub = tainthub.NewLocal()
+	}
+	maxEv := opts.MaxTraceEvents
+	if maxEv == 0 {
+		maxEv = trace.DefaultMaxEvents
+	}
+	return &Chaser{
+		hub:       hub,
+		collector: trace.NewCollectorCap(maxEv),
+		armed:     make(map[*vm.Machine]*armState),
+	}
+}
+
+// Init implements decaf.Plugin (plugin_init): it exports the inject_fault
+// terminal command and registers the process-creation callback that arms
+// target processes, plus the taint and MPI-syscall callbacks used for
+// propagation tracing.
+func (c *Chaser) Init(p *decaf.Platform) (*decaf.Interface, error) {
+	c.platform = p
+	p.RegisterProcCreateCB(c.creationCB)
+	p.RegisterReadTaintCB(func(info decaf.ProcInfo, ev vm.MemTaintEvent) {
+		c.collector.AddEvent(memEvent(info, ev, false))
+	})
+	p.RegisterWriteTaintCB(func(info decaf.ProcInfo, ev vm.MemTaintEvent) {
+		c.collector.AddEvent(memEvent(info, ev, true))
+	})
+	p.RegisterPreSyscallCB(c.preSyscall)
+	p.RegisterPostSyscallCB(c.postSyscall)
+	return &decaf.Interface{
+		Name: "chaser",
+		Commands: []decaf.Command{
+			{
+				Name:    "inject_fault",
+				Usage:   "inject_fault <app> <ops> <prob p|det n|group start:every> <bits> [trace] [rank=K]",
+				Handler: c.injectFaultCmd,
+			},
+			{
+				Name:    "chaser_status",
+				Usage:   "chaser_status",
+				Handler: c.statusCmd,
+			},
+		},
+	}, nil
+}
+
+// statusCmd reports the armed spec, performed injections, propagation
+// counters, and hub activity.
+func (c *Chaser) statusCmd(_ []string) (string, error) {
+	c.mu.Lock()
+	spec := c.spec
+	nRec := len(c.records)
+	recs := append([]InjectionRecord(nil), c.records...)
+	c.mu.Unlock()
+
+	var sb strings.Builder
+	if spec == nil {
+		sb.WriteString("spec: (not armed)\n")
+	} else {
+		ops := make([]string, len(spec.Ops))
+		for i, op := range spec.Ops {
+			ops[i] = op.String()
+		}
+		fmt.Fprintf(&sb, "spec: target=%s ops=%s cond=%v bits=%d trace=%v rank=%d\n",
+			spec.Target, strings.Join(ops, ","), spec.Cond, spec.Bits, spec.Trace, spec.TargetRank)
+	}
+	fmt.Fprintf(&sb, "injections: %d\n", nRec)
+	for _, r := range recs {
+		fmt.Fprintf(&sb, "  %s\n", r)
+	}
+	fmt.Fprintf(&sb, "propagation: %d tainted reads, %d tainted writes, %d cross-rank messages\n",
+		c.collector.TotalReads(), c.collector.TotalWrites(), len(c.collector.CrossRank()))
+	hs := c.hub.Stats()
+	fmt.Fprintf(&sb, "tainthub: published=%d polls=%d hits=%d pending=%d\n",
+		hs.Published, hs.Polls, hs.Hits, hs.Pending)
+	return sb.String(), nil
+}
+
+// Cleanup implements decaf.Plugin.
+func (c *Chaser) Cleanup() error { return nil }
+
+func memEvent(info decaf.ProcInfo, ev vm.MemTaintEvent, write bool) trace.Event {
+	return trace.Event{
+		Rank:     info.Rank,
+		Write:    write,
+		EIP:      ev.EIP,
+		VAddr:    ev.VAddr,
+		PAddr:    ev.PAddr,
+		Value:    ev.Value,
+		Mask:     ev.Mask,
+		InstrNum: ev.InstrNum,
+		Size:     ev.Size,
+		Region:   ev.Region,
+	}
+}
+
+// Arm installs a spec. Processes created afterwards whose name matches
+// spec.Target are instrumented.
+func (c *Chaser) Arm(spec *Spec) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spec = spec.withDefaults()
+}
+
+// Spec returns the armed spec, or nil.
+func (c *Chaser) Spec() *Spec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spec
+}
+
+// Records returns the injections performed so far.
+func (c *Chaser) Records() []InjectionRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]InjectionRecord(nil), c.records...)
+}
+
+// Trace returns the propagation-trace collector.
+func (c *Chaser) Trace() *trace.Collector { return c.collector }
+
+// Hub returns the TaintHub in use.
+func (c *Chaser) Hub() tainthub.Hub { return c.hub }
+
+// creationCB is fi_creation_cb: called for every created process; arms the
+// injector when the process is the designated target.
+func (c *Chaser) creationCB(info decaf.ProcInfo) {
+	c.mu.Lock()
+	spec := c.spec
+	c.mu.Unlock()
+	if spec == nil {
+		return
+	}
+	m := info.Machine
+	traceOn := spec.Trace
+	if traceOn {
+		// Tracing must be on for every rank so incoming tainted messages
+		// keep propagating (the "incoming errors behave like injected
+		// errors and manifest locally again" requirement).
+		m.TaintEnabled = true
+		rank := info.Rank
+		m.Hooks.Sample = func(instrs uint64, taintedBytes int64) {
+			c.collector.AddSample(trace.TimelinePoint{
+				Rank: rank, Instrs: instrs, TaintedBytes: taintedBytes,
+			})
+		}
+	}
+	st := &armState{
+		ch:      c,
+		m:       m,
+		spec:    spec,
+		rng:     rand.New(rand.NewSource(spec.Seed*1000003 + int64(info.Rank))),
+		sendSeq: make(map[tainthub.Key]uint64),
+		recvSeq: make(map[tainthub.Key]uint64),
+	}
+	c.mu.Lock()
+	c.armed[m] = st
+	c.mu.Unlock()
+
+	if m.Name != spec.Target {
+		return
+	}
+	if spec.TargetRank >= 0 && info.Rank != spec.TargetRank {
+		return
+	}
+
+	// Register the fault_injector helper and instrument only the targeted
+	// instructions (just-in-time fault injection, Fig. 3).
+	helperID := m.RegisterHelper(st.faultInjector)
+	m.Trans.AddHook(func(ins isa.Instr, pc uint64) []tcg.Op {
+		if st.detached || !spec.targetsOp(ins.Op) {
+			return nil
+		}
+		return []tcg.Op{{Kind: tcg.KHelper, Helper: helperID}}
+	})
+	// Flush the code translation cache to trigger the next round of binary
+	// code translation with the injector in place.
+	m.Trans.Flush()
+}
+
+// faultInjector runs before every targeted instruction: it updates the
+// executed counter, checks the injection condition, and performs the
+// injection when the condition is met.
+func (st *armState) faultInjector(m *vm.Machine, op *tcg.Op) {
+	if st.detached {
+		return
+	}
+	st.execCount++
+	if !st.spec.Cond.ShouldInject(st.execCount, st.rng) {
+		return
+	}
+	ins, ok := m.Prog.InstrAt(op.GuestPC)
+	if !ok {
+		return
+	}
+	ctx := &Context{
+		Machine:   m,
+		Op:        op,
+		Instr:     ins,
+		ExecCount: st.execCount,
+		Rng:       st.rng,
+		Trace:     st.spec.Trace,
+	}
+	rec, err := st.spec.Inj.Inject(ctx)
+	if err != nil {
+		// The injection itself failed (e.g. corrupting unmapped memory);
+		// record nothing and keep running.
+		return
+	}
+	st.ch.mu.Lock()
+	st.ch.records = append(st.ch.records, rec)
+	st.ch.mu.Unlock()
+	st.injected++
+	if st.injected >= st.spec.MaxInjections {
+		// fi_clean_cb: stop screening and detach the injector.
+		st.detached = true
+	}
+}
+
+// injectFaultCmd parses the inject_fault terminal command.
+func (c *Chaser) injectFaultCmd(args []string) (string, error) {
+	if len(args) < 4 {
+		return "", fmt.Errorf("usage: inject_fault <app> <ops> <prob p|det n|group s:e> <bits> [trace] [rank=K]")
+	}
+	spec := &Spec{Target: args[0], TargetRank: -1}
+	for _, name := range strings.Split(args[1], ",") {
+		op := isa.OpByName(name)
+		if op == isa.OpInvalid {
+			return "", fmt.Errorf("inject_fault: unknown opcode %q", name)
+		}
+		spec.Ops = append(spec.Ops, op)
+	}
+	rest := args[2:]
+	switch rest[0] {
+	case "prob":
+		p, err := strconv.ParseFloat(rest[1], 64)
+		if err != nil || p < 0 || p > 1 {
+			return "", fmt.Errorf("inject_fault: bad probability %q", rest[1])
+		}
+		spec.Cond = Probabilistic{P: p}
+		rest = rest[2:]
+	case "det":
+		n, err := strconv.ParseUint(rest[1], 10, 64)
+		if err != nil || n == 0 {
+			return "", fmt.Errorf("inject_fault: bad execution count %q", rest[1])
+		}
+		spec.Cond = Deterministic{N: n}
+		rest = rest[2:]
+	case "group":
+		se := strings.SplitN(rest[1], ":", 2)
+		if len(se) != 2 {
+			return "", fmt.Errorf("inject_fault: group wants start:every")
+		}
+		start, err1 := strconv.ParseUint(se[0], 10, 64)
+		every, err2 := strconv.ParseUint(se[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			return "", fmt.Errorf("inject_fault: bad group %q", rest[1])
+		}
+		spec.Cond = Group{Start: start, Every: every}
+		spec.MaxInjections = 1 << 30
+		rest = rest[2:]
+	default:
+		return "", fmt.Errorf("inject_fault: unknown model %q", rest[0])
+	}
+	if len(rest) < 1 {
+		return "", fmt.Errorf("inject_fault: missing bit count")
+	}
+	bits, err := strconv.Atoi(rest[0])
+	if err != nil || bits < 1 || bits > 64 {
+		return "", fmt.Errorf("inject_fault: bad bit count %q", rest[0])
+	}
+	spec.Bits = bits
+	for _, extra := range rest[1:] {
+		switch {
+		case extra == "trace":
+			spec.Trace = true
+		case strings.HasPrefix(extra, "rank="):
+			r, err := strconv.Atoi(strings.TrimPrefix(extra, "rank="))
+			if err != nil {
+				return "", fmt.Errorf("inject_fault: bad rank %q", extra)
+			}
+			spec.TargetRank = r
+		default:
+			return "", fmt.Errorf("inject_fault: unknown option %q", extra)
+		}
+	}
+	c.Arm(spec)
+	return fmt.Sprintf("armed: target=%s ops=%v cond=%v bits=%d trace=%v rank=%d",
+		spec.Target, args[1], spec.Cond, spec.Bits, spec.Trace, spec.TargetRank), nil
+}

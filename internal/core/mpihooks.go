@@ -1,0 +1,117 @@
+package core
+
+import (
+	"chaser/internal/decaf"
+	"chaser/internal/isa"
+	"chaser/internal/tainthub"
+	"chaser/internal/tcg"
+	"chaser/internal/trace"
+	"chaser/internal/vm"
+)
+
+// Cross-rank taint coordination (Fig. 5): Chaser hooks the MPI message
+// functions, extracts the message information from the guest's argument
+// registers, and shares taint status through the TaintHub.
+//
+// Sender side (before MPI_Send executes): extract (buf, count, datatype,
+// dest, tag); when the buffer is tainted, publish (ID, taint status) to the
+// hub, where ID is (src, dest, tag) plus a per-flow sequence number.
+//
+// Receiver side (after MPI_Recv returns): extract (buf, count, datatype,
+// source, tag), poll the hub; when a status exists, mark the received bytes
+// tainted so propagation continues in this rank.
+
+// maxHookedMessageBytes bounds the taint scan of MPI buffers: anything
+// larger is a fault-corrupted count the runtime will reject, so scanning
+// (or allocating masks for) it would only burn memory.
+const maxHookedMessageBytes = 64 << 20
+
+func (c *Chaser) state(m *vm.Machine) *armState {
+	// armed is fully populated before guests start running; reads here are
+	// concurrent but the map is no longer written.
+	return c.armed[m]
+}
+
+func (c *Chaser) preSyscall(info decaf.ProcInfo, m *vm.Machine, sys isa.Sys) {
+	if sys != isa.SysMPISend {
+		return
+	}
+	st := c.state(m)
+	if st == nil || !st.spec.Trace {
+		return
+	}
+	buf := m.GPR(isa.R1)
+	count := int64(m.GPR(isa.R2))
+	dtype := isa.Datatype(m.GPR(isa.R3))
+	dest := int(int64(m.GPR(isa.R4)))
+	tag := int(int64(m.GPR(isa.R5)))
+	if count < 0 || !dtype.Valid() || count*dtype.Size() > maxHookedMessageBytes {
+		return // the runtime will reject this send
+	}
+	key := tainthub.Key{Src: m.Rank, Dst: dest, Tag: tag}
+	seq := st.sendSeq[key]
+	st.sendSeq[key]++
+
+	n := uint64(count) * uint64(dtype.Size())
+	if m.Shadow.TaintedBytes() == 0 || !m.Shadow.MemRangeTainted(buf, n) {
+		// Not tainted: simply return without any hub traffic.
+		return
+	}
+	masks := m.Shadow.MemRangeMasks(buf, n)
+	if err := c.hub.Publish(key, seq, masks); err != nil {
+		return // hub unavailable: tracing degrades, execution continues
+	}
+}
+
+func (c *Chaser) postSyscall(info decaf.ProcInfo, m *vm.Machine, sys isa.Sys) {
+	st := c.state(m)
+	if st == nil || !st.spec.Trace {
+		return
+	}
+	if sys == isa.SysMPISend {
+		// A send that completed with tainted envelope metadata (count,
+		// destination or tag computed from corrupted values) propagates the
+		// fault's effect across ranks even when the payload is clean.
+		sh := m.Shadow
+		meta := sh.RegMask(tcg.GPR(isa.R2)) | sh.RegMask(tcg.GPR(isa.R4)) | sh.RegMask(tcg.GPR(isa.R5))
+		if meta != 0 {
+			c.collector.AddCrossRank(trace.CrossRankRecord{
+				Src:  m.Rank,
+				Dst:  int(int64(m.GPR(isa.R4))),
+				Tag:  int(int64(m.GPR(isa.R5))),
+				Meta: true,
+			})
+		}
+		return
+	}
+	if sys != isa.SysMPIRecv {
+		return
+	}
+	buf := m.GPR(isa.R1)
+	count := int64(m.GPR(isa.R2))
+	dtype := isa.Datatype(m.GPR(isa.R3))
+	source := int(int64(m.GPR(isa.R4)))
+	tag := int(int64(m.GPR(isa.R5)))
+	if count < 0 || !dtype.Valid() || count*dtype.Size() > maxHookedMessageBytes {
+		return
+	}
+	key := tainthub.Key{Src: source, Dst: m.Rank, Tag: tag}
+	seq := st.recvSeq[key]
+	st.recvSeq[key]++
+
+	masks, found, err := c.hub.Poll(key, seq)
+	if err != nil || !found {
+		// Not tainted (or hub unreachable): simply return.
+		return
+	}
+	m.Shadow.SetMemRangeMasks(buf, masks)
+	tainted := 0
+	for _, mk := range masks {
+		if mk != 0 {
+			tainted++
+		}
+	}
+	c.collector.AddCrossRank(trace.CrossRankRecord{
+		Src: source, Dst: m.Rank, Tag: tag, Seq: seq, TaintedBytes: tainted,
+	})
+}

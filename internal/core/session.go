@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"chaser/internal/decaf"
+	"chaser/internal/isa"
+	"chaser/internal/mpi"
+	"chaser/internal/tainthub"
+	"chaser/internal/trace"
+	"chaser/internal/vm"
+)
+
+// RunConfig describes one supervised execution: a guest program, a world
+// size, and optionally a fault-injection spec (nil runs the golden,
+// uninstrumented configuration).
+type RunConfig struct {
+	Prog      *isa.Program
+	WorldSize int
+	Spec      *Spec
+	// Hub overrides the TaintHub (e.g. a TCP client to a shared head-node
+	// hub); nil uses a private in-process hub.
+	Hub tainthub.Hub
+	// MaxInstructions caps each rank (0 = vm default).
+	MaxInstructions uint64
+	// SampleInterval for the tainted-bytes timeline (0 = vm default,
+	// 100K instructions as in the paper).
+	SampleInterval uint64
+	// ExecTraceDepth enables per-rank execution-trace ring buffers of this
+	// many entries (0 = disabled) for post-mortem analysis of crashes.
+	ExecTraceDepth int
+}
+
+// RunResult is everything observable from one supervised execution.
+type RunResult struct {
+	// Terms are the per-rank terminations.
+	Terms []vm.Termination
+	// Outputs are the per-rank output files (bit-compared for SDC).
+	Outputs [][]byte
+	// Consoles are the per-rank console texts.
+	Consoles []string
+	// Counters are the per-rank execution statistics.
+	Counters []vm.Counters
+	// Records are the injections performed.
+	Records []InjectionRecord
+	// Trace is the propagation log (empty unless Spec.Trace).
+	Trace *trace.Collector
+	// ExecTraces are the per-rank instruction-trace tails (empty unless
+	// RunConfig.ExecTraceDepth was set).
+	ExecTraces []string
+	// HubStats snapshots TaintHub activity for this run.
+	HubStats tainthub.Stats
+}
+
+// Injected reports whether at least one fault was injected.
+func (r *RunResult) Injected() bool { return len(r.Records) > 0 }
+
+// FirstAbnormal returns the lowest rank with an abnormal termination, or -1.
+func (r *RunResult) FirstAbnormal() int {
+	for i, t := range r.Terms {
+		if t.Abnormal() {
+			return i
+		}
+	}
+	return -1
+}
+
+// Run executes one supervised run: it builds a decaf platform, loads a
+// Chaser armed with cfg.Spec, creates the world (firing VMI events that arm
+// the injector on target ranks), runs all ranks, and gathers results.
+func Run(cfg RunConfig) (*RunResult, error) {
+	if cfg.Prog == nil {
+		return nil, fmt.Errorf("core: no program")
+	}
+	size := cfg.WorldSize
+	if size == 0 {
+		size = 1
+	}
+	platform := decaf.NewPlatform()
+	ch := New(Options{Hub: cfg.Hub})
+	if err := platform.LoadPlugin(ch); err != nil {
+		return nil, err
+	}
+	if cfg.Spec != nil {
+		if err := cfg.Spec.Validate(); err != nil {
+			return nil, err
+		}
+		ch.Arm(cfg.Spec)
+	}
+	world, err := mpi.NewWorld(cfg.Prog, mpi.Config{
+		Size: size,
+		Machine: func(rank int) vm.Config {
+			return vm.Config{
+				MaxInstructions: cfg.MaxInstructions,
+				SampleInterval:  cfg.SampleInterval,
+			}
+		},
+		Setup: func(rank int, m *vm.Machine) {
+			if cfg.ExecTraceDepth > 0 {
+				m.EnableExecTrace(cfg.ExecTraceDepth)
+			}
+			platform.CreateProcess(m)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	terms := world.Run()
+
+	res := &RunResult{
+		Terms:    terms,
+		Outputs:  make([][]byte, size),
+		Consoles: make([]string, size),
+		Counters: make([]vm.Counters, size),
+		Records:  ch.Records(),
+		Trace:    ch.Trace(),
+		HubStats: ch.Hub().Stats(),
+	}
+	if cfg.ExecTraceDepth > 0 {
+		res.ExecTraces = make([]string, size)
+	}
+	for r := 0; r < size; r++ {
+		m := world.Machine(r)
+		res.Outputs[r] = m.Output()
+		res.Consoles[r] = m.Console()
+		res.Counters[r] = m.Counters()
+		if cfg.ExecTraceDepth > 0 {
+			res.ExecTraces[r] = m.FormatExecTrace()
+		}
+	}
+	return res, nil
+}
+
+// Golden runs the program uninstrumented and returns the result; campaigns
+// compare injection runs against it.
+func Golden(prog *isa.Program, worldSize int, maxInstr uint64) (*RunResult, error) {
+	return Run(RunConfig{Prog: prog, WorldSize: worldSize, MaxInstructions: maxInstr})
+}

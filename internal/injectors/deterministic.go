@@ -1,0 +1,122 @@
+package injectors
+
+import (
+	"fmt"
+
+	"chaser/internal/core"
+	"chaser/internal/isa"
+	"chaser/internal/tcg"
+)
+
+// DeterministicInjector implements the F-SEFI-style deterministic injector:
+// the fault fires at an exact, predefined execution of the targeted
+// instruction ("inject a fault into fadd after it is executed 1000 times").
+// It optionally pins the corruption to a specific register or memory word
+// instead of a random operand, which makes single-fault experiments exactly
+// reproducible bit for bit.
+type DeterministicInjector struct {
+	// N is the 1-based execution count at which the fault fires.
+	N uint64
+	// Bits is the number of random bits flipped when Mask is zero.
+	Bits int
+	// Mask, when non-zero, is the exact XOR pattern to apply.
+	Mask uint64
+	// Register, when non-nil, pins the corruption to this micro-register.
+	Register *tcg.MReg
+	// Address, when non-nil, corrupts the 64-bit word at this guest
+	// virtual address instead of a register.
+	Address *uint64
+}
+
+// Validate checks the configuration.
+func (d DeterministicInjector) Validate() error {
+	if d.N == 0 {
+		return fmt.Errorf("injectors: execution count must be >= 1")
+	}
+	if d.Register != nil && d.Address != nil {
+		return fmt.Errorf("injectors: register and address targets are exclusive")
+	}
+	if d.Mask == 0 && (d.Bits < 1 || d.Bits > 64) {
+		return fmt.Errorf("injectors: need a mask or a bit count in [1,64]")
+	}
+	return nil
+}
+
+// Spec assembles a complete injection command.
+func (d DeterministicInjector) Spec(target string, ops []isa.Op, rank int, seed int64, trace bool) (*core.Spec, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &core.Spec{
+		Target:     target,
+		Ops:        ops,
+		TargetRank: rank,
+		Cond:       core.Deterministic{N: d.N},
+		Inj:        d,
+		Bits:       d.Bits,
+		Seed:       seed,
+		Trace:      trace,
+	}, nil
+}
+
+// Inject implements core.Injector.
+func (d DeterministicInjector) Inject(ctx *core.Context) (core.InjectionRecord, error) {
+	mask := d.Mask
+	if mask == 0 {
+		mask = core.RandomBitMask(d.Bits, ctx.Rng)
+	}
+	switch {
+	case d.Address != nil:
+		before, after, err := core.CorruptMemory(ctx.Machine, *d.Address, mask, ctx.Trace)
+		if err != nil {
+			return core.InjectionRecord{}, err
+		}
+		return core.InjectionRecord{
+			Rank:      ctx.Machine.Rank,
+			PC:        ctx.Op.GuestPC,
+			GuestOp:   ctx.Instr.Op,
+			GuestOpS:  ctx.Instr.Op.String(),
+			ExecCount: ctx.ExecCount,
+			Target:    fmt.Sprintf("mem %#x", *d.Address),
+			Mask:      mask,
+			Before:    before,
+			After:     after,
+		}, nil
+	case d.Register != nil:
+		before, after := core.CorruptRegister(ctx.Machine, *d.Register, mask, ctx.Trace)
+		return core.InjectionRecord{
+			Rank:      ctx.Machine.Rank,
+			PC:        ctx.Op.GuestPC,
+			GuestOp:   ctx.Instr.Op,
+			GuestOpS:  ctx.Instr.Op.String(),
+			ExecCount: ctx.ExecCount,
+			Target:    "reg " + d.Register.String(),
+			Mask:      mask,
+			Before:    before,
+			After:     after,
+		}, nil
+	default:
+		if d.Mask == 0 {
+			return core.OperandInjector{Bits: d.Bits}.Inject(ctx)
+		}
+		// A pinned mask with no pinned target: apply the exact mask to one
+		// of the triggering instruction's operand registers.
+		srcs := core.OperandRegs(ctx.Instr)
+		if len(srcs) == 0 {
+			return core.InjectionRecord{}, core.ErrDeclined
+		}
+		reg := srcs[ctx.Rng.Intn(len(srcs))]
+		before, after := core.CorruptRegister(ctx.Machine, reg, mask, ctx.Trace)
+		return core.InjectionRecord{
+			Rank:      ctx.Machine.Rank,
+			PC:        ctx.Op.GuestPC,
+			GuestOp:   ctx.Instr.Op,
+			GuestOpS:  ctx.Instr.Op.String(),
+			ExecCount: ctx.ExecCount,
+			Target:    "reg " + reg.String(),
+			Mask:      mask,
+			Before:    before,
+			After:     after,
+		}, nil
+	}
+}

@@ -1,0 +1,96 @@
+package injectors
+
+import (
+	"fmt"
+
+	"chaser/internal/core"
+	"chaser/internal/isa"
+)
+
+// FloatOps is the instruction set the paper's group injector targets: all
+// floating-point arithmetic of the guest ISA.
+var FloatOps = []isa.Op{
+	isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv, isa.OpFNeg, isa.OpFMov,
+}
+
+// GroupInjector implements the F-SEFI-style group injector: multiple faults
+// are injected across all floating-point instructions of the target — one
+// fault every Every executions, starting at Start, up to Count faults.
+// Group injection models burst upsets and high-flux environments where a
+// single-fault-per-run assumption does not hold.
+type GroupInjector struct {
+	// Start is the first targeted execution (1-based; 0 means 1).
+	Start uint64
+	// Every is the injection period in executions (0 or 1 = every one).
+	Every uint64
+	// Count bounds the total number of faults (0 = unbounded, until the
+	// program ends).
+	Count int
+	// Bits is the number of bits flipped per fault.
+	Bits int
+}
+
+// Validate checks the configuration.
+func (g GroupInjector) Validate() error {
+	if g.Bits < 1 || g.Bits > 64 {
+		return fmt.Errorf("injectors: bit count %d out of [1,64]", g.Bits)
+	}
+	if g.Count < 0 {
+		return fmt.Errorf("injectors: negative fault count")
+	}
+	return nil
+}
+
+// Spec assembles a complete injection command against all floating-point
+// instructions of the target application.
+func (g GroupInjector) Spec(target string, seed int64, trace bool) (*core.Spec, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	start := g.Start
+	if start == 0 {
+		start = 1
+	}
+	maxInj := g.Count
+	if maxInj == 0 {
+		maxInj = 1 << 30
+	}
+	return &core.Spec{
+		Target:        target,
+		Ops:           FloatOps,
+		TargetRank:    -1,
+		Cond:          core.Group{Start: start, Every: g.Every},
+		Inj:           g,
+		Bits:          g.Bits,
+		MaxInjections: maxInj,
+		Seed:          seed,
+		Trace:         trace,
+	}, nil
+}
+
+// Inject implements core.Injector: each firing flips bits in an operand of
+// whichever floating-point instruction is about to execute.
+func (g GroupInjector) Inject(ctx *core.Context) (core.InjectionRecord, error) {
+	return core.OperandInjector{Bits: g.Bits}.Inject(ctx)
+}
+
+// PlannedFaults returns how many faults the group model would place in a
+// run executing the targeted instructions n times.
+func (g GroupInjector) PlannedFaults(n uint64) int {
+	start := g.Start
+	if start == 0 {
+		start = 1
+	}
+	if n < start {
+		return 0
+	}
+	every := g.Every
+	if every <= 1 {
+		every = 1
+	}
+	planned := int((n-start)/every) + 1
+	if g.Count > 0 && planned > g.Count {
+		return g.Count
+	}
+	return planned
+}

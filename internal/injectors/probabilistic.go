@@ -1,0 +1,100 @@
+// Package injectors contains the three example fault injectors of the
+// paper's Table II, each implemented in its own file purely against the
+// interfaces exported by the core package (Condition, Injector,
+// CorruptRegister / CorruptMemory). They demonstrate the "flexible" design
+// goal: a new fault model is ~100 lines of code and needs no knowledge of
+// the translation or taint machinery. The Table II harness measures the
+// line counts of these files.
+package injectors
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chaser/internal/core"
+	"chaser/internal/isa"
+)
+
+// ProbabilisticInjector implements the F-SEFI-style probabilistic injector:
+// every execution of a targeted instruction flips bits in one of its
+// operand registers with a fixed probability. Because the trigger is
+// memoryless, the fault location follows the instruction's dynamic
+// execution distribution, which is the model the paper uses for its
+// statistical campaigns.
+type ProbabilisticInjector struct {
+	// P is the per-execution injection probability in [0, 1].
+	P float64
+	// Bits is the number of bits to flip per injection.
+	Bits int
+	// MaxFaults bounds the total number of injections (0 = exactly one).
+	MaxFaults int
+}
+
+// Validate checks the configuration.
+func (p ProbabilisticInjector) Validate() error {
+	if p.P < 0 || p.P > 1 {
+		return fmt.Errorf("injectors: probability %v out of [0,1]", p.P)
+	}
+	if p.Bits < 0 || p.Bits > 64 {
+		return fmt.Errorf("injectors: bit count %d out of [0,64]", p.Bits)
+	}
+	return nil
+}
+
+// Spec assembles a complete injection command for the given target
+// application and instruction set. The returned spec can be handed straight
+// to core.Run or a campaign.
+func (p ProbabilisticInjector) Spec(target string, ops []isa.Op, seed int64, trace bool) (*core.Spec, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxFaults := p.MaxFaults
+	if maxFaults == 0 {
+		maxFaults = 1
+	}
+	return &core.Spec{
+		Target:        target,
+		Ops:           ops,
+		TargetRank:    -1,
+		Cond:          core.Probabilistic{P: p.P},
+		Inj:           p,
+		Bits:          p.Bits,
+		MaxInjections: maxFaults,
+		Seed:          seed,
+		Trace:         trace,
+	}, nil
+}
+
+// Inject implements core.Injector: flip Bits random bits in a random
+// operand register of the triggering instruction.
+func (p ProbabilisticInjector) Inject(ctx *core.Context) (core.InjectionRecord, error) {
+	return core.OperandInjector{Bits: p.Bits}.Inject(ctx)
+}
+
+// Expectation returns the expected number of injections for a run that
+// executes the targeted instructions n times — useful when calibrating P so
+// that roughly one fault lands per run.
+func (p ProbabilisticInjector) Expectation(n uint64) float64 {
+	return p.P * float64(n)
+}
+
+// CalibrateP returns the probability that yields one expected injection
+// over n executions of the target instruction.
+func CalibrateP(n uint64) float64 {
+	if n == 0 {
+		return 1
+	}
+	return 1 / float64(n)
+}
+
+// SampleInjectionCount simulates how many faults a run of n executions
+// would receive (for unit tests and documentation examples).
+func (p ProbabilisticInjector) SampleInjectionCount(n uint64, rng *rand.Rand) int {
+	count := 0
+	for i := uint64(0); i < n; i++ {
+		if rng.Float64() < p.P {
+			count++
+		}
+	}
+	return count
+}

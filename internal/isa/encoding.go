@@ -1,0 +1,153 @@
+package isa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Canonical guest memory layout. The code segment holds encoded instructions;
+// globals live in the data segment; the heap grows upward from HeapBase via
+// the SysAlloc syscall; the stack grows downward from StackTop.
+const (
+	CodeBase  uint64 = 0x0040_0000
+	DataBase  uint64 = 0x1000_0000
+	HeapBase  uint64 = 0x2000_0000
+	StackTop  uint64 = 0x7fff_0000
+	StackSize uint64 = 1 << 20 // reserved stack span checked by the VM
+)
+
+// ErrTruncated is returned when decoding runs out of bytes mid-instruction.
+var ErrTruncated = errors.New("isa: truncated instruction stream")
+
+// BadOpcodeError reports an undecodable opcode byte, as produced by a fault
+// corrupting the code segment or a wild jump into data.
+type BadOpcodeError struct {
+	PC     uint64
+	Opcode uint8
+}
+
+func (e *BadOpcodeError) Error() string {
+	return fmt.Sprintf("isa: bad opcode %#x at pc %#x", e.Opcode, e.PC)
+}
+
+// Encode serializes the instruction into buf, which must be at least
+// InstrSize bytes long.
+//
+// Layout: op(1) rd(1) rs1(1) rs2(1) pad(4) imm(8, little-endian).
+func Encode(i Instr, buf []byte) {
+	_ = buf[InstrSize-1]
+	buf[0] = uint8(i.Op)
+	buf[1] = uint8(i.Rd)
+	buf[2] = uint8(i.Rs1)
+	buf[3] = uint8(i.Rs2)
+	buf[4], buf[5], buf[6], buf[7] = 0, 0, 0, 0
+	binary.LittleEndian.PutUint64(buf[8:], uint64(i.Imm))
+}
+
+// Decode deserializes one instruction from buf. pc is used only for error
+// reporting.
+func Decode(buf []byte, pc uint64) (Instr, error) {
+	if len(buf) < InstrSize {
+		return Instr{}, ErrTruncated
+	}
+	op := Op(buf[0])
+	if !op.Valid() {
+		return Instr{}, &BadOpcodeError{PC: pc, Opcode: buf[0]}
+	}
+	i := Instr{
+		Op:  op,
+		Rd:  Reg(buf[1] & 0x0f),
+		Rs1: Reg(buf[2] & 0x0f),
+		Rs2: Reg(buf[3] & 0x0f),
+		Imm: int64(binary.LittleEndian.Uint64(buf[8:])),
+	}
+	return i, nil
+}
+
+// EncodeProgram serializes a slice of instructions into a contiguous code
+// image suitable for loading at CodeBase.
+func EncodeProgram(code []Instr) []byte {
+	out := make([]byte, len(code)*InstrSize)
+	for idx, ins := range code {
+		Encode(ins, out[idx*InstrSize:])
+	}
+	return out
+}
+
+// DecodeProgram parses a full code image back into instructions.
+func DecodeProgram(image []byte) ([]Instr, error) {
+	if len(image)%InstrSize != 0 {
+		return nil, ErrTruncated
+	}
+	code := make([]Instr, 0, len(image)/InstrSize)
+	for off := 0; off < len(image); off += InstrSize {
+		ins, err := Decode(image[off:off+InstrSize], CodeBase+uint64(off))
+		if err != nil {
+			return nil, err
+		}
+		code = append(code, ins)
+	}
+	return code, nil
+}
+
+// Program is a loadable guest program: a code image plus an initialized data
+// segment and the entry point address.
+type Program struct {
+	Name  string
+	Entry uint64 // absolute address within the code segment
+	Code  []Instr
+	Data  []byte // loaded at DataBase
+}
+
+// CodeEnd returns the first address past the code segment.
+func (p *Program) CodeEnd() uint64 {
+	return CodeBase + uint64(len(p.Code))*InstrSize
+}
+
+// InstrAt returns the instruction at an absolute code address.
+func (p *Program) InstrAt(addr uint64) (Instr, bool) {
+	if addr < CodeBase || (addr-CodeBase)%InstrSize != 0 {
+		return Instr{}, false
+	}
+	idx := (addr - CodeBase) / InstrSize
+	if idx >= uint64(len(p.Code)) {
+		return Instr{}, false
+	}
+	return p.Code[idx], true
+}
+
+// Validate performs static sanity checks: the entry point and all branch
+// targets must land on instruction boundaries inside the code segment.
+func (p *Program) Validate() error {
+	end := p.CodeEnd()
+	inCode := func(a uint64) bool {
+		return a >= CodeBase && a < end && (a-CodeBase)%InstrSize == 0
+	}
+	if !inCode(p.Entry) {
+		return fmt.Errorf("isa: entry %#x outside code [%#x,%#x)", p.Entry, CodeBase, end)
+	}
+	for idx, ins := range p.Code {
+		if ins.Op.IsBranch() && ins.Op != OpRet && ins.Op != OpHlt {
+			if t := uint64(ins.Imm); !inCode(t) {
+				return fmt.Errorf("isa: instruction %d (%s) targets %#x outside code", idx, ins, t)
+			}
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the whole code segment with addresses, one instruction
+// per line.
+func (p *Program) Disassemble() string {
+	var out []byte
+	for idx, ins := range p.Code {
+		addr := CodeBase + uint64(idx)*InstrSize
+		mark := "  "
+		if addr == p.Entry {
+			mark = "=>"
+		}
+		out = append(out, fmt.Sprintf("%s %#08x: %s\n", mark, addr, ins)...)
+	}
+	return string(out)
+}

@@ -1,0 +1,332 @@
+// Package isa defines the guest instruction-set architecture executed by the
+// Chaser virtual machine.
+//
+// The ISA is a 64-bit, fixed-width, RISC-like instruction set with sixteen
+// general-purpose integer registers, sixteen IEEE-754 double-precision
+// floating-point registers, a flags register written by compare instructions,
+// and a small syscall surface (process control, console and data output, heap
+// allocation, and MPI primitives). It plays the role that x86 guest code plays
+// in the original QEMU/DECAF-based Chaser: fault models target instruction
+// opcodes, operands, registers and memory of this ISA.
+package isa
+
+import "fmt"
+
+// Reg identifies a register operand. Values 0-15 name general-purpose
+// registers R0-R15 or floating-point registers F0-F15 depending on the
+// instruction; the interpretation is fixed per opcode.
+type Reg uint8
+
+// Register aliases. SP is the stack pointer and FP the conventional frame
+// pointer used by the guest compiler's calling convention.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	FP // R14, frame pointer by convention
+	SP // R15, stack pointer
+)
+
+// Floating point register names (same 0-15 numbering in the FPR file).
+const (
+	F0 Reg = iota
+	F1
+	F2
+	F3
+	F4
+	F5
+	F6
+	F7
+	F8
+	F9
+	F10
+	F11
+	F12
+	F13
+	F14
+	F15
+)
+
+// NumRegs is the size of each register file (GPR and FPR).
+const NumRegs = 16
+
+// Op is a guest instruction opcode.
+type Op uint8
+
+// Guest opcodes. Enumeration starts at one so that the zero value is invalid
+// and decodable as corruption.
+const (
+	OpInvalid Op = iota
+
+	// Control.
+	OpNop
+	OpHlt // halt: terminate with exit code in R0
+
+	// Integer moves and arithmetic. Rd <- Rs1 op Rs2 unless noted.
+	OpMovI // Rd <- Imm
+	OpMov  // Rd <- Rs1
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv  // raises SIGFPE when divisor is zero
+	OpMod  // raises SIGFPE when divisor is zero
+	OpAddI // Rd <- Rs1 + Imm
+	OpMulI // Rd <- Rs1 * Imm
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpNot // Rd <- ^Rs1
+
+	// Floating point moves and arithmetic (registers are FPRs).
+	OpFMovI // Fd <- float64 from Imm bits
+	OpFMov  // Fd <- Fs1
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFNeg // Fd <- -Fs1
+
+	// Conversions.
+	OpCvtIF // Fd <- float64(Rs1)   (Rd names an FPR, Rs1 a GPR)
+	OpCvtFI // Rd <- int64(Fs1)     (Rd names a GPR, Rs1 an FPR)
+
+	// Memory. Effective address is Rs1 + Imm.
+	OpLd  // Rd <- mem64[Rs1+Imm]
+	OpSt  // mem64[Rs1+Imm] <- Rs2
+	OpLdB // Rd <- zero-extended mem8[Rs1+Imm]
+	OpStB // mem8[Rs1+Imm] <- low byte of Rs2
+	OpFLd // Fd <- memf64[Rs1+Imm]      (Rs1 is a GPR)
+	OpFSt // memf64[Rs1+Imm] <- Fs2     (Rs1 a GPR, Rs2 an FPR)
+
+	// Compares: set the flags register to -1, 0 or +1.
+	OpCmp  // flags <- sign(Rs1 - Rs2)
+	OpCmpI // flags <- sign(Rs1 - Imm)
+	OpFCmp // flags <- sign(Fs1 - Fs2); NaN compares as +1
+
+	// Branches. Imm is the absolute target address in the code segment.
+	OpJmp
+	OpJe
+	OpJne
+	OpJl
+	OpJle
+	OpJg
+	OpJge
+
+	// Procedures and stack.
+	OpCall // push return address; jump to Imm
+	OpRet  // pop return address; jump
+	OpPush // push Rs1
+	OpPop  // Rd <- pop
+	OpFPush
+	OpFPop
+
+	// System call. Imm selects the Sys* number; arguments in R1..R6 and
+	// F1..F4, results in R0 / F0.
+	OpSyscall
+
+	opMax // sentinel; keep last
+)
+
+// NumOps is the number of valid opcodes plus one (sentinel); opcode values in
+// [1, NumOps) are valid.
+const NumOps = int(opMax)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpNop:     "nop",
+	OpHlt:     "hlt",
+	OpMovI:    "movi",
+	OpMov:     "mov",
+	OpAdd:     "add",
+	OpSub:     "sub",
+	OpMul:     "mul",
+	OpDiv:     "div",
+	OpMod:     "mod",
+	OpAddI:    "addi",
+	OpMulI:    "muli",
+	OpAnd:     "and",
+	OpOr:      "or",
+	OpXor:     "xor",
+	OpShl:     "shl",
+	OpShr:     "shr",
+	OpNot:     "not",
+	OpFMovI:   "fmovi",
+	OpFMov:    "fmov",
+	OpFAdd:    "fadd",
+	OpFSub:    "fsub",
+	OpFMul:    "fmul",
+	OpFDiv:    "fdiv",
+	OpFNeg:    "fneg",
+	OpCvtIF:   "cvtif",
+	OpCvtFI:   "cvtfi",
+	OpLd:      "ld",
+	OpSt:      "st",
+	OpLdB:     "ldb",
+	OpStB:     "stb",
+	OpFLd:     "fld",
+	OpFSt:     "fst",
+	OpCmp:     "cmp",
+	OpCmpI:    "cmpi",
+	OpFCmp:    "fcmp",
+	OpJmp:     "jmp",
+	OpJe:      "je",
+	OpJne:     "jne",
+	OpJl:      "jl",
+	OpJle:     "jle",
+	OpJg:      "jg",
+	OpJge:     "jge",
+	OpCall:    "call",
+	OpRet:     "ret",
+	OpPush:    "push",
+	OpPop:     "pop",
+	OpFPush:   "fpush",
+	OpFPop:    "fpop",
+	OpSyscall: "syscall",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a decodable opcode.
+func (o Op) Valid() bool {
+	return o > OpInvalid && o < opMax
+}
+
+// OpByName resolves a mnemonic to its opcode. It returns OpInvalid when the
+// name is unknown.
+func OpByName(name string) Op {
+	for op, n := range opNames {
+		if n == name && Op(op) != OpInvalid {
+			return Op(op)
+		}
+	}
+	return OpInvalid
+}
+
+// IsFloat reports whether the opcode operates on the floating-point register
+// file for its primary operands.
+func (o Op) IsFloat() bool {
+	switch o {
+	case OpFMovI, OpFMov, OpFAdd, OpFSub, OpFMul, OpFDiv, OpFNeg, OpFLd, OpFSt,
+		OpFCmp, OpFPush, OpFPop, OpCvtIF:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the opcode may transfer control.
+func (o Op) IsBranch() bool {
+	switch o {
+	case OpJmp, OpJe, OpJne, OpJl, OpJle, OpJg, OpJge, OpCall, OpRet, OpHlt:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the opcode is a conditional branch.
+func (o Op) IsCondBranch() bool {
+	switch o {
+	case OpJe, OpJne, OpJl, OpJle, OpJg, OpJge:
+		return true
+	}
+	return false
+}
+
+// IsMemAccess reports whether the opcode reads or writes guest memory through
+// an effective address (loads and stores; stack ops are excluded).
+func (o Op) IsMemAccess() bool {
+	switch o {
+	case OpLd, OpSt, OpLdB, OpStB, OpFLd, OpFSt:
+		return true
+	}
+	return false
+}
+
+// Instr is one decoded guest instruction. All instructions occupy
+// InstrSize bytes in the code segment.
+type Instr struct {
+	Op  Op
+	Rd  Reg   // destination register (or first source for st/cmp/push)
+	Rs1 Reg   // first source register / base register
+	Rs2 Reg   // second source register / store value
+	Imm int64 // immediate, displacement, or absolute branch target
+}
+
+// InstrSize is the encoded size of every instruction in bytes.
+const InstrSize = 16
+
+// String renders the instruction in assembler syntax.
+func (i Instr) String() string {
+	r := func(x Reg) string {
+		if i.Op.IsFloat() {
+			return fmt.Sprintf("f%d", x)
+		}
+		return fmt.Sprintf("r%d", x)
+	}
+	switch i.Op {
+	case OpNop, OpHlt, OpRet:
+		return i.Op.String()
+	case OpMovI:
+		return fmt.Sprintf("movi r%d, %d", i.Rd, i.Imm)
+	case OpFMovI:
+		return fmt.Sprintf("fmovi f%d, %#x", i.Rd, uint64(i.Imm))
+	case OpMov, OpFMov, OpNot, OpFNeg:
+		return fmt.Sprintf("%s %s, %s", i.Op, r(i.Rd), r(i.Rs1))
+	case OpCvtIF:
+		return fmt.Sprintf("cvtif f%d, r%d", i.Rd, i.Rs1)
+	case OpCvtFI:
+		return fmt.Sprintf("cvtfi r%d, f%d", i.Rd, i.Rs1)
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+	case OpFAdd, OpFSub, OpFMul, OpFDiv:
+		return fmt.Sprintf("%s f%d, f%d, f%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+	case OpAddI, OpMulI:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	case OpLd, OpLdB:
+		return fmt.Sprintf("%s r%d, [r%d%+d]", i.Op, i.Rd, i.Rs1, i.Imm)
+	case OpFLd:
+		return fmt.Sprintf("fld f%d, [r%d%+d]", i.Rd, i.Rs1, i.Imm)
+	case OpSt, OpStB:
+		return fmt.Sprintf("%s [r%d%+d], r%d", i.Op, i.Rs1, i.Imm, i.Rs2)
+	case OpFSt:
+		return fmt.Sprintf("fst [r%d%+d], f%d", i.Rs1, i.Imm, i.Rs2)
+	case OpCmp:
+		return fmt.Sprintf("cmp r%d, r%d", i.Rs1, i.Rs2)
+	case OpCmpI:
+		return fmt.Sprintf("cmpi r%d, %d", i.Rs1, i.Imm)
+	case OpFCmp:
+		return fmt.Sprintf("fcmp f%d, f%d", i.Rs1, i.Rs2)
+	case OpJmp, OpJe, OpJne, OpJl, OpJle, OpJg, OpJge, OpCall:
+		return fmt.Sprintf("%s %#x", i.Op, uint64(i.Imm))
+	case OpPush:
+		return fmt.Sprintf("push r%d", i.Rs1)
+	case OpPop:
+		return fmt.Sprintf("pop r%d", i.Rd)
+	case OpFPush:
+		return fmt.Sprintf("fpush f%d", i.Rs1)
+	case OpFPop:
+		return fmt.Sprintf("fpop f%d", i.Rd)
+	case OpSyscall:
+		return fmt.Sprintf("syscall %d", i.Imm)
+	default:
+		return fmt.Sprintf("%s rd=%d rs1=%d rs2=%d imm=%d", i.Op, i.Rd, i.Rs1, i.Rs2, i.Imm)
+	}
+}

@@ -1,0 +1,312 @@
+package isa
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpNames(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want string
+	}{
+		{OpNop, "nop"},
+		{OpFAdd, "fadd"},
+		{OpMov, "mov"},
+		{OpCmp, "cmp"},
+		{OpSyscall, "syscall"},
+		{OpFSt, "fst"},
+		{OpCvtIF, "cvtif"},
+	}
+	for _, tt := range tests {
+		if got := tt.op.String(); got != tt.want {
+			t.Errorf("Op(%d).String() = %q, want %q", tt.op, got, tt.want)
+		}
+		if got := OpByName(tt.want); got != tt.op {
+			t.Errorf("OpByName(%q) = %v, want %v", tt.want, got, tt.op)
+		}
+	}
+}
+
+func TestOpByNameUnknown(t *testing.T) {
+	if got := OpByName("definitely-not-an-op"); got != OpInvalid {
+		t.Errorf("OpByName(unknown) = %v, want OpInvalid", got)
+	}
+	if got := OpByName("invalid"); got != OpInvalid {
+		t.Errorf("OpByName(\"invalid\") = %v, want OpInvalid", got)
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	if OpInvalid.Valid() {
+		t.Error("OpInvalid.Valid() = true")
+	}
+	if Op(255).Valid() {
+		t.Error("Op(255).Valid() = true")
+	}
+	for op := OpNop; op < opMax; op++ {
+		if !op.Valid() {
+			t.Errorf("Op %v not valid", op)
+		}
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	tests := []struct {
+		op                           Op
+		float, branch, cond, memAccs bool
+	}{
+		{OpFAdd, true, false, false, false},
+		{OpAdd, false, false, false, false},
+		{OpJmp, false, true, false, false},
+		{OpJle, false, true, true, false},
+		{OpCall, false, true, false, false},
+		{OpRet, false, true, false, false},
+		{OpLd, false, false, false, true},
+		{OpFSt, true, false, false, true},
+		{OpCvtIF, true, false, false, false},
+		{OpCvtFI, false, false, false, false},
+		{OpPush, false, false, false, false},
+	}
+	for _, tt := range tests {
+		if got := tt.op.IsFloat(); got != tt.float {
+			t.Errorf("%v.IsFloat() = %v, want %v", tt.op, got, tt.float)
+		}
+		if got := tt.op.IsBranch(); got != tt.branch {
+			t.Errorf("%v.IsBranch() = %v, want %v", tt.op, got, tt.branch)
+		}
+		if got := tt.op.IsCondBranch(); got != tt.cond {
+			t.Errorf("%v.IsCondBranch() = %v, want %v", tt.op, got, tt.cond)
+		}
+		if got := tt.op.IsMemAccess(); got != tt.memAccs {
+			t.Errorf("%v.IsMemAccess() = %v, want %v", tt.op, got, tt.memAccs)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ins := Instr{Op: OpAdd, Rd: R3, Rs1: R4, Rs2: R5, Imm: -42}
+	var buf [InstrSize]byte
+	Encode(ins, buf[:])
+	got, err := Decode(buf[:], CodeBase)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got != ins {
+		t.Errorf("round trip = %+v, want %+v", got, ins)
+	}
+}
+
+// Property: every valid instruction survives an encode/decode round trip.
+func TestEncodeDecodeRoundTripQuick(t *testing.T) {
+	f := func(opRaw, rd, rs1, rs2 uint8, imm int64) bool {
+		op := Op(int(opRaw)%(NumOps-1) + 1)
+		ins := Instr{Op: op, Rd: Reg(rd & 0x0f), Rs1: Reg(rs1 & 0x0f), Rs2: Reg(rs2 & 0x0f), Imm: imm}
+		var buf [InstrSize]byte
+		Encode(ins, buf[:])
+		got, err := Decode(buf[:], 0)
+		return err == nil && got == ins
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(make([]byte, InstrSize-1), 0); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short decode err = %v, want ErrTruncated", err)
+	}
+	buf := make([]byte, InstrSize)
+	buf[0] = 0xff
+	_, err := Decode(buf, 0x1234)
+	var bad *BadOpcodeError
+	if !errors.As(err, &bad) {
+		t.Fatalf("bad opcode err = %v, want BadOpcodeError", err)
+	}
+	if bad.PC != 0x1234 || bad.Opcode != 0xff {
+		t.Errorf("BadOpcodeError = %+v", bad)
+	}
+	if !strings.Contains(bad.Error(), "0xff") {
+		t.Errorf("error text %q missing opcode", bad.Error())
+	}
+}
+
+func TestEncodeDecodeProgram(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	code := make([]Instr, 100)
+	for i := range code {
+		code[i] = Instr{
+			Op:  Op(rng.Intn(NumOps-1) + 1),
+			Rd:  Reg(rng.Intn(16)),
+			Rs1: Reg(rng.Intn(16)),
+			Rs2: Reg(rng.Intn(16)),
+			Imm: rng.Int63() - rng.Int63(),
+		}
+	}
+	img := EncodeProgram(code)
+	if len(img) != len(code)*InstrSize {
+		t.Fatalf("image size = %d, want %d", len(img), len(code)*InstrSize)
+	}
+	back, err := DecodeProgram(img)
+	if err != nil {
+		t.Fatalf("DecodeProgram: %v", err)
+	}
+	for i := range code {
+		if back[i] != code[i] {
+			t.Fatalf("instr %d = %+v, want %+v", i, back[i], code[i])
+		}
+	}
+	if _, err := DecodeProgram(img[:len(img)-1]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated program err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestProgramInstrAt(t *testing.T) {
+	p := &Program{
+		Entry: CodeBase,
+		Code: []Instr{
+			{Op: OpMovI, Rd: R0, Imm: 1},
+			{Op: OpHlt},
+		},
+	}
+	if got, ok := p.InstrAt(CodeBase + InstrSize); !ok || got.Op != OpHlt {
+		t.Errorf("InstrAt(second) = %+v, %v", got, ok)
+	}
+	if _, ok := p.InstrAt(CodeBase + 1); ok {
+		t.Error("InstrAt(misaligned) should fail")
+	}
+	if _, ok := p.InstrAt(CodeBase - InstrSize); ok {
+		t.Error("InstrAt(below code) should fail")
+	}
+	if _, ok := p.InstrAt(p.CodeEnd()); ok {
+		t.Error("InstrAt(past end) should fail")
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	valid := &Program{
+		Entry: CodeBase,
+		Code: []Instr{
+			{Op: OpJmp, Imm: int64(CodeBase + InstrSize)},
+			{Op: OpHlt},
+		},
+	}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+
+	badEntry := &Program{Entry: CodeBase + 1, Code: valid.Code}
+	if err := badEntry.Validate(); err == nil {
+		t.Error("misaligned entry accepted")
+	}
+
+	badTarget := &Program{
+		Entry: CodeBase,
+		Code:  []Instr{{Op: OpJmp, Imm: int64(CodeBase + 999*InstrSize)}},
+	}
+	if err := badTarget.Validate(); err == nil {
+		t.Error("out-of-range branch target accepted")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p := &Program{
+		Entry: CodeBase,
+		Code: []Instr{
+			{Op: OpMovI, Rd: R1, Imm: 7},
+			{Op: OpFAdd, Rd: F0, Rs1: F1, Rs2: F2},
+			{Op: OpSt, Rs1: R2, Rs2: R3, Imm: 8},
+			{Op: OpHlt},
+		},
+	}
+	dis := p.Disassemble()
+	for _, want := range []string{"movi r1, 7", "fadd f0, f1, f2", "st [r2+8], r3", "hlt", "=>"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	tests := []struct {
+		ins  Instr
+		want string
+	}{
+		{Instr{Op: OpLd, Rd: R1, Rs1: R2, Imm: -8}, "ld r1, [r2-8]"},
+		{Instr{Op: OpFLd, Rd: F3, Rs1: R2, Imm: 16}, "fld f3, [r2+16]"},
+		{Instr{Op: OpFSt, Rs1: R4, Rs2: F5, Imm: 0}, "fst [r4+0], f5"},
+		{Instr{Op: OpCmpI, Rs1: R6, Imm: 3}, "cmpi r6, 3"},
+		{Instr{Op: OpCvtFI, Rd: R1, Rs1: F2}, "cvtfi r1, f2"},
+		{Instr{Op: OpPush, Rs1: R9}, "push r9"},
+		{Instr{Op: OpPop, Rd: R9}, "pop r9"},
+		{Instr{Op: OpFPush, Rs1: F2}, "fpush f2"},
+		{Instr{Op: OpFPop, Rd: F2}, "fpop f2"},
+		{Instr{Op: OpSyscall, Imm: int64(SysExit)}, "syscall 1"},
+		{Instr{Op: OpJne, Imm: 0x400000}, "jne 0x400000"},
+		{Instr{Op: OpNot, Rd: R1, Rs1: R2}, "not r1, r2"},
+		{Instr{Op: OpFNeg, Rd: F1, Rs1: F2}, "fneg f1, f2"},
+	}
+	for _, tt := range tests {
+		if got := tt.ins.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestSyscallNames(t *testing.T) {
+	tests := []struct {
+		sys  Sys
+		want string
+		mpi  bool
+	}{
+		{SysExit, "exit", false},
+		{SysAlloc, "alloc", false},
+		{SysAssert, "assert", false},
+		{SysMPISend, "mpi_send", true},
+		{SysMPIReduce, "mpi_reduce", true},
+		{SysMPIRank, "mpi_rank", true},
+	}
+	for _, tt := range tests {
+		if got := tt.sys.String(); got != tt.want {
+			t.Errorf("Sys(%d).String() = %q, want %q", tt.sys, got, tt.want)
+		}
+		if got := tt.sys.IsMPI(); got != tt.mpi {
+			t.Errorf("%v.IsMPI() = %v, want %v", tt.sys, got, tt.mpi)
+		}
+		if !tt.sys.Valid() {
+			t.Errorf("%v not valid", tt.sys)
+		}
+	}
+	if Sys(0).Valid() || Sys(999).Valid() {
+		t.Error("invalid syscall numbers reported valid")
+	}
+}
+
+func TestDatatype(t *testing.T) {
+	if TypeInt64.Size() != 8 || TypeFloat64.Size() != 8 || TypeByte.Size() != 1 {
+		t.Error("datatype sizes wrong")
+	}
+	if Datatype(0).Valid() || Datatype(99).Valid() {
+		t.Error("invalid datatype reported valid")
+	}
+	if TypeFloat64.String() != "float64" {
+		t.Errorf("TypeFloat64.String() = %q", TypeFloat64.String())
+	}
+}
+
+func TestReduceOp(t *testing.T) {
+	for _, op := range []ReduceOp{ReduceSum, ReduceMax, ReduceMin} {
+		if !op.Valid() {
+			t.Errorf("%v not valid", op)
+		}
+	}
+	if ReduceOp(0).Valid() || ReduceOp(9).Valid() {
+		t.Error("invalid reduce op reported valid")
+	}
+	if ReduceSum.String() != "sum" || ReduceMax.String() != "max" || ReduceMin.String() != "min" {
+		t.Error("reduce op names wrong")
+	}
+}

@@ -1,0 +1,167 @@
+package isa
+
+import "fmt"
+
+// Sys identifies a guest system call. The syscall number is carried in the
+// Imm field of an OpSyscall instruction; integer arguments are passed in
+// R1..R6, floating-point arguments in F1..F4; integer results return in R0
+// and floating-point results in F0.
+type Sys int64
+
+// Guest system calls.
+const (
+	// SysExit terminates the process with exit code R1.
+	SysExit Sys = iota + 1
+
+	// SysPrintInt appends the decimal rendering of R1 plus a newline to the
+	// process console.
+	SysPrintInt
+	// SysPrintFloat appends the rendering of F1 plus a newline to the
+	// process console.
+	SysPrintFloat
+	// SysPrintStr appends len=R2 bytes at address R1 to the process console.
+	SysPrintStr
+
+	// SysOutInt appends R1 (8 bytes little-endian) to the process output
+	// file. Output files are compared bit-wise against the golden run to
+	// classify silent data corruption.
+	SysOutInt
+	// SysOutFloat appends F1 (8 bytes of IEEE-754 bits) to the output file.
+	SysOutFloat
+	// SysOutBytes appends len=R2 bytes at address R1 to the output file.
+	SysOutBytes
+
+	// SysAlloc reserves R1 bytes of heap and returns the base address in R0.
+	SysAlloc
+
+	// SysAssert terminates the process with an assertion failure when R1 is
+	// zero. R2 optionally carries a user-defined assertion code. This models
+	// program-level checkers such as CLAMR's mass-conservation test.
+	SysAssert
+
+	// MPI primitives, forwarded to the attached MPI environment.
+
+	// SysMPIRank returns the caller's rank in R0.
+	SysMPIRank
+	// SysMPISize returns the communicator size in R0.
+	SysMPISize
+	// SysMPISend sends count=R2 elements of datatype R3 from buffer R1 to
+	// rank R4 with tag R5.
+	SysMPISend
+	// SysMPIRecv receives count=R2 elements of datatype R3 into buffer R1
+	// from rank R4 with tag R5.
+	SysMPIRecv
+	// SysMPIBarrier blocks until all ranks reach the barrier.
+	SysMPIBarrier
+	// SysMPIBcast broadcasts count=R2 elements of datatype R3 at buffer R1
+	// from root R4 to all ranks.
+	SysMPIBcast
+	// SysMPIReduce reduces count=R3 elements of datatype R4 from sendbuf R1
+	// into recvbuf R2 at root R6 using reduction op R5.
+	SysMPIReduce
+	// SysMPIAllreduce reduces count=R3 elements of datatype R4 from sendbuf
+	// R1 into recvbuf R2 on every rank using reduction op R5.
+	SysMPIAllreduce
+
+	sysMax
+)
+
+// NumSys is one past the largest valid syscall number.
+const NumSys = int64(sysMax)
+
+var sysNames = [...]string{
+	SysExit:         "exit",
+	SysPrintInt:     "print_int",
+	SysPrintFloat:   "print_float",
+	SysPrintStr:     "print_str",
+	SysOutInt:       "out_int",
+	SysOutFloat:     "out_float",
+	SysOutBytes:     "out_bytes",
+	SysAlloc:        "alloc",
+	SysAssert:       "assert",
+	SysMPIRank:      "mpi_rank",
+	SysMPISize:      "mpi_size",
+	SysMPISend:      "mpi_send",
+	SysMPIRecv:      "mpi_recv",
+	SysMPIBarrier:   "mpi_barrier",
+	SysMPIBcast:     "mpi_bcast",
+	SysMPIReduce:    "mpi_reduce",
+	SysMPIAllreduce: "mpi_allreduce",
+}
+
+// String returns the syscall name.
+func (s Sys) String() string {
+	if s > 0 && int(s) < len(sysNames) && sysNames[s] != "" {
+		return sysNames[s]
+	}
+	return fmt.Sprintf("sys(%d)", int64(s))
+}
+
+// Valid reports whether s is a known syscall number.
+func (s Sys) Valid() bool { return s > 0 && s < sysMax }
+
+// IsMPI reports whether the syscall is an MPI primitive.
+func (s Sys) IsMPI() bool { return s >= SysMPIRank && s <= SysMPIAllreduce }
+
+// Datatype identifies the element type of an MPI buffer.
+type Datatype int64
+
+// MPI datatypes.
+const (
+	TypeInt64 Datatype = iota + 1
+	TypeFloat64
+	TypeByte
+)
+
+// Size returns the element size in bytes, or 0 for an invalid datatype.
+func (d Datatype) Size() int64 {
+	switch d {
+	case TypeInt64, TypeFloat64:
+		return 8
+	case TypeByte:
+		return 1
+	}
+	return 0
+}
+
+// Valid reports whether d is a known datatype.
+func (d Datatype) Valid() bool { return d.Size() != 0 }
+
+// String returns the datatype name.
+func (d Datatype) String() string {
+	switch d {
+	case TypeInt64:
+		return "int64"
+	case TypeFloat64:
+		return "float64"
+	case TypeByte:
+		return "byte"
+	}
+	return fmt.Sprintf("datatype(%d)", int64(d))
+}
+
+// ReduceOp identifies an MPI reduction operator.
+type ReduceOp int64
+
+// MPI reduction operators.
+const (
+	ReduceSum ReduceOp = iota + 1
+	ReduceMax
+	ReduceMin
+)
+
+// Valid reports whether r is a known reduction operator.
+func (r ReduceOp) Valid() bool { return r >= ReduceSum && r <= ReduceMin }
+
+// String returns the reduction operator name.
+func (r ReduceOp) String() string {
+	switch r {
+	case ReduceSum:
+		return "sum"
+	case ReduceMax:
+		return "max"
+	case ReduceMin:
+		return "min"
+	}
+	return fmt.Sprintf("reduceop(%d)", int64(r))
+}

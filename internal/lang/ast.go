@@ -1,0 +1,361 @@
+// Package lang implements a small structured language and compiler targeting
+// the guest ISA. The guest applications of the paper's evaluation (Matvec,
+// the Rodinia-style kernels, and the CLAMR mini-app) are authored as ASTs
+// built with this package's constructor functions and compiled to guest
+// programs; writing them in raw assembler would be impractical.
+//
+// The language has int64 and float64 scalars, heap arrays of 8-byte
+// elements, functions with by-value parameters, loops, conditionals, and
+// intrinsics for the guest syscall surface (console/output/assert/MPI).
+package lang
+
+import "fmt"
+
+// Type is a scalar value type.
+type Type int
+
+// Value types. Arrays are represented as TInt base addresses.
+const (
+	TInt Type = iota + 1
+	TFloat
+)
+
+// String returns the type name.
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	}
+	return fmt.Sprintf("type(%d)", int(t))
+}
+
+// BinOp is a binary arithmetic operator.
+type BinOp int
+
+// Binary operators. Arithmetic operators apply to both int and float
+// operands; bitwise operators require ints.
+const (
+	OpAdd BinOp = iota + 1
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+)
+
+var binNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
+}
+
+// String returns the operator symbol.
+func (o BinOp) String() string { return binNames[o] }
+
+// CmpOp is a comparison operator; comparisons yield int 0 or 1.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota + 1
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+var cmpNames = map[CmpOp]string{
+	CmpEq: "==", CmpNe: "!=", CmpLt: "<", CmpLe: "<=", CmpGt: ">", CmpGe: ">=",
+}
+
+// String returns the operator symbol.
+func (o CmpOp) String() string { return cmpNames[o] }
+
+// Expr is an expression node.
+type Expr interface{ isExpr() }
+
+type (
+	// IntLit is an int64 literal.
+	IntLit struct{ V int64 }
+	// FloatLit is a float64 literal.
+	FloatLit struct{ V float64 }
+	// VarRef reads a local variable or parameter.
+	VarRef struct{ Name string }
+	// Bin applies a binary operator to two operands of the same type.
+	Bin struct {
+		Op   BinOp
+		L, R Expr
+	}
+	// Cmp compares two operands of the same type, yielding int 0/1.
+	Cmp struct {
+		Op   CmpOp
+		L, R Expr
+	}
+	// Neg negates its operand.
+	Neg struct{ E Expr }
+	// Cast converts between int and float.
+	Cast struct {
+		To Type
+		E  Expr
+	}
+	// Index reads element Idx of the array at Base (8-byte elements of
+	// type Elem).
+	Index struct {
+		Base Expr
+		Idx  Expr
+		Elem Type
+	}
+	// CallExpr invokes a function and yields its return value.
+	CallExpr struct {
+		Name string
+		Args []Expr
+	}
+	// RankExpr yields the caller's MPI rank.
+	RankExpr struct{}
+	// SizeExpr yields the MPI world size.
+	SizeExpr struct{}
+	// AllocExpr allocates N 8-byte elements on the guest heap and yields
+	// the base address.
+	AllocExpr struct{ N Expr }
+)
+
+func (IntLit) isExpr()    {}
+func (FloatLit) isExpr()  {}
+func (VarRef) isExpr()    {}
+func (Bin) isExpr()       {}
+func (Cmp) isExpr()       {}
+func (Neg) isExpr()       {}
+func (Cast) isExpr()      {}
+func (Index) isExpr()     {}
+func (CallExpr) isExpr()  {}
+func (RankExpr) isExpr()  {}
+func (SizeExpr) isExpr()  {}
+func (AllocExpr) isExpr() {}
+
+// Stmt is a statement node.
+type Stmt interface{ isStmt() }
+
+type (
+	// Decl declares a new local initialized from Init; the variable's type
+	// is the expression's type.
+	Decl struct {
+		Name string
+		Init Expr
+	}
+	// Assign stores into an existing local.
+	Assign struct {
+		Name string
+		E    Expr
+	}
+	// Store writes Val into element Idx of the array at Base.
+	Store struct {
+		Base Expr
+		Idx  Expr
+		Val  Expr
+	}
+	// If branches on an int condition (non-zero is true).
+	If struct {
+		Cond Expr
+		Then []Stmt
+		Else []Stmt
+	}
+	// While loops while the int condition is non-zero.
+	While struct {
+		Cond Expr
+		Body []Stmt
+	}
+	// For runs Var from From to To-1 inclusive, step +1. To is evaluated
+	// once on entry.
+	For struct {
+		Var  string
+		From Expr
+		To   Expr
+		Body []Stmt
+	}
+	// Return exits the function, optionally with a value.
+	Return struct{ E Expr }
+	// Break exits the innermost enclosing loop.
+	Break struct{}
+	// Continue jumps to the next iteration of the innermost enclosing
+	// loop (for For loops, the increment still runs).
+	Continue struct{}
+	// CallStmt invokes a function for effect, discarding any result.
+	CallStmt struct {
+		Name string
+		Args []Expr
+	}
+	// PrintInt prints an int to the console.
+	PrintInt struct{ E Expr }
+	// PrintFloat prints a float to the console.
+	PrintFloat struct{ E Expr }
+	// OutInt appends an int to the output file (SDC comparison artifact).
+	OutInt struct{ E Expr }
+	// OutFloat appends a float to the output file.
+	OutFloat struct{ E Expr }
+	// Assert terminates with an assertion failure when Cond is zero.
+	Assert struct {
+		Cond Expr
+		Code int64
+	}
+	// Exit terminates the process with the given code.
+	Exit struct{ Code Expr }
+	// MPISend sends Count elements of the given datatype from Buf to Dest
+	// with Tag. The datatype is 1 (int64) or 2 (float64) per isa.Datatype.
+	MPISend struct {
+		Buf, Count Expr
+		Dtype      int64
+		Dest, Tag  Expr
+	}
+	// MPIRecv receives into Buf from Source with Tag.
+	MPIRecv struct {
+		Buf, Count  Expr
+		Dtype       int64
+		Source, Tag Expr
+	}
+	// Barrier blocks until all ranks arrive.
+	Barrier struct{}
+	// Bcast broadcasts Buf from Root.
+	Bcast struct {
+		Buf, Count Expr
+		Dtype      int64
+		Root       Expr
+	}
+	// Reduce reduces SendBuf into RecvBuf at Root with the given operator
+	// (isa.ReduceOp numbering).
+	Reduce struct {
+		SendBuf, RecvBuf, Count Expr
+		Dtype                   int64
+		ReduceOp                int64
+		Root                    Expr
+	}
+	// Allreduce reduces SendBuf into RecvBuf on every rank.
+	Allreduce struct {
+		SendBuf, RecvBuf, Count Expr
+		Dtype                   int64
+		ReduceOp                int64
+	}
+)
+
+func (Decl) isStmt()       {}
+func (Break) isStmt()      {}
+func (Continue) isStmt()   {}
+func (Assign) isStmt()     {}
+func (Store) isStmt()      {}
+func (If) isStmt()         {}
+func (While) isStmt()      {}
+func (For) isStmt()        {}
+func (Return) isStmt()     {}
+func (CallStmt) isStmt()   {}
+func (PrintInt) isStmt()   {}
+func (PrintFloat) isStmt() {}
+func (OutInt) isStmt()     {}
+func (OutFloat) isStmt()   {}
+func (Assert) isStmt()     {}
+func (Exit) isStmt()       {}
+func (MPISend) isStmt()    {}
+func (MPIRecv) isStmt()    {}
+func (Barrier) isStmt()    {}
+func (Bcast) isStmt()      {}
+func (Reduce) isStmt()     {}
+func (Allreduce) isStmt()  {}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// Func is a function definition. Ret is 0 for void functions.
+type Func struct {
+	Name   string
+	Params []Param
+	Ret    Type
+	Body   []Stmt
+}
+
+// Program is a whole guest program; execution starts at the function named
+// "main", whose int return value becomes the exit code.
+type Program struct {
+	Name  string
+	Funcs []*Func
+}
+
+// Convenience constructors, so application code reads closer to source.
+
+// I builds an int literal.
+func I(v int64) Expr { return IntLit{V: v} }
+
+// F builds a float literal.
+func F(v float64) Expr { return FloatLit{V: v} }
+
+// V reads a variable.
+func V(name string) Expr { return VarRef{Name: name} }
+
+// Add builds L + R.
+func Add(l, r Expr) Expr { return Bin{Op: OpAdd, L: l, R: r} }
+
+// Sub builds L - R.
+func Sub(l, r Expr) Expr { return Bin{Op: OpSub, L: l, R: r} }
+
+// Mul builds L * R.
+func Mul(l, r Expr) Expr { return Bin{Op: OpMul, L: l, R: r} }
+
+// Div builds L / R.
+func Div(l, r Expr) Expr { return Bin{Op: OpDiv, L: l, R: r} }
+
+// Mod builds L % R (ints only).
+func Mod(l, r Expr) Expr { return Bin{Op: OpMod, L: l, R: r} }
+
+// Eq builds L == R.
+func Eq(l, r Expr) Expr { return Cmp{Op: CmpEq, L: l, R: r} }
+
+// Ne builds L != R.
+func Ne(l, r Expr) Expr { return Cmp{Op: CmpNe, L: l, R: r} }
+
+// Lt builds L < R.
+func Lt(l, r Expr) Expr { return Cmp{Op: CmpLt, L: l, R: r} }
+
+// Le builds L <= R.
+func Le(l, r Expr) Expr { return Cmp{Op: CmpLe, L: l, R: r} }
+
+// Gt builds L > R.
+func Gt(l, r Expr) Expr { return Cmp{Op: CmpGt, L: l, R: r} }
+
+// Ge builds L >= R.
+func Ge(l, r Expr) Expr { return Cmp{Op: CmpGe, L: l, R: r} }
+
+// ToFloat converts an int expression to float.
+func ToFloat(e Expr) Expr { return Cast{To: TFloat, E: e} }
+
+// ToInt converts a float expression to int (truncating).
+func ToInt(e Expr) Expr { return Cast{To: TInt, E: e} }
+
+// At reads array element base[idx] as an int.
+func At(base, idx Expr) Expr { return Index{Base: base, Idx: idx, Elem: TInt} }
+
+// AtF reads array element base[idx] as a float.
+func AtF(base, idx Expr) Expr { return Index{Base: base, Idx: idx, Elem: TFloat} }
+
+// Call invokes a function in expression position.
+func Call(name string, args ...Expr) Expr { return CallExpr{Name: name, Args: args} }
+
+// Alloc allocates n 8-byte elements and yields the array base.
+func Alloc(n Expr) Expr { return AllocExpr{N: n} }
+
+// Let declares a variable.
+func Let(name string, init Expr) Stmt { return Decl{Name: name, Init: init} }
+
+// Set assigns to a variable.
+func Set(name string, e Expr) Stmt { return Assign{Name: name, E: e} }
+
+// SetAt stores val into base[idx].
+func SetAt(base, idx, val Expr) Stmt { return Store{Base: base, Idx: idx, Val: val} }
+
+// Block is a helper for building statement slices inline.
+func Block(stmts ...Stmt) []Stmt { return stmts }

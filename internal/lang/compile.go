@@ -1,0 +1,556 @@
+package lang
+
+import (
+	"fmt"
+	"math"
+
+	"chaser/internal/isa"
+)
+
+// Register conventions used by generated code:
+//
+//	R0 / F0     return values (and syscall results)
+//	R1..R12     integer expression-evaluation stack
+//	F1..F12     floating-point expression-evaluation stack
+//	R13         scratch
+//	R14 (FP)    frame pointer
+//	R15 (SP)    stack pointer
+//
+// Arguments are pushed left-to-right, so argument i of n lives at
+// FP + 16 + 8*(n-1-i); locals live at FP - 8*(slot+1). There are no
+// callee-saved registers: callers spill their live evaluation registers
+// around calls.
+const maxEvalDepth = 12
+
+// CompileError reports a semantic error with its function context.
+type CompileError struct {
+	Func string
+	Msg  string
+}
+
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("lang: function %q: %s", e.Func, e.Msg)
+}
+
+// Compile translates a program into a loadable guest program.
+func Compile(p *Program) (*isa.Program, error) {
+	c := &compiler{
+		sigs:   make(map[string]*Func, len(p.Funcs)),
+		labels: make(map[string]int),
+	}
+	for _, fn := range p.Funcs {
+		if _, dup := c.sigs[fn.Name]; dup {
+			return nil, &CompileError{Func: fn.Name, Msg: "duplicate function"}
+		}
+		c.sigs[fn.Name] = fn
+	}
+	main, ok := c.sigs["main"]
+	if !ok {
+		return nil, &CompileError{Func: "main", Msg: "missing main function"}
+	}
+	if len(main.Params) != 0 {
+		return nil, &CompileError{Func: "main", Msg: "main must take no parameters"}
+	}
+
+	// Entry stub: call main, exit with its return value (0 for void main).
+	c.emitRef(isa.Instr{Op: isa.OpCall}, "fn_main")
+	if main.Ret == TInt {
+		c.emit(isa.Instr{Op: isa.OpMov, Rd: isa.R1, Rs1: isa.R0})
+	} else {
+		c.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.R1, Imm: 0})
+	}
+	c.emit(isa.Instr{Op: isa.OpSyscall, Imm: int64(isa.SysExit)})
+
+	for _, fn := range p.Funcs {
+		if err := c.compileFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	code, err := c.finish()
+	if err != nil {
+		return nil, err
+	}
+	prog := &isa.Program{Name: p.Name, Entry: isa.CodeBase, Code: code}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("lang: generated program invalid: %w", err)
+	}
+	return prog, nil
+}
+
+// MustCompile compiles or panics; intended for package-level app
+// definitions whose correctness is covered by tests.
+func MustCompile(p *Program) *isa.Program {
+	prog, err := Compile(p)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type compiler struct {
+	code      []isa.Instr
+	labels    map[string]int // label -> instruction index
+	refs      []labelRef
+	sigs      map[string]*Func
+	nextLabel int
+}
+
+type labelRef struct {
+	instr int
+	label string
+}
+
+func (c *compiler) emit(ins isa.Instr) int {
+	c.code = append(c.code, ins)
+	return len(c.code) - 1
+}
+
+func (c *compiler) emitRef(ins isa.Instr, label string) {
+	idx := c.emit(ins)
+	c.refs = append(c.refs, labelRef{instr: idx, label: label})
+}
+
+func (c *compiler) freshLabel(hint string) string {
+	c.nextLabel++
+	return fmt.Sprintf(".%s%d", hint, c.nextLabel)
+}
+
+func (c *compiler) bind(label string) {
+	c.labels[label] = len(c.code)
+}
+
+func (c *compiler) finish() ([]isa.Instr, error) {
+	for _, r := range c.refs {
+		idx, ok := c.labels[r.label]
+		if !ok {
+			return nil, fmt.Errorf("lang: unresolved label %q", r.label)
+		}
+		c.code[r.instr].Imm = int64(isa.CodeBase + uint64(idx)*isa.InstrSize)
+	}
+	return c.code, nil
+}
+
+type varInfo struct {
+	off int64 // FP-relative
+	typ Type
+}
+
+type fnCtx struct {
+	c       *compiler
+	fn      *Func
+	vars    map[string]varInfo
+	slots   int
+	iDepth  int // live int eval registers (R1..R(iDepth))
+	fDepth  int // live float eval registers
+	retLbl  string
+	forSeq  int
+	reserve int // index of the prologue sp-adjust instruction to patch
+	// loops is the stack of enclosing loop labels for break/continue.
+	loops []loopLabels
+}
+
+type loopLabels struct {
+	breakL    string
+	continueL string
+}
+
+func (c *compiler) compileFunc(fn *Func) error {
+	f := &fnCtx{c: c, fn: fn, vars: make(map[string]varInfo), retLbl: c.freshLabel("ret")}
+	c.bind("fn_" + fn.Name)
+	n := len(fn.Params)
+	for i, p := range fn.Params {
+		if p.Type != TInt && p.Type != TFloat {
+			return f.errf("parameter %q has invalid type", p.Name)
+		}
+		if _, dup := f.vars[p.Name]; dup {
+			return f.errf("duplicate parameter %q", p.Name)
+		}
+		f.vars[p.Name] = varInfo{off: 16 + 8*int64(n-1-i), typ: p.Type}
+	}
+	// Prologue.
+	c.emit(isa.Instr{Op: isa.OpPush, Rs1: isa.FP})
+	c.emit(isa.Instr{Op: isa.OpMov, Rd: isa.FP, Rs1: isa.SP})
+	f.reserve = c.emit(isa.Instr{Op: isa.OpAddI, Rd: isa.SP, Rs1: isa.SP, Imm: 0})
+
+	if err := f.stmts(fn.Body); err != nil {
+		return err
+	}
+	// Fall-through return (value 0 for int functions).
+	c.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.R0, Imm: 0})
+	c.bind(f.retLbl)
+	c.emit(isa.Instr{Op: isa.OpMov, Rd: isa.SP, Rs1: isa.FP})
+	c.emit(isa.Instr{Op: isa.OpPop, Rd: isa.FP})
+	c.emit(isa.Instr{Op: isa.OpRet})
+
+	c.code[f.reserve].Imm = -8 * int64(f.slots)
+	return nil
+}
+
+func (f *fnCtx) errf(format string, args ...any) error {
+	return &CompileError{Func: f.fn.Name, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (f *fnCtx) newLocal(name string, typ Type) (varInfo, error) {
+	if _, dup := f.vars[name]; dup {
+		return varInfo{}, f.errf("redeclaration of %q", name)
+	}
+	vi := varInfo{off: -8 * int64(f.slots+1), typ: typ}
+	f.vars[name] = vi
+	f.slots++
+	return vi, nil
+}
+
+// Integer and float evaluation-stack registers.
+
+func (f *fnCtx) pushInt() (isa.Reg, error) {
+	if f.iDepth >= maxEvalDepth {
+		return 0, f.errf("integer expression too deep")
+	}
+	f.iDepth++
+	return isa.Reg(f.iDepth), nil
+}
+
+func (f *fnCtx) pushFloat() (isa.Reg, error) {
+	if f.fDepth >= maxEvalDepth {
+		return 0, f.errf("float expression too deep")
+	}
+	f.fDepth++
+	return isa.Reg(f.fDepth), nil
+}
+
+func (f *fnCtx) topInt() isa.Reg   { return isa.Reg(f.iDepth) }
+func (f *fnCtx) topFloat() isa.Reg { return isa.Reg(f.fDepth) }
+func (f *fnCtx) popInt()           { f.iDepth-- }
+func (f *fnCtx) popFloat()         { f.fDepth-- }
+
+// expr compiles e, leaving the result in the next free register of the
+// appropriate evaluation stack, and returns its type.
+func (f *fnCtx) expr(e Expr) (Type, error) {
+	c := f.c
+	switch x := e.(type) {
+	case IntLit:
+		r, err := f.pushInt()
+		if err != nil {
+			return 0, err
+		}
+		c.emit(isa.Instr{Op: isa.OpMovI, Rd: r, Imm: x.V})
+		return TInt, nil
+
+	case FloatLit:
+		r, err := f.pushFloat()
+		if err != nil {
+			return 0, err
+		}
+		c.emit(isa.Instr{Op: isa.OpFMovI, Rd: r, Imm: int64(math.Float64bits(x.V))})
+		return TFloat, nil
+
+	case VarRef:
+		vi, ok := f.vars[x.Name]
+		if !ok {
+			return 0, f.errf("undefined variable %q", x.Name)
+		}
+		if vi.typ == TFloat {
+			r, err := f.pushFloat()
+			if err != nil {
+				return 0, err
+			}
+			c.emit(isa.Instr{Op: isa.OpFLd, Rd: r, Rs1: isa.FP, Imm: vi.off})
+			return TFloat, nil
+		}
+		r, err := f.pushInt()
+		if err != nil {
+			return 0, err
+		}
+		c.emit(isa.Instr{Op: isa.OpLd, Rd: r, Rs1: isa.FP, Imm: vi.off})
+		return TInt, nil
+
+	case Bin:
+		return f.binExpr(x)
+
+	case Cmp:
+		return f.cmpExpr(x)
+
+	case Neg:
+		t, err := f.expr(x.E)
+		if err != nil {
+			return 0, err
+		}
+		if t == TFloat {
+			r := f.topFloat()
+			c.emit(isa.Instr{Op: isa.OpFNeg, Rd: r, Rs1: r})
+			return TFloat, nil
+		}
+		r := f.topInt()
+		c.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.R13, Imm: 0})
+		c.emit(isa.Instr{Op: isa.OpSub, Rd: r, Rs1: isa.R13, Rs2: r})
+		return TInt, nil
+
+	case Cast:
+		t, err := f.expr(x.E)
+		if err != nil {
+			return 0, err
+		}
+		if t == x.To {
+			return t, nil
+		}
+		if x.To == TFloat {
+			src := f.topInt()
+			f.popInt()
+			dst, err := f.pushFloat()
+			if err != nil {
+				return 0, err
+			}
+			c.emit(isa.Instr{Op: isa.OpCvtIF, Rd: dst, Rs1: src})
+			return TFloat, nil
+		}
+		src := f.topFloat()
+		f.popFloat()
+		dst, err := f.pushInt()
+		if err != nil {
+			return 0, err
+		}
+		c.emit(isa.Instr{Op: isa.OpCvtFI, Rd: dst, Rs1: src})
+		return TInt, nil
+
+	case Index:
+		addr, err := f.arrayAddr(x.Base, x.Idx)
+		if err != nil {
+			return 0, err
+		}
+		if x.Elem == TFloat {
+			f.popInt() // consume address
+			dst, err := f.pushFloat()
+			if err != nil {
+				return 0, err
+			}
+			c.emit(isa.Instr{Op: isa.OpFLd, Rd: dst, Rs1: addr})
+			return TFloat, nil
+		}
+		c.emit(isa.Instr{Op: isa.OpLd, Rd: addr, Rs1: addr})
+		return TInt, nil
+
+	case CallExpr:
+		callee, ok := f.c.sigs[x.Name]
+		if !ok {
+			return 0, f.errf("call to undefined function %q", x.Name)
+		}
+		if callee.Ret == 0 {
+			return 0, f.errf("void function %q used in expression", x.Name)
+		}
+		if err := f.emitCall(callee, x.Args); err != nil {
+			return 0, err
+		}
+		if callee.Ret == TFloat {
+			dst, err := f.pushFloat()
+			if err != nil {
+				return 0, err
+			}
+			c.emit(isa.Instr{Op: isa.OpFMov, Rd: dst, Rs1: isa.F0})
+			return TFloat, nil
+		}
+		dst, err := f.pushInt()
+		if err != nil {
+			return 0, err
+		}
+		c.emit(isa.Instr{Op: isa.OpMov, Rd: dst, Rs1: isa.R0})
+		return TInt, nil
+
+	case RankExpr, SizeExpr:
+		sys := isa.SysMPIRank
+		if _, isSize := e.(SizeExpr); isSize {
+			sys = isa.SysMPISize
+		}
+		dst, err := f.pushInt()
+		if err != nil {
+			return 0, err
+		}
+		c.emit(isa.Instr{Op: isa.OpSyscall, Imm: int64(sys)})
+		c.emit(isa.Instr{Op: isa.OpMov, Rd: dst, Rs1: isa.R0})
+		return TInt, nil
+
+	case AllocExpr:
+		t, err := f.expr(x.N)
+		if err != nil {
+			return 0, err
+		}
+		if t != TInt {
+			return 0, f.errf("alloc size must be int")
+		}
+		r := f.topInt()
+		c.emit(isa.Instr{Op: isa.OpMulI, Rd: r, Rs1: r, Imm: 8})
+		if r != isa.R1 {
+			c.emit(isa.Instr{Op: isa.OpPush, Rs1: isa.R1})
+			c.emit(isa.Instr{Op: isa.OpMov, Rd: isa.R1, Rs1: r})
+		}
+		c.emit(isa.Instr{Op: isa.OpSyscall, Imm: int64(isa.SysAlloc)})
+		c.emit(isa.Instr{Op: isa.OpMov, Rd: r, Rs1: isa.R0})
+		if r != isa.R1 {
+			c.emit(isa.Instr{Op: isa.OpPop, Rd: isa.R1})
+		}
+		return TInt, nil
+	}
+	return 0, f.errf("unsupported expression %T", e)
+}
+
+// arrayAddr evaluates base and idx and leaves base+8*idx in the top int
+// register, which is returned (still on the int stack).
+func (f *fnCtx) arrayAddr(base, idx Expr) (isa.Reg, error) {
+	t, err := f.expr(base)
+	if err != nil {
+		return 0, err
+	}
+	if t != TInt {
+		return 0, f.errf("array base must be int address")
+	}
+	bt, err := f.expr(idx)
+	if err != nil {
+		return 0, err
+	}
+	if bt != TInt {
+		return 0, f.errf("array index must be int")
+	}
+	ri := f.topInt()
+	f.popInt()
+	rb := f.topInt()
+	f.c.emit(isa.Instr{Op: isa.OpMulI, Rd: ri, Rs1: ri, Imm: 8})
+	f.c.emit(isa.Instr{Op: isa.OpAdd, Rd: rb, Rs1: rb, Rs2: ri})
+	return rb, nil
+}
+
+var intBinOps = map[BinOp]isa.Op{
+	OpAdd: isa.OpAdd, OpSub: isa.OpSub, OpMul: isa.OpMul, OpDiv: isa.OpDiv,
+	OpMod: isa.OpMod, OpAnd: isa.OpAnd, OpOr: isa.OpOr, OpXor: isa.OpXor,
+	OpShl: isa.OpShl, OpShr: isa.OpShr,
+}
+
+var floatBinOps = map[BinOp]isa.Op{
+	OpAdd: isa.OpFAdd, OpSub: isa.OpFSub, OpMul: isa.OpFMul, OpDiv: isa.OpFDiv,
+}
+
+func (f *fnCtx) binExpr(x Bin) (Type, error) {
+	lt, err := f.expr(x.L)
+	if err != nil {
+		return 0, err
+	}
+	rt, err := f.expr(x.R)
+	if err != nil {
+		return 0, err
+	}
+	if lt != rt {
+		return 0, f.errf("operator %s applied to %s and %s", x.Op, lt, rt)
+	}
+	if lt == TFloat {
+		op, ok := floatBinOps[x.Op]
+		if !ok {
+			return 0, f.errf("operator %s not defined for float", x.Op)
+		}
+		rr := f.topFloat()
+		f.popFloat()
+		rl := f.topFloat()
+		f.c.emit(isa.Instr{Op: op, Rd: rl, Rs1: rl, Rs2: rr})
+		return TFloat, nil
+	}
+	op := intBinOps[x.Op]
+	rr := f.topInt()
+	f.popInt()
+	rl := f.topInt()
+	f.c.emit(isa.Instr{Op: op, Rd: rl, Rs1: rl, Rs2: rr})
+	return TInt, nil
+}
+
+var cmpBranch = map[CmpOp]isa.Op{
+	CmpEq: isa.OpJe, CmpNe: isa.OpJne, CmpLt: isa.OpJl,
+	CmpLe: isa.OpJle, CmpGt: isa.OpJg, CmpGe: isa.OpJge,
+}
+
+func (f *fnCtx) cmpExpr(x Cmp) (Type, error) {
+	c := f.c
+	lt, err := f.expr(x.L)
+	if err != nil {
+		return 0, err
+	}
+	rt, err := f.expr(x.R)
+	if err != nil {
+		return 0, err
+	}
+	if lt != rt {
+		return 0, f.errf("comparison %s applied to %s and %s", x.Op, lt, rt)
+	}
+	var dst isa.Reg
+	if lt == TFloat {
+		rr := f.topFloat()
+		f.popFloat()
+		rl := f.topFloat()
+		f.popFloat()
+		c.emit(isa.Instr{Op: isa.OpFCmp, Rs1: rl, Rs2: rr})
+		dst, err = f.pushInt()
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		rr := f.topInt()
+		f.popInt()
+		rl := f.topInt()
+		c.emit(isa.Instr{Op: isa.OpCmp, Rs1: rl, Rs2: rr})
+		dst = rl // reuse
+	}
+	trueL := c.freshLabel("ct")
+	endL := c.freshLabel("ce")
+	c.emitRef(isa.Instr{Op: cmpBranch[x.Op]}, trueL)
+	c.emit(isa.Instr{Op: isa.OpMovI, Rd: dst, Imm: 0})
+	c.emitRef(isa.Instr{Op: isa.OpJmp}, endL)
+	c.bind(trueL)
+	c.emit(isa.Instr{Op: isa.OpMovI, Rd: dst, Imm: 1})
+	c.bind(endL)
+	return TInt, nil
+}
+
+// emitCall evaluates the arguments, spills live evaluation registers, and
+// emits the call. On return the stack is balanced and R0/F0 holds the
+// result; evaluation depths are restored to their pre-call values.
+func (f *fnCtx) emitCall(callee *Func, args []Expr) error {
+	c := f.c
+	if len(args) != len(callee.Params) {
+		return f.errf("call to %q with %d args, want %d", callee.Name, len(args), len(callee.Params))
+	}
+	// Spill live evaluation registers.
+	savedI, savedF := f.iDepth, f.fDepth
+	for i := 1; i <= savedI; i++ {
+		c.emit(isa.Instr{Op: isa.OpPush, Rs1: isa.Reg(i)})
+	}
+	for i := 1; i <= savedF; i++ {
+		c.emit(isa.Instr{Op: isa.OpFPush, Rs1: isa.Reg(i)})
+	}
+	f.iDepth, f.fDepth = 0, 0
+	// Evaluate and push arguments left-to-right.
+	for i, a := range args {
+		t, err := f.expr(a)
+		if err != nil {
+			return err
+		}
+		want := callee.Params[i].Type
+		if t != want {
+			return f.errf("call to %q: arg %d is %s, want %s", callee.Name, i, t, want)
+		}
+		if t == TFloat {
+			c.emit(isa.Instr{Op: isa.OpFPush, Rs1: f.topFloat()})
+			f.popFloat()
+		} else {
+			c.emit(isa.Instr{Op: isa.OpPush, Rs1: f.topInt()})
+			f.popInt()
+		}
+	}
+	c.emitRef(isa.Instr{Op: isa.OpCall}, "fn_"+callee.Name)
+	if n := len(args); n > 0 {
+		c.emit(isa.Instr{Op: isa.OpAddI, Rd: isa.SP, Rs1: isa.SP, Imm: 8 * int64(n)})
+	}
+	// Restore spilled registers in reverse order.
+	for i := savedF; i >= 1; i-- {
+		c.emit(isa.Instr{Op: isa.OpFPop, Rd: isa.Reg(i)})
+	}
+	for i := savedI; i >= 1; i-- {
+		c.emit(isa.Instr{Op: isa.OpPop, Rd: isa.Reg(i)})
+	}
+	f.iDepth, f.fDepth = savedI, savedF
+	return nil
+}

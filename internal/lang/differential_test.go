@@ -1,0 +1,139 @@
+package lang
+
+import (
+	"math/rand"
+	"testing"
+
+	"chaser/internal/vm"
+)
+
+// The compiler differential test: random integer expression trees are
+// compiled and executed on the VM, and the result is compared against a
+// direct Go evaluation of the same tree. Division, modulo, and shifts are
+// constrained to avoid traps and Go/guest semantic edge cases by
+// construction (those paths have dedicated unit tests).
+
+type exprGen struct {
+	rng  *rand.Rand
+	vars map[string]int64
+}
+
+// gen builds a random int expression of the given depth and returns the
+// node together with its reference value.
+func (g *exprGen) gen(depth int) (Expr, int64) {
+	if depth == 0 || g.rng.Intn(4) == 0 {
+		// Leaf: literal or variable.
+		if len(g.vars) > 0 && g.rng.Intn(2) == 0 {
+			names := make([]string, 0, len(g.vars))
+			for n := range g.vars {
+				names = append(names, n)
+			}
+			// Deterministic order for reproducibility.
+			name := names[g.rng.Intn(len(names))]
+			_ = name
+			// Map iteration order is random; re-pick deterministically.
+			name = pickDeterministic(names, g.rng)
+			return V(name), g.vars[name]
+		}
+		v := g.rng.Int63n(2001) - 1000
+		return I(v), v
+	}
+	l, lv := g.gen(depth - 1)
+	r, rv := g.gen(depth - 1)
+	switch g.rng.Intn(8) {
+	case 0:
+		return Add(l, r), lv + rv
+	case 1:
+		return Sub(l, r), lv - rv
+	case 2:
+		return Mul(l, r), lv * rv
+	case 3:
+		return Bin{Op: OpAnd, L: l, R: r}, lv & rv
+	case 4:
+		return Bin{Op: OpOr, L: l, R: r}, lv | rv
+	case 5:
+		return Bin{Op: OpXor, L: l, R: r}, lv ^ rv
+	case 6:
+		// Comparison yields 0/1.
+		if lv < rv {
+			return Lt(l, r), 1
+		}
+		return Lt(l, r), 0
+	default:
+		// Conditional-ish: (l == r) as 0/1.
+		if lv == rv {
+			return Eq(l, r), 1
+		}
+		return Eq(l, r), 0
+	}
+}
+
+func pickDeterministic(names []string, rng *rand.Rand) string {
+	// Sort-free deterministic pick: names are "v0".."v3".
+	return names[0]
+}
+
+func TestCompilerMatchesGoEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 150; trial++ {
+		g := &exprGen{rng: rng, vars: map[string]int64{"v0": rng.Int63n(1000) - 500}}
+		body := []Stmt{Let("v0", I(g.vars["v0"]))}
+		// A few statements building on each other.
+		want := int64(0)
+		for s := 0; s < 4; s++ {
+			e, v := g.gen(3)
+			name := "r" + string(rune('0'+s))
+			body = append(body, Let(name, e))
+			g.vars[name] = v
+			want += v
+		}
+		sum := Expr(I(0))
+		for s := 0; s < 4; s++ {
+			sum = Add(sum, V("r"+string(rune('0'+s))))
+		}
+		body = append(body, Return{E: sum})
+
+		prog, err := Compile(mainProg(TInt, body...))
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v", trial, err)
+		}
+		m := vm.New(prog, vm.Config{})
+		term := m.Run()
+		if term.Reason != vm.ReasonExited {
+			t.Fatalf("trial %d: %v", trial, term)
+		}
+		if term.Code != want {
+			t.Fatalf("trial %d: got %d, want %d", trial, term.Code, want)
+		}
+	}
+}
+
+func TestCompilerDeepNesting(t *testing.T) {
+	// Deeply nested control flow (not expressions): 6 levels of loops and
+	// conditionals around a counter.
+	inner := Block(Set("n", Add(V("n"), I(1))))
+	body := inner
+	for level := 0; level < 6; level++ {
+		body = Block(
+			For{Var: "i" + string(rune('0'+level)), From: I(0), To: I(2), Body: body},
+		)
+	}
+	stmts := append([]Stmt{Let("n", I(0))}, body...)
+	stmts = append(stmts, Return{E: V("n")})
+	_, term := compileRun(t, mainProg(TInt, stmts...))
+	wantExit(t, term, 64) // 2^6 iterations
+}
+
+func TestCompilerManyLocals(t *testing.T) {
+	// Dozens of locals exercise frame layout.
+	var stmts []Stmt
+	sum := Expr(I(0))
+	for i := 0; i < 40; i++ {
+		name := "x" + itoa10(i)
+		stmts = append(stmts, Let(name, I(int64(i))))
+		sum = Add(sum, V(name))
+	}
+	stmts = append(stmts, Return{E: sum})
+	_, term := compileRun(t, mainProg(TInt, stmts...))
+	wantExit(t, term, 780) // 0+..+39
+}

@@ -1,0 +1,602 @@
+package lang
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"chaser/internal/isa"
+	"chaser/internal/vm"
+)
+
+// compileRun compiles a program, runs it on a fresh machine, and returns the
+// machine and termination.
+func compileRun(t *testing.T, p *Program) (*vm.Machine, vm.Termination) {
+	t.Helper()
+	prog, err := Compile(p)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	m := vm.New(prog, vm.Config{})
+	term := m.Run()
+	return m, term
+}
+
+func mainProg(ret Type, body ...Stmt) *Program {
+	return &Program{
+		Name:  "test",
+		Funcs: []*Func{{Name: "main", Ret: ret, Body: body}},
+	}
+}
+
+func wantExit(t *testing.T, term vm.Termination, code int64) {
+	t.Helper()
+	if term.Reason != vm.ReasonExited || term.Code != code {
+		t.Fatalf("term = %v, want exited(%d)", term, code)
+	}
+}
+
+func outFloats(t *testing.T, m *vm.Machine) []float64 {
+	t.Helper()
+	out := m.Output()
+	if len(out)%8 != 0 {
+		t.Fatalf("output length %d not multiple of 8", len(out))
+	}
+	vals := make([]float64, len(out)/8)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(out[i*8:]))
+	}
+	return vals
+}
+
+func outInts(t *testing.T, m *vm.Machine) []int64 {
+	t.Helper()
+	out := m.Output()
+	if len(out)%8 != 0 {
+		t.Fatalf("output length %d not multiple of 8", len(out))
+	}
+	vals := make([]int64, len(out)/8)
+	for i := range vals {
+		vals[i] = int64(binary.LittleEndian.Uint64(out[i*8:]))
+	}
+	return vals
+}
+
+func TestReturnConstant(t *testing.T) {
+	_, term := compileRun(t, mainProg(TInt, Return{E: I(7)}))
+	wantExit(t, term, 7)
+}
+
+func TestArithmetic(t *testing.T) {
+	// (3+4)*5 - 36/6 + 17%5 = 35 - 6 + 2 = 31
+	e := Add(Sub(Mul(Add(I(3), I(4)), I(5)), Div(I(36), I(6))), Mod(I(17), I(5)))
+	_, term := compileRun(t, mainProg(TInt, Return{E: e}))
+	wantExit(t, term, 31)
+}
+
+func TestBitwise(t *testing.T) {
+	// ((0xF0 | 0x0F) ^ 0xFF) + (1<<4) + (256>>4) = 0 + 16 + 16
+	e := Add(Add(
+		Bin{Op: OpXor, L: Bin{Op: OpOr, L: I(0xF0), R: I(0x0F)}, R: I(0xFF)},
+		Bin{Op: OpShl, L: I(1), R: I(4)}),
+		Bin{Op: OpShr, L: I(256), R: I(4)})
+	_, term := compileRun(t, mainProg(TInt, Return{E: e}))
+	wantExit(t, term, 32)
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	m, term := compileRun(t, mainProg(0,
+		Let("x", F(1.5)),
+		Let("y", F(2.5)),
+		OutFloat{E: Add(Mul(V("x"), V("y")), Div(V("y"), F(0.5)))}, // 3.75+5
+		OutFloat{E: Neg{E: V("x")}},
+		OutFloat{E: Sub(V("y"), V("x"))},
+	))
+	wantExit(t, term, 0)
+	vals := outFloats(t, m)
+	if vals[0] != 8.75 || vals[1] != -1.5 || vals[2] != 1.0 {
+		t.Errorf("outputs = %v", vals)
+	}
+}
+
+func TestCasts(t *testing.T) {
+	m, term := compileRun(t, mainProg(0,
+		Let("i", I(7)),
+		Let("f", ToFloat(V("i"))),
+		OutFloat{E: Div(V("f"), F(2))},
+		OutInt{E: ToInt(F(3.9))},
+		OutInt{E: ToInt(Neg{E: F(3.9)})},
+	))
+	wantExit(t, term, 0)
+	out := m.Output()
+	if got := math.Float64frombits(binary.LittleEndian.Uint64(out)); got != 3.5 {
+		t.Errorf("7/2.0 = %v", got)
+	}
+	if got := int64(binary.LittleEndian.Uint64(out[8:])); got != 3 {
+		t.Errorf("int(3.9) = %d", got)
+	}
+	if got := int64(binary.LittleEndian.Uint64(out[16:])); got != -3 {
+		t.Errorf("int(-3.9) = %d", got)
+	}
+}
+
+func TestComparisonsAndIf(t *testing.T) {
+	tests := []struct {
+		e    Expr
+		want int64
+	}{
+		{Eq(I(3), I(3)), 1}, {Eq(I(3), I(4)), 0},
+		{Ne(I(3), I(4)), 1}, {Lt(I(3), I(4)), 1},
+		{Le(I(4), I(4)), 1}, {Gt(I(4), I(3)), 1},
+		{Ge(I(3), I(4)), 0},
+		{Lt(F(1.5), F(2.5)), 1}, {Gt(F(1.5), F(2.5)), 0},
+		{Eq(F(2.5), F(2.5)), 1},
+	}
+	for i, tt := range tests {
+		_, term := compileRun(t, mainProg(TInt,
+			If{Cond: tt.e, Then: Block(Return{E: I(1)}), Else: Block(Return{E: I(0)})},
+		))
+		if term.Code != tt.want {
+			t.Errorf("case %d: got %d, want %d", i, term.Code, tt.want)
+		}
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	_, term := compileRun(t, mainProg(TInt,
+		Let("x", I(0)),
+		If{Cond: Gt(I(5), I(3)), Then: Block(Set("x", I(9)))},
+		Return{E: V("x")},
+	))
+	wantExit(t, term, 9)
+}
+
+func TestWhileLoop(t *testing.T) {
+	// Compute 2^10 by repeated doubling.
+	_, term := compileRun(t, mainProg(TInt,
+		Let("v", I(1)),
+		Let("i", I(0)),
+		While{Cond: Lt(V("i"), I(10)), Body: Block(
+			Set("v", Mul(V("v"), I(2))),
+			Set("i", Add(V("i"), I(1))),
+		)},
+		Return{E: V("v")},
+	))
+	wantExit(t, term, 1024)
+}
+
+func TestForLoop(t *testing.T) {
+	// Sum 0..99 = 4950.
+	_, term := compileRun(t, mainProg(TInt,
+		Let("sum", I(0)),
+		For{Var: "i", From: I(0), To: I(100), Body: Block(
+			Set("sum", Add(V("sum"), V("i"))),
+		)},
+		Return{E: V("sum")},
+	))
+	wantExit(t, term, 4950)
+}
+
+func TestNestedForLoops(t *testing.T) {
+	// 10x10 multiplication-table sum = (0+..+9)^2 = 2025.
+	_, term := compileRun(t, mainProg(TInt,
+		Let("sum", I(0)),
+		For{Var: "i", From: I(0), To: I(10), Body: Block(
+			For{Var: "j", From: I(0), To: I(10), Body: Block(
+				Set("sum", Add(V("sum"), Mul(V("i"), V("j")))),
+			)},
+		)},
+		Return{E: V("sum")},
+	))
+	wantExit(t, term, 2025)
+}
+
+func TestArrays(t *testing.T) {
+	m, term := compileRun(t, mainProg(0,
+		Let("a", Alloc(I(10))),
+		For{Var: "i", From: I(0), To: I(10), Body: Block(
+			SetAt(V("a"), V("i"), Mul(V("i"), V("i"))),
+		)},
+		Let("sum", I(0)),
+		For{Var: "i", From: I(0), To: I(10), Body: Block(
+			Set("sum", Add(V("sum"), At(V("a"), V("i")))),
+		)},
+		OutInt{E: V("sum")}, // 285
+	))
+	wantExit(t, term, 0)
+	if got := outInts(t, m); got[0] != 285 {
+		t.Errorf("sum of squares = %d, want 285", got[0])
+	}
+}
+
+func TestFloatArrays(t *testing.T) {
+	m, term := compileRun(t, mainProg(0,
+		Let("a", Alloc(I(4))),
+		For{Var: "i", From: I(0), To: I(4), Body: Block(
+			SetAt(V("a"), V("i"), Mul(ToFloat(V("i")), F(0.5))),
+		)},
+		Let("s", F(0)),
+		For{Var: "i", From: I(0), To: I(4), Body: Block(
+			Set("s", Add(V("s"), AtF(V("a"), V("i")))),
+		)},
+		OutFloat{E: V("s")}, // 0+0.5+1+1.5 = 3
+	))
+	wantExit(t, term, 0)
+	if got := outFloats(t, m); got[0] != 3 {
+		t.Errorf("float array sum = %v, want 3", got[0])
+	}
+}
+
+func TestFunctionCalls(t *testing.T) {
+	p := &Program{
+		Name: "t",
+		Funcs: []*Func{
+			{
+				Name: "main", Ret: TInt,
+				Body: Block(Return{E: Call("fib", I(10))}),
+			},
+			{
+				Name: "fib", Ret: TInt, Params: []Param{{Name: "n", Type: TInt}},
+				Body: Block(
+					If{Cond: Lt(V("n"), I(2)), Then: Block(Return{E: V("n")})},
+					Return{E: Add(
+						Call("fib", Sub(V("n"), I(1))),
+						Call("fib", Sub(V("n"), I(2))),
+					)},
+				),
+			},
+		},
+	}
+	_, term := compileRun(t, p)
+	wantExit(t, term, 55)
+}
+
+func TestFloatFunctionCall(t *testing.T) {
+	p := &Program{
+		Name: "t",
+		Funcs: []*Func{
+			{
+				Name: "main",
+				Body: Block(OutFloat{E: Call("hypot2", F(3), F(4))}),
+			},
+			{
+				Name: "hypot2", Ret: TFloat,
+				Params: []Param{{Name: "a", Type: TFloat}, {Name: "b", Type: TFloat}},
+				Body: Block(Return{E: Add(
+					Mul(V("a"), V("a")), Mul(V("b"), V("b")),
+				)}),
+			},
+		},
+	}
+	m, term := compileRun(t, p)
+	wantExit(t, term, 0)
+	if got := outFloats(t, m); got[0] != 25 {
+		t.Errorf("hypot2 = %v, want 25", got[0])
+	}
+}
+
+func TestCallSpillsLiveRegisters(t *testing.T) {
+	// The outer expression holds live values across the call.
+	p := &Program{
+		Name: "t",
+		Funcs: []*Func{
+			{
+				Name: "main", Ret: TInt,
+				// 100 + clobber() + 10, where clobber scrambles eval regs.
+				Body: Block(Return{E: Add(Add(I(100), Call("clobber")), I(10))}),
+			},
+			{
+				Name: "clobber", Ret: TInt,
+				Body: Block(
+					Let("a", I(1)), Let("b", I(2)), Let("c", I(3)),
+					Return{E: Add(Add(Mul(V("a"), V("b")), V("c")), I(-4))}, // 1
+				),
+			},
+		},
+	}
+	_, term := compileRun(t, p)
+	wantExit(t, term, 111)
+}
+
+func TestVoidFunction(t *testing.T) {
+	p := &Program{
+		Name: "t",
+		Funcs: []*Func{
+			{
+				Name: "main", Ret: TInt,
+				Body: Block(
+					CallStmt{Name: "emit", Args: []Expr{I(5)}},
+					CallStmt{Name: "emit", Args: []Expr{I(6)}},
+					Return{E: I(0)},
+				),
+			},
+			{
+				Name: "emit", Params: []Param{{Name: "v", Type: TInt}},
+				Body: Block(OutInt{E: Mul(V("v"), I(2))}),
+			},
+		},
+	}
+	m, term := compileRun(t, p)
+	wantExit(t, term, 0)
+	got := outInts(t, m)
+	if len(got) != 2 || got[0] != 10 || got[1] != 12 {
+		t.Errorf("outputs = %v", got)
+	}
+}
+
+func TestPrintAndAssert(t *testing.T) {
+	m, term := compileRun(t, mainProg(0,
+		PrintInt{E: I(42)},
+		PrintFloat{E: F(1.25)},
+		Assert{Cond: Eq(I(1), I(1)), Code: 1},
+	))
+	wantExit(t, term, 0)
+	if got := m.Console(); got != "42\n1.25\n" {
+		t.Errorf("console = %q", got)
+	}
+}
+
+func TestAssertFailure(t *testing.T) {
+	_, term := compileRun(t, mainProg(0,
+		Assert{Cond: Eq(I(1), I(2)), Code: 77},
+	))
+	if term.Reason != vm.ReasonAssert || term.Code != 77 {
+		t.Fatalf("term = %v, want assert(77)", term)
+	}
+}
+
+func TestExitStmt(t *testing.T) {
+	_, term := compileRun(t, mainProg(0,
+		Exit{Code: I(3)},
+		OutInt{E: I(9)}, // unreachable
+	))
+	wantExit(t, term, 3)
+}
+
+func TestDeepExpression(t *testing.T) {
+	// A right-leaning tree close to the depth limit still compiles.
+	e := I(1)
+	for i := 0; i < 10; i++ {
+		e = Add(I(1), e)
+	}
+	_, term := compileRun(t, mainProg(TInt, Return{E: e}))
+	wantExit(t, term, 11)
+}
+
+func TestCompileErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		prog *Program
+		sub  string
+	}{
+		{"no main", &Program{Name: "t", Funcs: []*Func{{Name: "f"}}}, "missing main"},
+		{"main with params", &Program{Name: "t", Funcs: []*Func{{
+			Name: "main", Params: []Param{{Name: "x", Type: TInt}},
+		}}}, "no parameters"},
+		{"dup function", &Program{Name: "t", Funcs: []*Func{
+			{Name: "main"}, {Name: "f"}, {Name: "f"},
+		}}, "duplicate function"},
+		{"undefined var", mainProg(0, Set("x", I(1))), "undefined variable"},
+		{"redeclare type change", mainProg(0, Let("x", I(1)), Let("x", F(2))), "redeclaration"},
+		{"type mismatch assign", mainProg(0, Let("x", I(1)), Set("x", F(2))), "assigning float"},
+		{"mixed bin", mainProg(0, Let("x", Add(I(1), F(2)))), "applied to int and float"},
+		{"float mod", mainProg(0, Let("x", Mod(F(1), F(2)))), "not defined for float"},
+		{"mixed cmp", mainProg(0, Let("x", Lt(I(1), F(2)))), "comparison"},
+		{"undef call", mainProg(0, CallStmt{Name: "nope"}), "undefined function"},
+		{"void in expr", &Program{Name: "t", Funcs: []*Func{
+			{Name: "main", Body: Block(Let("x", Call("v")))},
+			{Name: "v"},
+		}}, "void function"},
+		{"arity", &Program{Name: "t", Funcs: []*Func{
+			{Name: "main", Body: Block(CallStmt{Name: "f", Args: []Expr{I(1)}})},
+			{Name: "f"},
+		}}, "with 1 args"},
+		{"arg type", &Program{Name: "t", Funcs: []*Func{
+			{Name: "main", Body: Block(CallStmt{Name: "f", Args: []Expr{F(1)}})},
+			{Name: "f", Params: []Param{{Name: "x", Type: TInt}}},
+		}}, "arg 0 is float"},
+		{"return type", mainProg(TInt, Return{E: F(1)}), "returning float"},
+		{"bare return typed", mainProg(TInt, Return{}), "return without value"},
+		{"cond type", mainProg(0, If{Cond: F(1), Then: Block()}), "condition must be int"},
+		{"float index", mainProg(0, Let("x", At(I(1), F(0)))), "index must be int"},
+		{"float base", mainProg(0, Let("x", At(F(1), I(0)))), "base must be int"},
+		{"alloc float", mainProg(0, Let("x", Alloc(F(1)))), "alloc size must be int"},
+		{"for float bound", mainProg(0, For{Var: "i", From: F(0), To: I(3)}), "bound must be int"},
+		{"assert float", mainProg(0, Assert{Cond: F(1)}), "condition must be int"},
+		{"print type", mainProg(0, PrintInt{E: F(1)}), "expected int"},
+		{"printf type", mainProg(0, PrintFloat{E: I(1)}), "expected float"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Compile(tt.prog)
+			if err == nil {
+				t.Fatal("expected compile error")
+			}
+			if !strings.Contains(err.Error(), tt.sub) {
+				t.Errorf("error %q missing %q", err, tt.sub)
+			}
+		})
+	}
+}
+
+func TestTooDeepExpression(t *testing.T) {
+	e := I(1)
+	for i := 0; i < 20; i++ {
+		e = Add(e, I(1)) // left-leaning would stay shallow; make it right-leaning
+	}
+	// Right-leaning tree forces depth growth.
+	e = I(1)
+	for i := 0; i < 20; i++ {
+		e = Add(I(1), e)
+	}
+	_, err := Compile(mainProg(TInt, Return{E: e}))
+	if err == nil || !strings.Contains(err.Error(), "too deep") {
+		t.Errorf("err = %v, want depth error", err)
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile did not panic on bad program")
+		}
+	}()
+	MustCompile(&Program{Name: "bad"})
+}
+
+func TestDivByZeroFault(t *testing.T) {
+	_, term := compileRun(t, mainProg(TInt,
+		Let("z", I(0)),
+		Return{E: Div(I(5), V("z"))},
+	))
+	if term.Reason != vm.ReasonSignal || term.Signal != vm.SIGFPE {
+		t.Fatalf("term = %v, want SIGFPE", term)
+	}
+}
+
+func TestGeneratedProgramValidates(t *testing.T) {
+	prog, err := Compile(mainProg(TInt,
+		Let("x", I(2)),
+		For{Var: "i", From: I(0), To: I(3), Body: Block(Set("x", Mul(V("x"), V("x"))))},
+		Return{E: Mod(V("x"), I(1000))},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if prog.Entry != isa.CodeBase {
+		t.Errorf("entry = %#x", prog.Entry)
+	}
+	// 2^8 = 256 mod 1000
+	m := vm.New(prog, vm.Config{})
+	if term := m.Run(); term.Code != 256 {
+		t.Errorf("result = %d, want 256", term.Code)
+	}
+}
+
+func TestBreakStatement(t *testing.T) {
+	// Sum i from 0 upward, break when i == 5: 0+1+2+3+4+5 = 15.
+	_, term := compileRun(t, mainProg(TInt,
+		Let("sum", I(0)),
+		For{Var: "i", From: I(0), To: I(100), Body: Block(
+			Set("sum", Add(V("sum"), V("i"))),
+			If{Cond: Eq(V("i"), I(5)), Then: Block(Break{})},
+		)},
+		Return{E: V("sum")},
+	))
+	wantExit(t, term, 15)
+}
+
+func TestContinueStatement(t *testing.T) {
+	// Sum even i in [0,10): 0+2+4+6+8 = 20.
+	_, term := compileRun(t, mainProg(TInt,
+		Let("sum", I(0)),
+		For{Var: "i", From: I(0), To: I(10), Body: Block(
+			If{Cond: Eq(Mod(V("i"), I(2)), I(1)), Then: Block(Continue{})},
+			Set("sum", Add(V("sum"), V("i"))),
+		)},
+		Return{E: V("sum")},
+	))
+	wantExit(t, term, 20)
+}
+
+func TestBreakContinueInWhile(t *testing.T) {
+	// While with continue skipping odd values and break at 8: 0+2+4+6 = 12.
+	_, term := compileRun(t, mainProg(TInt,
+		Let("sum", I(0)),
+		Let("i", I(-1)),
+		While{Cond: I(1), Body: Block(
+			Set("i", Add(V("i"), I(1))),
+			If{Cond: Eq(V("i"), I(8)), Then: Block(Break{})},
+			If{Cond: Eq(Mod(V("i"), I(2)), I(1)), Then: Block(Continue{})},
+			Set("sum", Add(V("sum"), V("i"))),
+		)},
+		Return{E: V("sum")},
+	))
+	wantExit(t, term, 12)
+}
+
+func TestNestedLoopBreak(t *testing.T) {
+	// Inner break must only exit the inner loop: outer runs 3 times, inner
+	// adds 2 each time before breaking -> 3 * (0+1) = 3.
+	_, term := compileRun(t, mainProg(TInt,
+		Let("sum", I(0)),
+		For{Var: "i", From: I(0), To: I(3), Body: Block(
+			For{Var: "j", From: I(0), To: I(100), Body: Block(
+				If{Cond: Eq(V("j"), I(2)), Then: Block(Break{})},
+				Set("sum", Add(V("sum"), V("j"))),
+			)},
+		)},
+		Return{E: V("sum")},
+	))
+	wantExit(t, term, 3)
+}
+
+func TestBreakOutsideLoop(t *testing.T) {
+	_, err := Compile(mainProg(0, Break{}))
+	if err == nil || !strings.Contains(err.Error(), "break outside loop") {
+		t.Errorf("err = %v", err)
+	}
+	_, err = Compile(mainProg(0, Continue{}))
+	if err == nil || !strings.Contains(err.Error(), "continue outside loop") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMPIStatementsCompile(t *testing.T) {
+	// The MPI marshalling paths; executed end-to-end in the mpi package,
+	// compiled here. Running without an MPI env yields an MPI error.
+	p := mainProg(0,
+		Let("buf", Alloc(I(4))),
+		MPISend{Buf: V("buf"), Count: I(4), Dtype: 1, Dest: I(1), Tag: I(2)},
+		MPIRecv{Buf: V("buf"), Count: I(4), Dtype: 1, Source: I(1), Tag: I(2)},
+		Barrier{},
+		Bcast{Buf: V("buf"), Count: I(4), Dtype: 1, Root: I(0)},
+		Reduce{SendBuf: V("buf"), RecvBuf: V("buf"), Count: I(4), Dtype: 1, ReduceOp: 1, Root: I(0)},
+		Allreduce{SendBuf: V("buf"), RecvBuf: V("buf"), Count: I(4), Dtype: 1, ReduceOp: 1},
+	)
+	_, term := compileRun(t, p)
+	if term.Reason != vm.ReasonMPIError {
+		t.Fatalf("term = %v, want mpi-error without an MPI environment", term)
+	}
+	// Type errors in MPI arguments are compile errors.
+	bad := mainProg(0,
+		Let("buf", Alloc(I(1))),
+		MPISend{Buf: V("buf"), Count: F(1), Dtype: 1, Dest: I(1), Tag: I(0)},
+	)
+	if _, err := Compile(bad); err == nil || !strings.Contains(err.Error(), "expected int") {
+		t.Errorf("float MPI count accepted: %v", err)
+	}
+}
+
+func TestVoidCallInExpressionViaStmt(t *testing.T) {
+	// CallStmt on an int-returning function discards the value cleanly.
+	p := &Program{Name: "t", Funcs: []*Func{
+		{Name: "main", Ret: TInt, Body: Block(
+			CallStmt{Name: "f"},
+			Return{E: I(5)},
+		)},
+		{Name: "f", Ret: TInt, Body: Block(Return{E: I(9)})},
+	}}
+	_, term := compileRun(t, p)
+	wantExit(t, term, 5)
+}
+
+func TestFloatParamAndReturnSpill(t *testing.T) {
+	// Mixed int/float live values across a call exercise both spill paths.
+	p := &Program{Name: "t", Funcs: []*Func{
+		{Name: "main", Body: Block(
+			OutFloat{E: Add(Mul(F(2), Call("half", F(5))), Add(F(1), Call("half", F(3))))},
+		)},
+		{Name: "half", Ret: TFloat, Params: []Param{{Name: "x", Type: TFloat}},
+			Body: Block(Return{E: Div(V("x"), F(2))})},
+	}}
+	m, term := compileRun(t, p)
+	wantExit(t, term, 0)
+	if got := outFloats(t, m); got[0] != 2*2.5+1+1.5 {
+		t.Errorf("result = %v", got[0])
+	}
+}

@@ -1,0 +1,129 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// The text front-end: a lexer and recursive-descent parser producing the
+// same AST the Go builder API produces, so guest programs can be written as
+// source files (see Parse). The grammar is a small C/Go hybrid:
+//
+//	func main() {
+//	    n := 10
+//	    s := 0.0
+//	    a := allocf(n)
+//	    for i := 0; i < n; i = i + 1 {
+//	        a[i] = float(i) * 0.5
+//	        s = s + a[i]
+//	    }
+//	    out(s)
+//	}
+//
+// Variables are int or float by inference; arrays are declared with
+// alloci(n) / allocf(n) and indexed with a[i] (the parser tracks element
+// types). Builtins: print, out, assert, exit, int, float, alloci, allocf,
+// rank, size, send, recv, barrier, bcast, reduce, allreduce.
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota + 1
+	tokIdent
+	tokInt
+	tokFloat
+	tokPunct // operators and delimiters
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// ParseError reports a syntax or type error with its source line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("lang: line %d: %s", e.Line, e.Msg)
+}
+
+// lex splits source text into tokens. Comments run from // to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], line})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			isFloat := false
+			if src[j] == '0' && j+1 < n && (src[j+1] == 'x' || src[j+1] == 'X') {
+				j += 2
+				for j < n && isHexDigit(src[j]) {
+					j++
+				}
+			} else {
+				for j < n && (unicode.IsDigit(rune(src[j])) || src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+					((src[j] == '+' || src[j] == '-') && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+					if src[j] == '.' || src[j] == 'e' || src[j] == 'E' {
+						isFloat = true
+					}
+					j++
+				}
+			}
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			toks = append(toks, token{kind, src[i:j], line})
+			i = j
+		default:
+			// Multi-character operators first.
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case ":=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>":
+				toks = append(toks, token{tokPunct, two, line})
+				i += 2
+				continue
+			}
+			if strings.ContainsRune("+-*/%()[]{},;<>=!&|^", rune(c)) {
+				toks = append(toks, token{tokPunct, string(c), line})
+				i++
+				continue
+			}
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+func isHexDigit(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

@@ -1,0 +1,858 @@
+package lang
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"chaser/internal/isa"
+)
+
+// parseType is the parser's static view of a value: scalars plus array
+// references (which carry their element type so indexing and MPI datatypes
+// resolve without annotations).
+type parseType int
+
+const (
+	ptVoid parseType = iota
+	ptInt
+	ptFloat
+	ptIntArr
+	ptFloatArr
+)
+
+func (t parseType) String() string {
+	switch t {
+	case ptVoid:
+		return "void"
+	case ptInt:
+		return "int"
+	case ptFloat:
+		return "float"
+	case ptIntArr:
+		return "[]int"
+	case ptFloatArr:
+		return "[]float"
+	}
+	return "?"
+}
+
+func (t parseType) scalar() Type {
+	if t == ptFloat {
+		return TFloat
+	}
+	return TInt
+}
+
+func (t parseType) elem() parseType {
+	switch t {
+	case ptIntArr:
+		return ptInt
+	case ptFloatArr:
+		return ptFloat
+	}
+	return ptVoid
+}
+
+type funcSig struct {
+	params []parseType
+	ret    parseType
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	sigs map[string]funcSig
+	vars map[string]parseType
+}
+
+// Parse compiles guest-language source text into a Program AST. The
+// language is described in lex.go's package comment; Parse+Compile is the
+// text pipeline, while the exported AST constructors are the Go-embedded
+// pipeline.
+func Parse(name, src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, sigs: make(map[string]funcSig)}
+	if err := p.collectSignatures(); err != nil {
+		return nil, err
+	}
+	prog := &Program{Name: name}
+	for !p.at(tokEOF, "") {
+		fn, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+	}
+	return prog, nil
+}
+
+// ParseAndCompile parses source and compiles it to a guest program.
+func ParseAndCompile(name, src string) (*isa.Program, error) {
+	prog, err := Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(prog)
+}
+
+// collectSignatures pre-scans for function headers so calls can be typed
+// regardless of declaration order.
+func (p *parser) collectSignatures() error {
+	save := p.pos
+	defer func() { p.pos = save }()
+	for !p.at(tokEOF, "") {
+		if !p.at(tokIdent, "func") {
+			p.pos++
+			continue
+		}
+		p.pos++
+		name := p.cur().text
+		p.pos++
+		if !p.accept("(") {
+			return p.errf("expected ( after func %s", name)
+		}
+		var sig funcSig
+		for !p.accept(")") {
+			if len(sig.params) > 0 && !p.accept(",") {
+				return p.errf("expected , in parameter list of %s", name)
+			}
+			p.pos++ // param name
+			t, err := p.parseType()
+			if err != nil {
+				return err
+			}
+			sig.params = append(sig.params, t)
+		}
+		if !p.at(tokPunct, "{") {
+			t, err := p.parseType()
+			if err != nil {
+				return err
+			}
+			sig.ret = t
+		}
+		if _, dup := p.sigs[name]; dup {
+			return p.errf("duplicate function %q", name)
+		}
+		p.sigs[name] = sig
+		// Skip the body.
+		if !p.accept("{") {
+			return p.errf("expected { after func %s header", name)
+		}
+		depth := 1
+		for depth > 0 && !p.at(tokEOF, "") {
+			if p.at(tokPunct, "{") {
+				depth++
+			}
+			if p.at(tokPunct, "}") {
+				depth--
+			}
+			p.pos++
+		}
+	}
+	return nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) line() int   { return p.cur().line }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(punct string) bool {
+	if p.at(tokPunct, punct) || (p.cur().kind == tokIdent && p.cur().text == punct) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(punct string) error {
+	if !p.accept(punct) {
+		return p.errf("expected %q, got %q", punct, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line(), Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseType() (parseType, error) {
+	if p.accept("[") {
+		if err := p.expect("]"); err != nil {
+			return 0, err
+		}
+		switch {
+		case p.accept("int"):
+			return ptIntArr, nil
+		case p.accept("float"):
+			return ptFloatArr, nil
+		}
+		return 0, p.errf("expected int or float after []")
+	}
+	switch {
+	case p.accept("int"):
+		return ptInt, nil
+	case p.accept("float"):
+		return ptFloat, nil
+	}
+	return 0, p.errf("expected a type, got %q", p.cur().text)
+}
+
+func (p *parser) parseFunc() (*Func, error) {
+	if !p.accept("func") {
+		return nil, p.errf("expected func, got %q", p.cur().text)
+	}
+	if p.cur().kind != tokIdent {
+		return nil, p.errf("expected function name")
+	}
+	name := p.next().text
+	fn := &Func{Name: name}
+	p.vars = make(map[string]parseType)
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for !p.accept(")") {
+		if len(fn.Params) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("expected parameter name")
+		}
+		pname := p.next().text
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		p.vars[pname] = t
+		fn.Params = append(fn.Params, Param{Name: pname, Type: t.scalar()})
+	}
+	if !p.at(tokPunct, "{") {
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fn.Ret = t.scalar()
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.accept("}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errf("unexpected end of input in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			out = append(out, s)
+		}
+		p.accept(";")
+	}
+	return out, nil
+}
+
+//nolint:gocyclo // one arm per statement form.
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.at(tokIdent, "if"):
+		return p.parseIf()
+	case p.at(tokIdent, "for"):
+		return p.parseFor()
+	case p.at(tokIdent, "return"):
+		p.pos++
+		if p.at(tokPunct, "}") || p.at(tokPunct, ";") {
+			return Return{}, nil
+		}
+		e, _, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Return{E: e}, nil
+	case p.at(tokIdent, "break"):
+		p.pos++
+		return Break{}, nil
+	case p.at(tokIdent, "continue"):
+		p.pos++
+		return Continue{}, nil
+	}
+	return p.parseSimpleStmt()
+}
+
+// parseSimpleStmt handles := / = / a[i]= / call statements.
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	if p.cur().kind != tokIdent {
+		return nil, p.errf("unexpected token %q", p.cur().text)
+	}
+	name := p.cur().text
+	nxt := p.toks[p.pos+1]
+
+	switch {
+	case nxt.kind == tokPunct && nxt.text == ":=":
+		p.pos += 2
+		e, t, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if t == ptVoid {
+			return nil, p.errf("cannot assign a void value to %q", name)
+		}
+		if old, exists := p.vars[name]; exists && old != t {
+			return nil, p.errf("%q redeclared as %s (was %s)", name, t, old)
+		}
+		p.vars[name] = t
+		return Decl{Name: name, Init: e}, nil
+
+	case nxt.kind == tokPunct && nxt.text == "=":
+		nameLine := p.line()
+		p.pos += 2
+		e, t, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		vt, ok := p.vars[name]
+		if !ok {
+			return nil, &ParseError{Line: nameLine, Msg: fmt.Sprintf("assignment to undeclared variable %q", name)}
+		}
+		if vt.scalar() != t.scalar() {
+			return nil, p.errf("assigning %s to %s variable %q", t, vt, name)
+		}
+		return Assign{Name: name, E: e}, nil
+
+	case nxt.kind == tokPunct && nxt.text == "[":
+		// a[i] = v
+		arrType, ok := p.vars[name]
+		if !ok || arrType.elem() == ptVoid {
+			return nil, p.errf("%q is not an array", name)
+		}
+		p.pos += 2
+		idx, it, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if it != ptInt {
+			return nil, p.errf("array index must be int")
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		val, vt, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if vt.scalar() != arrType.elem().scalar() {
+			return nil, p.errf("storing %s into %s array", vt, arrType)
+		}
+		return Store{Base: V(name), Idx: idx, Val: val}, nil
+
+	case nxt.kind == tokPunct && nxt.text == "(":
+		p.pos++ // consume the callee name; parseCallStmt expects "(" next
+		return p.parseCallStmt(name)
+	}
+	return nil, p.errf("unexpected statement starting with %q", name)
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	p.pos++ // if
+	cond, t, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t != ptInt {
+		return nil, p.errf("if condition must be int")
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	var els []Stmt
+	if p.accept("else") {
+		if p.at(tokIdent, "if") {
+			s, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			els = []Stmt{s}
+		} else {
+			els, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return If{Cond: cond, Then: then, Else: els}, nil
+}
+
+// parseFor accepts `for cond { }` and `for init; cond; post { }`.
+func (p *parser) parseFor() (Stmt, error) {
+	p.pos++ // for
+	// Try the three-clause form by looking for the first ';' before '{'.
+	hasInit := false
+	for i := p.pos; i < len(p.toks); i++ {
+		if p.toks[i].kind == tokPunct && p.toks[i].text == "{" {
+			break
+		}
+		if p.toks[i].kind == tokPunct && p.toks[i].text == ";" {
+			hasInit = true
+			break
+		}
+	}
+	if !hasInit {
+		cond, t, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if t != ptInt {
+			return nil, p.errf("for condition must be int")
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return While{Cond: cond, Body: body}, nil
+	}
+
+	initStmt, err := p.parseSimpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	cond, t, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t != ptInt {
+		return nil, p.errf("for condition must be int")
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	post, err := p.parseSimpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	// Lower to: init; while cond { body; post }. `continue` would skip the
+	// post statement, so it is rejected inside three-clause for bodies.
+	if containsContinue(body) {
+		return nil, p.errf("continue is not supported inside three-clause for loops (use a condition-only for)")
+	}
+	loop := While{Cond: cond, Body: append(body, post)}
+	return blockStmt{stmts: []Stmt{initStmt, loop}}, nil
+}
+
+// blockStmt splices several statements where one is expected (used by the
+// three-clause for lowering). The compiler flattens it.
+type blockStmt struct{ stmts []Stmt }
+
+func (blockStmt) isStmt() {}
+
+func containsContinue(stmts []Stmt) bool {
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case Continue:
+			return true
+		case If:
+			if containsContinue(x.Then) || containsContinue(x.Else) {
+				return true
+			}
+		case blockStmt:
+			if containsContinue(x.stmts) {
+				return true
+			}
+			// Nested loops own their continues; do not descend into While/For.
+		}
+	}
+	return false
+}
+
+var reduceOps = map[string]int64{
+	"sum": int64(isa.ReduceSum),
+	"max": int64(isa.ReduceMax),
+	"min": int64(isa.ReduceMin),
+}
+
+// parseCallStmt handles statement-position calls: builtins with side
+// effects and user functions.
+//
+//nolint:gocyclo // one arm per builtin.
+func (p *parser) parseCallStmt(name string) (Stmt, error) {
+	args, types, err := p.parseArgs(name)
+	if err != nil {
+		return nil, err
+	}
+	argc := func(n int) error {
+		if len(args) != n {
+			return p.errf("%s takes %d arguments, got %d", name, n, len(args))
+		}
+		return nil
+	}
+	switch name {
+	case "print":
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		if types[0] == ptFloat {
+			return PrintFloat{E: args[0]}, nil
+		}
+		return PrintInt{E: args[0]}, nil
+	case "out":
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		if types[0] == ptFloat {
+			return OutFloat{E: args[0]}, nil
+		}
+		return OutInt{E: args[0]}, nil
+	case "assert":
+		if err := argc(2); err != nil {
+			return nil, err
+		}
+		code, ok := args[1].(IntLit)
+		if !ok {
+			return nil, p.errf("assert code must be an integer literal")
+		}
+		return Assert{Cond: args[0], Code: code.V}, nil
+	case "exit":
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		return Exit{Code: args[0]}, nil
+	case "barrier":
+		if err := argc(0); err != nil {
+			return nil, err
+		}
+		return Barrier{}, nil
+	case "send", "recv":
+		if err := argc(4); err != nil {
+			return nil, err
+		}
+		dt, err := p.mpiDtype(name, types[0])
+		if err != nil {
+			return nil, err
+		}
+		if name == "send" {
+			return MPISend{Buf: args[0], Count: args[1], Dtype: dt, Dest: args[2], Tag: args[3]}, nil
+		}
+		return MPIRecv{Buf: args[0], Count: args[1], Dtype: dt, Source: args[2], Tag: args[3]}, nil
+	case "bcast":
+		if err := argc(3); err != nil {
+			return nil, err
+		}
+		dt, err := p.mpiDtype(name, types[0])
+		if err != nil {
+			return nil, err
+		}
+		return Bcast{Buf: args[0], Count: args[1], Dtype: dt, Root: args[2]}, nil
+	case "reduce", "allreduce":
+		want := 5
+		if name == "allreduce" {
+			want = 4
+		}
+		if err := argc(want); err != nil {
+			return nil, err
+		}
+		dt, err := p.mpiDtype(name, types[0])
+		if err != nil {
+			return nil, err
+		}
+		opLit, ok := args[3].(reduceOpExpr)
+		if !ok {
+			return nil, p.errf("%s operator must be sum, max or min", name)
+		}
+		if name == "allreduce" {
+			return Allreduce{SendBuf: args[0], RecvBuf: args[1], Count: args[2],
+				Dtype: dt, ReduceOp: opLit.op}, nil
+		}
+		return Reduce{SendBuf: args[0], RecvBuf: args[1], Count: args[2],
+			Dtype: dt, ReduceOp: opLit.op, Root: args[4]}, nil
+	}
+	if _, ok := p.sigs[name]; !ok {
+		return nil, p.errf("call to undefined function %q", name)
+	}
+	return CallStmt{Name: name, Args: args}, nil
+}
+
+func (p *parser) mpiDtype(op string, buf parseType) (int64, error) {
+	switch buf.elem() {
+	case ptInt:
+		return int64(isa.TypeInt64), nil
+	case ptFloat:
+		return int64(isa.TypeFloat64), nil
+	}
+	return 0, p.errf("%s buffer must be an array", op)
+}
+
+// reduceOpExpr is a parser-internal marker for sum/max/min arguments.
+type reduceOpExpr struct{ op int64 }
+
+func (reduceOpExpr) isExpr() {}
+
+// parseArgs parses "(expr, ...)" returning expressions and their types.
+func (p *parser) parseArgs(callee string) ([]Expr, []parseType, error) {
+	if err := p.expect("("); err != nil {
+		return nil, nil, err
+	}
+	var args []Expr
+	var types []parseType
+	for !p.accept(")") {
+		if len(args) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, nil, err
+			}
+		}
+		// Reduction operator names parse as markers, not variables.
+		if (callee == "reduce" || callee == "allreduce") && p.cur().kind == tokIdent {
+			if op, ok := reduceOps[p.cur().text]; ok && len(args) == 3 {
+				p.pos++
+				args = append(args, reduceOpExpr{op: op})
+				types = append(types, ptInt)
+				continue
+			}
+		}
+		e, t, err := p.parseExpr()
+		if err != nil {
+			return nil, nil, err
+		}
+		args = append(args, e)
+		types = append(types, t)
+	}
+	return args, types, nil
+}
+
+// Expression parsing with precedence climbing. Types are tracked to
+// dispatch builtins and array element widths; full type checking happens in
+// Compile.
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+	"+": 4, "-": 4, "|": 4, "^": 4,
+	"*": 5, "/": 5, "%": 5, "&": 5, "<<": 5, ">>": 5,
+}
+
+var binOps = map[string]BinOp{
+	"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv, "%": OpMod,
+	"&": OpAnd, "|": OpOr, "^": OpXor, "<<": OpShl, ">>": OpShr,
+	"&&": OpAnd, "||": OpOr,
+}
+
+var cmpOps = map[string]CmpOp{
+	"==": CmpEq, "!=": CmpNe, "<": CmpLt, "<=": CmpLe, ">": CmpGt, ">=": CmpGe,
+}
+
+func (p *parser) parseExpr() (Expr, parseType, error) {
+	return p.parseBinary(1)
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, parseType, error) {
+	left, lt, err := p.parseUnary()
+	if err != nil {
+		return nil, 0, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			break
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			break
+		}
+		p.pos++
+		right, rt, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, 0, err
+		}
+		if lt.scalar() != rt.scalar() {
+			return nil, 0, p.errf("operator %s applied to %s and %s", t.text, lt, rt)
+		}
+		if cmp, ok := cmpOps[t.text]; ok {
+			left, lt = Cmp{Op: cmp, L: left, R: right}, ptInt
+			continue
+		}
+		left = Bin{Op: binOps[t.text], L: left, R: right}
+		lt = lt.scalar().toParse()
+	}
+	return left, lt, nil
+}
+
+func (t Type) toParse() parseType {
+	if t == TFloat {
+		return ptFloat
+	}
+	return ptInt
+}
+
+//nolint:gocyclo // one arm per primary form.
+func (p *parser) parseUnary() (Expr, parseType, error) {
+	switch {
+	case p.accept("-"):
+		e, t, err := p.parseUnary()
+		if err != nil {
+			return nil, 0, err
+		}
+		return Neg{E: e}, t, nil
+	case p.accept("!"):
+		e, t, err := p.parseUnary()
+		if err != nil {
+			return nil, 0, err
+		}
+		if t != ptInt {
+			return nil, 0, p.errf("! needs an int operand")
+		}
+		return Eq(e, I(0)), ptInt, nil
+	case p.accept("("):
+		e, t, err := p.parseExpr()
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, 0, err
+		}
+		return e, t, nil
+	}
+
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.pos++
+		v, err := strconv.ParseInt(t.text, 0, 64)
+		if err != nil {
+			// Out-of-range decimal: parse as unsigned for full 64-bit range.
+			u, uerr := strconv.ParseUint(t.text, 0, 64)
+			if uerr != nil {
+				return nil, 0, p.errf("bad integer literal %q", t.text)
+			}
+			v = int64(u)
+		}
+		return I(v), ptInt, nil
+	case tokFloat:
+		p.pos++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil || math.IsInf(v, 0) {
+			return nil, 0, p.errf("bad float literal %q", t.text)
+		}
+		return F(v), ptFloat, nil
+	case tokIdent:
+		return p.parsePrimaryIdent()
+	}
+	return nil, 0, p.errf("unexpected token %q in expression", t.text)
+}
+
+//nolint:gocyclo // builtin dispatch.
+func (p *parser) parsePrimaryIdent() (Expr, parseType, error) {
+	name := p.next().text
+	// Call?
+	if p.at(tokPunct, "(") {
+		switch name {
+		case "int", "float":
+			args, types, err := p.parseArgs(name)
+			if err != nil {
+				return nil, 0, err
+			}
+			if len(args) != 1 {
+				return nil, 0, p.errf("%s takes 1 argument", name)
+			}
+			if name == "int" {
+				if types[0] == ptInt {
+					return args[0], ptInt, nil
+				}
+				return ToInt(args[0]), ptInt, nil
+			}
+			if types[0] == ptFloat {
+				return args[0], ptFloat, nil
+			}
+			return ToFloat(args[0]), ptFloat, nil
+		case "alloci", "allocf":
+			args, types, err := p.parseArgs(name)
+			if err != nil {
+				return nil, 0, err
+			}
+			if len(args) != 1 || types[0] != ptInt {
+				return nil, 0, p.errf("%s takes one int argument", name)
+			}
+			pt := ptIntArr
+			if name == "allocf" {
+				pt = ptFloatArr
+			}
+			return Alloc(args[0]), pt, nil
+		case "rank":
+			if _, _, err := p.parseArgs(name); err != nil {
+				return nil, 0, err
+			}
+			return RankExpr{}, ptInt, nil
+		case "size":
+			if _, _, err := p.parseArgs(name); err != nil {
+				return nil, 0, err
+			}
+			return SizeExpr{}, ptInt, nil
+		}
+		sig, ok := p.sigs[name]
+		if !ok {
+			return nil, 0, p.errf("call to undefined function %q", name)
+		}
+		if sig.ret == ptVoid {
+			return nil, 0, p.errf("void function %q used in expression", name)
+		}
+		args, _, err := p.parseArgs(name)
+		if err != nil {
+			return nil, 0, err
+		}
+		return Call(name, args...), sig.ret, nil
+	}
+	// Index?
+	if p.at(tokPunct, "[") {
+		arrType, ok := p.vars[name]
+		if !ok || arrType.elem() == ptVoid {
+			return nil, 0, p.errf("%q is not an array", name)
+		}
+		p.pos++
+		idx, it, err := p.parseExpr()
+		if err != nil {
+			return nil, 0, err
+		}
+		if it != ptInt {
+			return nil, 0, p.errf("array index must be int")
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, 0, err
+		}
+		return Index{Base: V(name), Idx: idx, Elem: arrType.elem().scalar()}, arrType.elem(), nil
+	}
+	// Plain variable.
+	vt, ok := p.vars[name]
+	if !ok {
+		return nil, 0, p.errf("undefined variable %q", name)
+	}
+	return V(name), vt, nil
+}

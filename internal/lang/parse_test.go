@@ -1,0 +1,498 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"chaser/internal/vm"
+)
+
+func parseRun(t *testing.T, src string) (*vm.Machine, vm.Termination) {
+	t.Helper()
+	prog, err := ParseAndCompile("test", src)
+	if err != nil {
+		t.Fatalf("ParseAndCompile: %v", err)
+	}
+	m := vm.New(prog, vm.Config{})
+	return m, m.Run()
+}
+
+func TestParseHelloArithmetic(t *testing.T) {
+	_, term := parseRun(t, `
+// compute (3+4)*5 - 36/6 + 17%5
+func main() int {
+	return (3+4)*5 - 36/6 + 17%5
+}
+`)
+	wantExit(t, term, 31)
+}
+
+func TestParseVariablesAndLoops(t *testing.T) {
+	_, term := parseRun(t, `
+func main() int {
+	sum := 0
+	for i := 0; i < 100; i = i + 1 {
+		sum = sum + i
+	}
+	return sum
+}
+`)
+	wantExit(t, term, 4950)
+}
+
+func TestParseWhileForm(t *testing.T) {
+	_, term := parseRun(t, `
+func main() int {
+	v := 1
+	i := 0
+	for i < 10 {
+		v = v * 2
+		i = i + 1
+	}
+	return v
+}
+`)
+	wantExit(t, term, 1024)
+}
+
+func TestParseIfElseChain(t *testing.T) {
+	src := `
+func classify(x int) int {
+	if x < 0 {
+		return 0
+	} else if x == 0 {
+		return 1
+	} else {
+		return 2
+	}
+}
+func main() int {
+	return classify(-5)*100 + classify(0)*10 + classify(9)
+}
+`
+	_, term := parseRun(t, src)
+	wantExit(t, term, 12)
+}
+
+func TestParseArraysAndFloats(t *testing.T) {
+	m, term := parseRun(t, `
+func main() {
+	a := allocf(4)
+	for i := 0; i < 4; i = i + 1 {
+		a[i] = float(i) * 0.5
+	}
+	s := 0.0
+	for i := 0; i < 4; i = i + 1 {
+		s = s + a[i]
+	}
+	out(s)
+	b := alloci(3)
+	b[0] = 7
+	b[1] = b[0] * 2
+	b[2] = b[0] + b[1]
+	out(b[2])
+}
+`)
+	wantExit(t, term, 0)
+	vals := outFloats(t, m)
+	if vals[0] != 3.0 {
+		t.Errorf("float array sum = %v", vals[0])
+	}
+	if got := outInts(t, m); got[1] != 21 {
+		t.Errorf("int array value = %d", got[1])
+	}
+}
+
+func TestParseFunctionsAndRecursion(t *testing.T) {
+	_, term := parseRun(t, `
+func fib(n int) int {
+	if n < 2 {
+		return n
+	}
+	return fib(n-1) + fib(n-2)
+}
+func main() int {
+	return fib(10)
+}
+`)
+	wantExit(t, term, 55)
+}
+
+func TestParseFloatFunctions(t *testing.T) {
+	m, term := parseRun(t, `
+func avg(a float, b float) float {
+	return (a + b) / 2.0
+}
+func main() {
+	out(avg(3.0, 5.0))
+	print(avg(1.0, 2.0))
+}
+`)
+	wantExit(t, term, 0)
+	if got := outFloats(t, m); got[0] != 4.0 {
+		t.Errorf("avg = %v", got[0])
+	}
+	if !strings.Contains(m.Console(), "1.5") {
+		t.Errorf("console = %q", m.Console())
+	}
+}
+
+func TestParseArrayParams(t *testing.T) {
+	m, term := parseRun(t, `
+func fill(a []float, n int) {
+	for i := 0; i < n; i = i + 1 {
+		a[i] = float(i * i)
+	}
+}
+func total(a []float, n int) float {
+	s := 0.0
+	for i := 0; i < n; i = i + 1 {
+		s = s + a[i]
+	}
+	return s
+}
+func main() {
+	a := allocf(5)
+	fill(a, 5)
+	out(total(a, 5))
+}
+`)
+	wantExit(t, term, 0)
+	if got := outFloats(t, m); got[0] != 30 { // 0+1+4+9+16
+		t.Errorf("total = %v", got[0])
+	}
+}
+
+func TestParseLogicalAndUnary(t *testing.T) {
+	_, term := parseRun(t, `
+func main() int {
+	a := 5
+	b := -a
+	ok := (a > 0 && b < 0) || a == 99
+	bad := !(a == 5)
+	return ok*10 + bad
+}
+`)
+	wantExit(t, term, 10)
+}
+
+func TestParseBitwise(t *testing.T) {
+	_, term := parseRun(t, `
+func main() int {
+	x := 0xF0 | 0x0F
+	y := x ^ 0xFF
+	z := (1 << 4) + (256 >> 4)
+	return y + z
+}
+`)
+	wantExit(t, term, 32)
+}
+
+func TestParseBreakContinue(t *testing.T) {
+	_, term := parseRun(t, `
+func main() int {
+	sum := 0
+	i := -1
+	for 1 == 1 {
+		i = i + 1
+		if i == 8 {
+			break
+		}
+		if i % 2 == 1 {
+			continue
+		}
+		sum = sum + i
+	}
+	return sum
+}
+`)
+	wantExit(t, term, 12) // 0+2+4+6
+}
+
+func TestParseAssertAndExit(t *testing.T) {
+	_, term := parseRun(t, `
+func main() {
+	assert(1 == 1, 5)
+	assert(2 == 3, 77)
+}
+`)
+	if term.Reason != vm.ReasonAssert || term.Code != 77 {
+		t.Fatalf("term = %v", term)
+	}
+	_, term = parseRun(t, `
+func main() {
+	exit(9)
+	out(1)
+}
+`)
+	wantExit(t, term, 9)
+}
+
+func TestParseSemicolonsOptional(t *testing.T) {
+	_, term := parseRun(t, `
+func main() int { x := 3; y := 4; return x*x + y*y }
+`)
+	wantExit(t, term, 25)
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, src, sub string
+	}{
+		{"undefined var", `func main() { x = 1 }`, "undeclared"},
+		{"undefined var expr", `func main() int { return zap }`, "undefined variable"},
+		{"undefined func", `func main() { zap() }`, "undefined function"},
+		{"type mismatch", `func main() int { return 1 + 2.0 }`, "applied to int and float"},
+		{"redeclare type", "func main() {\n x := 1\n x := 2.0\n}", "redeclared"},
+		{"not array", `func main() { x := 1; y := x[0] }`, "not an array"},
+		{"float index", `func main() { a := alloci(3); b := a[1.5] }`, "index must be int"},
+		{"store type", `func main() { a := alloci(3); a[0] = 1.5 }`, "storing float"},
+		{"if cond type", `func main() { if 1.5 { } }`, "condition must be int"},
+		{"bad char", "func main() { @ }", "unexpected character"},
+		{"missing brace", "func main() {", "unexpected end of input"},
+		{"void in expr", "func v() {}\nfunc main() int { return v() }", "void function"},
+		{"assert literal", `func main() { c := 3; assert(1 == 1, c) }`, "integer literal"},
+		{"dup func", "func f() {}\nfunc f() {}\nfunc main() {}", "duplicate function"},
+		{"continue in 3-clause", `func main() { for i := 0; i < 3; i = i + 1 { continue } }`, "continue is not supported"},
+		{"bad type", `func f(x string) {} func main() {}`, "expected a type"},
+		{"assign void", `func v() {} func main() { x := v() }`, "void"},
+		{"send scalar", `func main() { x := 1; send(x, 1, 0, 0) }`, "buffer must be an array"},
+		{"reduce op", `func main() { a := allocf(1); b := allocf(1); allreduce(a, b, 1, 7) }`, "sum, max or min"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseAndCompile("t", tt.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tt.sub) {
+				t.Errorf("error %q missing %q", err, tt.sub)
+			}
+		})
+	}
+}
+
+func TestParseErrorLineNumbers(t *testing.T) {
+	_, err := ParseAndCompile("t", "func main() {\n x := 1\n y = 2\n}")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("err = %T (%v)", err, err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("line = %d, want 3", pe.Line)
+	}
+}
+
+func TestParseHexAndBigLiterals(t *testing.T) {
+	_, term := parseRun(t, `
+func main() int {
+	a := 0xff
+	b := 9223372036854775807
+	if b > 0 {
+		return a
+	}
+	return 0
+}
+`)
+	wantExit(t, term, 255)
+}
+
+// TestParsedTextEquivalentToBuilderAST compiles the same program through
+// both front ends and compares guest outputs bit for bit.
+func TestParsedTextEquivalentToBuilderAST(t *testing.T) {
+	src := `
+func main() {
+	n := 16
+	a := allocf(n)
+	seed := 42
+	for i := 0; i < n; i = i + 1 {
+		seed = seed * 1103515245 + 12345
+		a[i] = float(seed % 1000) / 10.0
+	}
+	s := 0.0
+	for i := 0; i < n; i = i + 1 {
+		s = s + a[i] * a[i]
+	}
+	out(s)
+}
+`
+	textProg, err := ParseAndCompile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ast := mainProg(0,
+		Let("n", I(16)),
+		Let("a", Alloc(V("n"))),
+		Let("seed", I(42)),
+		For{Var: "i", From: I(0), To: V("n"), Body: Block(
+			Set("seed", Add(Mul(V("seed"), I(1103515245)), I(12345))),
+			SetAt(V("a"), V("i"), Div(ToFloat(Mod(V("seed"), I(1000))), F(10))),
+		)},
+		Let("s", F(0)),
+		For{Var: "i", From: I(0), To: V("n"), Body: Block(
+			Set("s", Add(V("s"), Mul(AtF(V("a"), V("i")), AtF(V("a"), V("i"))))),
+		)},
+		OutFloat{E: V("s")},
+	)
+	astProg, err := Compile(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := vm.New(textProg, vm.Config{})
+	m2 := vm.New(astProg, vm.Config{})
+	t1, t2 := m1.Run(), m2.Run()
+	if t1.Reason != vm.ReasonExited || t2.Reason != vm.ReasonExited {
+		t.Fatalf("terms: %v / %v", t1, t2)
+	}
+	if string(m1.Output()) != string(m2.Output()) {
+		t.Errorf("outputs differ: % x vs % x", m1.Output(), m2.Output())
+	}
+}
+
+func TestParseMPIProgramText(t *testing.T) {
+	// Full MPI surface from source text, executed on a 3-rank world via the
+	// apps-level test below; here we verify it parses and compiles.
+	src := `
+func main() {
+	data := allocf(2)
+	red := allocf(2)
+	me := rank()
+	data[0] = float(me)
+	data[1] = float(me * 10)
+	barrier()
+	bcast(data, 2, 0)
+	reduce(data, red, 2, sum, 0)
+	allreduce(data, red, 2, max)
+	idata := alloci(1)
+	idata[0] = me
+	if me == 0 {
+		recv(idata, 1, 1, 3)
+		out(idata[0])
+	}
+	if me == 1 {
+		send(idata, 1, 0, 3)
+	}
+}
+`
+	if _, err := ParseAndCompile("mpitext", src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseUnaryAndCasts(t *testing.T) {
+	m, term := parseRun(t, `
+func main() {
+	x := 7
+	out(-x)
+	out(float(-x))
+	out(int(2.9))
+	out(int(3.0) + int(float(4)))
+	y := 2.5
+	out(-y)
+	out(!(1 == 1))
+	out(!(1 == 2))
+}
+`)
+	wantExit(t, term, 0)
+	got := outInts(t, m)
+	if got[0] != -7 {
+		t.Errorf("-x = %d", got[0])
+	}
+	if got[2] != 2 || got[3] != 7 {
+		t.Errorf("casts = %d, %d", got[2], got[3])
+	}
+	if got[5] != 0 || got[6] != 1 {
+		t.Errorf("negation = %d, %d", got[5], got[6])
+	}
+}
+
+func TestParseNestedContinueScoping(t *testing.T) {
+	// A continue inside a nested condition-only loop within a three-clause
+	// for is fine; the restriction only applies to the three-clause body's
+	// own level.
+	_, term := parseRun(t, `
+func main() int {
+	total := 0
+	for i := 0; i < 3; i = i + 1 {
+		j := 0
+		for j < 5 {
+			j = j + 1
+			if j % 2 == 0 {
+				continue
+			}
+			total = total + 1
+		}
+	}
+	return total
+}
+`)
+	wantExit(t, term, 9) // 3 outer iterations x 3 odd js
+}
+
+func TestParseMoreErrors(t *testing.T) {
+	tests := []struct {
+		name, src, sub string
+	}{
+		{"bad array elem type", `func f(a []string) {} func main() {}`, "expected int or float"},
+		{"print argc", `func main() { print(1, 2) }`, "takes 1 arguments"},
+		{"assert argc", `func main() { assert(1) }`, "takes 2 arguments"},
+		{"barrier argc", `func main() { barrier(1) }`, "takes 0 arguments"},
+		{"send argc", `func main() { a := alloci(1); send(a, 1, 0) }`, "takes 4 arguments"},
+		{"cast argc", `func main() { x := int(1, 2) }`, "takes 1 argument"},
+		{"alloc arg", `func main() { a := alloci(1.5) }`, "one int argument"},
+		{"for cond type", `func main() { for 1.5 { } }`, "condition must be int"},
+		{"3clause cond type", `func main() { for i := 0; 2.5; i = i + 1 { } }`, "condition must be int"},
+		{"store into scalar", `func main() { x := 1; x[0] = 2 }`, "not an array"},
+		{"unary bang float", `func main() { x := !1.5 }`, "needs an int operand"},
+		{"missing paren", `func main() { x := (1 + 2 }`, `expected ")"`},
+		{"stray punct", `func main() { ; } func f() } {`, "expected"},
+		{"garbage top level", `zap()`, "expected func"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseAndCompile("t", tt.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tt.sub) {
+				t.Errorf("error %q missing %q", err, tt.sub)
+			}
+		})
+	}
+}
+
+func TestParseTypeStrings(t *testing.T) {
+	for pt, want := range map[parseType]string{
+		ptVoid: "void", ptInt: "int", ptFloat: "float",
+		ptIntArr: "[]int", ptFloatArr: "[]float",
+	} {
+		if pt.String() != want {
+			t.Errorf("parseType(%d) = %q, want %q", pt, pt.String(), want)
+		}
+	}
+	if parseType(99).String() != "?" {
+		t.Error("unknown parse type")
+	}
+}
+
+func TestLexEdgeCases(t *testing.T) {
+	toks, err := lex("a 0x1F 2.5e3 1e-2 // trailing comment\nb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokKind{tokIdent, tokInt, tokFloat, tokFloat, tokIdent, tokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("toks = %+v", toks)
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Errorf("tok %d = %+v, want kind %d", i, toks[i], k)
+		}
+	}
+	if toks[4].line != 2 {
+		t.Errorf("line tracking: %+v", toks[4])
+	}
+	if _, err := lex("a $ b"); err == nil {
+		t.Error("bad character accepted")
+	}
+}

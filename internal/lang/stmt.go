@@ -1,0 +1,403 @@
+package lang
+
+import (
+	"chaser/internal/isa"
+)
+
+func (f *fnCtx) stmts(list []Stmt) error {
+	for _, s := range list {
+		if err := f.stmt(s); err != nil {
+			return err
+		}
+		if f.iDepth != 0 || f.fDepth != 0 {
+			return f.errf("internal: unbalanced evaluation stack after %T", s)
+		}
+	}
+	return nil
+}
+
+//nolint:gocyclo // one case per statement kind.
+func (f *fnCtx) stmt(s Stmt) error {
+	c := f.c
+	switch x := s.(type) {
+	case blockStmt:
+		// Statement splice from the parser's three-clause for lowering.
+		return f.stmts(x.stmts)
+
+	case Decl:
+		t, err := f.expr(x.Init)
+		if err != nil {
+			return err
+		}
+		// Variables are function-scoped; a re-declaration with the same
+		// type reuses the slot (so loop bodies can Let the same temps),
+		// while a type change is an error.
+		vi, exists := f.vars[x.Name]
+		if exists {
+			if vi.typ != t {
+				return f.errf("redeclaration of %q as %s (was %s)", x.Name, t, vi.typ)
+			}
+		} else {
+			vi, err = f.newLocal(x.Name, t)
+			if err != nil {
+				return err
+			}
+		}
+		f.storeVar(vi, t)
+		return nil
+
+	case Assign:
+		vi, ok := f.vars[x.Name]
+		if !ok {
+			return f.errf("assignment to undefined variable %q", x.Name)
+		}
+		t, err := f.expr(x.E)
+		if err != nil {
+			return err
+		}
+		if t != vi.typ {
+			return f.errf("assigning %s to %s variable %q", t, vi.typ, x.Name)
+		}
+		f.storeVar(vi, t)
+		return nil
+
+	case Store:
+		addr, err := f.arrayAddr(x.Base, x.Idx)
+		if err != nil {
+			return err
+		}
+		t, err := f.expr(x.Val)
+		if err != nil {
+			return err
+		}
+		if t == TFloat {
+			c.emit(isa.Instr{Op: isa.OpFSt, Rs1: addr, Rs2: f.topFloat()})
+			f.popFloat()
+		} else {
+			c.emit(isa.Instr{Op: isa.OpSt, Rs1: addr, Rs2: f.topInt()})
+			f.popInt()
+		}
+		f.popInt() // address
+		return nil
+
+	case If:
+		elseL := c.freshLabel("else")
+		endL := c.freshLabel("endif")
+		if err := f.cond(x.Cond, elseL); err != nil {
+			return err
+		}
+		if err := f.stmts(x.Then); err != nil {
+			return err
+		}
+		if len(x.Else) > 0 {
+			c.emitRef(isa.Instr{Op: isa.OpJmp}, endL)
+		}
+		c.bind(elseL)
+		if len(x.Else) > 0 {
+			if err := f.stmts(x.Else); err != nil {
+				return err
+			}
+			c.bind(endL)
+		}
+		return nil
+
+	case While:
+		loopL := c.freshLabel("while")
+		endL := c.freshLabel("endwhile")
+		c.bind(loopL)
+		if err := f.cond(x.Cond, endL); err != nil {
+			return err
+		}
+		f.loops = append(f.loops, loopLabels{breakL: endL, continueL: loopL})
+		err := f.stmts(x.Body)
+		f.loops = f.loops[:len(f.loops)-1]
+		if err != nil {
+			return err
+		}
+		c.emitRef(isa.Instr{Op: isa.OpJmp}, loopL)
+		c.bind(endL)
+		return nil
+
+	case Break:
+		if len(f.loops) == 0 {
+			return f.errf("break outside loop")
+		}
+		c.emitRef(isa.Instr{Op: isa.OpJmp}, f.loops[len(f.loops)-1].breakL)
+		return nil
+
+	case Continue:
+		if len(f.loops) == 0 {
+			return f.errf("continue outside loop")
+		}
+		c.emitRef(isa.Instr{Op: isa.OpJmp}, f.loops[len(f.loops)-1].continueL)
+		return nil
+
+	case For:
+		return f.forStmt(x)
+
+	case Return:
+		if x.E == nil {
+			if f.fn.Ret != 0 {
+				return f.errf("return without value in %s function", f.fn.Ret)
+			}
+		} else {
+			t, err := f.expr(x.E)
+			if err != nil {
+				return err
+			}
+			if t != f.fn.Ret {
+				return f.errf("returning %s from %s function", t, f.fn.Ret)
+			}
+			if t == TFloat {
+				c.emit(isa.Instr{Op: isa.OpFMov, Rd: isa.F0, Rs1: f.topFloat()})
+				f.popFloat()
+			} else {
+				c.emit(isa.Instr{Op: isa.OpMov, Rd: isa.R0, Rs1: f.topInt()})
+				f.popInt()
+			}
+		}
+		c.emitRef(isa.Instr{Op: isa.OpJmp}, f.retLbl)
+		return nil
+
+	case CallStmt:
+		callee, ok := c.sigs[x.Name]
+		if !ok {
+			return f.errf("call to undefined function %q", x.Name)
+		}
+		return f.emitCall(callee, x.Args)
+
+	case PrintInt:
+		return f.sysInt1(x.E, isa.SysPrintInt)
+	case OutInt:
+		return f.sysInt1(x.E, isa.SysOutInt)
+	case PrintFloat:
+		return f.sysFloat1(x.E, isa.SysPrintFloat)
+	case OutFloat:
+		return f.sysFloat1(x.E, isa.SysOutFloat)
+
+	case Assert:
+		t, err := f.expr(x.Cond)
+		if err != nil {
+			return err
+		}
+		if t != TInt {
+			return f.errf("assert condition must be int")
+		}
+		c.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.R2, Imm: x.Code})
+		c.emit(isa.Instr{Op: isa.OpSyscall, Imm: int64(isa.SysAssert)})
+		f.popInt()
+		return nil
+
+	case Exit:
+		return f.sysInt1(x.Code, isa.SysExit)
+
+	case MPISend:
+		return f.mpiSendRecv(isa.SysMPISend, x.Buf, x.Count, x.Dtype, x.Dest, x.Tag)
+	case MPIRecv:
+		return f.mpiSendRecv(isa.SysMPIRecv, x.Buf, x.Count, x.Dtype, x.Source, x.Tag)
+
+	case Barrier:
+		c.emit(isa.Instr{Op: isa.OpSyscall, Imm: int64(isa.SysMPIBarrier)})
+		return nil
+
+	case Bcast:
+		// Args: buf R1, count R2, dtype R3, root R4.
+		for _, e := range []Expr{x.Buf, x.Count, x.Root} {
+			if err := f.intArg(e); err != nil {
+				return err
+			}
+		}
+		// Stack now holds buf@R1, count@R2, root@R3; shuffle for dtype.
+		c.emit(isa.Instr{Op: isa.OpMov, Rd: isa.R4, Rs1: isa.R3})
+		c.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.R3, Imm: x.Dtype})
+		c.emit(isa.Instr{Op: isa.OpSyscall, Imm: int64(isa.SysMPIBcast)})
+		f.iDepth = 0
+		return nil
+
+	case Reduce:
+		// Args: sendbuf R1, recvbuf R2, count R3, dtype R4, op R5, root R6.
+		for _, e := range []Expr{x.SendBuf, x.RecvBuf, x.Count, x.Root} {
+			if err := f.intArg(e); err != nil {
+				return err
+			}
+		}
+		// Stack: send@R1 recv@R2 count@R3 root@R4.
+		c.emit(isa.Instr{Op: isa.OpMov, Rd: isa.R6, Rs1: isa.R4})
+		c.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.R4, Imm: x.Dtype})
+		c.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.R5, Imm: x.ReduceOp})
+		c.emit(isa.Instr{Op: isa.OpSyscall, Imm: int64(isa.SysMPIReduce)})
+		f.iDepth = 0
+		return nil
+
+	case Allreduce:
+		// Args: sendbuf R1, recvbuf R2, count R3, dtype R4, op R5.
+		for _, e := range []Expr{x.SendBuf, x.RecvBuf, x.Count} {
+			if err := f.intArg(e); err != nil {
+				return err
+			}
+		}
+		c.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.R4, Imm: x.Dtype})
+		c.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.R5, Imm: x.ReduceOp})
+		c.emit(isa.Instr{Op: isa.OpSyscall, Imm: int64(isa.SysMPIAllreduce)})
+		f.iDepth = 0
+		return nil
+	}
+	return f.errf("unsupported statement %T", s)
+}
+
+func (f *fnCtx) storeVar(vi varInfo, t Type) {
+	if t == TFloat {
+		f.c.emit(isa.Instr{Op: isa.OpFSt, Rs1: isa.FP, Rs2: f.topFloat(), Imm: vi.off})
+		f.popFloat()
+	} else {
+		f.c.emit(isa.Instr{Op: isa.OpSt, Rs1: isa.FP, Rs2: f.topInt(), Imm: vi.off})
+		f.popInt()
+	}
+}
+
+// cond evaluates an int condition and branches to elseL when it is zero.
+func (f *fnCtx) cond(e Expr, elseL string) error {
+	t, err := f.expr(e)
+	if err != nil {
+		return err
+	}
+	if t != TInt {
+		return f.errf("condition must be int, got %s", t)
+	}
+	r := f.topInt()
+	f.popInt()
+	f.c.emit(isa.Instr{Op: isa.OpCmpI, Rs1: r, Imm: 0})
+	f.c.emitRef(isa.Instr{Op: isa.OpJe}, elseL)
+	return nil
+}
+
+func (f *fnCtx) forStmt(x For) error {
+	c := f.c
+	// Loop variables may be reused by later loops in the same function.
+	vi, exists := f.vars[x.Var]
+	if exists {
+		if vi.typ != TInt {
+			return f.errf("for variable %q is %s, want int", x.Var, vi.typ)
+		}
+	} else {
+		var err error
+		vi, err = f.newLocal(x.Var, TInt)
+		if err != nil {
+			return err
+		}
+	}
+	f.forSeq++
+	end, err := f.newLocal(hiddenForName(f.forSeq), TInt)
+	if err != nil {
+		return err
+	}
+	// var = From
+	if t, err := f.expr(x.From); err != nil {
+		return err
+	} else if t != TInt {
+		return f.errf("for %q: bound must be int", x.Var)
+	}
+	f.storeVar(vi, TInt)
+	// $end = To
+	if t, err := f.expr(x.To); err != nil {
+		return err
+	} else if t != TInt {
+		return f.errf("for %q: bound must be int", x.Var)
+	}
+	f.storeVar(end, TInt)
+
+	loopL := c.freshLabel("for")
+	incrL := c.freshLabel("forinc")
+	endL := c.freshLabel("endfor")
+	c.bind(loopL)
+	c.emit(isa.Instr{Op: isa.OpLd, Rd: isa.R13, Rs1: isa.FP, Imm: vi.off})
+	c.emit(isa.Instr{Op: isa.OpLd, Rd: isa.R12, Rs1: isa.FP, Imm: end.off})
+	c.emit(isa.Instr{Op: isa.OpCmp, Rs1: isa.R13, Rs2: isa.R12})
+	c.emitRef(isa.Instr{Op: isa.OpJge}, endL)
+	f.loops = append(f.loops, loopLabels{breakL: endL, continueL: incrL})
+	bodyErr := f.stmts(x.Body)
+	f.loops = f.loops[:len(f.loops)-1]
+	if bodyErr != nil {
+		return bodyErr
+	}
+	c.bind(incrL)
+	c.emit(isa.Instr{Op: isa.OpLd, Rd: isa.R13, Rs1: isa.FP, Imm: vi.off})
+	c.emit(isa.Instr{Op: isa.OpAddI, Rd: isa.R13, Rs1: isa.R13, Imm: 1})
+	c.emit(isa.Instr{Op: isa.OpSt, Rs1: isa.FP, Rs2: isa.R13, Imm: vi.off})
+	c.emitRef(isa.Instr{Op: isa.OpJmp}, loopL)
+	c.bind(endL)
+	return nil
+}
+
+func hiddenForName(seq int) string {
+	return "$for_" + itoa10(seq)
+}
+
+func itoa10(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// sysInt1 evaluates an int expression into R1 and issues the syscall.
+func (f *fnCtx) sysInt1(e Expr, sys isa.Sys) error {
+	if err := f.intArg(e); err != nil {
+		return err
+	}
+	f.c.emit(isa.Instr{Op: isa.OpSyscall, Imm: int64(sys)})
+	f.popInt()
+	return nil
+}
+
+// sysFloat1 evaluates a float expression into F1 and issues the syscall.
+func (f *fnCtx) sysFloat1(e Expr, sys isa.Sys) error {
+	t, err := f.expr(e)
+	if err != nil {
+		return err
+	}
+	if t != TFloat {
+		return f.errf("expected float argument, got %s", t)
+	}
+	f.c.emit(isa.Instr{Op: isa.OpSyscall, Imm: int64(sys)})
+	f.popFloat()
+	return nil
+}
+
+// intArg evaluates an int expression onto the int stack (used to marshal
+// syscall arguments into R1..R6 positionally).
+func (f *fnCtx) intArg(e Expr) error {
+	t, err := f.expr(e)
+	if err != nil {
+		return err
+	}
+	if t != TInt {
+		return f.errf("expected int argument, got %s", t)
+	}
+	return nil
+}
+
+// mpiSendRecv marshals buf/count/peer/tag into R1..R5 with the datatype
+// constant in R3 and issues the syscall.
+func (f *fnCtx) mpiSendRecv(sys isa.Sys, buf, count Expr, dtype int64, peer, tag Expr) error {
+	c := f.c
+	for _, e := range []Expr{buf, count, peer, tag} {
+		if err := f.intArg(e); err != nil {
+			return err
+		}
+	}
+	// Stack: buf@R1 count@R2 peer@R3 tag@R4; want dtype@R3 peer@R4 tag@R5.
+	c.emit(isa.Instr{Op: isa.OpMov, Rd: isa.R5, Rs1: isa.R4})
+	c.emit(isa.Instr{Op: isa.OpMov, Rd: isa.R4, Rs1: isa.R3})
+	c.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.R3, Imm: dtype})
+	c.emit(isa.Instr{Op: isa.OpSyscall, Imm: int64(sys)})
+	f.iDepth = 0
+	return nil
+}

@@ -1,0 +1,285 @@
+// Package mpi implements a simulated MPI runtime for guest programs: one
+// virtual machine per rank, message passing with tag/source matching,
+// collectives (barrier, broadcast, reduce), argument validation that raises
+// MPI runtime errors, peer-failure propagation (mpirun-style abort), and
+// deadlock detection.
+//
+// The runtime plays the role of the MPI library plus mpirun in the paper's
+// testbed. Chaser does not modify it: cross-rank taint coordination happens
+// in syscall hooks installed on each machine, exactly as the original hooks
+// MPI_Send/MPI_Recv inside the guest.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chaser/internal/isa"
+	"chaser/internal/vm"
+)
+
+// MaxTag is the largest user tag accepted by the runtime; reserved internal
+// tags for collectives sit above it.
+const MaxTag = 1 << 20
+
+// Reserved internal tags for collective operations.
+const (
+	tagBcast     = MaxTag + 1
+	tagReduce    = MaxTag + 2
+	tagAllreduce = MaxTag + 3
+)
+
+// mailboxCap bounds per-rank in-flight messages (eager-send buffering).
+const mailboxCap = 1024
+
+// Message is one in-flight MPI message.
+type Message struct {
+	Src, Dst, Tag int
+	Dtype         isa.Datatype
+	Count         int64
+	Data          []byte
+}
+
+// World is a set of ranks executing the same guest program (SPMD).
+type World struct {
+	size  int
+	ranks []*rankState
+
+	// delivered counts messages handed to mailboxes; the deadlock watchdog
+	// uses it as a progress indicator.
+	delivered atomic.Uint64
+
+	barrier *barrier
+
+	abortOnce sync.Once
+	aborted   atomic.Bool
+}
+
+type rankState struct {
+	id      int
+	m       *vm.Machine
+	mailbox chan Message
+	pending []Message // received but not yet matched
+	blocked atomic.Bool
+	done    atomic.Bool
+	term    vm.Termination
+	abortCh chan struct{}
+}
+
+// Config parameterizes world construction.
+type Config struct {
+	// Size is the number of ranks (required, >= 1).
+	Size int
+	// Machine returns the vm.Config for a rank. Rank/WorldSize/MPI fields
+	// are overwritten by the world. Nil uses defaults.
+	Machine func(rank int) vm.Config
+	// Setup runs after each machine is created and before it starts; Chaser
+	// instruments target ranks here (the VMI process-creation event).
+	Setup func(rank int, m *vm.Machine)
+}
+
+// NewWorld creates a world of cfg.Size ranks all running prog.
+func NewWorld(prog *isa.Program, cfg Config) (*World, error) {
+	if cfg.Size < 1 {
+		return nil, fmt.Errorf("mpi: world size %d < 1", cfg.Size)
+	}
+	w := &World{size: cfg.Size, barrier: newBarrier(cfg.Size)}
+	for r := 0; r < cfg.Size; r++ {
+		var mc vm.Config
+		if cfg.Machine != nil {
+			mc = cfg.Machine(r)
+		}
+		mc.Rank = r
+		mc.WorldSize = cfg.Size
+		rs := &rankState{
+			id:      r,
+			mailbox: make(chan Message, mailboxCap),
+			abortCh: make(chan struct{}),
+		}
+		mc.MPI = &env{w: w, rs: rs}
+		rs.m = vm.New(prog, mc)
+		rs.m.PID = 1000 + r
+		w.ranks = append(w.ranks, rs)
+	}
+	if cfg.Setup != nil {
+		for _, rs := range w.ranks {
+			cfg.Setup(rs.id, rs.m)
+		}
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Machine returns the virtual machine of one rank.
+func (w *World) Machine(rank int) *vm.Machine { return w.ranks[rank].m }
+
+// Run executes all ranks to completion and returns their terminations
+// indexed by rank. If any rank terminates abnormally the remaining ranks
+// are aborted, as mpirun does.
+func (w *World) Run() []vm.Termination {
+	var wg sync.WaitGroup
+	stopWatch := make(chan struct{})
+	for _, rs := range w.ranks {
+		wg.Add(1)
+		go func(rs *rankState) {
+			defer wg.Done()
+			term := rs.m.Run()
+			rs.term = term
+			rs.done.Store(true)
+			if term.Abnormal() {
+				w.abortPeers(rs.id, term)
+			}
+		}(rs)
+	}
+	go w.watchdog(stopWatch)
+	wg.Wait()
+	close(stopWatch)
+	out := make([]vm.Termination, w.size)
+	for i, rs := range w.ranks {
+		out[i] = rs.term
+	}
+	return out
+}
+
+// abortPeers kills all other ranks after rank `from` failed.
+func (w *World) abortPeers(from int, cause vm.Termination) {
+	w.abortOnce.Do(func() {
+		w.aborted.Store(true)
+		for _, rs := range w.ranks {
+			if rs.id == from {
+				continue
+			}
+			rs.m.Abort(vm.Termination{
+				Reason: vm.ReasonMPIError,
+				Msg:    fmt.Sprintf("peer rank %d terminated: %s", from, cause),
+			})
+			close(rs.abortCh)
+		}
+		w.barrier.abort()
+	})
+}
+
+// abortAll kills every rank (deadlock detected).
+func (w *World) abortAll(msg string) {
+	w.abortOnce.Do(func() {
+		w.aborted.Store(true)
+		for _, rs := range w.ranks {
+			rs.m.Abort(vm.Termination{Reason: vm.ReasonMPIError, Msg: msg})
+			close(rs.abortCh)
+		}
+		w.barrier.abort()
+	})
+}
+
+// watchdog aborts the world when every live rank is blocked in MPI and no
+// message has been delivered between two consecutive polls — i.e. deadlock,
+// typically fault-induced (a sender crashed out of its send, or control
+// flow skipped a matching send).
+func (w *World) watchdog(stop <-chan struct{}) {
+	// A world is declared deadlocked when, over a sustained window, every
+	// live rank sits in a blocked MPI wait, every mailbox is empty (no
+	// receiver has undrained input), and no message was delivered. The
+	// window is generous because under parallel campaigns whole worlds can
+	// be descheduled for milliseconds; fault-induced deadlocks are
+	// permanent, so detection latency only costs wall-clock, never
+	// correctness.
+	const (
+		poll         = 200 * time.Microsecond
+		stableNeeded = 25 // 5ms of provable no-progress
+	)
+	var lastDelivered uint64
+	stable := 0
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		allIdle := true
+		anyBlocked := false
+		mailboxesEmpty := true
+		for _, rs := range w.ranks {
+			if rs.done.Load() {
+				continue
+			}
+			if rs.blocked.Load() {
+				anyBlocked = true
+			} else {
+				allIdle = false
+			}
+			if len(rs.mailbox) > 0 {
+				mailboxesEmpty = false
+			}
+		}
+		d := w.delivered.Load()
+		if allIdle && anyBlocked && mailboxesEmpty && d == lastDelivered {
+			stable++
+			if stable >= stableNeeded {
+				w.abortAll("deadlock detected: all live ranks blocked in MPI")
+				return
+			}
+		} else {
+			stable = 0
+		}
+		lastDelivered = d
+	}
+}
+
+// barrier is an abortable N-party barrier usable repeatedly.
+type barrier struct {
+	mu      sync.Mutex
+	n       int
+	arrived int
+	gen     int
+	release chan struct{}
+	broken  bool
+}
+
+func newBarrier(n int) *barrier {
+	return &barrier{n: n, release: make(chan struct{})}
+}
+
+// wait blocks until all n parties arrive or the barrier is aborted; it
+// returns false when aborted.
+func (b *barrier) wait(abortCh <-chan struct{}) bool {
+	b.mu.Lock()
+	if b.broken {
+		b.mu.Unlock()
+		return false
+	}
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		close(b.release)
+		b.release = make(chan struct{})
+		b.mu.Unlock()
+		return true
+	}
+	release := b.release
+	b.mu.Unlock()
+	select {
+	case <-release:
+		b.mu.Lock()
+		broken := b.broken
+		b.mu.Unlock()
+		return !broken
+	case <-abortCh:
+		return false
+	}
+}
+
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.broken = true
+	close(b.release)
+	b.release = make(chan struct{})
+	// Keep future waiters from blocking.
+	b.mu.Unlock()
+}

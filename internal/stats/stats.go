@@ -1,0 +1,170 @@
+// Package stats provides the small statistical toolkit the campaign harness
+// uses: fixed-bucket histograms (for the tainted read/write distributions of
+// Figs. 8 and 9), summary statistics, and percentage formatting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram counts values into half-open buckets [bound[i-1], bound[i]);
+// values at or above the last bound fall into the overflow bucket.
+type Histogram struct {
+	bounds []float64
+	counts []uint64
+	total  uint64
+	sum    float64
+	max    float64
+	values []float64 // retained for quantiles
+}
+
+// NewHistogram creates a histogram with the given ascending bucket bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Add records one value.
+func (h *Histogram) Add(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v)
+	// SearchFloat64s returns the first i with bounds[i] >= v; values equal
+	// to a bound belong to the next bucket, so adjust.
+	if idx < len(h.bounds) && h.bounds[idx] == v {
+		idx++
+	}
+	h.counts[idx]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.values = append(h.values, v)
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max returns the largest recorded value.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) by nearest-rank.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.values) == 0 {
+		return 0
+	}
+	vals := append([]float64(nil), h.values...)
+	sort.Float64s(vals)
+	rank := int(math.Ceil(q*float64(len(vals)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(vals) {
+		rank = len(vals) - 1
+	}
+	return vals[rank]
+}
+
+// Buckets returns (lower bound, upper bound, count) triples for rendering;
+// the first bucket's lower bound is -Inf and the last's upper is +Inf.
+func (h *Histogram) Buckets() []Bucket {
+	out := make([]Bucket, len(h.counts))
+	for i := range h.counts {
+		lo := math.Inf(-1)
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := math.Inf(1)
+		if i < len(h.bounds) {
+			hi = h.bounds[i]
+		}
+		out[i] = Bucket{Lo: lo, Hi: hi, Count: h.counts[i]}
+	}
+	return out
+}
+
+// Bucket is one histogram bucket.
+type Bucket struct {
+	Lo, Hi float64
+	Count  uint64
+}
+
+// FractionBelow returns the fraction of values strictly below x.
+func (h *Histogram) FractionBelow(x float64) float64 {
+	if len(h.values) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range h.values {
+		if v < x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(h.values))
+}
+
+// Render draws a fixed-width ASCII histogram for terminal reports.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var peak uint64
+	for _, c := range h.counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var sb strings.Builder
+	for _, b := range h.Buckets() {
+		bar := 0
+		if peak > 0 {
+			bar = int(float64(b.Count) / float64(peak) * float64(width))
+		}
+		label := fmt.Sprintf("[%s, %s)", fnum(b.Lo), fnum(b.Hi))
+		fmt.Fprintf(&sb, "%-22s %8d %s\n", label, b.Count, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}
+
+func fnum(v float64) string {
+	switch {
+	case math.IsInf(v, -1):
+		return "-inf"
+	case math.IsInf(v, 1):
+		return "inf"
+	case v >= 1000 && v == math.Trunc(v):
+		if k := v / 1000; k == math.Trunc(k) {
+			return fmt.Sprintf("%gk", k)
+		}
+		return fmt.Sprintf("%g", v)
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// Pct formats a count as a percentage of total, like the paper's tables.
+func Pct(count, total int) string {
+	if total == 0 {
+		return "0.00%"
+	}
+	return fmt.Sprintf("%.2f%%", 100*float64(count)/float64(total))
+}
+
+// Ratio returns count/total (0 when total is 0).
+func Ratio(count, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(count) / float64(total)
+}

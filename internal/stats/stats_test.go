@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for _, v := range []float64{0, 5, 9, 10, 99, 100, 500, 1000, 5000} {
+		h.Add(v)
+	}
+	b := h.Buckets()
+	if len(b) != 4 {
+		t.Fatalf("buckets = %d", len(b))
+	}
+	wantCounts := []uint64{3, 2, 2, 2} // [<10, 10-100, 100-1000, >=1000]
+	for i, want := range wantCounts {
+		if b[i].Count != want {
+			t.Errorf("bucket %d count = %d, want %d", i, b[i].Count, want)
+		}
+	}
+	if h.Total() != 9 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Max() != 5000 {
+		t.Errorf("max = %v", h.Max())
+	}
+}
+
+func TestHistogramMeanQuantile(t *testing.T) {
+	h := NewHistogram(50)
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if got := h.Mean(); got != 50.5 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := h.Quantile(0.5); got != 50 {
+		t.Errorf("median = %v", got)
+	}
+	if got := h.Quantile(1.0); got != 100 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := h.FractionBelow(51); got != 0.5 {
+		t.Errorf("FractionBelow(51) = %v", got)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram(10)
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.FractionBelow(5) != 0 {
+		t.Error("empty histogram stats not zero")
+	}
+	if out := h.Render(20); !strings.Contains(out, "0") {
+		t.Error("render of empty histogram broken")
+	}
+}
+
+func TestRender(t *testing.T) {
+	h := NewHistogram(10, 100)
+	for i := 0; i < 50; i++ {
+		h.Add(5)
+	}
+	h.Add(50)
+	out := h.Render(20)
+	if !strings.Contains(out, "####") {
+		t.Errorf("render missing bars:\n%s", out)
+	}
+	if !strings.Contains(out, "[-inf, 10)") || !strings.Contains(out, "[100, inf)") {
+		t.Errorf("render missing labels:\n%s", out)
+	}
+}
+
+func TestRenderKLabels(t *testing.T) {
+	h := NewHistogram(800000, 2500000)
+	h.Add(100)
+	out := h.Render(10)
+	if !strings.Contains(out, "800k") || !strings.Contains(out, "2500k") {
+		t.Errorf("k-suffix labels missing:\n%s", out)
+	}
+}
+
+func TestPctAndRatio(t *testing.T) {
+	if got := Pct(8977, 10000); got != "89.77%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(1, 0); got != "0.00%" {
+		t.Errorf("Pct zero total = %q", got)
+	}
+	if got := Ratio(1, 4); got != 0.25 {
+		t.Errorf("Ratio = %v", got)
+	}
+	if got := Ratio(1, 0); got != 0 {
+		t.Errorf("Ratio zero total = %v", got)
+	}
+}
+
+// Property: bucket counts always sum to the number of Adds, and every value
+// lands in the bucket whose bounds contain it.
+func TestHistogramInvariantQuick(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewHistogram(0, 10, 100)
+		clean := 0
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Add(v)
+			clean++
+		}
+		var sum uint64
+		for _, b := range h.Buckets() {
+			sum += b.Count
+		}
+		return sum == uint64(clean) && h.Total() == uint64(clean)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package taint
+
+import (
+	"math/bits"
+
+	"chaser/internal/tcg"
+)
+
+// This file defines the per-micro-op taint propagation rules. They follow
+// DECAF's bitwise discipline for logical operations and use conservative
+// carry/diffusion smearing for arithmetic, plus the floating-point extension
+// described in the paper (any tainted input bit diffuses through the whole
+// result, since FP rounding mixes mantissa and exponent).
+
+// smearUp taints every bit at or above the lowest tainted input bit,
+// modelling carry propagation in add/sub.
+func smearUp(mask uint64) uint64 {
+	if mask == 0 {
+		return 0
+	}
+	low := uint(bits.TrailingZeros64(mask))
+	return ^uint64(0) << low
+}
+
+// smearAll taints the full word when any input bit is tainted, modelling
+// multiplicative/float diffusion.
+func smearAll(mask uint64) uint64 {
+	if mask == 0 {
+		return 0
+	}
+	return ^uint64(0)
+}
+
+// BinaryMask computes the result shadow mask of a two-operand micro-op from
+// its operand masks. shift is the runtime shift amount for KShl/KShr (used
+// to relocate the mask precisely when the amount itself is untainted).
+func BinaryMask(kind tcg.Kind, m1, m2 uint64, shift uint64) uint64 {
+	switch kind {
+	case tcg.KAnd, tcg.KOr, tcg.KXor:
+		return m1 | m2
+	case tcg.KAdd, tcg.KSub:
+		return smearUp(m1 | m2)
+	case tcg.KMul, tcg.KDiv, tcg.KMod:
+		return smearAll(m1 | m2)
+	case tcg.KShl:
+		if m2 != 0 {
+			return smearAll(m1 | m2)
+		}
+		return m1 << (shift & 63)
+	case tcg.KShr:
+		if m2 != 0 {
+			return smearAll(m1 | m2)
+		}
+		return m1 >> (shift & 63)
+	case tcg.KFAdd, tcg.KFSub, tcg.KFMul, tcg.KFDiv:
+		return smearAll(m1 | m2)
+	}
+	return smearAll(m1 | m2)
+}
+
+// ImmBinaryMask computes the result mask for immediate-operand micro-ops
+// (the immediate is a constant and contributes no taint).
+func ImmBinaryMask(kind tcg.Kind, m1 uint64, imm int64) uint64 {
+	switch kind {
+	case tcg.KAddI:
+		return smearUp(m1)
+	case tcg.KMulI:
+		return smearAll(m1)
+	}
+	return smearAll(m1)
+}
+
+// UnaryMask computes the result mask for one-operand micro-ops.
+func UnaryMask(kind tcg.Kind, m1 uint64) uint64 {
+	switch kind {
+	case tcg.KMov, tcg.KNot:
+		return m1
+	case tcg.KFNeg:
+		// Negation flips only the sign bit; taint is preserved bit-for-bit
+		// and the sign bit becomes tainted if anything is.
+		if m1 == 0 {
+			return 0
+		}
+		return m1 | 1<<63
+	case tcg.KCvtIF, tcg.KCvtFI:
+		return smearAll(m1)
+	}
+	return smearAll(m1)
+}
+
+// CompareMask computes the flags-register mask for compare micro-ops: the
+// flags value is data-dependent on any tainted input bit.
+func CompareMask(m1, m2 uint64) uint64 {
+	if m1|m2 == 0 {
+		return 0
+	}
+	// Flags hold -1/0/+1; conservatively taint the low two bits and sign.
+	return 0x3 | 1<<63
+}

@@ -1,0 +1,219 @@
+// Package taint implements DECAF-style lightweight bitwise dynamic taint
+// analysis for the Chaser virtual machine.
+//
+// Taint is tracked at bit granularity: every micro-register carries a 64-bit
+// shadow mask and every guest memory byte carries an 8-bit shadow mask, so an
+// injected single-bit flip starts life as a single shadow bit and widens only
+// as the fault propagates. Propagation rules are enforced per TCG micro-op
+// (see rules.go), including the floating-point extension the paper adds on
+// top of DECAF's integer rules.
+package taint
+
+import (
+	"sort"
+
+	"chaser/internal/tcg"
+)
+
+// PageSize is the granularity of shadow-memory allocation.
+const PageSize = 4096
+
+type shadowPage struct {
+	masks [PageSize]uint8
+	// count is the number of bytes in this page with a non-zero mask,
+	// maintained incrementally so tainted-byte sampling (paper Fig. 7) is
+	// O(1) per query.
+	count int
+}
+
+// Shadow holds the complete taint state of one guest process: shadow
+// registers and shadow memory.
+//
+// The zero value is not ready for use; call NewShadow.
+type Shadow struct {
+	regs  [tcg.NumMRegs]uint64
+	pages map[uint64]*shadowPage
+	// taintedBytes is the global count of guest memory bytes whose shadow
+	// mask is non-zero.
+	taintedBytes int64
+}
+
+// NewShadow creates an empty taint state.
+func NewShadow() *Shadow {
+	return &Shadow{pages: make(map[uint64]*shadowPage)}
+}
+
+// Reset clears all taint.
+func (s *Shadow) Reset() {
+	s.regs = [tcg.NumMRegs]uint64{}
+	s.pages = make(map[uint64]*shadowPage)
+	s.taintedBytes = 0
+}
+
+// RegMask returns the shadow mask of a micro-register.
+func (s *Shadow) RegMask(r tcg.MReg) uint64 { return s.regs[r] }
+
+// SetRegMask replaces the shadow mask of a micro-register.
+func (s *Shadow) SetRegMask(r tcg.MReg, mask uint64) { s.regs[r] = mask }
+
+// AnyRegTainted reports whether any guest-visible register carries taint.
+func (s *Shadow) AnyRegTainted() bool {
+	for _, m := range s.regs {
+		if m != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TaintedBytes returns the number of guest memory bytes currently tainted.
+// This is the quantity sampled every 100K instructions for the paper's
+// tainted-bytes-in-propagation curves.
+func (s *Shadow) TaintedBytes() int64 { return s.taintedBytes }
+
+func (s *Shadow) page(addr uint64) (*shadowPage, uint64) {
+	base := addr &^ (PageSize - 1)
+	return s.pages[base], addr - base
+}
+
+func (s *Shadow) pageAlloc(addr uint64) (*shadowPage, uint64) {
+	base := addr &^ (PageSize - 1)
+	p := s.pages[base]
+	if p == nil {
+		p = &shadowPage{}
+		s.pages[base] = p
+	}
+	return p, addr - base
+}
+
+// MemMask8 returns the shadow mask of one guest byte.
+func (s *Shadow) MemMask8(addr uint64) uint8 {
+	p, off := s.page(addr)
+	if p == nil {
+		return 0
+	}
+	return p.masks[off]
+}
+
+// SetMemMask8 replaces the shadow mask of one guest byte.
+func (s *Shadow) SetMemMask8(addr uint64, mask uint8) {
+	if mask == 0 {
+		// Avoid allocating a page just to store zeros.
+		p, off := s.page(addr)
+		if p == nil {
+			return
+		}
+		if p.masks[off] != 0 {
+			p.masks[off] = 0
+			p.count--
+			s.taintedBytes--
+			if p.count == 0 {
+				delete(s.pages, addr&^(PageSize-1))
+			}
+		}
+		return
+	}
+	p, off := s.pageAlloc(addr)
+	if p.masks[off] == 0 {
+		p.count++
+		s.taintedBytes++
+	}
+	p.masks[off] = mask
+}
+
+// MemMask64 assembles the 64-bit shadow mask of eight consecutive guest
+// bytes at addr (little-endian: byte i supplies mask bits [8i, 8i+8)).
+func (s *Shadow) MemMask64(addr uint64) uint64 {
+	if s.taintedBytes == 0 {
+		return 0
+	}
+	if off := addr & (PageSize - 1); off <= PageSize-8 {
+		// Fast path: all eight bytes in one page.
+		p, _ := s.page(addr)
+		if p == nil {
+			return 0
+		}
+		var mask uint64
+		for i := uint64(0); i < 8; i++ {
+			mask |= uint64(p.masks[off+i]) << (8 * i)
+		}
+		return mask
+	}
+	var mask uint64
+	for i := uint64(0); i < 8; i++ {
+		if m := s.MemMask8(addr + i); m != 0 {
+			mask |= uint64(m) << (8 * i)
+		}
+	}
+	return mask
+}
+
+// SetMemMask64 distributes a 64-bit register shadow mask across eight
+// consecutive guest bytes.
+func (s *Shadow) SetMemMask64(addr uint64, mask uint64) {
+	if mask == 0 && s.taintedBytes == 0 {
+		return
+	}
+	for i := uint64(0); i < 8; i++ {
+		s.SetMemMask8(addr+i, uint8(mask>>(8*i)))
+	}
+}
+
+// ClearMemRange removes taint from [addr, addr+n).
+func (s *Shadow) ClearMemRange(addr, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.SetMemMask8(addr+i, 0)
+	}
+}
+
+// MemRangeTainted reports whether any byte in [addr, addr+n) is tainted.
+func (s *Shadow) MemRangeTainted(addr, n uint64) bool {
+	for i := uint64(0); i < n; i++ {
+		if s.MemMask8(addr+i) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// MemRangeMasks copies the per-byte shadow masks of [addr, addr+n). The
+// result is the taint-status payload Chaser publishes to the TaintHub for an
+// outgoing MPI message buffer.
+func (s *Shadow) MemRangeMasks(addr, n uint64) []uint8 {
+	out := make([]uint8, n)
+	for i := uint64(0); i < n; i++ {
+		out[i] = s.MemMask8(addr + i)
+	}
+	return out
+}
+
+// SetMemRangeMasks applies per-byte shadow masks to [addr, addr+len(masks)).
+// This is how a receiving rank re-marks taint retrieved from the TaintHub.
+func (s *Shadow) SetMemRangeMasks(addr uint64, masks []uint8) {
+	for i, m := range masks {
+		s.SetMemMask8(addr+uint64(i), m)
+	}
+}
+
+// TaintedAddrs returns up to limit tainted byte addresses in ascending
+// order (limit <= 0 means no limit). Intended for debugging and tests.
+func (s *Shadow) TaintedAddrs(limit int) []uint64 {
+	bases := make([]uint64, 0, len(s.pages))
+	for b := range s.pages {
+		bases = append(bases, b)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	var out []uint64
+	for _, b := range bases {
+		p := s.pages[b]
+		for off, m := range p.masks {
+			if m != 0 {
+				out = append(out, b+uint64(off))
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package taint
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chaser/internal/tcg"
+)
+
+func TestRegMasks(t *testing.T) {
+	s := NewShadow()
+	if s.AnyRegTainted() {
+		t.Error("fresh shadow has tainted regs")
+	}
+	s.SetRegMask(tcg.GPR0+3, 1<<5)
+	if got := s.RegMask(tcg.GPR0 + 3); got != 1<<5 {
+		t.Errorf("RegMask = %#x", got)
+	}
+	if !s.AnyRegTainted() {
+		t.Error("AnyRegTainted = false after SetRegMask")
+	}
+	s.Reset()
+	if s.AnyRegTainted() || s.TaintedBytes() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestMemMask8(t *testing.T) {
+	s := NewShadow()
+	const addr = 0x2000_0123
+	s.SetMemMask8(addr, 0x80)
+	if got := s.MemMask8(addr); got != 0x80 {
+		t.Errorf("MemMask8 = %#x", got)
+	}
+	if got := s.TaintedBytes(); got != 1 {
+		t.Errorf("TaintedBytes = %d, want 1", got)
+	}
+	// Overwriting with another non-zero mask keeps count at 1.
+	s.SetMemMask8(addr, 0x01)
+	if got := s.TaintedBytes(); got != 1 {
+		t.Errorf("TaintedBytes after overwrite = %d, want 1", got)
+	}
+	s.SetMemMask8(addr, 0)
+	if got := s.TaintedBytes(); got != 0 {
+		t.Errorf("TaintedBytes after clear = %d, want 0", got)
+	}
+	if got := s.MemMask8(addr); got != 0 {
+		t.Errorf("MemMask8 after clear = %#x", got)
+	}
+	// Clearing an untouched address allocates nothing and stays at zero.
+	s.SetMemMask8(0x5000_0000, 0)
+	if len(s.pages) != 0 {
+		t.Errorf("pages = %d, want 0 (zero-store must not allocate)", len(s.pages))
+	}
+}
+
+func TestMemMask64RoundTrip(t *testing.T) {
+	s := NewShadow()
+	const addr = 0x2000_0000
+	const mask = uint64(0xdead_beef_cafe_0102)
+	s.SetMemMask64(addr, mask)
+	if got := s.MemMask64(addr); got != mask {
+		t.Errorf("MemMask64 = %#x, want %#x", got, mask)
+	}
+	// Byte layout is little-endian: byte 0 carries bits 0-7.
+	if got := s.MemMask8(addr); got != 0x02 {
+		t.Errorf("byte0 mask = %#x, want 0x02", got)
+	}
+	if got := s.MemMask8(addr + 7); got != 0xde {
+		t.Errorf("byte7 mask = %#x, want 0xde", got)
+	}
+	// 7 of 8 bytes have non-zero masks? 0xde,0xad,0xbe,0xef,0xca,0xfe,0x01,0x02: all 8.
+	if got := s.TaintedBytes(); got != 8 {
+		t.Errorf("TaintedBytes = %d, want 8", got)
+	}
+	s.SetMemMask64(addr, 0)
+	if got := s.TaintedBytes(); got != 0 {
+		t.Errorf("TaintedBytes after clear = %d", got)
+	}
+}
+
+func TestMemMask64CrossesPages(t *testing.T) {
+	s := NewShadow()
+	addr := uint64(0x2000_1000 - 4) // straddles a page boundary
+	s.SetMemMask64(addr, ^uint64(0))
+	if got := s.MemMask64(addr); got != ^uint64(0) {
+		t.Errorf("cross-page MemMask64 = %#x", got)
+	}
+	if got := s.TaintedBytes(); got != 8 {
+		t.Errorf("TaintedBytes = %d", got)
+	}
+}
+
+func TestMemRangeHelpers(t *testing.T) {
+	s := NewShadow()
+	base := uint64(0x3000_0000)
+	masks := []uint8{0, 1, 0, 0xff, 0}
+	s.SetMemRangeMasks(base, masks)
+	if !s.MemRangeTainted(base, 5) {
+		t.Error("MemRangeTainted = false")
+	}
+	if s.MemRangeTainted(base+4, 1) {
+		t.Error("untainted tail reported tainted")
+	}
+	got := s.MemRangeMasks(base, 5)
+	for i := range masks {
+		if got[i] != masks[i] {
+			t.Errorf("mask[%d] = %#x, want %#x", i, got[i], masks[i])
+		}
+	}
+	if got := s.TaintedBytes(); got != 2 {
+		t.Errorf("TaintedBytes = %d, want 2", got)
+	}
+	s.ClearMemRange(base, 5)
+	if s.MemRangeTainted(base, 5) || s.TaintedBytes() != 0 {
+		t.Error("ClearMemRange did not clear")
+	}
+}
+
+func TestTaintedAddrs(t *testing.T) {
+	s := NewShadow()
+	for _, a := range []uint64{0x9000, 0x2000, 0x2005, 0x1_0000} {
+		s.SetMemMask8(a, 1)
+	}
+	addrs := s.TaintedAddrs(0)
+	want := []uint64{0x2000, 0x2005, 0x9000, 0x1_0000}
+	if len(addrs) != len(want) {
+		t.Fatalf("addrs = %v", addrs)
+	}
+	for i := range want {
+		if addrs[i] != want[i] {
+			t.Errorf("addrs[%d] = %#x, want %#x", i, addrs[i], want[i])
+		}
+	}
+	if got := s.TaintedAddrs(2); len(got) != 2 {
+		t.Errorf("limited addrs = %v", got)
+	}
+}
+
+// Property: tainted-byte accounting matches a brute-force recount after an
+// arbitrary sequence of mask stores.
+func TestTaintedBytesInvariantQuick(t *testing.T) {
+	f := func(ops []struct {
+		Off  uint16
+		Mask uint8
+	}) bool {
+		s := NewShadow()
+		ref := make(map[uint64]uint8)
+		base := uint64(0x2000_0000)
+		for _, op := range ops {
+			addr := base + uint64(op.Off)
+			s.SetMemMask8(addr, op.Mask)
+			if op.Mask == 0 {
+				delete(ref, addr)
+			} else {
+				ref[addr] = op.Mask
+			}
+		}
+		if int(s.TaintedBytes()) != len(ref) {
+			return false
+		}
+		for a, m := range ref {
+			if s.MemMask8(a) != m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func allFrom(n uint) uint64 { return ^uint64(0) << n }
+
+func TestSmearRules(t *testing.T) {
+	tests := []struct {
+		name string
+		kind tcg.Kind
+		m1   uint64
+		m2   uint64
+		sh   uint64
+		want uint64
+	}{
+		{"xor union", tcg.KXor, 0x0f, 0xf0, 0, 0xff},
+		{"and union", tcg.KAnd, 1 << 3, 0, 0, 1 << 3},
+		{"add carries up", tcg.KAdd, 1 << 4, 0, 0, allFrom(4)},
+		{"sub carries up", tcg.KSub, 0, 1 << 10, 0, allFrom(10)},
+		{"add clean", tcg.KAdd, 0, 0, 0, 0},
+		{"mul smears all", tcg.KMul, 1 << 63, 0, 0, ^uint64(0)},
+		{"div smears all", tcg.KDiv, 0, 1, 0, ^uint64(0)},
+		{"shl shifts mask", tcg.KShl, 1 << 2, 0, 3, 1 << 5},
+		{"shr shifts mask", tcg.KShr, 1 << 5, 0, 3, 1 << 2},
+		{"shl tainted amount", tcg.KShl, 1, 1, 0, ^uint64(0)},
+		{"fadd smears", tcg.KFAdd, 1 << 52, 0, 0, ^uint64(0)},
+		{"fdiv clean", tcg.KFDiv, 0, 0, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := BinaryMask(tt.kind, tt.m1, tt.m2, tt.sh); got != tt.want {
+				t.Errorf("BinaryMask = %#x, want %#x", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestImmAndUnaryMasks(t *testing.T) {
+	if got := ImmBinaryMask(tcg.KAddI, 1<<8, 42); got != allFrom(8) {
+		t.Errorf("KAddI = %#x", got)
+	}
+	if got := ImmBinaryMask(tcg.KMulI, 1, 3); got != ^uint64(0) {
+		t.Errorf("KMulI = %#x", got)
+	}
+	if got := ImmBinaryMask(tcg.KAddI, 0, 42); got != 0 {
+		t.Errorf("clean KAddI = %#x", got)
+	}
+	if got := UnaryMask(tcg.KMov, 0xabc); got != 0xabc {
+		t.Errorf("KMov = %#x", got)
+	}
+	if got := UnaryMask(tcg.KNot, 0xabc); got != 0xabc {
+		t.Errorf("KNot = %#x", got)
+	}
+	if got := UnaryMask(tcg.KFNeg, 0); got != 0 {
+		t.Errorf("clean KFNeg = %#x", got)
+	}
+	if got := UnaryMask(tcg.KFNeg, 1); got != 1|1<<63 {
+		t.Errorf("KFNeg = %#x", got)
+	}
+	if got := UnaryMask(tcg.KCvtIF, 2); got != ^uint64(0) {
+		t.Errorf("KCvtIF = %#x", got)
+	}
+}
+
+func TestCompareMask(t *testing.T) {
+	if got := CompareMask(0, 0); got != 0 {
+		t.Errorf("clean compare = %#x", got)
+	}
+	if got := CompareMask(1<<7, 0); got == 0 {
+		t.Error("tainted compare produced clean flags")
+	}
+}
+
+// Property: no rule conjures taint from fully clean inputs, and every rule
+// output is monotone in its inputs (adding input taint never removes output
+// taint for the same kind).
+func TestNoTaintFromCleanQuick(t *testing.T) {
+	kinds := []tcg.Kind{
+		tcg.KAdd, tcg.KSub, tcg.KMul, tcg.KDiv, tcg.KMod, tcg.KAnd, tcg.KOr,
+		tcg.KXor, tcg.KShl, tcg.KShr, tcg.KFAdd, tcg.KFSub, tcg.KFMul, tcg.KFDiv,
+	}
+	for _, k := range kinds {
+		if got := BinaryMask(k, 0, 0, 13); got != 0 {
+			t.Errorf("%v produced taint from clean inputs: %#x", k, got)
+		}
+	}
+	f := func(m1, m2 uint64, extra uint64, sh uint8, kidx uint8) bool {
+		k := kinds[int(kidx)%len(kinds)]
+		base := BinaryMask(k, m1, m2, uint64(sh))
+		wider := BinaryMask(k, m1|extra, m2, uint64(sh))
+		return base&^wider == 0 || (k == tcg.KShl || k == tcg.KShr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

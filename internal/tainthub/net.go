@@ -1,0 +1,217 @@
+package tainthub
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// The wire protocol is newline-delimited JSON over TCP: one request object
+// per line, one response object per line. It is deliberately simple — the
+// hub runs on the head node and handles a few messages per guest send/recv.
+
+type request struct {
+	Op    string `json:"op"` // "publish", "poll", "stats"
+	Src   int    `json:"src"`
+	Dst   int    `json:"dst"`
+	Tag   int    `json:"tag"`
+	NS    int    `json:"ns,omitempty"`
+	Seq   uint64 `json:"seq"`
+	Masks string `json:"masks,omitempty"` // base64
+}
+
+type response struct {
+	OK    bool   `json:"ok"`
+	Found bool   `json:"found,omitempty"`
+	Masks string `json:"masks,omitempty"`
+	Stats *Stats `json:"stats,omitempty"`
+	Err   string `json:"err,omitempty"`
+}
+
+// Server exposes a hub over TCP.
+type Server struct {
+	hub Hub
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// NewServer starts serving hub on addr (e.g. "127.0.0.1:0"). Use Addr to
+// discover the bound address.
+func NewServer(hub Hub, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tainthub: listen: %w", err)
+	}
+	s := &Server{hub: hub, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and all its connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req request) response {
+	k := Key{Src: req.Src, Dst: req.Dst, Tag: req.Tag, NS: req.NS}
+	switch req.Op {
+	case "publish":
+		masks, err := base64.StdEncoding.DecodeString(req.Masks)
+		if err != nil {
+			return response{Err: "bad masks encoding"}
+		}
+		if err := s.hub.Publish(k, req.Seq, masks); err != nil {
+			return response{Err: err.Error()}
+		}
+		return response{OK: true}
+	case "poll":
+		masks, found, err := s.hub.Poll(k, req.Seq)
+		if err != nil {
+			return response{Err: err.Error()}
+		}
+		return response{OK: true, Found: found, Masks: base64.StdEncoding.EncodeToString(masks)}
+	case "stats":
+		st := s.hub.Stats()
+		return response{OK: true, Stats: &st}
+	}
+	return response{Err: fmt.Sprintf("unknown op %q", req.Op)}
+}
+
+// Client is a Hub backed by a remote Server. It is safe for concurrent use;
+// requests are serialized over one connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+var _ Hub = (*Client)(nil)
+
+// Dial connects to a hub server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tainthub: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return response{}, fmt.Errorf("tainthub: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return response{}, fmt.Errorf("tainthub: recv: %w", err)
+	}
+	if resp.Err != "" {
+		return response{}, errors.New("tainthub: " + resp.Err)
+	}
+	return resp, nil
+}
+
+// Publish implements Hub.
+func (c *Client) Publish(k Key, seq uint64, masks []uint8) error {
+	_, err := c.roundTrip(request{
+		Op: "publish", Src: k.Src, Dst: k.Dst, Tag: k.Tag, NS: k.NS, Seq: seq,
+		Masks: base64.StdEncoding.EncodeToString(masks),
+	})
+	return err
+}
+
+// Poll implements Hub.
+func (c *Client) Poll(k Key, seq uint64) ([]uint8, bool, error) {
+	resp, err := c.roundTrip(request{Op: "poll", Src: k.Src, Dst: k.Dst, Tag: k.Tag, NS: k.NS, Seq: seq})
+	if err != nil {
+		return nil, false, err
+	}
+	if !resp.Found {
+		return nil, false, nil
+	}
+	masks, err := base64.StdEncoding.DecodeString(resp.Masks)
+	if err != nil {
+		return nil, false, fmt.Errorf("tainthub: bad masks in response: %w", err)
+	}
+	return masks, true, nil
+}
+
+// Stats implements Hub.
+func (c *Client) Stats() Stats {
+	resp, err := c.roundTrip(request{Op: "stats"})
+	if err != nil || resp.Stats == nil {
+		return Stats{}
+	}
+	return *resp.Stats
+}

@@ -1,0 +1,141 @@
+// Package tainthub implements the TaintHub: the central service that stores
+// and shares the taint status of MPI messages between Chaser instances
+// supervising different ranks (Fig. 5 of the paper).
+//
+// When a hooked MPI_Send observes a tainted buffer, Chaser publishes the
+// message's per-byte taint masks keyed by (source, dest, tag) plus a
+// per-key sequence number; when the matching MPI_Recv completes on the
+// receiving rank, Chaser polls the hub and re-marks the taint locally so
+// propagation continues across the process boundary. Clean messages are
+// never published — the receiver's poll simply comes back empty, which is
+// what keeps the tracing overhead low.
+//
+// Two implementations are provided: Local (in-process, for single-host
+// worlds and tests) and a TCP Server/Client pair (the head-node deployment
+// of the paper's testbed).
+package tainthub
+
+import "sync"
+
+// Key identifies a message flow between two ranks. NS is a namespace
+// discriminator allowing many concurrent campaigns (each a separate run of
+// the same ranks and tags) to share one hub without collisions; see
+// WithNamespace.
+type Key struct {
+	Src int
+	Dst int
+	Tag int
+	NS  int
+}
+
+// Hub is the interface Chaser uses to coordinate message taint.
+type Hub interface {
+	// Publish records the taint masks of the seq-th message (0-based,
+	// counted per key) sent on the given flow.
+	Publish(k Key, seq uint64, masks []uint8) error
+	// Poll retrieves and removes the taint masks of the seq-th message of
+	// the flow. ok is false when that message was never published (clean).
+	Poll(k Key, seq uint64) (masks []uint8, ok bool, err error)
+	// Stats returns a snapshot of hub activity.
+	Stats() Stats
+}
+
+// Stats counts hub activity.
+type Stats struct {
+	Published uint64 // tainted message statuses stored
+	Polls     uint64 // total poll requests
+	Hits      uint64 // polls that found a tainted status
+	Pending   int    // statuses currently stored
+}
+
+type entryKey struct {
+	k   Key
+	seq uint64
+}
+
+// Local is an in-process hub. The zero value is not ready; use NewLocal.
+type Local struct {
+	mu      sync.Mutex
+	entries map[entryKey][]uint8
+	stats   Stats
+}
+
+var _ Hub = (*Local)(nil)
+
+// NewLocal creates an empty in-process hub.
+func NewLocal() *Local {
+	return &Local{entries: make(map[entryKey][]uint8)}
+}
+
+// Publish implements Hub.
+func (l *Local) Publish(k Key, seq uint64, masks []uint8) error {
+	cp := make([]uint8, len(masks))
+	copy(cp, masks)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries[entryKey{k, seq}] = cp
+	l.stats.Published++
+	return nil
+}
+
+// Poll implements Hub.
+func (l *Local) Poll(k Key, seq uint64) ([]uint8, bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats.Polls++
+	ek := entryKey{k, seq}
+	masks, ok := l.entries[ek]
+	if !ok {
+		return nil, false, nil
+	}
+	delete(l.entries, ek)
+	l.stats.Hits++
+	return masks, true, nil
+}
+
+// Stats implements Hub.
+func (l *Local) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.stats
+	s.Pending = len(l.entries)
+	return s
+}
+
+// Reset clears all stored statuses and statistics (between campaign runs).
+func (l *Local) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = make(map[entryKey][]uint8)
+	l.stats = Stats{}
+}
+
+// namespaced stamps a fixed namespace onto every key, so concurrent runs
+// sharing one hub (e.g. a parallel campaign against a head-node TaintHub
+// server) stay isolated from each other.
+type namespaced struct {
+	hub Hub
+	ns  int
+}
+
+var _ Hub = namespaced{}
+
+// WithNamespace returns a view of hub whose keys live in namespace ns.
+func WithNamespace(hub Hub, ns int) Hub {
+	return namespaced{hub: hub, ns: ns}
+}
+
+// Publish implements Hub.
+func (n namespaced) Publish(k Key, seq uint64, masks []uint8) error {
+	k.NS = n.ns
+	return n.hub.Publish(k, seq, masks)
+}
+
+// Poll implements Hub.
+func (n namespaced) Poll(k Key, seq uint64) ([]uint8, bool, error) {
+	k.NS = n.ns
+	return n.hub.Poll(k, seq)
+}
+
+// Stats implements Hub (shared across namespaces).
+func (n namespaced) Stats() Stats { return n.hub.Stats() }

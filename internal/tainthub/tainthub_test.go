@@ -1,0 +1,268 @@
+package tainthub
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLocalPublishPoll(t *testing.T) {
+	h := NewLocal()
+	k := Key{Src: 0, Dst: 1, Tag: 5}
+	masks := []uint8{0, 0xff, 0x01}
+	if err := h.Publish(k, 0, masks); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := h.Poll(k, 0)
+	if err != nil || !ok {
+		t.Fatalf("Poll = %v, %v, %v", got, ok, err)
+	}
+	for i := range masks {
+		if got[i] != masks[i] {
+			t.Errorf("mask[%d] = %#x, want %#x", i, got[i], masks[i])
+		}
+	}
+	// Poll removes.
+	if _, ok, _ := h.Poll(k, 0); ok {
+		t.Error("second poll found the status again")
+	}
+}
+
+func TestLocalCleanMessagePollMisses(t *testing.T) {
+	h := NewLocal()
+	if _, ok, err := h.Poll(Key{Src: 1, Dst: 0, Tag: 2}, 7); ok || err != nil {
+		t.Errorf("poll of unpublished = %v, %v", ok, err)
+	}
+}
+
+func TestLocalSequencing(t *testing.T) {
+	// Message 0 clean (unpublished), message 1 tainted: the receiver's poll
+	// for seq 0 must miss and seq 1 must hit.
+	h := NewLocal()
+	k := Key{Src: 0, Dst: 1, Tag: 0}
+	if err := h.Publish(k, 1, []uint8{0xaa}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := h.Poll(k, 0); ok {
+		t.Error("seq 0 poll hit a seq 1 status")
+	}
+	got, ok, _ := h.Poll(k, 1)
+	if !ok || got[0] != 0xaa {
+		t.Errorf("seq 1 poll = %v, %v", got, ok)
+	}
+}
+
+func TestLocalKeysAreIndependent(t *testing.T) {
+	h := NewLocal()
+	_ = h.Publish(Key{Src: 0, Dst: 1, Tag: 1}, 0, []uint8{1})
+	if _, ok, _ := h.Poll(Key{Src: 0, Dst: 1, Tag: 2}, 0); ok {
+		t.Error("poll with different tag hit")
+	}
+	if _, ok, _ := h.Poll(Key{Src: 0, Dst: 2, Tag: 1}, 0); ok {
+		t.Error("poll with different dst hit")
+	}
+	if _, ok, _ := h.Poll(Key{Src: 0, Dst: 1, Tag: 1}, 0); !ok {
+		t.Error("correct key missed")
+	}
+}
+
+func TestLocalStatsAndReset(t *testing.T) {
+	h := NewLocal()
+	_ = h.Publish(Key{Src: 0, Dst: 1, Tag: 0}, 0, []uint8{1})
+	_ = h.Publish(Key{Src: 0, Dst: 2, Tag: 0}, 0, []uint8{1})
+	_, _, _ = h.Poll(Key{Src: 0, Dst: 1, Tag: 0}, 0)
+	_, _, _ = h.Poll(Key{Src: 9, Dst: 9, Tag: 9}, 0)
+	s := h.Stats()
+	if s.Published != 2 || s.Polls != 2 || s.Hits != 1 || s.Pending != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	h.Reset()
+	s = h.Stats()
+	if s.Published != 0 || s.Pending != 0 {
+		t.Errorf("stats after reset = %+v", s)
+	}
+}
+
+func TestLocalPublishCopiesMasks(t *testing.T) {
+	h := NewLocal()
+	masks := []uint8{1, 2, 3}
+	_ = h.Publish(Key{}, 0, masks)
+	masks[0] = 99
+	got, _, _ := h.Poll(Key{}, 0)
+	if got[0] != 1 {
+		t.Error("hub aliases caller's mask slice")
+	}
+}
+
+// Property: publish/poll round-trips arbitrary masks for arbitrary keys.
+func TestLocalRoundTripQuick(t *testing.T) {
+	h := NewLocal()
+	f := func(src, dst uint8, tag uint16, seq uint64, masks []uint8) bool {
+		k := Key{Src: int(src), Dst: int(dst), Tag: int(tag)}
+		if err := h.Publish(k, seq, masks); err != nil {
+			return false
+		}
+		got, ok, err := h.Poll(k, seq)
+		if err != nil || !ok || len(got) != len(masks) {
+			return false
+		}
+		for i := range masks {
+			if got[i] != masks[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTCPServerClient(t *testing.T) {
+	srv, err := NewServer(NewLocal(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	k := Key{Src: 2, Dst: 3, Tag: 9}
+	masks := []uint8{0xde, 0xad, 0, 0xef}
+	if err := c.Publish(k, 4, masks); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Poll(k, 4)
+	if err != nil || !ok {
+		t.Fatalf("Poll = %v %v %v", got, ok, err)
+	}
+	for i := range masks {
+		if got[i] != masks[i] {
+			t.Errorf("mask[%d] = %#x, want %#x", i, got[i], masks[i])
+		}
+	}
+	if _, ok, err := c.Poll(k, 4); ok || err != nil {
+		t.Errorf("re-poll = %v, %v", ok, err)
+	}
+	st := c.Stats()
+	if st.Published != 1 || st.Hits != 1 {
+		t.Errorf("remote stats = %+v", st)
+	}
+}
+
+func TestTCPMultipleClients(t *testing.T) {
+	srv, err := NewServer(NewLocal(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Four "ranks" publish and poll concurrently, like a real campaign.
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			k := Key{Src: r, Dst: (r + 1) % 4, Tag: 0}
+			for seq := uint64(0); seq < 50; seq++ {
+				if err := c.Publish(k, seq, []uint8{uint8(r), uint8(seq)}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for r := 0; r < 4; r++ {
+		k := Key{Src: r, Dst: (r + 1) % 4, Tag: 0}
+		for seq := uint64(0); seq < 50; seq++ {
+			masks, ok, err := c.Poll(k, seq)
+			if err != nil || !ok {
+				t.Fatalf("poll r=%d seq=%d: %v %v", r, seq, ok, err)
+			}
+			if masks[0] != uint8(r) || masks[1] != uint8(seq) {
+				t.Fatalf("masks = %v", masks)
+			}
+		}
+	}
+}
+
+func TestDialError(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestNamespacedIsolation(t *testing.T) {
+	base := NewLocal()
+	a := WithNamespace(base, 1)
+	b := WithNamespace(base, 2)
+	k := Key{Src: 0, Dst: 1, Tag: 5}
+	if err := a.Publish(k, 0, []uint8{0xaa}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(k, 0, []uint8{0xbb}); err != nil {
+		t.Fatal(err)
+	}
+	// Each namespace sees only its own status.
+	got, ok, _ := b.Poll(k, 0)
+	if !ok || got[0] != 0xbb {
+		t.Errorf("ns b = %v, %v", got, ok)
+	}
+	got, ok, _ = a.Poll(k, 0)
+	if !ok || got[0] != 0xaa {
+		t.Errorf("ns a = %v, %v", got, ok)
+	}
+	// A third namespace sees nothing.
+	if _, ok, _ := WithNamespace(base, 3).Poll(k, 0); ok {
+		t.Error("empty namespace polled a status")
+	}
+	// Stats are shared across namespaces.
+	if st := a.Stats(); st.Published != 2 {
+		t.Errorf("shared stats = %+v", st)
+	}
+}
+
+func TestNamespacedOverTCP(t *testing.T) {
+	srv, err := NewServer(NewLocal(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	k := Key{Src: 0, Dst: 1, Tag: 9}
+	if err := WithNamespace(c, 7).Publish(k, 3, []uint8{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := WithNamespace(c, 8).Poll(k, 3); ok {
+		t.Error("cross-namespace hit over TCP")
+	}
+	if _, ok, _ := WithNamespace(c, 7).Poll(k, 3); !ok {
+		t.Error("same-namespace miss over TCP")
+	}
+}

@@ -1,0 +1,47 @@
+package tcg
+
+// The peephole optimizer rewrites micro-ops in place after translation,
+// mirroring (a small slice of) QEMU's TCG optimizer. Every rewrite is
+// 1:1 — an op becomes a cheaper op, never removed — so guest-instruction
+// boundaries (First flags), program counters, and instrumentation stay
+// intact, and taint propagation only ever becomes more precise (identity
+// copies propagate exact masks where the general arithmetic rule smears).
+
+// optimize applies the peephole rewrites to a block's ops and returns the
+// number of rewrites performed.
+func optimize(ops []Op) uint64 {
+	var n uint64
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case KAddI:
+			if op.Imm == 0 {
+				// r = r' + 0  ->  identity copy.
+				op.Kind = KMov
+				op.Imm = 0
+				n++
+			}
+		case KMulI:
+			if op.Imm == 1 {
+				op.Kind = KMov
+				op.Imm = 0
+				n++
+			}
+		case KMov:
+			if op.A0 == op.A1 {
+				// Self-copy: architectural and taint state unchanged.
+				op.Kind = KNop
+				n++
+			}
+		case KShl, KShr, KAdd, KSub, KOr, KXor:
+			// r = r' op r'' where both sources are the same register and
+			// the op is XOR: result is zero -> constant.
+			if op.Kind == KXor && op.A1 == op.A2 {
+				op.Kind = KMovI
+				op.Imm = 0
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,267 @@
+// Package tcg implements a Tiny-Code-Generator-style dynamic binary
+// translation layer for the guest ISA, mirroring the role QEMU's TCG plays in
+// the original Chaser.
+//
+// Guest instructions are translated into architecture-independent micro-ops
+// grouped into translation blocks (TBs). TBs are cached by guest program
+// counter; the cache can be flushed to force retranslation — which is how
+// Chaser arms its just-in-time fault injector when a target process is
+// created. Instrumentation hooks run at translation time and may prepend
+// helper-call micro-ops in front of any guest instruction, exactly like the
+// DECAF_inject_fault callback insertion shown in Fig. 3 of the paper.
+package tcg
+
+import (
+	"fmt"
+
+	"chaser/internal/isa"
+)
+
+// MReg addresses the unified micro-register file used by micro-ops: guest
+// GPRs, guest FPRs (as raw IEEE-754 bits), two address temporaries, and the
+// flags register.
+type MReg uint8
+
+// Micro-register file layout.
+const (
+	// GPR0 through GPR0+15 are the guest general-purpose registers.
+	GPR0 MReg = 0
+	// FPR0 through FPR0+15 are the guest floating-point registers.
+	FPR0 MReg = 16
+	// T0 and T1 are translator-internal temporaries (address computation).
+	T0 MReg = 32
+	T1 MReg = 33
+	// FlagsReg holds the last comparison result as -1, 0 or +1.
+	FlagsReg MReg = 34
+	// NumMRegs is the size of the micro-register file.
+	NumMRegs = 35
+)
+
+// GPR returns the micro-register for a guest general-purpose register.
+func GPR(r isa.Reg) MReg { return GPR0 + MReg(r) }
+
+// FPR returns the micro-register for a guest floating-point register.
+func FPR(r isa.Reg) MReg { return FPR0 + MReg(r) }
+
+// SPReg is the micro-register holding the guest stack pointer.
+const SPReg = GPR0 + MReg(isa.SP)
+
+// IsFPR reports whether m addresses the floating-point file.
+func IsFPR(m MReg) bool { return m >= FPR0 && m < FPR0+16 }
+
+// String names the micro-register.
+func (m MReg) String() string {
+	switch {
+	case m < FPR0:
+		return fmt.Sprintf("r%d", uint8(m))
+	case m < FPR0+16:
+		return fmt.Sprintf("f%d", uint8(m-FPR0))
+	case m == T0:
+		return "t0"
+	case m == T1:
+		return "t1"
+	case m == FlagsReg:
+		return "flags"
+	}
+	return fmt.Sprintf("mreg(%d)", uint8(m))
+}
+
+// Kind is a micro-op kind.
+type Kind uint8
+
+// Micro-op kinds. Arithmetic ops compute A0 <- A1 op A2; immediate forms use
+// Imm instead of A2. Floating-point kinds interpret register bits as float64.
+const (
+	KInvalid Kind = iota
+
+	KNop
+	KMovI // A0 <- Imm
+	KMov  // A0 <- A1
+	KAdd
+	KSub
+	KMul
+	KDiv  // SIGFPE on zero divisor
+	KMod  // SIGFPE on zero divisor
+	KAddI // A0 <- A1 + Imm
+	KMulI // A0 <- A1 * Imm
+	KAnd
+	KOr
+	KXor
+	KShl
+	KShr
+	KNot // A0 <- ^A1
+
+	KFAdd
+	KFSub
+	KFMul
+	KFDiv
+	KFNeg // A0 <- -A1
+	KCvtIF
+	KCvtFI
+
+	KLd64 // A0 <- mem64[A1]
+	KSt64 // mem64[A1] <- A2
+	KLd8  // A0 <- zext mem8[A1]
+	KSt8  // mem8[A1] <- low byte of A2
+
+	KSetc  // flags <- sign(A1 - A2)
+	KSetcI // flags <- sign(A1 - Imm)
+	KFSetc // flags <- float compare of A1, A2
+
+	KBr     // goto Imm; ends TB
+	KBrCond // if flags satisfies Cond goto Imm else Imm2; ends TB
+	KCall   // push Imm2 (return address); goto Imm; ends TB
+	KRet    // pop return address; goto it; ends TB
+
+	KSyscall // invoke syscall Imm; continues at Imm2
+	KHlt     // terminate process
+	KHelper  // invoke registered helper Helper (instrumentation)
+
+	kindMax
+)
+
+var kindNames = [...]string{
+	KInvalid: "invalid",
+	KNop:     "nop",
+	KMovI:    "movi",
+	KMov:     "mov",
+	KAdd:     "add",
+	KSub:     "sub",
+	KMul:     "mul",
+	KDiv:     "div",
+	KMod:     "mod",
+	KAddI:    "addi",
+	KMulI:    "muli",
+	KAnd:     "and",
+	KOr:      "or",
+	KXor:     "xor",
+	KShl:     "shl",
+	KShr:     "shr",
+	KNot:     "not",
+	KFAdd:    "fadd",
+	KFSub:    "fsub",
+	KFMul:    "fmul",
+	KFDiv:    "fdiv",
+	KFNeg:    "fneg",
+	KCvtIF:   "cvtif",
+	KCvtFI:   "cvtfi",
+	KLd64:    "ld64",
+	KSt64:    "st64",
+	KLd8:     "ld8",
+	KSt8:     "st8",
+	KSetc:    "setc",
+	KSetcI:   "setci",
+	KFSetc:   "fsetc",
+	KBr:      "br",
+	KBrCond:  "brcond",
+	KCall:    "call",
+	KRet:     "ret",
+	KSyscall: "syscall",
+	KHlt:     "hlt",
+	KHelper:  "call_helper",
+}
+
+// String returns the micro-op kind name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Op is one translated micro-operation.
+type Op struct {
+	Kind Kind
+	A0   MReg
+	A1   MReg
+	A2   MReg
+	Imm  int64
+	// Imm2 carries the fall-through or return address for control ops and
+	// the continuation PC for syscalls.
+	Imm2 int64
+	// Cond is the guest conditional-branch opcode for KBrCond.
+	Cond isa.Op
+	// Helper identifies the registered helper for KHelper micro-ops.
+	Helper int
+
+	// GuestPC is the address of the guest instruction this op belongs to;
+	// GuestOp is its opcode. First marks the first micro-op of a guest
+	// instruction: the execution engine counts retired guest instructions
+	// at First boundaries.
+	GuestPC uint64
+	GuestOp isa.Op
+	First   bool
+}
+
+// String renders the micro-op for debugging and TB dumps.
+func (o Op) String() string {
+	switch o.Kind {
+	case KMovI:
+		return fmt.Sprintf("movi_i64 %s, %d", o.A0, o.Imm)
+	case KAddI, KMulI:
+		return fmt.Sprintf("%s_i64 %s, %s, %d", o.Kind, o.A0, o.A1, o.Imm)
+	case KMov, KNot, KFNeg, KCvtIF, KCvtFI:
+		return fmt.Sprintf("%s %s, %s", o.Kind, o.A0, o.A1)
+	case KLd64, KLd8:
+		return fmt.Sprintf("%s %s, [%s]", o.Kind, o.A0, o.A1)
+	case KSt64, KSt8:
+		return fmt.Sprintf("%s [%s], %s", o.Kind, o.A1, o.A2)
+	case KSetc, KFSetc:
+		return fmt.Sprintf("%s flags, %s, %s", o.Kind, o.A1, o.A2)
+	case KSetcI:
+		return fmt.Sprintf("setci flags, %s, %d", o.A1, o.Imm)
+	case KBr:
+		return fmt.Sprintf("br %#x", uint64(o.Imm))
+	case KBrCond:
+		return fmt.Sprintf("brcond(%s) %#x else %#x", o.Cond, uint64(o.Imm), uint64(o.Imm2))
+	case KCall:
+		return fmt.Sprintf("call %#x ret %#x", uint64(o.Imm), uint64(o.Imm2))
+	case KSyscall:
+		return fmt.Sprintf("syscall %d next %#x", o.Imm, uint64(o.Imm2))
+	case KHelper:
+		return fmt.Sprintf("call_helper #%d (%s @ %#x)", o.Helper, o.GuestOp, o.GuestPC)
+	case KNop, KRet, KHlt:
+		return o.Kind.String()
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", o.Kind, o.A0, o.A1, o.A2)
+	}
+}
+
+// TB is a translation block: the micro-ops for a straight-line run of guest
+// instructions starting at PC.
+type TB struct {
+	PC       uint64
+	Ops      []Op
+	GuestLen int // number of guest instructions covered
+	// NextPC is the fall-through continuation when the block does not end in
+	// an explicit control transfer (e.g. it hit MaxTBInstrs).
+	NextPC uint64
+
+	// Gen is the translation-cache generation this block belongs to; the
+	// execution engine only follows Chain entries whose target matches the
+	// translator's current generation, so a Flush invalidates every chain.
+	Gen uint64
+	// Chain caches up to two successor blocks by continuation pc (QEMU's
+	// block chaining), avoiding the cache lookup on hot edges. Slots are
+	// engine-managed.
+	Chain [2]ChainSlot
+}
+
+// ChainSlot is one cached control-flow edge out of a TB.
+type ChainSlot struct {
+	PC uint64
+	To *TB
+}
+
+// String dumps the block like QEMU's `-d op` log.
+func (tb *TB) Dump() string {
+	out := fmt.Sprintf("TB @ %#x (%d guest instrs)\n", tb.PC, tb.GuestLen)
+	for _, op := range tb.Ops {
+		marker := "   "
+		if op.First {
+			marker = " * "
+		}
+		out += fmt.Sprintf("%s%s\n", marker, op)
+	}
+	return out
+}

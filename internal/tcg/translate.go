@@ -1,0 +1,286 @@
+package tcg
+
+import (
+	"fmt"
+
+	"chaser/internal/isa"
+)
+
+// MaxTBInstrs bounds the number of guest instructions per translation block.
+const MaxTBInstrs = 32
+
+// InstrumentHook runs at translation time for every guest instruction and
+// returns micro-ops to prepend in front of the instruction's own translation.
+// This is the mechanism Chaser uses for just-in-time fault injection: only
+// instructions the hook chooses to instrument pay any runtime cost.
+type InstrumentHook func(ins isa.Instr, pc uint64) []Op
+
+// Stats counts translator activity.
+type Stats struct {
+	Translations uint64 // blocks translated
+	CacheHits    uint64
+	CacheMisses  uint64
+	Flushes      uint64
+	HelperOps    uint64 // instrumentation micro-ops inserted
+	OptRewrites  uint64 // peephole rewrites applied
+}
+
+// Translator converts guest code into cached translation blocks.
+type Translator struct {
+	prog  *isa.Program
+	cache map[uint64]*TB
+	hooks []InstrumentHook
+	stats Stats
+	noOpt bool
+	gen   uint64
+}
+
+// NewTranslator creates a translator for the program with the peephole
+// optimizer enabled.
+func NewTranslator(prog *isa.Program) *Translator {
+	return &Translator{prog: prog, cache: make(map[uint64]*TB)}
+}
+
+// SetOptimizer toggles the peephole optimizer (on by default); campaigns
+// never need to touch this, but the ablation benchmarks do.
+func (t *Translator) SetOptimizer(on bool) {
+	t.noOpt = !on
+}
+
+// AddHook registers an instrumentation hook. Hooks apply to blocks translated
+// after registration; call Flush to force retranslation of cached blocks.
+func (t *Translator) AddHook(h InstrumentHook) {
+	t.hooks = append(t.hooks, h)
+}
+
+// ClearHooks removes all instrumentation hooks (the fi_clean_cb path: after
+// injection completes, the injector detaches).
+func (t *Translator) ClearHooks() {
+	t.hooks = nil
+}
+
+// Flush empties the translation cache, forcing the next round of binary code
+// translation — invoked when the target process creation event is captured.
+// Bumping the generation invalidates every chained block edge.
+func (t *Translator) Flush() {
+	t.cache = make(map[uint64]*TB)
+	t.stats.Flushes++
+	t.gen++
+}
+
+// Gen returns the current translation-cache generation.
+func (t *Translator) Gen() uint64 { return t.gen }
+
+// Stats returns a snapshot of translator counters.
+func (t *Translator) Stats() Stats { return t.stats }
+
+// Block returns the translation block starting at guest address pc,
+// translating and caching it on a miss.
+func (t *Translator) Block(pc uint64) (*TB, error) {
+	if tb, ok := t.cache[pc]; ok {
+		t.stats.CacheHits++
+		return tb, nil
+	}
+	t.stats.CacheMisses++
+	tb, err := t.translate(pc)
+	if err != nil {
+		return nil, err
+	}
+	if !t.noOpt {
+		t.stats.OptRewrites += optimize(tb.Ops)
+	}
+	tb.Gen = t.gen
+	t.cache[pc] = tb
+	t.stats.Translations++
+	return tb, nil
+}
+
+// translate builds a TB beginning at pc.
+func (t *Translator) translate(pc uint64) (*TB, error) {
+	tb := &TB{PC: pc}
+	cur := pc
+	for tb.GuestLen < MaxTBInstrs {
+		ins, ok := t.prog.InstrAt(cur)
+		if !ok {
+			if tb.GuestLen > 0 {
+				// A block that runs off the end of code: let execution
+				// reach the bad address and fault there.
+				break
+			}
+			return nil, &isa.BadOpcodeError{PC: cur, Opcode: 0}
+		}
+		for _, h := range t.hooks {
+			pre := h(ins, cur)
+			for i := range pre {
+				pre[i].GuestPC = cur
+				pre[i].GuestOp = ins.Op
+			}
+			t.stats.HelperOps += uint64(len(pre))
+			tb.Ops = append(tb.Ops, pre...)
+		}
+		ops, err := expand(ins, cur)
+		if err != nil {
+			return nil, err
+		}
+		if len(ops) > 0 {
+			ops[0].First = true
+		}
+		tb.Ops = append(tb.Ops, ops...)
+		tb.GuestLen++
+		cur += isa.InstrSize
+		if ins.Op.IsBranch() || ins.Op == isa.OpSyscall {
+			break
+		}
+	}
+	tb.NextPC = cur
+	return tb, nil
+}
+
+// expand translates one guest instruction into micro-ops.
+func expand(ins isa.Instr, pc uint64) ([]Op, error) {
+	g := func(r isa.Reg) MReg { return GPR(r) }
+	f := func(r isa.Reg) MReg { return FPR(r) }
+	base := Op{GuestPC: pc, GuestOp: ins.Op}
+	one := func(k Kind, a0, a1, a2 MReg, imm int64) []Op {
+		op := base
+		op.Kind, op.A0, op.A1, op.A2, op.Imm = k, a0, a1, a2, imm
+		return []Op{op}
+	}
+	next := int64(pc + isa.InstrSize)
+
+	switch ins.Op {
+	case isa.OpNop:
+		return one(KNop, 0, 0, 0, 0), nil
+	case isa.OpHlt:
+		return one(KHlt, 0, 0, 0, 0), nil
+	case isa.OpMovI:
+		return one(KMovI, g(ins.Rd), 0, 0, ins.Imm), nil
+	case isa.OpMov:
+		return one(KMov, g(ins.Rd), g(ins.Rs1), 0, 0), nil
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpMod,
+		isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr:
+		return one(intKind(ins.Op), g(ins.Rd), g(ins.Rs1), g(ins.Rs2), 0), nil
+	case isa.OpAddI:
+		return one(KAddI, g(ins.Rd), g(ins.Rs1), 0, ins.Imm), nil
+	case isa.OpMulI:
+		return one(KMulI, g(ins.Rd), g(ins.Rs1), 0, ins.Imm), nil
+	case isa.OpNot:
+		return one(KNot, g(ins.Rd), g(ins.Rs1), 0, 0), nil
+	case isa.OpFMovI:
+		return one(KMovI, f(ins.Rd), 0, 0, ins.Imm), nil
+	case isa.OpFMov:
+		return one(KMov, f(ins.Rd), f(ins.Rs1), 0, 0), nil
+	case isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv:
+		return one(floatKind(ins.Op), f(ins.Rd), f(ins.Rs1), f(ins.Rs2), 0), nil
+	case isa.OpFNeg:
+		return one(KFNeg, f(ins.Rd), f(ins.Rs1), 0, 0), nil
+	case isa.OpCvtIF:
+		return one(KCvtIF, f(ins.Rd), g(ins.Rs1), 0, 0), nil
+	case isa.OpCvtFI:
+		return one(KCvtFI, g(ins.Rd), f(ins.Rs1), 0, 0), nil
+
+	case isa.OpLd, isa.OpLdB, isa.OpFLd:
+		addr := one(KAddI, T0, g(ins.Rs1), 0, ins.Imm)
+		dst := g(ins.Rd)
+		kind := KLd64
+		if ins.Op == isa.OpLdB {
+			kind = KLd8
+		}
+		if ins.Op == isa.OpFLd {
+			dst = f(ins.Rd)
+		}
+		return append(addr, one(kind, dst, T0, 0, 0)...), nil
+	case isa.OpSt, isa.OpStB, isa.OpFSt:
+		addr := one(KAddI, T0, g(ins.Rs1), 0, ins.Imm)
+		src := g(ins.Rs2)
+		kind := KSt64
+		if ins.Op == isa.OpStB {
+			kind = KSt8
+		}
+		if ins.Op == isa.OpFSt {
+			src = f(ins.Rs2)
+		}
+		return append(addr, one(kind, 0, T0, src, 0)...), nil
+
+	case isa.OpCmp:
+		return one(KSetc, FlagsReg, g(ins.Rs1), g(ins.Rs2), 0), nil
+	case isa.OpCmpI:
+		return one(KSetcI, FlagsReg, g(ins.Rs1), 0, ins.Imm), nil
+	case isa.OpFCmp:
+		return one(KFSetc, FlagsReg, f(ins.Rs1), f(ins.Rs2), 0), nil
+
+	case isa.OpJmp:
+		return one(KBr, 0, 0, 0, ins.Imm), nil
+	case isa.OpJe, isa.OpJne, isa.OpJl, isa.OpJle, isa.OpJg, isa.OpJge:
+		op := base
+		op.Kind, op.Imm, op.Imm2, op.Cond = KBrCond, ins.Imm, next, ins.Op
+		return []Op{op}, nil
+	case isa.OpCall:
+		op := base
+		op.Kind, op.Imm, op.Imm2 = KCall, ins.Imm, next
+		return []Op{op}, nil
+	case isa.OpRet:
+		return one(KRet, 0, 0, 0, 0), nil
+
+	case isa.OpPush, isa.OpFPush:
+		src := g(ins.Rs1)
+		if ins.Op == isa.OpFPush {
+			src = f(ins.Rs1)
+		}
+		ops := one(KAddI, SPReg, SPReg, 0, -8)
+		return append(ops, one(KSt64, 0, SPReg, src, 0)...), nil
+	case isa.OpPop, isa.OpFPop:
+		dst := g(ins.Rd)
+		if ins.Op == isa.OpFPop {
+			dst = f(ins.Rd)
+		}
+		ops := one(KLd64, dst, SPReg, 0, 0)
+		return append(ops, one(KAddI, SPReg, SPReg, 0, 8)...), nil
+
+	case isa.OpSyscall:
+		op := base
+		op.Kind, op.Imm, op.Imm2 = KSyscall, ins.Imm, next
+		return []Op{op}, nil
+	}
+	return nil, fmt.Errorf("tcg: cannot translate %v at %#x", ins.Op, pc)
+}
+
+func intKind(op isa.Op) Kind {
+	switch op {
+	case isa.OpAdd:
+		return KAdd
+	case isa.OpSub:
+		return KSub
+	case isa.OpMul:
+		return KMul
+	case isa.OpDiv:
+		return KDiv
+	case isa.OpMod:
+		return KMod
+	case isa.OpAnd:
+		return KAnd
+	case isa.OpOr:
+		return KOr
+	case isa.OpXor:
+		return KXor
+	case isa.OpShl:
+		return KShl
+	case isa.OpShr:
+		return KShr
+	}
+	return KInvalid
+}
+
+func floatKind(op isa.Op) Kind {
+	switch op {
+	case isa.OpFAdd:
+		return KFAdd
+	case isa.OpFSub:
+		return KFSub
+	case isa.OpFMul:
+		return KFMul
+	case isa.OpFDiv:
+		return KFDiv
+	}
+	return KInvalid
+}

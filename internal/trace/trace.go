@@ -1,0 +1,275 @@
+// Package trace collects and serializes fault-propagation data: the
+// tainted-memory access log (eip, virtual address, physical address, taint
+// mask, current value — the exact fields Chaser logs for post analysis),
+// per-rank tainted read/write counts, and the tainted-bytes-over-time
+// timeline sampled every 100K instructions (paper Figs. 7-9).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one tainted-memory access.
+type Event struct {
+	Rank     int    `json:"rank"`
+	Write    bool   `json:"write"`
+	EIP      uint64 `json:"eip"`
+	VAddr    uint64 `json:"vaddr"`
+	PAddr    uint64 `json:"paddr"`
+	Value    uint64 `json:"value"`
+	Mask     uint64 `json:"mask"`
+	InstrNum uint64 `json:"instr"`
+	Size     int    `json:"size"`
+	Region   string `json:"region,omitempty"`
+}
+
+// TimelinePoint is one tainted-bytes sample.
+type TimelinePoint struct {
+	Rank         int    `json:"rank"`
+	Instrs       uint64 `json:"instrs"`
+	TaintedBytes int64  `json:"tainted_bytes"`
+}
+
+// DefaultMaxEvents bounds the in-memory event log; accesses beyond the cap
+// are counted but not stored.
+const DefaultMaxEvents = 1 << 16
+
+// Collector accumulates propagation data for one run. It is safe for
+// concurrent use by multiple rank goroutines.
+type Collector struct {
+	mu        sync.Mutex
+	maxEvents int
+	events    []Event
+	dropped   uint64
+	timeline  []TimelinePoint
+	reads     map[int]uint64
+	writes    map[int]uint64
+	regions   map[string]*RegionCounts
+	crossRank []CrossRankRecord
+}
+
+// RegionCounts tallies tainted accesses per memory region.
+type RegionCounts struct {
+	Reads  uint64
+	Writes uint64
+}
+
+// CrossRankRecord notes a tainted MPI message observed crossing ranks.
+// Meta marks metadata propagation: the message envelope (count, destination,
+// tag) was computed from tainted values even though the payload bytes were
+// clean — the corruption still crosses the process boundary through the
+// message's effect on the receiver.
+type CrossRankRecord struct {
+	Src, Dst, Tag int
+	Seq           uint64
+	TaintedBytes  int
+	Meta          bool
+}
+
+// NewCollector creates a collector with the default event cap.
+func NewCollector() *Collector { return NewCollectorCap(DefaultMaxEvents) }
+
+// NewCollectorCap creates a collector storing at most maxEvents events.
+func NewCollectorCap(maxEvents int) *Collector {
+	return &Collector{
+		maxEvents: maxEvents,
+		reads:     make(map[int]uint64),
+		writes:    make(map[int]uint64),
+		regions:   make(map[string]*RegionCounts),
+	}
+}
+
+// AddEvent records one tainted-memory access.
+func (c *Collector) AddEvent(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ev.Write {
+		c.writes[ev.Rank]++
+	} else {
+		c.reads[ev.Rank]++
+	}
+	if ev.Region != "" {
+		rc := c.regions[ev.Region]
+		if rc == nil {
+			rc = &RegionCounts{}
+			c.regions[ev.Region] = rc
+		}
+		if ev.Write {
+			rc.Writes++
+		} else {
+			rc.Reads++
+		}
+	}
+	if len(c.events) >= c.maxEvents {
+		c.dropped++
+		return
+	}
+	c.events = append(c.events, ev)
+}
+
+// AddSample records one tainted-bytes timeline point.
+func (c *Collector) AddSample(p TimelinePoint) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeline = append(c.timeline, p)
+}
+
+// AddCrossRank records a tainted message crossing rank boundaries.
+func (c *Collector) AddCrossRank(r CrossRankRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crossRank = append(c.crossRank, r)
+}
+
+// Events returns a copy of the stored events.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Dropped returns how many events exceeded the cap.
+func (c *Collector) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Timeline returns a copy of the tainted-bytes samples.
+func (c *Collector) Timeline() []TimelinePoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]TimelinePoint(nil), c.timeline...)
+}
+
+// CrossRank returns a copy of the cross-rank records.
+func (c *Collector) CrossRank() []CrossRankRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]CrossRankRecord(nil), c.crossRank...)
+}
+
+// Regions returns a copy of the per-region tainted access counts: where in
+// guest memory (heap / stack / data) the fault footprint lives.
+func (c *Collector) Regions() map[string]RegionCounts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]RegionCounts, len(c.regions))
+	for k, v := range c.regions {
+		out[k] = *v
+	}
+	return out
+}
+
+// Reads returns the total tainted-read count of one rank.
+func (c *Collector) Reads(rank int) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reads[rank]
+}
+
+// Writes returns the total tainted-write count of one rank.
+func (c *Collector) Writes(rank int) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes[rank]
+}
+
+// TotalReads sums tainted reads across all ranks.
+func (c *Collector) TotalReads() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n uint64
+	for _, v := range c.reads {
+		n += v
+	}
+	return n
+}
+
+// TotalWrites sums tainted writes across all ranks.
+func (c *Collector) TotalWrites() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n uint64
+	for _, v := range c.writes {
+		n += v
+	}
+	return n
+}
+
+// Propagated reports whether any taint crossed a rank boundary.
+func (c *Collector) Propagated() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.crossRank) > 0
+}
+
+// record is the JSON-lines on-disk format.
+type record struct {
+	Kind   string           `json:"kind"` // "event", "sample", "cross"
+	Event  *Event           `json:"event,omitempty"`
+	Sample *TimelinePoint   `json:"sample,omitempty"`
+	Cross  *CrossRankRecord `json:"cross,omitempty"`
+}
+
+// WriteTo serializes the collected data as JSON lines.
+func (c *Collector) WriteTo(w io.Writer) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	var n int64
+	enc := json.NewEncoder(bw)
+	write := func(r record) error { return enc.Encode(r) }
+	for i := range c.events {
+		if err := write(record{Kind: "event", Event: &c.events[i]}); err != nil {
+			return n, err
+		}
+	}
+	for i := range c.timeline {
+		if err := write(record{Kind: "sample", Sample: &c.timeline[i]}); err != nil {
+			return n, err
+		}
+	}
+	for i := range c.crossRank {
+		if err := write(record{Kind: "cross", Cross: &c.crossRank[i]}); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read parses a JSON-lines propagation log back into a collector.
+func Read(r io.Reader) (*Collector, error) {
+	c := NewCollector()
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var rec record
+		err := dec.Decode(&rec)
+		if err == io.EOF {
+			return c, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: parse: %w", err)
+		}
+		switch rec.Kind {
+		case "event":
+			if rec.Event != nil {
+				c.AddEvent(*rec.Event)
+			}
+		case "sample":
+			if rec.Sample != nil {
+				c.AddSample(*rec.Sample)
+			}
+		case "cross":
+			if rec.Cross != nil {
+				c.AddCrossRank(*rec.Cross)
+			}
+		default:
+			return nil, fmt.Errorf("trace: unknown record kind %q", rec.Kind)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestCollectorCounts(t *testing.T) {
+	c := NewCollector()
+	c.AddEvent(Event{Rank: 0, Write: false, EIP: 1, Mask: 1})
+	c.AddEvent(Event{Rank: 0, Write: true, EIP: 2, Mask: 2})
+	c.AddEvent(Event{Rank: 1, Write: false, EIP: 3, Mask: 4})
+	if c.Reads(0) != 1 || c.Writes(0) != 1 || c.Reads(1) != 1 || c.Writes(1) != 0 {
+		t.Errorf("per-rank counts wrong: r0=%d/%d r1=%d/%d",
+			c.Reads(0), c.Writes(0), c.Reads(1), c.Writes(1))
+	}
+	if c.TotalReads() != 2 || c.TotalWrites() != 1 {
+		t.Errorf("totals = %d/%d", c.TotalReads(), c.TotalWrites())
+	}
+	if len(c.Events()) != 3 {
+		t.Errorf("events = %d", len(c.Events()))
+	}
+}
+
+func TestCollectorCap(t *testing.T) {
+	c := NewCollectorCap(2)
+	for i := 0; i < 5; i++ {
+		c.AddEvent(Event{Rank: 0, EIP: uint64(i)})
+	}
+	if len(c.Events()) != 2 {
+		t.Errorf("stored = %d, want 2", len(c.Events()))
+	}
+	if c.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", c.Dropped())
+	}
+	// Counts still reflect every event.
+	if c.TotalReads() != 5 {
+		t.Errorf("total reads = %d, want 5", c.TotalReads())
+	}
+}
+
+func TestCollectorTimelineAndCrossRank(t *testing.T) {
+	c := NewCollector()
+	c.AddSample(TimelinePoint{Rank: 0, Instrs: 100000, TaintedBytes: 16})
+	c.AddSample(TimelinePoint{Rank: 0, Instrs: 200000, TaintedBytes: 0})
+	if len(c.Timeline()) != 2 {
+		t.Error("timeline size wrong")
+	}
+	if c.Propagated() {
+		t.Error("propagated without cross-rank records")
+	}
+	c.AddCrossRank(CrossRankRecord{Src: 0, Dst: 3, Tag: 7, Seq: 2, TaintedBytes: 8})
+	if !c.Propagated() {
+		t.Error("not propagated after cross-rank record")
+	}
+	if got := c.CrossRank(); len(got) != 1 || got[0].Dst != 3 {
+		t.Errorf("cross = %+v", got)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	c := NewCollector()
+	c.AddEvent(Event{Rank: 1, Write: true, EIP: 0x400010, VAddr: 0x2000_0000,
+		PAddr: 0x5000, Value: 42, Mask: 0xff, InstrNum: 1234, Size: 8})
+	c.AddEvent(Event{Rank: 0, Write: false, EIP: 0x400020, Mask: 1, Size: 1})
+	c.AddSample(TimelinePoint{Rank: 1, Instrs: 100000, TaintedBytes: 77})
+	c.AddCrossRank(CrossRankRecord{Src: 0, Dst: 1, Tag: 5, Seq: 3, TaintedBytes: 24})
+
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := back.Events()
+	if len(evs) != 2 || evs[0].VAddr != 0x2000_0000 || evs[0].PAddr != 0x5000 {
+		t.Errorf("events = %+v", evs)
+	}
+	if tl := back.Timeline(); len(tl) != 1 || tl[0].TaintedBytes != 77 {
+		t.Errorf("timeline = %+v", tl)
+	}
+	if cr := back.CrossRank(); len(cr) != 1 || cr[0].TaintedBytes != 24 {
+		t.Errorf("cross = %+v", cr)
+	}
+	if back.TotalWrites() != 1 || back.TotalReads() != 1 {
+		t.Error("counts not rebuilt")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("{not json")); err == nil {
+		t.Error("bad json accepted")
+	}
+	if _, err := Read(bytes.NewBufferString(`{"kind":"zap"}` + "\n")); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	c, err := Read(bytes.NewBufferString(""))
+	if err != nil || c == nil {
+		t.Error("empty log should parse")
+	}
+}
+
+func TestCollectorConcurrency(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.AddEvent(Event{Rank: r, Write: i%2 == 0})
+				if i%100 == 0 {
+					c.AddSample(TimelinePoint{Rank: r, Instrs: uint64(i)})
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if c.TotalReads()+c.TotalWrites() != 4000 {
+		t.Errorf("total events = %d", c.TotalReads()+c.TotalWrites())
+	}
+}
+
+func TestRegionCounts(t *testing.T) {
+	c := NewCollector()
+	c.AddEvent(Event{Rank: 0, Write: false, Region: "heap"})
+	c.AddEvent(Event{Rank: 0, Write: true, Region: "heap"})
+	c.AddEvent(Event{Rank: 0, Write: false, Region: "stack"})
+	c.AddEvent(Event{Rank: 0, Write: false}) // regionless events are allowed
+	regions := c.Regions()
+	if regions["heap"].Reads != 1 || regions["heap"].Writes != 1 {
+		t.Errorf("heap = %+v", regions["heap"])
+	}
+	if regions["stack"].Reads != 1 || regions["stack"].Writes != 0 {
+		t.Errorf("stack = %+v", regions["stack"])
+	}
+	if _, ok := regions[""]; ok {
+		t.Error("empty region counted")
+	}
+	// Returned map is a copy.
+	regions["heap"] = RegionCounts{Reads: 99}
+	if c.Regions()["heap"].Reads == 99 {
+		t.Error("Regions() aliases internal state")
+	}
+}

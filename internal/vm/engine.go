@@ -1,0 +1,504 @@
+package vm
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+
+	"chaser/internal/isa"
+	"chaser/internal/taint"
+	"chaser/internal/tcg"
+)
+
+// abortBox is the cross-goroutine kill switch used by the MPI world
+// supervisor.
+type abortBox struct {
+	p atomic.Pointer[Termination]
+}
+
+// Abort requests asynchronous termination of the machine (e.g. mpirun
+// killing the remaining ranks after a peer crash). The machine observes the
+// request at the next translation-block boundary or blocking syscall.
+func (m *Machine) Abort(t Termination) {
+	m.abort.p.CompareAndSwap(nil, &t)
+}
+
+// Aborted returns the pending asynchronous termination, if any.
+func (m *Machine) Aborted() *Termination { return m.abort.p.Load() }
+
+// Run executes the guest until it terminates and returns its final status.
+// Hot control-flow edges are block-chained: once a successor block is
+// resolved it is cached on the predecessor and followed directly, subject
+// to a generation check so cache flushes invalidate every chain.
+func (m *Machine) Run() Termination {
+	var prev *tcg.TB
+	var prevSlot int
+	for m.term == nil {
+		if t := m.abort.p.Load(); t != nil {
+			m.term = t
+			break
+		}
+		// The generation must be re-read every iteration: helpers can flush
+		// the translation cache mid-run (Chaser arms hooks that way), which
+		// must sever every chained edge immediately.
+		gen := m.Trans.Gen()
+		var tb *tcg.TB
+		if prev != nil {
+			for i := range prev.Chain {
+				if c := prev.Chain[i]; c.To != nil && c.PC == m.pc && c.To.Gen == gen {
+					tb = c.To
+					m.counters.ChainedTBs++
+					break
+				}
+			}
+		}
+		if tb == nil {
+			var err error
+			tb, err = m.Trans.Block(m.pc)
+			if err != nil {
+				// Instruction-fetch fault: wild jump outside the code
+				// segment (SIGSEGV) or into an undecodable word (SIGILL).
+				sig := SIGSEGV
+				var bad *isa.BadOpcodeError
+				if errors.As(err, &bad) && bad.Opcode != 0 {
+					sig = SIGILL
+				}
+				m.kill(sig, err.Error())
+				break
+			}
+			if prev != nil && prev.Gen == gen && tb.Gen == gen {
+				prev.Chain[prevSlot] = tcg.ChainSlot{PC: m.pc, To: tb}
+				prevSlot = 1 - prevSlot
+			}
+		}
+		m.counters.TBsExecuted++
+		m.execTB(tb)
+		prev = tb
+	}
+	return *m.term
+}
+
+// Step executes exactly one translation block (for tests and debuggers).
+func (m *Machine) Step() *Termination {
+	if m.term != nil {
+		return m.term
+	}
+	tb, err := m.Trans.Block(m.pc)
+	if err != nil {
+		m.kill(SIGSEGV, err.Error())
+		return m.term
+	}
+	m.counters.TBsExecuted++
+	m.execTB(tb)
+	return m.term
+}
+
+func (m *Machine) kill(sig Signal, msg string) {
+	m.term = &Termination{Reason: ReasonSignal, Signal: sig, PC: m.pc, Msg: msg}
+}
+
+//nolint:gocyclo // the micro-op interpreter is one hot switch by design.
+func (m *Machine) execTB(tb *tcg.TB) {
+	taintOn := m.TaintEnabled
+	sh := m.Shadow
+	regs := &m.regs
+
+	for i := range tb.Ops {
+		op := &tb.Ops[i]
+		if op.First {
+			m.counters.Instructions++
+			m.counters.PerOp[op.GuestOp]++
+			if m.execTrace != nil {
+				m.execTrace.record(op.GuestPC, op.GuestOp, m.counters.Instructions)
+			}
+			if m.counters.Instructions > m.maxInstr {
+				m.pc = op.GuestPC
+				m.term = &Termination{Reason: ReasonBudget, PC: m.pc}
+				return
+			}
+			if taintOn && m.Hooks.Sample != nil && m.counters.Instructions%m.sampleIv == 0 {
+				m.Hooks.Sample(m.counters.Instructions, sh.TaintedBytes())
+			}
+		}
+
+		switch op.Kind {
+		case tcg.KNop:
+			// nothing
+
+		case tcg.KMovI:
+			regs[op.A0] = uint64(op.Imm)
+			if taintOn {
+				sh.SetRegMask(op.A0, 0)
+			}
+
+		case tcg.KMov:
+			regs[op.A0] = regs[op.A1]
+			if taintOn {
+				sh.SetRegMask(op.A0, sh.RegMask(op.A1))
+			}
+
+		case tcg.KAdd:
+			regs[op.A0] = regs[op.A1] + regs[op.A2]
+			if taintOn {
+				m.binTaint(op)
+			}
+		case tcg.KSub:
+			regs[op.A0] = regs[op.A1] - regs[op.A2]
+			if taintOn {
+				m.binTaint(op)
+			}
+		case tcg.KMul:
+			regs[op.A0] = regs[op.A1] * regs[op.A2]
+			if taintOn {
+				m.binTaint(op)
+			}
+		case tcg.KDiv:
+			a, b := int64(regs[op.A1]), int64(regs[op.A2])
+			if b == 0 {
+				m.pc = op.GuestPC
+				m.kill(SIGFPE, "integer divide by zero")
+				return
+			}
+			if a == math.MinInt64 && b == -1 {
+				regs[op.A0] = uint64(a) // wrap like two's-complement hardware
+			} else {
+				regs[op.A0] = uint64(a / b)
+			}
+			if taintOn {
+				m.binTaint(op)
+			}
+		case tcg.KMod:
+			a, b := int64(regs[op.A1]), int64(regs[op.A2])
+			if b == 0 {
+				m.pc = op.GuestPC
+				m.kill(SIGFPE, "integer modulo by zero")
+				return
+			}
+			if a == math.MinInt64 && b == -1 {
+				regs[op.A0] = 0
+			} else {
+				regs[op.A0] = uint64(a % b)
+			}
+			if taintOn {
+				m.binTaint(op)
+			}
+		case tcg.KAddI:
+			regs[op.A0] = regs[op.A1] + uint64(op.Imm)
+			if taintOn {
+				sh.SetRegMask(op.A0, taint.ImmBinaryMask(tcg.KAddI, sh.RegMask(op.A1), op.Imm))
+			}
+		case tcg.KMulI:
+			regs[op.A0] = regs[op.A1] * uint64(op.Imm)
+			if taintOn {
+				sh.SetRegMask(op.A0, taint.ImmBinaryMask(tcg.KMulI, sh.RegMask(op.A1), op.Imm))
+			}
+		case tcg.KAnd:
+			regs[op.A0] = regs[op.A1] & regs[op.A2]
+			if taintOn {
+				m.binTaint(op)
+			}
+		case tcg.KOr:
+			regs[op.A0] = regs[op.A1] | regs[op.A2]
+			if taintOn {
+				m.binTaint(op)
+			}
+		case tcg.KXor:
+			regs[op.A0] = regs[op.A1] ^ regs[op.A2]
+			if taintOn {
+				m.binTaint(op)
+			}
+		case tcg.KShl:
+			sa := regs[op.A2]
+			if sa >= 64 {
+				regs[op.A0] = 0
+			} else {
+				regs[op.A0] = regs[op.A1] << sa
+			}
+			if taintOn {
+				sh.SetRegMask(op.A0, taint.BinaryMask(tcg.KShl, sh.RegMask(op.A1), sh.RegMask(op.A2), sa))
+			}
+		case tcg.KShr:
+			sa := regs[op.A2]
+			if sa >= 64 {
+				regs[op.A0] = 0
+			} else {
+				regs[op.A0] = regs[op.A1] >> sa
+			}
+			if taintOn {
+				sh.SetRegMask(op.A0, taint.BinaryMask(tcg.KShr, sh.RegMask(op.A1), sh.RegMask(op.A2), sa))
+			}
+		case tcg.KNot:
+			regs[op.A0] = ^regs[op.A1]
+			if taintOn {
+				sh.SetRegMask(op.A0, taint.UnaryMask(tcg.KNot, sh.RegMask(op.A1)))
+			}
+
+		case tcg.KFAdd:
+			regs[op.A0] = math.Float64bits(math.Float64frombits(regs[op.A1]) + math.Float64frombits(regs[op.A2]))
+			if taintOn {
+				m.binTaint(op)
+			}
+		case tcg.KFSub:
+			regs[op.A0] = math.Float64bits(math.Float64frombits(regs[op.A1]) - math.Float64frombits(regs[op.A2]))
+			if taintOn {
+				m.binTaint(op)
+			}
+		case tcg.KFMul:
+			regs[op.A0] = math.Float64bits(math.Float64frombits(regs[op.A1]) * math.Float64frombits(regs[op.A2]))
+			if taintOn {
+				m.binTaint(op)
+			}
+		case tcg.KFDiv:
+			regs[op.A0] = math.Float64bits(math.Float64frombits(regs[op.A1]) / math.Float64frombits(regs[op.A2]))
+			if taintOn {
+				m.binTaint(op)
+			}
+		case tcg.KFNeg:
+			regs[op.A0] = math.Float64bits(-math.Float64frombits(regs[op.A1]))
+			if taintOn {
+				sh.SetRegMask(op.A0, taint.UnaryMask(tcg.KFNeg, sh.RegMask(op.A1)))
+			}
+		case tcg.KCvtIF:
+			regs[op.A0] = math.Float64bits(float64(int64(regs[op.A1])))
+			if taintOn {
+				sh.SetRegMask(op.A0, taint.UnaryMask(tcg.KCvtIF, sh.RegMask(op.A1)))
+			}
+		case tcg.KCvtFI:
+			f := math.Float64frombits(regs[op.A1])
+			switch {
+			case math.IsNaN(f):
+				regs[op.A0] = 0
+			case f >= math.MaxInt64:
+				regs[op.A0] = uint64(math.MaxInt64)
+			case f <= math.MinInt64:
+				regs[op.A0] = 1 << 63 // bit pattern of MinInt64
+			default:
+				regs[op.A0] = uint64(int64(f))
+			}
+			if taintOn {
+				sh.SetRegMask(op.A0, taint.UnaryMask(tcg.KCvtFI, sh.RegMask(op.A1)))
+			}
+
+		case tcg.KLd64:
+			addr := regs[op.A1]
+			v, err := m.Mem.Read64(addr)
+			if err != nil {
+				m.pc = op.GuestPC
+				m.kill(SIGSEGV, err.Error())
+				return
+			}
+			regs[op.A0] = v
+			if taintOn {
+				mask := sh.MemMask64(addr)
+				sh.SetRegMask(op.A0, mask)
+				if mask != 0 {
+					m.memTaintEvent(op, addr, v, mask, 8, false)
+				}
+			}
+		case tcg.KSt64:
+			addr := regs[op.A1]
+			v := regs[op.A2]
+			if err := m.Mem.Write64(addr, v); err != nil {
+				m.pc = op.GuestPC
+				m.kill(SIGSEGV, err.Error())
+				return
+			}
+			if taintOn {
+				mask := sh.RegMask(op.A2)
+				sh.SetMemMask64(addr, mask)
+				if mask != 0 {
+					m.memTaintEvent(op, addr, v, mask, 8, true)
+				}
+			}
+		case tcg.KLd8:
+			addr := regs[op.A1]
+			v, err := m.Mem.Read8(addr)
+			if err != nil {
+				m.pc = op.GuestPC
+				m.kill(SIGSEGV, err.Error())
+				return
+			}
+			regs[op.A0] = uint64(v)
+			if taintOn {
+				mask := uint64(sh.MemMask8(addr))
+				sh.SetRegMask(op.A0, mask)
+				if mask != 0 {
+					m.memTaintEvent(op, addr, uint64(v), mask, 1, false)
+				}
+			}
+		case tcg.KSt8:
+			addr := regs[op.A1]
+			v := uint8(regs[op.A2])
+			if err := m.Mem.Write8(addr, v); err != nil {
+				m.pc = op.GuestPC
+				m.kill(SIGSEGV, err.Error())
+				return
+			}
+			if taintOn {
+				mask := uint8(sh.RegMask(op.A2))
+				sh.SetMemMask8(addr, mask)
+				if mask != 0 {
+					m.memTaintEvent(op, addr, uint64(v), uint64(mask), 1, true)
+				}
+			}
+
+		case tcg.KSetc:
+			a, b := int64(regs[op.A1]), int64(regs[op.A2])
+			switch {
+			case a < b:
+				m.flags = -1
+			case a > b:
+				m.flags = 1
+			default:
+				m.flags = 0
+			}
+			if taintOn {
+				sh.SetRegMask(tcg.FlagsReg, taint.CompareMask(sh.RegMask(op.A1), sh.RegMask(op.A2)))
+			}
+		case tcg.KSetcI:
+			a := int64(regs[op.A1])
+			switch {
+			case a < op.Imm:
+				m.flags = -1
+			case a > op.Imm:
+				m.flags = 1
+			default:
+				m.flags = 0
+			}
+			if taintOn {
+				sh.SetRegMask(tcg.FlagsReg, taint.CompareMask(sh.RegMask(op.A1), 0))
+			}
+		case tcg.KFSetc:
+			a := math.Float64frombits(regs[op.A1])
+			b := math.Float64frombits(regs[op.A2])
+			switch {
+			case math.IsNaN(a) || math.IsNaN(b):
+				m.flags = 1
+			case a < b:
+				m.flags = -1
+			case a > b:
+				m.flags = 1
+			default:
+				m.flags = 0
+			}
+			if taintOn {
+				sh.SetRegMask(tcg.FlagsReg, taint.CompareMask(sh.RegMask(op.A1), sh.RegMask(op.A2)))
+			}
+
+		case tcg.KBr:
+			m.pc = uint64(op.Imm)
+			return
+		case tcg.KBrCond:
+			if condHolds(op.Cond, m.flags) {
+				m.pc = uint64(op.Imm)
+			} else {
+				m.pc = uint64(op.Imm2)
+			}
+			return
+		case tcg.KCall:
+			sp := regs[tcg.SPReg] - 8
+			if err := m.Mem.Write64(sp, uint64(op.Imm2)); err != nil {
+				m.pc = op.GuestPC
+				m.kill(SIGSEGV, err.Error())
+				return
+			}
+			regs[tcg.SPReg] = sp
+			if taintOn {
+				sh.SetMemMask64(sp, 0)
+			}
+			m.pc = uint64(op.Imm)
+			return
+		case tcg.KRet:
+			sp := regs[tcg.SPReg]
+			ret, err := m.Mem.Read64(sp)
+			if err != nil {
+				m.pc = op.GuestPC
+				m.kill(SIGSEGV, err.Error())
+				return
+			}
+			regs[tcg.SPReg] = sp + 8
+			m.pc = ret
+			return
+
+		case tcg.KSyscall:
+			m.pc = uint64(op.Imm2)
+			m.doSyscall(isa.Sys(op.Imm), op.GuestPC)
+			if m.term != nil {
+				return
+			}
+			return // KSyscall always ends the TB
+
+		case tcg.KHlt:
+			m.pc = op.GuestPC
+			m.term = &Termination{Reason: ReasonExited, Code: int64(regs[tcg.GPR0]), PC: m.pc}
+			return
+
+		case tcg.KHelper:
+			if op.Helper >= 0 && op.Helper < len(m.helpers) {
+				m.helpers[op.Helper](m, op)
+				if m.term != nil {
+					return
+				}
+			}
+
+		default:
+			m.pc = op.GuestPC
+			m.kill(SIGILL, "unimplemented micro-op "+op.Kind.String())
+			return
+		}
+	}
+	m.pc = tb.NextPC
+}
+
+func (m *Machine) binTaint(op *tcg.Op) {
+	sh := m.Shadow
+	sh.SetRegMask(op.A0, taint.BinaryMask(op.Kind, sh.RegMask(op.A1), sh.RegMask(op.A2), m.regs[op.A2]))
+}
+
+func (m *Machine) memTaintEvent(op *tcg.Op, addr, value, mask uint64, size int, write bool) {
+	if write {
+		m.counters.TaintedMemWrites++
+	} else {
+		m.counters.TaintedMemReads++
+	}
+	cb := m.Hooks.TaintedMemRead
+	if write {
+		cb = m.Hooks.TaintedMemWrite
+	}
+	if cb == nil {
+		return
+	}
+	paddr, err := m.Mem.Translate(addr)
+	if err != nil {
+		paddr = 0
+	}
+	cb(MemTaintEvent{
+		EIP:      op.GuestPC,
+		VAddr:    addr,
+		PAddr:    paddr,
+		Value:    value,
+		Mask:     mask,
+		Rank:     m.Rank,
+		Size:     size,
+		InstrNum: m.counters.Instructions,
+		Region:   m.Mem.RegionName(addr),
+	})
+}
+
+func condHolds(cond isa.Op, flags int64) bool {
+	switch cond {
+	case isa.OpJe:
+		return flags == 0
+	case isa.OpJne:
+		return flags != 0
+	case isa.OpJl:
+		return flags < 0
+	case isa.OpJle:
+		return flags <= 0
+	case isa.OpJg:
+		return flags > 0
+	case isa.OpJge:
+		return flags >= 0
+	}
+	return false
+}

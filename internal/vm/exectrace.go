@@ -1,0 +1,74 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"chaser/internal/isa"
+)
+
+// TracedInstr is one entry of the execution-trace ring buffer.
+type TracedInstr struct {
+	PC       uint64
+	Op       isa.Op
+	InstrNum uint64
+}
+
+// execRing holds the last N retired guest instructions for post-mortem
+// analysis of crashed runs. It is nil unless enabled.
+type execRing struct {
+	buf  []TracedInstr
+	next int
+	full bool
+}
+
+// EnableExecTrace starts recording the last n retired instructions; it is
+// the post-analysis aid for crashed injection runs ("what was the guest
+// doing when it died"). Costs one ring write per instruction.
+func (m *Machine) EnableExecTrace(n int) {
+	if n <= 0 {
+		n = 64
+	}
+	m.execTrace = &execRing{buf: make([]TracedInstr, n)}
+}
+
+// ExecTrace returns the recorded tail of the instruction stream in
+// execution order (oldest first). Empty unless EnableExecTrace was called.
+func (m *Machine) ExecTrace() []TracedInstr {
+	r := m.execTrace
+	if r == nil {
+		return nil
+	}
+	var out []TracedInstr
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// FormatExecTrace renders the trace tail with disassembly, newest last.
+func (m *Machine) FormatExecTrace() string {
+	entries := m.ExecTrace()
+	if len(entries) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, e := range entries {
+		dis := e.Op.String()
+		if ins, ok := m.Prog.InstrAt(e.PC); ok {
+			dis = ins.String()
+		}
+		fmt.Fprintf(&sb, "  #%-10d %#08x: %s\n", e.InstrNum, e.PC, dis)
+	}
+	return sb.String()
+}
+
+func (r *execRing) record(pc uint64, op isa.Op, num uint64) {
+	r.buf[r.next] = TracedInstr{PC: pc, Op: op, InstrNum: num}
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}

@@ -1,0 +1,52 @@
+package vm
+
+import (
+	"testing"
+
+	"chaser/internal/isa"
+)
+
+// FuzzExecute feeds arbitrary bytes to the decoder and, when they form a
+// decodable program, executes it under a small instruction budget. The
+// engine must never panic and must always produce a Termination — faults
+// become guest signals, never host crashes. This is exactly the property a
+// fault injector depends on: arbitrary corrupted code must stay contained.
+func FuzzExecute(f *testing.F) {
+	mk := func(code ...isa.Instr) []byte { return isa.EncodeProgram(code) }
+	f.Add(mk(isa.Instr{Op: isa.OpHlt}))
+	f.Add(mk(
+		isa.Instr{Op: isa.OpMovI, Rd: isa.R1, Imm: 64},
+		isa.Instr{Op: isa.OpSyscall, Imm: int64(isa.SysAlloc)},
+		isa.Instr{Op: isa.OpSt, Rs1: isa.R0, Rs2: isa.R1},
+		isa.Instr{Op: isa.OpHlt},
+	))
+	f.Add(mk(
+		isa.Instr{Op: isa.OpCall, Imm: int64(isa.CodeBase + isa.InstrSize)},
+		isa.Instr{Op: isa.OpRet},
+	))
+	f.Add(mk(
+		isa.Instr{Op: isa.OpMovI, Rd: isa.R2, Imm: 0},
+		isa.Instr{Op: isa.OpDiv, Rd: isa.R3, Rs1: isa.R1, Rs2: isa.R2},
+	))
+	f.Add(mk(isa.Instr{Op: isa.OpJmp, Imm: int64(isa.CodeBase)}))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 64*isa.InstrSize {
+			return
+		}
+		raw = raw[:len(raw)/isa.InstrSize*isa.InstrSize]
+		code, err := isa.DecodeProgram(raw)
+		if err != nil || len(code) == 0 {
+			return
+		}
+		prog := &isa.Program{Name: "fuzz", Entry: isa.CodeBase, Code: code}
+		// Deliberately skip Validate: corrupted programs with wild branch
+		// targets must still be contained at run time.
+		m := New(prog, Config{MaxInstructions: 10_000})
+		m.TaintEnabled = true
+		term := m.Run()
+		if term.Reason == 0 {
+			t.Fatal("no termination reason")
+		}
+	})
+}

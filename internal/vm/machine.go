@@ -1,0 +1,255 @@
+// Package vm implements the Chaser virtual machine: a guest process executing
+// translated TCG micro-ops over paged memory, with optional bitwise taint
+// tracking, OS-style signals, a syscall layer, and instrumentation hooks.
+//
+// One Machine corresponds to one guest process (one MPI rank). It plays the
+// role of a QEMU vCPU plus the thin slice of guest OS that Chaser interacts
+// with: process identity for VMI, signals for crash outcomes, and the MPI
+// syscall boundary that Chaser hooks for cross-rank taint coordination.
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"chaser/internal/isa"
+	"chaser/internal/taint"
+	"chaser/internal/tcg"
+)
+
+// DefaultMaxInstructions bounds runaway guests (fault-induced infinite
+// loops); the supervisor kill is reported as ReasonBudget.
+const DefaultMaxInstructions = 200_000_000
+
+// DefaultSampleInterval is how often (in retired guest instructions) the
+// tainted-byte sampler fires, matching the paper's 100K-instruction sampling
+// of the fault-propagation curves.
+const DefaultSampleInterval = 100_000
+
+// Helper is an instrumentation callback invoked by a KHelper micro-op. It
+// runs in front of the guest instruction identified by op.GuestPC/GuestOp —
+// this is the execution context of Chaser's fault_injector().
+type Helper func(m *Machine, op *tcg.Op)
+
+// MemTaintEvent describes one tainted-memory access, carrying exactly the
+// fields Chaser logs: instruction pointer, virtual and physical address,
+// the taint mask and the current value at that location.
+type MemTaintEvent struct {
+	EIP      uint64
+	VAddr    uint64
+	PAddr    uint64
+	Value    uint64
+	Mask     uint64
+	Rank     int
+	Size     int // access width in bytes (1 or 8)
+	InstrNum uint64
+	// Region names the memory region of VAddr ("heap", "stack", "data"),
+	// supporting region-level propagation analysis.
+	Region string
+}
+
+// Hooks collects the optional callbacks a platform (DECAF/Chaser) installs
+// on a machine. Nil members are skipped.
+type Hooks struct {
+	// TaintedMemRead fires when a load reads tainted bytes
+	// (DECAF_READ_TAINTMEM_CB).
+	TaintedMemRead func(ev MemTaintEvent)
+	// TaintedMemWrite fires when a store writes tainted bytes
+	// (DECAF_WRITE_TAINTMEM_CB).
+	TaintedMemWrite func(ev MemTaintEvent)
+	// PreSyscall fires before a syscall dispatches; Chaser uses it to hook
+	// MPI sends (publish taint to the hub).
+	PreSyscall func(m *Machine, sys isa.Sys)
+	// PostSyscall fires after a syscall completes; Chaser uses it to hook
+	// MPI receives (poll taint from the hub).
+	PostSyscall func(m *Machine, sys isa.Sys)
+	// Sample fires every SampleInterval retired instructions while taint
+	// tracking is enabled.
+	Sample func(instrs uint64, taintedBytes int64)
+}
+
+// Counters aggregates execution statistics for one run.
+type Counters struct {
+	Instructions     uint64
+	PerOp            [isa.NumOps]uint64
+	TBsExecuted      uint64
+	ChainedTBs       uint64 // blocks reached through chained edges
+	TaintedMemReads  uint64
+	TaintedMemWrites uint64
+	Syscalls         uint64
+}
+
+// MPIEnv is the interface between a machine and its MPI runtime. Call
+// handles one MPI syscall; it may block until peers arrive. A returned
+// MPIRuntimeError terminates the guest with ReasonMPIError; any other error
+// is treated as an OS-level fault.
+type MPIEnv interface {
+	Call(m *Machine, sys isa.Sys) error
+}
+
+// MPIRuntimeError is an error the MPI runtime detected and reported (the
+// "MPI error detected" termination class of Table III).
+type MPIRuntimeError struct {
+	Op  string
+	Msg string
+}
+
+func (e *MPIRuntimeError) Error() string {
+	return fmt.Sprintf("mpi: %s: %s", e.Op, e.Msg)
+}
+
+// Config parameterizes machine construction.
+type Config struct {
+	// MaxInstructions caps execution; 0 selects DefaultMaxInstructions.
+	MaxInstructions uint64
+	// SampleInterval for the tainted-byte sampler; 0 selects
+	// DefaultSampleInterval.
+	SampleInterval uint64
+	// Rank and WorldSize identify the process within an MPI world; both are
+	// zero / one for standalone processes.
+	Rank      int
+	WorldSize int
+	// MPI supplies the MPI runtime; nil machines fail MPI syscalls.
+	MPI MPIEnv
+	// PID is the guest process id reported through VMI; 0 lets the platform
+	// assign one.
+	PID int
+}
+
+// Machine is one guest process.
+type Machine struct {
+	// Name and PID identify the process for VMI.
+	Name string
+	PID  int
+	// Rank and WorldSize locate the process in its MPI world.
+	Rank      int
+	WorldSize int
+
+	Prog   *isa.Program
+	Mem    *Memory
+	Trans  *tcg.Translator
+	Shadow *taint.Shadow
+	Hooks  Hooks
+
+	// TaintEnabled toggles taint propagation (DECAF++-style elastic
+	// tainting: off for plain fault-injection runs, on for tracing runs).
+	TaintEnabled bool
+
+	regs  [tcg.NumMRegs]uint64
+	pc    uint64
+	flags int64 // last comparison result: -1, 0, +1
+
+	heapBrk  uint64
+	maxInstr uint64
+	sampleIv uint64
+
+	console []byte
+	output  []byte
+
+	helpers []Helper
+	mpi     MPIEnv
+
+	counters  Counters
+	term      *Termination
+	abort     abortBox
+	execTrace *execRing
+}
+
+// New creates a machine for prog with the standard memory layout mapped:
+// data segment, heap, and stack. The code segment is fetched through the
+// translator, not data memory.
+func New(prog *isa.Program, cfg Config) *Machine {
+	m := &Machine{
+		Name:      prog.Name,
+		PID:       cfg.PID,
+		Rank:      cfg.Rank,
+		WorldSize: cfg.WorldSize,
+		Prog:      prog,
+		Mem:       NewMemory(),
+		Trans:     tcg.NewTranslator(prog),
+		Shadow:    taint.NewShadow(),
+		heapBrk:   isa.HeapBase,
+		maxInstr:  cfg.MaxInstructions,
+		sampleIv:  cfg.SampleInterval,
+		mpi:       cfg.MPI,
+	}
+	if m.maxInstr == 0 {
+		m.maxInstr = DefaultMaxInstructions
+	}
+	if m.sampleIv == 0 {
+		m.sampleIv = DefaultSampleInterval
+	}
+	if m.WorldSize == 0 {
+		m.WorldSize = 1
+	}
+	dataSize := uint64(len(prog.Data))
+	if dataSize > 0 {
+		m.Mem.Map("data", isa.DataBase, (dataSize+PageSize-1)&^uint64(PageSize-1))
+		// Initialization faults are impossible: the region was just mapped.
+		_ = m.Mem.WriteBytes(isa.DataBase, prog.Data)
+	}
+	m.Mem.Map("stack", isa.StackTop-isa.StackSize, isa.StackSize)
+	m.pc = prog.Entry
+	m.regs[tcg.SPReg] = isa.StackTop - 64 // small red zone below the top
+	return m
+}
+
+// Reg returns the value of a micro-register.
+func (m *Machine) Reg(r tcg.MReg) uint64 { return m.regs[r] }
+
+// SetReg sets a micro-register. Chaser's CorruptRegister goes through this.
+func (m *Machine) SetReg(r tcg.MReg, v uint64) { m.regs[r] = v }
+
+// GPR returns a guest general-purpose register value.
+func (m *Machine) GPR(r isa.Reg) uint64 { return m.regs[tcg.GPR(r)] }
+
+// SetGPR sets a guest general-purpose register.
+func (m *Machine) SetGPR(r isa.Reg, v uint64) { m.regs[tcg.GPR(r)] = v }
+
+// FPR returns a guest floating-point register value.
+func (m *Machine) FPR(r isa.Reg) float64 {
+	return math.Float64frombits(m.regs[tcg.FPR(r)])
+}
+
+// SetFPR sets a guest floating-point register.
+func (m *Machine) SetFPR(r isa.Reg, v float64) {
+	m.regs[tcg.FPR(r)] = math.Float64bits(v)
+}
+
+// PC returns the current guest program counter.
+func (m *Machine) PC() uint64 { return m.pc }
+
+// Flags returns the comparison flags register (-1, 0 or +1).
+func (m *Machine) Flags() int64 { return m.flags }
+
+// Console returns everything the guest printed.
+func (m *Machine) Console() string { return string(m.console) }
+
+// Output returns the guest's output file, the artifact compared bit-wise
+// against the golden run for SDC classification.
+func (m *Machine) Output() []byte {
+	out := make([]byte, len(m.output))
+	copy(out, m.output)
+	return out
+}
+
+// Counters returns a snapshot of the execution statistics.
+func (m *Machine) Counters() Counters { return m.counters }
+
+// Terminated returns the final status, or nil while running.
+func (m *Machine) Terminated() *Termination { return m.term }
+
+// RegisterHelper installs an instrumentation helper and returns its id for
+// use in KHelper micro-ops emitted by translation hooks.
+func (m *Machine) RegisterHelper(h Helper) int {
+	m.helpers = append(m.helpers, h)
+	return len(m.helpers) - 1
+}
+
+// Terminate force-stops the machine with the given status. Used by the MPI
+// world supervisor to abort peers of a crashed rank.
+func (m *Machine) Terminate(t Termination) {
+	if m.term == nil {
+		m.term = &t
+	}
+}

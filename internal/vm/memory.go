@@ -1,0 +1,185 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the guest page granularity.
+const PageSize = 4096
+
+// SegFaultError reports a guest access outside any mapped region; the VM
+// turns it into a SIGSEGV termination, the dominant "OS exception" outcome
+// in the paper's fault-injection campaigns.
+type SegFaultError struct {
+	Addr  uint64
+	Write bool
+}
+
+func (e *SegFaultError) Error() string {
+	kind := "read"
+	if e.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("vm: segmentation fault: %s at %#x", kind, e.Addr)
+}
+
+type memPage struct {
+	data  [PageSize]byte
+	frame uint64 // physical frame number, assigned at first touch
+}
+
+type region struct {
+	name       string
+	base, size uint64
+}
+
+func (r region) contains(addr uint64) bool {
+	return addr >= r.base && addr-r.base < r.size
+}
+
+// Memory is the paged guest address space. Pages are allocated lazily inside
+// explicitly mapped regions; any access outside a mapped region faults.
+// Each page receives a physical frame at first touch, giving distinct
+// virtual and physical addresses for propagation-log records.
+type Memory struct {
+	pages     map[uint64]*memPage
+	regions   []region
+	nextFrame uint64
+}
+
+// NewMemory creates an empty address space with no mapped regions.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*memPage), nextFrame: 1}
+}
+
+// Map adds a readable/writable region. Overlapping maps are allowed; lookup
+// succeeds if any region covers the address.
+func (m *Memory) Map(name string, base, size uint64) {
+	m.regions = append(m.regions, region{name: name, base: base, size: size})
+}
+
+// Mapped reports whether addr falls inside a mapped region.
+func (m *Memory) Mapped(addr uint64) bool {
+	for _, r := range m.regions {
+		if r.contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// RegionName returns the name of the mapped region containing addr, or "".
+func (m *Memory) RegionName(addr uint64) string {
+	for _, r := range m.regions {
+		if r.contains(addr) {
+			return r.name
+		}
+	}
+	return ""
+}
+
+func (m *Memory) page(addr uint64, write bool) (*memPage, uint64, error) {
+	base := addr &^ (PageSize - 1)
+	if p, ok := m.pages[base]; ok {
+		return p, addr - base, nil
+	}
+	if !m.Mapped(addr) {
+		return nil, 0, &SegFaultError{Addr: addr, Write: write}
+	}
+	p := &memPage{frame: m.nextFrame}
+	m.nextFrame++
+	m.pages[base] = p
+	return p, addr - base, nil
+}
+
+// Translate returns the physical address backing a virtual address, mapping
+// the page in if needed. It fails with a SegFaultError outside mapped
+// regions.
+func (m *Memory) Translate(addr uint64) (uint64, error) {
+	p, off, err := m.page(addr, false)
+	if err != nil {
+		return 0, err
+	}
+	return p.frame*PageSize + off, nil
+}
+
+// Read8 loads one byte.
+func (m *Memory) Read8(addr uint64) (uint8, error) {
+	p, off, err := m.page(addr, false)
+	if err != nil {
+		return 0, err
+	}
+	return p.data[off], nil
+}
+
+// Write8 stores one byte.
+func (m *Memory) Write8(addr uint64, v uint8) error {
+	p, off, err := m.page(addr, true)
+	if err != nil {
+		return err
+	}
+	p.data[off] = v
+	return nil
+}
+
+// Read64 loads a 64-bit little-endian word. No alignment is required.
+func (m *Memory) Read64(addr uint64) (uint64, error) {
+	p, off, err := m.page(addr, false)
+	if err != nil {
+		return 0, err
+	}
+	if off <= PageSize-8 {
+		return binary.LittleEndian.Uint64(p.data[off : off+8]), nil
+	}
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		b, err := m.Read8(addr + i)
+		if err != nil {
+			return 0, err
+		}
+		v |= uint64(b) << (8 * i)
+	}
+	return v, nil
+}
+
+// Write64 stores a 64-bit little-endian word. No alignment is required.
+func (m *Memory) Write64(addr uint64, v uint64) error {
+	p, off, err := m.page(addr, true)
+	if err != nil {
+		return err
+	}
+	if off <= PageSize-8 {
+		binary.LittleEndian.PutUint64(p.data[off:off+8], v)
+		return nil
+	}
+	for i := uint64(0); i < 8; i++ {
+		if err := m.Write8(addr+i, uint8(v>>(8*i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (m *Memory) ReadBytes(addr, n uint64) ([]byte, error) {
+	out := make([]byte, n)
+	for i := uint64(0); i < n; i++ {
+		b, err := m.Read8(addr + i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// WriteBytes copies data into guest memory at addr.
+func (m *Memory) WriteBytes(addr uint64, data []byte) error {
+	for i, b := range data {
+		if err := m.Write8(addr+uint64(i), b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
