@@ -19,6 +19,7 @@ import (
 	"chaser/internal/core"
 	"chaser/internal/injectors"
 	"chaser/internal/isa"
+	"chaser/internal/obs"
 	"chaser/internal/tcg"
 	"chaser/internal/vm"
 )
@@ -215,7 +216,67 @@ func BenchmarkFig10_Overhead(b *testing.B) {
 	}
 }
 
-// BenchmarkAblation_Instrumentation contrasts Chaser's just-in-time
+// BenchmarkObsOverhead is the telemetry ablation: the same kmeans guest run
+// with telemetry disabled (nil registry — the default for every existing
+// call site) and enabled. Because the vm flushes its counters into the
+// registry once at run end rather than instrumenting the interpreter loop,
+// the two configurations should be within noise of each other, and the
+// disabled path must not add a single allocation per run beyond the
+// uninstrumented baseline.
+func BenchmarkObsOverhead(b *testing.B) {
+	app := mustApp(b, "kmeans")
+	for _, enabled := range []bool{false, true} {
+		name := "obs-off"
+		if enabled {
+			name = "obs-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var reg *obs.Registry
+			if enabled {
+				reg = obs.NewRegistry()
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := vm.New(app.Prog, vm.Config{Obs: reg})
+				if term := m.Run(); term.Abnormal() {
+					b.Fatal(term)
+				}
+			}
+			if enabled && reg.Counter("vm_instructions_total").Value() == 0 {
+				b.Fatal("enabled telemetry recorded nothing")
+			}
+		})
+	}
+}
+
+// TestObsDisabledNoAlloc guards the zero-cost claim: the telemetry seams in
+// the engine add no allocations when disabled. The guest itself allocates
+// (translation cache, shadow pages), and those allocations are deterministic
+// for a fixed program, so the test measures the whole-run delta between
+// telemetry enabled and disabled — flush-at-end design means even the
+// enabled path should add almost nothing, and the disabled path exactly
+// nothing. (The per-op zero-allocation guarantee of nil instruments is
+// pinned separately in internal/obs.)
+func TestObsDisabledNoAlloc(t *testing.T) {
+	app, err := apps.ByName("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(reg *obs.Registry) float64 {
+		return testing.AllocsPerRun(5, func() {
+			m := vm.New(app.Prog, vm.Config{Obs: reg})
+			if term := m.Run(); term.Abnormal() {
+				t.Fatal(term)
+			}
+		})
+	}
+	disabled := measure(nil)
+	reg := obs.NewRegistry() // instruments created during the warm-up call
+	enabled := measure(reg)
+	if delta := enabled - disabled; delta > 8 {
+		t.Errorf("telemetry adds %.0f allocs/run (disabled %.0f, enabled %.0f); flush-at-end should add ~0", delta, disabled, enabled)
+	}
+}
 // instrumentation (helper calls inserted only in front of targeted
 // instructions at translation time) with the F-SEFI-style alternative of
 // instrumenting every instruction and checking the target dynamically.

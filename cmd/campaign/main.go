@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"chaser/internal/apps"
 	"chaser/internal/campaign"
@@ -28,6 +29,7 @@ import (
 	"chaser/internal/injectors"
 	"chaser/internal/isa"
 	"chaser/internal/lang"
+	"chaser/internal/obs"
 	"chaser/internal/stats"
 )
 
@@ -44,6 +46,68 @@ type options struct {
 	parallel int
 	bits     int
 	csvDir   string
+
+	obs      *obs.Registry
+	tracer   *obs.Tracer
+	progress bool
+}
+
+// instrument attaches the process-wide telemetry sinks to one campaign
+// config; a no-op when no -metrics-out/-trace-out/-progress flag was given.
+func (o options) instrument(cfg campaign.Config) campaign.Config {
+	cfg.Obs = o.obs
+	cfg.Tracer = o.tracer
+	if o.progress {
+		name := cfg.Name
+		cfg.Progress = func(p campaign.ProgressInfo) {
+			fmt.Fprintf(os.Stderr,
+				"[%s] %d/%d runs, %.1f runs/s, benign=%d sdc=%d detected=%d terminated=%d, elapsed=%s\n",
+				name, p.Done, p.Total, p.RunsPerSec,
+				p.Benign, p.SDC, p.Detected, p.Terminated, p.Elapsed.Round(100*time.Millisecond))
+		}
+	}
+	return cfg
+}
+
+// writeTelemetry flushes the collected metrics and trace to the requested
+// files. A ".json" metrics path selects the JSON snapshot; anything else gets
+// Prometheus text exposition. The trace file is Chrome trace-event JSON,
+// loadable in chrome://tracing or Perfetto.
+func writeTelemetry(o options, metricsPath, tracePath string) error {
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(metricsPath, ".json") {
+			err = o.obs.WriteJSON(f)
+		} else {
+			err = o.obs.WritePrometheus(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		err = o.tracer.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if n := o.tracer.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "campaign: warning: %d trace spans dropped (recorder full)\n", n)
+		}
+	}
+	return nil
 }
 
 func run(args []string, out io.Writer) error {
@@ -54,10 +118,22 @@ func run(args []string, out io.Writer) error {
 	parallel := fs.Int("parallel", 0, "parallel workers (0 = GOMAXPROCS)")
 	bits := fs.Int("bits", 1, "bits flipped per injection")
 	csvDir := fs.String("csv", "", "also write per-run outcome CSVs (fig6) into this directory")
+	metricsOut := fs.String("metrics-out", "", "write metrics on exit (.json suffix = JSON snapshot, otherwise Prometheus text)")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file on exit (chrome://tracing / Perfetto)")
+	progress := fs.Bool("progress", false, "print live campaign progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := options{runs: *runs, seed: *seed, parallel: *parallel, bits: *bits, csvDir: *csvDir}
+	o := options{
+		runs: *runs, seed: *seed, parallel: *parallel, bits: *bits, csvDir: *csvDir,
+		progress: *progress,
+	}
+	if *metricsOut != "" {
+		o.obs = obs.NewRegistry()
+	}
+	if *traceOut != "" {
+		o.tracer = obs.NewTracer(0)
+	}
 
 	exps := map[string]func(io.Writer, options) error{
 		"table1": table1,
@@ -72,20 +148,28 @@ func run(args []string, out io.Writer) error {
 		"json":   jsonOut,
 		"perop":  perOp,
 	}
+	var runErr error
 	if *exp == "all" {
 		for _, name := range []string{"table1", "table2", "fig6", "table3", "fig7", "fig8", "fig10"} {
 			if err := exps[name](out, o); err != nil {
-				return fmt.Errorf("%s: %w", name, err)
+				runErr = fmt.Errorf("%s: %w", name, err)
+				break
 			}
 			fmt.Fprintln(out)
 		}
-		return nil
+	} else {
+		fn, ok := exps[*exp]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", *exp)
+		}
+		runErr = fn(out, o)
 	}
-	fn, ok := exps[*exp]
-	if !ok {
-		return fmt.Errorf("unknown experiment %q", *exp)
+	// Telemetry is flushed even when the experiment failed: a partial
+	// campaign's metrics are exactly what a post-mortem wants.
+	if werr := writeTelemetry(o, *metricsOut, *traceOut); werr != nil && runErr == nil {
+		runErr = werr
 	}
-	return fn(out, o)
+	return runErr
 }
 
 // table1 prints the supported fault models (definitional).
@@ -124,11 +208,11 @@ func table3(out io.Writer, o options) error {
 	if err != nil {
 		return err
 	}
-	sum, err := campaign.Run(campaign.Config{
+	sum, err := campaign.Run(o.instrument(campaign.Config{
 		Name: app.Name, Prog: app.Prog, WorldSize: app.WorldSize,
 		Ops: app.DefaultOps, TargetRank: app.TargetRank,
 		Runs: o.runs, Bits: o.bits, Seed: o.seed, Trace: true, Parallel: o.parallel,
-	})
+	}))
 	if err != nil {
 		return err
 	}
@@ -141,12 +225,12 @@ func table3(out io.Writer, o options) error {
 func fig6(out io.Writer, o options) error {
 	fmt.Fprintln(out, "=== Fig. 6: fault injection results ===")
 	for _, app := range apps.All() {
-		sum, err := campaign.Run(campaign.Config{
+		sum, err := campaign.Run(o.instrument(campaign.Config{
 			Name: app.Name, Prog: app.Prog, WorldSize: app.WorldSize,
 			Ops: app.DefaultOps, TargetRank: app.TargetRank,
 			Runs: o.runs, Bits: o.bits, Seed: o.seed, Parallel: o.parallel,
 			KeepRunOutcomes: o.csvDir != "",
-		})
+		}))
 		if err != nil {
 			return fmt.Errorf("%s: %w", app.Name, err)
 		}
@@ -223,11 +307,11 @@ func fig89(out io.Writer, o options) error {
 		return err
 	}
 	runs := o.runs
-	sum, err := campaign.Run(campaign.Config{
+	sum, err := campaign.Run(o.instrument(campaign.Config{
 		Name: app.Name, Prog: app.Prog, WorldSize: app.WorldSize,
 		Ops: app.DefaultOps, TargetRank: 0,
 		Runs: runs, Bits: o.bits, Seed: o.seed, Trace: true, Parallel: o.parallel,
-	})
+	}))
 	if err != nil {
 		return err
 	}
@@ -244,11 +328,11 @@ func perOp(out io.Writer, o options) error {
 		if err != nil {
 			return err
 		}
-		sum, err := campaign.Run(campaign.Config{
+		sum, err := campaign.Run(o.instrument(campaign.Config{
 			Name: app.Name, Prog: app.Prog, WorldSize: app.WorldSize,
 			Ops: app.DefaultOps, TargetRank: app.TargetRank,
 			Runs: o.runs, Bits: o.bits, Seed: o.seed, Trace: true, Parallel: o.parallel,
-		})
+		}))
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -263,11 +347,11 @@ func jsonOut(out io.Writer, o options) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	for _, app := range apps.All() {
-		sum, err := campaign.Run(campaign.Config{
+		sum, err := campaign.Run(o.instrument(campaign.Config{
 			Name: app.Name, Prog: app.Prog, WorldSize: app.WorldSize,
 			Ops: app.DefaultOps, TargetRank: app.TargetRank,
 			Runs: o.runs, Bits: o.bits, Seed: o.seed, Trace: true, Parallel: o.parallel,
-		})
+		}))
 		if err != nil {
 			return fmt.Errorf("%s: %w", app.Name, err)
 		}
@@ -286,11 +370,11 @@ func sweep(out io.Writer, o options) error {
 		return err
 	}
 	fmt.Fprintln(out, "=== Ablation: outcome vs. flipped bits per injection (CLAMR) ===")
-	results, err := campaign.BitSweep(campaign.Config{
+	results, err := campaign.BitSweep(o.instrument(campaign.Config{
 		Name: app.Name, Prog: app.Prog, WorldSize: app.WorldSize,
 		Ops: app.DefaultOps, TargetRank: 0,
 		Runs: o.runs, Seed: o.seed, Parallel: o.parallel,
-	}, []int{1, 2, 4, 8, 16})
+	}), []int{1, 2, 4, 8, 16})
 	if err != nil {
 		return err
 	}

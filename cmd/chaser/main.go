@@ -24,6 +24,7 @@ import (
 	"chaser/internal/core"
 	"chaser/internal/isa"
 	"chaser/internal/lang"
+	"chaser/internal/obs"
 	"chaser/internal/tainthub"
 )
 
@@ -56,6 +57,7 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "rng seed")
 	traceOn := fs.Bool("trace", false, "enable fault propagation tracing")
 	traceOut := fs.String("trace-out", "", "write the propagation log (JSON lines) to this file")
+	spanTrace := fs.String("span-trace", "", "write a Chrome trace-event JSON of the run's spans to this file (chrome://tracing / Perfetto)")
 	hubAddr := fs.String("hub", "", "TaintHub server address (default: in-process hub)")
 	golden := fs.Bool("golden", false, "run without any injection")
 	execTrace := fs.Int("exec-trace", 0, "record the last N instructions per rank and print them on a crash")
@@ -100,6 +102,11 @@ func run(args []string, out io.Writer) error {
 	}
 
 	cfg := core.RunConfig{Prog: app.Prog, WorldSize: app.WorldSize, ExecTraceDepth: *execTrace}
+	var tracer *obs.Tracer
+	if *spanTrace != "" {
+		tracer = obs.NewTracer(0)
+		cfg.Tracer = tracer
+	}
 	if *hubAddr != "" {
 		client, err := tainthub.Dial(*hubAddr)
 		if err != nil {
@@ -156,6 +163,20 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if tracer != nil {
+		f, err := os.Create(*spanTrace)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "span trace written to %s (%d spans)\n", *spanTrace, tracer.Len())
+	}
 	for r, term := range res.Terms {
 		fmt.Fprintf(out, "rank %d: %s (%d instructions)\n", r, term, res.Counters[r].Instructions)
 		if term.Abnormal() && len(res.ExecTraces) > r && res.ExecTraces[r] != "" {
@@ -169,6 +190,10 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "no injection fired (condition never met)")
 	}
 	if *traceOn {
+		if n := res.Trace.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr,
+				"chaser: warning: %d propagation events exceeded the in-memory cap and were dropped (counts remain exact; raise MaxTraceEvents to keep more)\n", n)
+		}
 		fmt.Fprintf(out, "propagation: %d tainted reads, %d tainted writes, cross-rank=%v\n",
 			res.Trace.TotalReads(), res.Trace.TotalWrites(), res.Trace.Propagated())
 		for _, region := range []string{"heap", "stack", "data"} {

@@ -4,16 +4,23 @@
 //
 // Usage:
 //
-//	tainthub [-addr host:port]
+//	tainthub [-addr host:port] [-metrics-addr host:port]
+//
+// With -metrics-addr, the process also serves Prometheus text-format metrics
+// on http://<metrics-addr>/metrics: request/publish/poll counters, RPC
+// latency, malformed-request counts, and a live snapshot of hub state.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"chaser/internal/obs"
 	"chaser/internal/tainthub"
 )
 
@@ -24,18 +31,57 @@ func main() {
 	}
 }
 
+// metricsHandler serves the registry in Prometheus text format, syncing the
+// hub's own counters into gauges at scrape time so the exposition reflects
+// live hub state without a background poller.
+func metricsHandler(reg *obs.Registry, hub tainthub.Hub) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := hub.Stats()
+		reg.Gauge("tainthub_statuses_published").Set(float64(st.Published))
+		reg.Gauge("tainthub_status_polls").Set(float64(st.Polls))
+		reg.Gauge("tainthub_status_poll_hits").Set(float64(st.Hits))
+		reg.Gauge("tainthub_statuses_pending").Set(float64(st.Pending))
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("tainthub", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus metrics on http://<addr>/metrics (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv, err := tainthub.NewServer(tainthub.NewLocal(), *addr)
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	hub := tainthub.NewLocal()
+	srv, err := tainthub.NewServerObs(hub, *addr, reg)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	fmt.Printf("tainthub listening on %s\n", srv.Addr())
+
+	if reg != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metricsHandler(reg, hub))
+		hsrv := &http.Server{
+			Addr:              *metricsAddr,
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := hsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "tainthub: metrics server:", err)
+			}
+		}()
+		defer hsrv.Close()
+		fmt.Printf("tainthub metrics on http://%s/metrics\n", *metricsAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -5,9 +5,11 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"chaser/internal/core"
 	"chaser/internal/isa"
+	"chaser/internal/obs"
 	"chaser/internal/stats"
 	"chaser/internal/tainthub"
 )
@@ -45,6 +47,17 @@ type Config struct {
 	// head-node TaintHub); each run gets its own namespace on it. Nil runs
 	// use private in-process hubs.
 	Hub tainthub.Hub
+	// Obs, when non-nil, receives campaign telemetry and is threaded through
+	// every run's layers (vm, mpi, injector). Nil disables it.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records spans: campaign.golden, then one
+	// campaign.run span per injection run (thread id = worker).
+	Tracer *obs.Tracer
+	// Progress, when non-nil, is called every ProgressInterval with a live
+	// snapshot, and once more on completion.
+	Progress func(ProgressInfo)
+	// ProgressInterval defaults to one second.
+	ProgressInterval time.Duration
 }
 
 // Summary aggregates a campaign.
@@ -114,7 +127,16 @@ func Run(cfg Config) (*Summary, error) {
 		bits = 1
 	}
 
-	golden, err := core.Golden(cfg.Prog, world, cfg.MaxInstructions)
+	start := time.Now()
+	gsp := cfg.Tracer.StartSpan("campaign.golden")
+	golden, err := core.Run(core.RunConfig{
+		Prog:            cfg.Prog,
+		WorldSize:       world,
+		MaxInstructions: cfg.MaxInstructions,
+		Obs:             cfg.Obs,
+		Tracer:          cfg.Tracer,
+	})
+	gsp.End()
 	if err != nil {
 		return nil, fmt.Errorf("campaign: golden run: %w", err)
 	}
@@ -175,24 +197,57 @@ func Run(cfg Config) (*Summary, error) {
 		}
 	}
 
+	var live tally
+	reportStop := make(chan struct{})
+	var reportWG sync.WaitGroup
+	if cfg.Progress != nil {
+		interval := cfg.ProgressInterval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		reportWG.Add(1)
+		go func() {
+			defer reportWG.Done()
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-reportStop:
+					return
+				case <-ticker.C:
+					cfg.Progress(live.snapshot(cfg.Runs, time.Since(start)))
+					if cfg.Obs != nil {
+						cfg.Obs.Gauge("campaign_runs_per_second").
+							Set(live.snapshot(cfg.Runs, time.Since(start)).RunsPerSec)
+					}
+				}
+			}
+		}()
+	}
+
 	outcomes := make([]RunOutcome, cfg.Runs)
 	errs := make([]error, cfg.Runs)
 	var wg sync.WaitGroup
 	ch := make(chan task)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for tk := range ch {
 				var hub tainthub.Hub
 				if cfg.Hub != nil {
 					hub = tainthub.WithNamespace(cfg.Hub, tk.idx)
 				}
+				if cfg.Obs != nil {
+					cfg.Obs.Counter("campaign_runs_started_total").Inc()
+				}
+				rsp := cfg.Tracer.StartSpanTID("campaign.run", worker)
 				res, err := core.Run(core.RunConfig{
 					Prog:            cfg.Prog,
 					WorldSize:       world,
 					Hub:             hub,
 					MaxInstructions: maxInstr,
+					Obs:             cfg.Obs,
 					Spec: &core.Spec{
 						Target:     cfg.Prog.Name,
 						Ops:        cfg.Ops,
@@ -204,18 +259,29 @@ func Run(cfg Config) (*Summary, error) {
 					},
 				})
 				if err != nil {
+					rsp.SetArg("error", err.Error())
+					rsp.End()
 					errs[tk.idx] = err
 					continue
 				}
 				outcomes[tk.idx] = Classify(res, golden.Outputs, tk.rank)
+				live.record(outcomes[tk.idx].Outcome)
+				rsp.SetArg("outcome", outcomes[tk.idx].Outcome.String())
+				rsp.End()
 			}
-		}()
+		}(w)
 	}
 	for _, tk := range tasks {
 		ch <- tk
 	}
 	close(ch)
 	wg.Wait()
+	if cfg.Progress != nil {
+		close(reportStop)
+		reportWG.Wait()
+		cfg.Progress(live.snapshot(cfg.Runs, time.Since(start)))
+	}
+	live.flushObs(cfg.Obs, time.Since(start))
 	for _, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("campaign: run failed: %w", err)

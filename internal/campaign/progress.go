@@ -1,0 +1,81 @@
+package campaign
+
+import (
+	"sync/atomic"
+	"time"
+
+	"chaser/internal/obs"
+)
+
+// ProgressInfo is a snapshot of a running campaign, delivered to
+// Config.Progress at every reporting interval and once more when the
+// campaign finishes.
+type ProgressInfo struct {
+	Done    int
+	Total   int
+	Elapsed time.Duration
+	// RunsPerSec is the campaign-wide completion rate so far.
+	RunsPerSec float64
+
+	Benign     int
+	SDC        int
+	Detected   int
+	Terminated int
+}
+
+// tally is the campaign's shared live state: workers increment it as runs
+// classify, the progress reporter and the metrics flush read it.
+type tally struct {
+	done       atomic.Int64
+	benign     atomic.Int64
+	sdc        atomic.Int64
+	detected   atomic.Int64
+	terminated atomic.Int64
+}
+
+func (t *tally) record(o Outcome) {
+	t.done.Add(1)
+	switch o {
+	case OutcomeBenign:
+		t.benign.Add(1)
+	case OutcomeSDC:
+		t.sdc.Add(1)
+	case OutcomeDetected:
+		t.detected.Add(1)
+	case OutcomeTerminated:
+		t.terminated.Add(1)
+	}
+}
+
+func (t *tally) snapshot(total int, elapsed time.Duration) ProgressInfo {
+	done := int(t.done.Load())
+	rps := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rps = float64(done) / s
+	}
+	return ProgressInfo{
+		Done:       done,
+		Total:      total,
+		Elapsed:    elapsed,
+		RunsPerSec: rps,
+		Benign:     int(t.benign.Load()),
+		SDC:        int(t.sdc.Load()),
+		Detected:   int(t.detected.Load()),
+		Terminated: int(t.terminated.Load()),
+	}
+}
+
+// flushObs publishes the campaign's final tallies into the registry.
+func (t *tally) flushObs(reg *obs.Registry, elapsed time.Duration) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("campaign_runs_completed_total").Add(uint64(t.done.Load()))
+	reg.Counter("campaign_runs_benign_total").Add(uint64(t.benign.Load()))
+	reg.Counter("campaign_runs_sdc_total").Add(uint64(t.sdc.Load()))
+	reg.Counter("campaign_runs_detected_total").Add(uint64(t.detected.Load()))
+	reg.Counter("campaign_runs_terminated_total").Add(uint64(t.terminated.Load()))
+	if s := elapsed.Seconds(); s > 0 {
+		reg.Gauge("campaign_runs_per_second").Set(float64(t.done.Load()) / s)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -9,6 +10,7 @@ import (
 
 	"chaser/internal/decaf"
 	"chaser/internal/isa"
+	"chaser/internal/obs"
 	"chaser/internal/tainthub"
 	"chaser/internal/tcg"
 	"chaser/internal/trace"
@@ -103,6 +105,11 @@ type Chaser struct {
 
 	collector *trace.Collector
 
+	// Injection telemetry (nil without a registry; all uses are nil-safe).
+	obsArmed *obs.Counter
+	obsFired *obs.Counter
+	obsBits  *obs.Counter
+
 	// armed maps machines to their per-rank injection state. It is written
 	// only during process creation (before guests run) and read without
 	// locking afterwards.
@@ -131,6 +138,9 @@ type Options struct {
 	Hub tainthub.Hub
 	// MaxTraceEvents caps the in-memory propagation log (0 = default).
 	MaxTraceEvents int
+	// Obs, when non-nil, receives injection telemetry (injectors armed,
+	// faults fired, bits flipped).
+	Obs *obs.Registry
 }
 
 // New creates an unarmed Chaser.
@@ -146,6 +156,9 @@ func New(opts Options) *Chaser {
 	return &Chaser{
 		hub:       hub,
 		collector: trace.NewCollectorCap(maxEv),
+		obsArmed:  opts.Obs.Counter("core_injectors_armed_total"),
+		obsFired:  opts.Obs.Counter("core_faults_fired_total"),
+		obsBits:   opts.Obs.Counter("core_bits_flipped_total"),
 		armed:     make(map[*vm.Machine]*armState),
 	}
 }
@@ -304,6 +317,7 @@ func (c *Chaser) creationCB(info decaf.ProcInfo) {
 
 	// Register the fault_injector helper and instrument only the targeted
 	// instructions (just-in-time fault injection, Fig. 3).
+	c.obsArmed.Inc()
 	helperID := m.RegisterHelper(st.faultInjector)
 	m.Trans.AddHook(func(ins isa.Instr, pc uint64) []tcg.Op {
 		if st.detached || !spec.targetsOp(ins.Op) {
@@ -348,6 +362,8 @@ func (st *armState) faultInjector(m *vm.Machine, op *tcg.Op) {
 	st.ch.mu.Lock()
 	st.ch.records = append(st.ch.records, rec)
 	st.ch.mu.Unlock()
+	st.ch.obsFired.Inc()
+	st.ch.obsBits.Add(uint64(bits.OnesCount64(rec.Mask)))
 	st.injected++
 	if st.injected >= st.spec.MaxInjections {
 		// fi_clean_cb: stop screening and detach the injector.

@@ -6,6 +6,7 @@ import (
 	"chaser/internal/decaf"
 	"chaser/internal/isa"
 	"chaser/internal/mpi"
+	"chaser/internal/obs"
 	"chaser/internal/tainthub"
 	"chaser/internal/trace"
 	"chaser/internal/vm"
@@ -29,6 +30,11 @@ type RunConfig struct {
 	// ExecTraceDepth enables per-rank execution-trace ring buffers of this
 	// many entries (0 = disabled) for post-mortem analysis of crashes.
 	ExecTraceDepth int
+	// Obs, when non-nil, receives telemetry from every layer of the run
+	// (vm, tcg, taint, mpi, injector). Nil disables telemetry.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records spans for the run and its ranks.
+	Tracer *obs.Tracer
 }
 
 // RunResult is everything observable from one supervised execution.
@@ -76,8 +82,10 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if size == 0 {
 		size = 1
 	}
+	sp := cfg.Tracer.StartSpan("core.run")
+	defer sp.End()
 	platform := decaf.NewPlatform()
-	ch := New(Options{Hub: cfg.Hub})
+	ch := New(Options{Hub: cfg.Hub, Obs: cfg.Obs})
 	if err := platform.LoadPlugin(ch); err != nil {
 		return nil, err
 	}
@@ -93,6 +101,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			return vm.Config{
 				MaxInstructions: cfg.MaxInstructions,
 				SampleInterval:  cfg.SampleInterval,
+				Obs:             cfg.Obs,
 			}
 		},
 		Setup: func(rank int, m *vm.Machine) {
@@ -101,11 +110,15 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			}
 			platform.CreateProcess(m)
 		},
+		Obs:    cfg.Obs,
+		Tracer: cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
 	}
+	wsp := cfg.Tracer.StartSpan("world.run")
 	terms := world.Run()
+	wsp.End()
 
 	res := &RunResult{
 		Terms:    terms,

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"chaser/internal/isa"
+	"chaser/internal/obs"
 	"chaser/internal/vm"
 )
 
@@ -55,6 +56,9 @@ type World struct {
 
 	abortOnce sync.Once
 	aborted   atomic.Bool
+
+	obs    *worldObs
+	tracer *obs.Tracer
 }
 
 type rankState struct {
@@ -78,6 +82,12 @@ type Config struct {
 	// Setup runs after each machine is created and before it starts; Chaser
 	// instruments target ranks here (the VMI process-creation event).
 	Setup func(rank int, m *vm.Machine)
+	// Obs, when non-nil, receives runtime telemetry (message counts, wait
+	// times, aborts). Nil disables it.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records one span per rank execution (thread id =
+	// rank, so traces render as per-rank swimlanes).
+	Tracer *obs.Tracer
 }
 
 // NewWorld creates a world of cfg.Size ranks all running prog.
@@ -85,7 +95,12 @@ func NewWorld(prog *isa.Program, cfg Config) (*World, error) {
 	if cfg.Size < 1 {
 		return nil, fmt.Errorf("mpi: world size %d < 1", cfg.Size)
 	}
-	w := &World{size: cfg.Size, barrier: newBarrier(cfg.Size)}
+	w := &World{
+		size:    cfg.Size,
+		barrier: newBarrier(cfg.Size),
+		obs:     newWorldObs(cfg.Obs),
+		tracer:  cfg.Tracer,
+	}
 	for r := 0; r < cfg.Size; r++ {
 		var mc vm.Config
 		if cfg.Machine != nil {
@@ -127,7 +142,10 @@ func (w *World) Run() []vm.Termination {
 		wg.Add(1)
 		go func(rs *rankState) {
 			defer wg.Done()
+			sp := w.tracer.StartSpanTID("rank.run", rs.id)
 			term := rs.m.Run()
+			sp.SetArg("reason", term.Reason.String())
+			sp.End()
 			rs.term = term
 			rs.done.Store(true)
 			if term.Abnormal() {
@@ -149,6 +167,10 @@ func (w *World) Run() []vm.Termination {
 func (w *World) abortPeers(from int, cause vm.Termination) {
 	w.abortOnce.Do(func() {
 		w.aborted.Store(true)
+		if w.obs != nil {
+			w.obs.aborts.Inc()
+		}
+		w.tracer.Instant("mpi.abort_peers", from)
 		for _, rs := range w.ranks {
 			if rs.id == from {
 				continue
@@ -167,6 +189,9 @@ func (w *World) abortPeers(from int, cause vm.Termination) {
 func (w *World) abortAll(msg string) {
 	w.abortOnce.Do(func() {
 		w.aborted.Store(true)
+		if w.obs != nil {
+			w.obs.aborts.Inc()
+		}
 		for _, rs := range w.ranks {
 			rs.m.Abort(vm.Termination{Reason: vm.ReasonMPIError, Msg: msg})
 			close(rs.abortCh)
@@ -221,6 +246,10 @@ func (w *World) watchdog(stop <-chan struct{}) {
 		if allIdle && anyBlocked && mailboxesEmpty && d == lastDelivered {
 			stable++
 			if stable >= stableNeeded {
+				if w.obs != nil {
+					w.obs.deadlocks.Inc()
+				}
+				w.tracer.Instant("mpi.deadlock", 0)
 				w.abortAll("deadlock detected: all live ranks blocked in MPI")
 				return
 			}

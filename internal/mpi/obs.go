@@ -1,0 +1,42 @@
+package mpi
+
+import "chaser/internal/obs"
+
+// worldObs bundles the world's live instruments. The pointer is nil when no
+// registry is attached, so an uninstrumented world pays one predictable
+// branch per MPI operation and nothing else. Wait-time histograms are
+// observed only on the blocked slow paths — the eager fast paths never call
+// time.Now.
+type worldObs struct {
+	messages     *obs.Counter
+	payloadBytes *obs.Counter
+	aborts       *obs.Counter
+	deadlocks    *obs.Counter
+	sendWait     *obs.Histogram
+	recvWait     *obs.Histogram
+	barrierWait  *obs.Histogram
+}
+
+func newWorldObs(reg *obs.Registry) *worldObs {
+	if reg == nil {
+		return nil
+	}
+	return &worldObs{
+		messages:     reg.Counter("mpi_messages_total"),
+		payloadBytes: reg.Counter("mpi_payload_bytes_total"),
+		aborts:       reg.Counter("mpi_aborts_total"),
+		deadlocks:    reg.Counter("mpi_deadlocks_total"),
+		sendWait:     reg.Histogram("mpi_send_wait_seconds", obs.LatencyBuckets...),
+		recvWait:     reg.Histogram("mpi_recv_wait_seconds", obs.LatencyBuckets...),
+		barrierWait:  reg.Histogram("mpi_barrier_wait_seconds", obs.LatencyBuckets...),
+	}
+}
+
+// sent records one delivered message with its payload size.
+func (o *worldObs) sent(payload int) {
+	if o == nil {
+		return
+	}
+	o.messages.Inc()
+	o.payloadBytes.Add(uint64(payload))
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"chaser/internal/isa"
 	"chaser/internal/vm"
@@ -36,7 +37,17 @@ func (e *env) Call(m *vm.Machine, sys isa.Sys) error {
 			m.GPR(isa.R1), int64(m.GPR(isa.R2)), isa.Datatype(m.GPR(isa.R3)),
 			int(int64(m.GPR(isa.R4))), int(int64(m.GPR(isa.R5))))
 	case isa.SysMPIBarrier:
-		if !e.w.barrier.wait(e.rs.abortCh) {
+		// The barrier is an inherent synchronization point, so timing it live
+		// costs nothing measurable relative to the wait itself.
+		var t0 time.Time
+		if e.w.obs != nil {
+			t0 = time.Now()
+		}
+		ok := e.w.barrier.wait(e.rs.abortCh)
+		if e.w.obs != nil {
+			e.w.obs.barrierWait.Observe(time.Since(t0).Seconds())
+		}
+		if !ok {
 			return e.abortErr("MPI_Barrier")
 		}
 		return nil
@@ -109,14 +120,23 @@ func (e *env) sendTag(m *vm.Machine, buf uint64, count int64, dtype isa.Datatype
 	select {
 	case dst.mailbox <- msg:
 		e.w.delivered.Add(1)
+		e.w.obs.sent(len(data))
 		return nil
 	default:
 	}
 	e.rs.blocked.Store(true)
 	defer e.rs.blocked.Store(false)
+	var t0 time.Time
+	if e.w.obs != nil {
+		t0 = time.Now()
+	}
 	select {
 	case dst.mailbox <- msg:
 		e.w.delivered.Add(1)
+		if e.w.obs != nil {
+			e.w.obs.sendWait.Observe(time.Since(t0).Seconds())
+		}
+		e.w.obs.sent(len(data))
 		return nil
 	case <-e.rs.abortCh:
 		return e.abortErr("MPI_Send")
@@ -171,10 +191,17 @@ func (e *env) match(source, tag int) (Message, error) {
 	}
 	e.rs.blocked.Store(true)
 	defer e.rs.blocked.Store(false)
+	var t0 time.Time
+	if e.w.obs != nil {
+		t0 = time.Now()
+	}
 	for {
 		select {
 		case msg := <-e.rs.mailbox:
 			if msg.Src == source && msg.Tag == tag {
+				if e.w.obs != nil {
+					e.w.obs.recvWait.Observe(time.Since(t0).Seconds())
+				}
 				return msg, nil
 			}
 			e.rs.pending = append(e.rs.pending, msg)

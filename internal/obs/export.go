@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus serializes every registered metric in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative _bucket/_sum/_count series. Output is sorted by
+// metric name so scrapes are diffable. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	bw := bufio.NewWriter(w)
+	fnum := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, c := range snap.Counters {
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", c.Name, c.Name, c.Value)
+	}
+	for _, g := range snap.Gauges {
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", g.Name, g.Name, fnum(g.Value))
+	}
+	for _, h := range snap.Histograms {
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", h.Name)
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if !b.Inf {
+				le = fnum(b.UpperBound)
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", h.Name, le, cum)
+		}
+		fmt.Fprintf(bw, "%s_sum %s\n", h.Name, fnum(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", h.Name, h.Count)
+	}
+	return bw.Flush()
+}
+
+// Snapshot is a point-in-time copy of a registry, the shared source for both
+// exporters and for tests.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// CounterSnapshot is one counter's value.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's value.
+type GaugeSnapshot struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramSnapshot is one histogram's buckets and aggregates.
+type HistogramSnapshot struct {
+	Name    string           `json:"name"`
+	Count   uint64           `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// BucketSnapshot is one non-cumulative histogram bucket; Inf marks the
+// implicit +Inf bucket (UpperBound is meaningless there).
+type BucketSnapshot struct {
+	UpperBound float64 `json:"le"`
+	Inf        bool    `json:"inf,omitempty"`
+	Count      uint64  `json:"count"`
+}
+
+// Snapshot copies the registry's current state, sorted by metric name. A nil
+// registry yields an empty (but non-nil-slice) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   []CounterSnapshot{},
+		Gauges:     []GaugeSnapshot{},
+		Histograms: []HistogramSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range sortedNames(r.counts) {
+		snap.Counters = append(snap.Counters, CounterSnapshot{Name: name, Value: r.counts[name].Value()})
+	}
+	for _, name := range sortedNames(r.gauges) {
+		snap.Gauges = append(snap.Gauges, GaugeSnapshot{Name: name, Value: r.gauges[name].Value()})
+	}
+	for _, name := range sortedNames(r.hists) {
+		h := r.hists[name]
+		hs := HistogramSnapshot{Name: name, Count: h.Count(), Sum: h.Sum()}
+		counts := h.BucketCounts()
+		for i, b := range h.bounds {
+			hs.Buckets = append(hs.Buckets, BucketSnapshot{UpperBound: b, Count: counts[i]})
+		}
+		hs.Buckets = append(hs.Buckets, BucketSnapshot{Inf: true, Count: counts[len(counts)-1]})
+		snap.Histograms = append(snap.Histograms, hs)
+	}
+	return snap
+}
+
+// WriteJSON serializes a snapshot of the registry as indented JSON. A nil
+// registry writes an empty snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func populated() *Registry {
+	r := NewRegistry()
+	r.Counter("vm_instructions_total").Add(1234)
+	r.Counter("mpi_messages_total").Add(7)
+	r.Gauge("campaign_runs_per_second").Set(41.5)
+	h := r.Histogram("tcg_translate_seconds", 1e-6, 1e-3, 1)
+	h.Observe(5e-7)
+	h.Observe(5e-4)
+	h.Observe(0.5)
+	h.Observe(7)
+	return r
+}
+
+// Prometheus text exposition format, restricted to what this repo emits.
+var (
+	promComment = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+	promSample  = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="(\+Inf|[0-9.eE+-]+)"\})? (\S+)$`)
+)
+
+// TestPrometheusLint validates every exported line against the exposition
+// format grammar: name syntax, label syntax, parseable values.
+func TestPrometheusLint(t *testing.T) {
+	var buf bytes.Buffer
+	if err := populated().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("suspiciously short exposition:\n%s", buf.String())
+	}
+	for _, line := range lines {
+		if strings.HasPrefix(line, "#") {
+			if !promComment.MatchString(line) {
+				t.Errorf("bad comment line: %q", line)
+			}
+			continue
+		}
+		m := promSample.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("bad sample line: %q", line)
+			continue
+		}
+		if _, err := strconv.ParseFloat(m[4], 64); err != nil {
+			t.Errorf("unparseable value in %q: %v", line, err)
+		}
+	}
+}
+
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	var buf bytes.Buffer
+	if err := populated().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`tcg_translate_seconds_bucket{le="1e-06"} 1`,
+		`tcg_translate_seconds_bucket{le="0.001"} 2`,
+		`tcg_translate_seconds_bucket{le="1"} 3`,
+		`tcg_translate_seconds_bucket{le="+Inf"} 4`,
+		`tcg_translate_seconds_count 4`,
+		"vm_instructions_total 1234",
+		"campaign_runs_per_second 41.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONSnapshotRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := populated().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	byName := map[string]uint64{}
+	for _, c := range snap.Counters {
+		byName[c.Name] = c.Value
+	}
+	if byName["vm_instructions_total"] != 1234 || byName["mpi_messages_total"] != 7 {
+		t.Errorf("counters = %+v", snap.Counters)
+	}
+	if len(snap.Gauges) != 1 || snap.Gauges[0].Value != 41.5 {
+		t.Errorf("gauges = %+v", snap.Gauges)
+	}
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %+v", snap.Histograms)
+	}
+	h := snap.Histograms[0]
+	if h.Count != 4 || len(h.Buckets) != 4 || !h.Buckets[3].Inf {
+		t.Errorf("histogram snapshot = %+v", h)
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	snap := populated().Snapshot()
+	if len(snap.Counters) != 2 || snap.Counters[0].Name != "mpi_messages_total" {
+		t.Errorf("counters not sorted: %+v", snap.Counters)
+	}
+}
+
+func TestNilRegistryExports(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil prometheus export: err=%v len=%d", err, buf.Len())
+	}
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("nil JSON export invalid: %v", err)
+	}
+}

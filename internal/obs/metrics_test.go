@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if r.Counter("test_total") != c {
+		t.Error("same name returned a different counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge")
+	g.Set(1.5)
+	g.Add(2.5)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %v, want 4", got)
+	}
+	g.SetMax(3) // below current: no change
+	if got := g.Value(); got != 4 {
+		t.Errorf("SetMax lowered the gauge to %v", got)
+	}
+	g.SetMax(10)
+	if got := g.Value(); got != 10 {
+		t.Errorf("SetMax = %v, want 10", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", 1, 10, 100)
+	for _, v := range []float64{0.5, 1, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 5056.5 {
+		t.Errorf("sum = %v, want 5056.5", h.Sum())
+	}
+	// Bounds are inclusive: 1 falls in the first bucket.
+	want := []uint64{2, 1, 1, 1}
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNilInstrumentsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("anything")
+	g := r.Gauge("anything")
+	h := r.Histogram("anything", 1, 2)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+	if h.Bounds() != nil || h.BucketCounts() != nil {
+		t.Error("nil histogram must have no buckets")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+func TestDisabledPathAllocFree(t *testing.T) {
+	var r *Registry
+	var tr *Tracer
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(2)
+		g.SetMax(9)
+		h.Observe(0.5)
+		sp := tr.StartSpanTID("s", 1)
+		sp.SetArg("k", "v")
+		sp.End()
+		tr.Instant("i", 0)
+	}); n != 0 {
+		t.Fatalf("disabled telemetry allocated %v times per op, want 0", n)
+	}
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9lives", "has space", "dash-ed", "ünicode"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q accepted", bad)
+				}
+			}()
+			r.Counter(bad)
+		}()
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual_use")
+	defer func() {
+		if recover() == nil {
+			t.Error("gauge registration over a counter name accepted")
+		}
+	}()
+	r.Gauge("dual_use")
+}
+
+// TestConcurrentRegistration exercises racing get-or-create registration and
+// updates from many goroutines; run under -race (CI does).
+func TestConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"shared_a_total", "shared_b_total", "shared_c_total"}
+	var wg sync.WaitGroup
+	const workers, iters = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter(names[i%len(names)]).Inc()
+				r.Gauge("shared_gauge").SetMax(float64(i))
+				r.Histogram("shared_seconds", LatencyBuckets...).Observe(float64(i) * 1e-6)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, n := range names {
+		total += r.Counter(n).Value()
+	}
+	if total != workers*iters {
+		t.Errorf("counter total = %d, want %d", total, workers*iters)
+	}
+	if got := r.Histogram("shared_seconds").Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("shared_gauge").Value(); got != iters-1 {
+		t.Errorf("gauge max = %v, want %d", got, iters-1)
+	}
+}

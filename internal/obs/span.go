@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultMaxSpans bounds the in-memory span recorder; spans ending beyond
+// the cap are counted as dropped, never stored.
+const DefaultMaxSpans = 1 << 16
+
+// Tracer records spans into a bounded in-memory buffer and exports them as
+// Chrome trace-event JSON. A nil *Tracer is the disabled path: StartSpan
+// returns a nil *Span and every operation is a no-op nil check.
+//
+// Span naming convention (docs/OBSERVABILITY.md): dotted lowercase
+// "<layer>.<operation>" — e.g. "core.run", "world.run", "rank.run",
+// "campaign.golden", "campaign.run". The trace TID carries the MPI rank (or
+// campaign worker index), so Perfetto renders one swimlane per rank.
+type Tracer struct {
+	start time.Time
+	now   func() time.Time // test hook; defaults to time.Now
+
+	mu      sync.Mutex
+	max     int
+	events  []spanEvent
+	dropped atomic.Uint64
+}
+
+type spanEvent struct {
+	name     string
+	tid      int
+	phase    byte // 'X' complete, 'i' instant
+	start    time.Duration
+	duration time.Duration
+	args     map[string]string
+}
+
+// NewTracer creates a tracer storing at most maxSpans spans (<= 0 selects
+// DefaultMaxSpans).
+func NewTracer(maxSpans int) *Tracer {
+	if maxSpans <= 0 {
+		maxSpans = DefaultMaxSpans
+	}
+	t := &Tracer{max: maxSpans, now: time.Now}
+	t.start = t.now()
+	return t
+}
+
+// Span is one in-flight timed operation. End records it. A nil *Span (from
+// a nil Tracer) no-ops everywhere.
+type Span struct {
+	t     *Tracer
+	name  string
+	tid   int
+	start time.Duration
+	args  map[string]string
+}
+
+// StartSpan begins a span on thread lane 0.
+func (t *Tracer) StartSpan(name string) *Span { return t.StartSpanTID(name, 0) }
+
+// StartSpanTID begins a span on the given thread lane (by convention the
+// MPI rank or worker index).
+func (t *Tracer) StartSpanTID(name string, tid int) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, tid: tid, start: t.now().Sub(t.start)}
+}
+
+// SetArg attaches a key/value annotation rendered in the trace viewer's
+// argument pane.
+func (s *Span) SetArg(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = make(map[string]string, 2)
+	}
+	s.args[key] = value
+}
+
+// End records the span into the tracer's buffer.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.t
+	end := t.now().Sub(t.start)
+	t.record(spanEvent{
+		name: s.name, tid: s.tid, phase: 'X',
+		start: s.start, duration: end - s.start, args: s.args,
+	})
+}
+
+// Instant records a zero-duration marker event on the given lane.
+func (t *Tracer) Instant(name string, tid int) {
+	if t == nil {
+		return
+	}
+	t.record(spanEvent{name: name, tid: tid, phase: 'i', start: t.now().Sub(t.start)})
+}
+
+func (t *Tracer) record(ev spanEvent) {
+	t.mu.Lock()
+	if len(t.events) >= t.max {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded spans (0 on a nil receiver).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many spans exceeded the recorder cap.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON array
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"` // microseconds since trace start
+	Dur   float64           `json:"dur"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"` // instant-event scope
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container format, which viewers prefer
+// over the bare array because it carries metadata.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]uint64 `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace serializes the recorded spans as Chrome trace-event JSON
+// (object form). Load the file at chrome://tracing or ui.perfetto.dev. The
+// dropped-span count, when non-zero, is carried in otherData.droppedEvents.
+// A nil tracer writes an empty, still-loadable trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	if t != nil {
+		t.mu.Lock()
+		events := append([]spanEvent(nil), t.events...)
+		t.mu.Unlock()
+		micros := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+		for _, ev := range events {
+			ce := chromeEvent{
+				Name: ev.name, Phase: string(ev.phase), PID: 1, TID: ev.tid,
+				TS: micros(ev.start), Dur: micros(ev.duration), Args: ev.args,
+			}
+			if ev.phase == 'i' {
+				ce.Scope = "t"
+			}
+			out.TraceEvents = append(out.TraceEvents, ce)
+		}
+		if d := t.Dropped(); d > 0 {
+			out.OtherData = map[string]uint64{"droppedEvents": d}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -34,8 +34,9 @@ type Shadow struct {
 	regs  [tcg.NumMRegs]uint64
 	pages map[uint64]*shadowPage
 	// taintedBytes is the global count of guest memory bytes whose shadow
-	// mask is non-zero.
+	// mask is non-zero; highWater is its per-run peak (telemetry).
 	taintedBytes int64
+	highWater    int64
 }
 
 // NewShadow creates an empty taint state.
@@ -48,6 +49,7 @@ func (s *Shadow) Reset() {
 	s.regs = [tcg.NumMRegs]uint64{}
 	s.pages = make(map[uint64]*shadowPage)
 	s.taintedBytes = 0
+	s.highWater = 0
 }
 
 // RegMask returns the shadow mask of a micro-register.
@@ -70,6 +72,10 @@ func (s *Shadow) AnyRegTainted() bool {
 // This is the quantity sampled every 100K instructions for the paper's
 // tainted-bytes-in-propagation curves.
 func (s *Shadow) TaintedBytes() int64 { return s.taintedBytes }
+
+// HighWater returns the peak tainted-byte count observed since creation (or
+// the last Reset) — the fault's maximum memory footprint.
+func (s *Shadow) HighWater() int64 { return s.highWater }
 
 func (s *Shadow) page(addr uint64) (*shadowPage, uint64) {
 	base := addr &^ (PageSize - 1)
@@ -117,6 +123,9 @@ func (s *Shadow) SetMemMask8(addr uint64, mask uint8) {
 	if p.masks[off] == 0 {
 		p.count++
 		s.taintedBytes++
+		if s.taintedBytes > s.highWater {
+			s.highWater = s.taintedBytes
+		}
 	}
 	p.masks[off] = mask
 }

@@ -6,8 +6,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"sync"
+	"time"
+
+	"chaser/internal/obs"
 )
 
 // The wire protocol is newline-delimited JSON over TCP: one request object
@@ -32,11 +37,40 @@ type response struct {
 	Err   string `json:"err,omitempty"`
 }
 
+// serverObs bundles the server's instruments; nil when no registry is
+// attached.
+type serverObs struct {
+	requests  *obs.Counter
+	malformed *obs.Counter
+	publishes *obs.Counter
+	polls     *obs.Counter
+	pollHits  *obs.Counter
+	pollMiss  *obs.Counter
+	rpcLat    *obs.Histogram
+}
+
+func newServerObs(reg *obs.Registry) *serverObs {
+	if reg == nil {
+		return nil
+	}
+	return &serverObs{
+		requests:  reg.Counter("tainthub_requests_total"),
+		malformed: reg.Counter("tainthub_malformed_requests_total"),
+		publishes: reg.Counter("tainthub_publishes_total"),
+		polls:     reg.Counter("tainthub_polls_total"),
+		pollHits:  reg.Counter("tainthub_poll_hits_total"),
+		pollMiss:  reg.Counter("tainthub_poll_misses_total"),
+		rpcLat:    reg.Histogram("tainthub_rpc_seconds", obs.LatencyBuckets...),
+	}
+}
+
 // Server exposes a hub over TCP.
 type Server struct {
-	hub Hub
-	ln  net.Listener
-	wg  sync.WaitGroup
+	hub  Hub
+	ln   net.Listener
+	wg   sync.WaitGroup
+	obs  *serverObs
+	logf func(format string, args ...any)
 
 	mu     sync.Mutex
 	closed bool
@@ -46,11 +80,23 @@ type Server struct {
 // NewServer starts serving hub on addr (e.g. "127.0.0.1:0"). Use Addr to
 // discover the bound address.
 func NewServer(hub Hub, addr string) (*Server, error) {
+	return NewServerObs(hub, addr, nil)
+}
+
+// NewServerObs is NewServer with a metrics registry attached (nil disables
+// telemetry).
+func NewServerObs(hub Hub, addr string, reg *obs.Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("tainthub: listen: %w", err)
 	}
-	s := &Server{hub: hub, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		hub:   hub,
+		ln:    ln,
+		obs:   newServerObs(reg),
+		logf:  log.Printf,
+		conns: make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -105,6 +151,17 @@ func (s *Server) serve(conn net.Conn) {
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
+			if isMalformed(err) {
+				// A garbage request is a signal (corrupted client, stray
+				// connection, protocol drift) — count it, log it, tell the
+				// peer, and drop the connection: the decoder's framing is
+				// unrecoverable after a syntax error.
+				if s.obs != nil {
+					s.obs.malformed.Inc()
+				}
+				s.logf("tainthub: malformed request from %s: %v", conn.RemoteAddr(), err)
+				_ = enc.Encode(response{Err: "malformed request: " + err.Error()})
+			}
 			return
 		}
 		resp := s.handle(req)
@@ -114,16 +171,44 @@ func (s *Server) serve(conn net.Conn) {
 	}
 }
 
+// isMalformed distinguishes a garbage request from an ordinary disconnect
+// (EOF, closed connection, reset).
+func isMalformed(err error) bool {
+	var syn *json.SyntaxError
+	var typ *json.UnmarshalTypeError
+	return errors.As(err, &syn) || errors.As(err, &typ) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
 func (s *Server) handle(req request) response {
+	var t0 time.Time
+	if s.obs != nil {
+		s.obs.requests.Inc()
+		t0 = time.Now()
+	}
+	resp := s.dispatch(req)
+	if s.obs != nil {
+		s.obs.rpcLat.Observe(time.Since(t0).Seconds())
+	}
+	return resp
+}
+
+func (s *Server) dispatch(req request) response {
 	k := Key{Src: req.Src, Dst: req.Dst, Tag: req.Tag, NS: req.NS}
 	switch req.Op {
 	case "publish":
 		masks, err := base64.StdEncoding.DecodeString(req.Masks)
 		if err != nil {
+			if s.obs != nil {
+				s.obs.malformed.Inc()
+			}
+			s.logf("tainthub: publish with undecodable masks (src=%d dst=%d tag=%d)", req.Src, req.Dst, req.Tag)
 			return response{Err: "bad masks encoding"}
 		}
 		if err := s.hub.Publish(k, req.Seq, masks); err != nil {
 			return response{Err: err.Error()}
+		}
+		if s.obs != nil {
+			s.obs.publishes.Inc()
 		}
 		return response{OK: true}
 	case "poll":
@@ -131,11 +216,23 @@ func (s *Server) handle(req request) response {
 		if err != nil {
 			return response{Err: err.Error()}
 		}
+		if s.obs != nil {
+			s.obs.polls.Inc()
+			if found {
+				s.obs.pollHits.Inc()
+			} else {
+				s.obs.pollMiss.Inc()
+			}
+		}
 		return response{OK: true, Found: found, Masks: base64.StdEncoding.EncodeToString(masks)}
 	case "stats":
 		st := s.hub.Stats()
 		return response{OK: true, Stats: &st}
 	}
+	if s.obs != nil {
+		s.obs.malformed.Inc()
+	}
+	s.logf("tainthub: unknown op %q", req.Op)
 	return response{Err: fmt.Sprintf("unknown op %q", req.Op)}
 }
 

@@ -2,8 +2,10 @@ package tcg
 
 import (
 	"fmt"
+	"time"
 
 	"chaser/internal/isa"
+	"chaser/internal/obs"
 )
 
 // MaxTBInstrs bounds the number of guest instructions per translation block.
@@ -23,6 +25,7 @@ type Stats struct {
 	Flushes      uint64
 	HelperOps    uint64 // instrumentation micro-ops inserted
 	OptRewrites  uint64 // peephole rewrites applied
+	OpsEmitted   uint64 // micro-ops emitted into translated blocks
 }
 
 // Translator converts guest code into cached translation blocks.
@@ -33,6 +36,12 @@ type Translator struct {
 	stats Stats
 	noOpt bool
 	gen   uint64
+
+	// obsLat, when attached, observes per-block translation latency. It is
+	// the only live instrument on the translator: translations are rare
+	// (cache misses only), so the time.Now pair is off the execution hot
+	// path; all other translator telemetry is flushed from Stats at run end.
+	obsLat *obs.Histogram
 }
 
 // NewTranslator creates a translator for the program with the peephole
@@ -74,6 +83,12 @@ func (t *Translator) Gen() uint64 { return t.gen }
 // Stats returns a snapshot of translator counters.
 func (t *Translator) Stats() Stats { return t.stats }
 
+// AttachObs registers the translator's live instruments on reg (nil disables
+// them). Call before the machine runs.
+func (t *Translator) AttachObs(reg *obs.Registry) {
+	t.obsLat = reg.Histogram("tcg_translate_seconds", obs.LatencyBuckets...)
+}
+
 // Block returns the translation block starting at guest address pc,
 // translating and caching it on a miss.
 func (t *Translator) Block(pc uint64) (*TB, error) {
@@ -82,9 +97,16 @@ func (t *Translator) Block(pc uint64) (*TB, error) {
 		return tb, nil
 	}
 	t.stats.CacheMisses++
+	var tStart time.Time
+	if t.obsLat != nil {
+		tStart = time.Now()
+	}
 	tb, err := t.translate(pc)
 	if err != nil {
 		return nil, err
+	}
+	if t.obsLat != nil {
+		t.obsLat.Observe(time.Since(tStart).Seconds())
 	}
 	if !t.noOpt {
 		t.stats.OptRewrites += optimize(tb.Ops)
@@ -133,6 +155,7 @@ func (t *Translator) translate(pc uint64) (*TB, error) {
 		}
 	}
 	tb.NextPC = cur
+	t.stats.OpsEmitted += uint64(len(tb.Ops))
 	return tb, nil
 }
 

@@ -208,15 +208,25 @@ func (c *Collector) Propagated() bool {
 	return len(c.crossRank) > 0
 }
 
+// MetaRecord is the log header: how many events were stored and how many
+// exceeded the in-memory cap. Without it, a truncated log is
+// indistinguishable from a complete one.
+type MetaRecord struct {
+	Stored  int    `json:"stored"`
+	Dropped uint64 `json:"dropped"`
+}
+
 // record is the JSON-lines on-disk format.
 type record struct {
-	Kind   string           `json:"kind"` // "event", "sample", "cross"
+	Kind   string           `json:"kind"` // "meta", "event", "sample", "cross"
+	Meta   *MetaRecord      `json:"meta,omitempty"`
 	Event  *Event           `json:"event,omitempty"`
 	Sample *TimelinePoint   `json:"sample,omitempty"`
 	Cross  *CrossRankRecord `json:"cross,omitempty"`
 }
 
-// WriteTo serializes the collected data as JSON lines.
+// WriteTo serializes the collected data as JSON lines, starting with a meta
+// record carrying the stored/dropped event counts.
 func (c *Collector) WriteTo(w io.Writer) (int64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -224,6 +234,9 @@ func (c *Collector) WriteTo(w io.Writer) (int64, error) {
 	var n int64
 	enc := json.NewEncoder(bw)
 	write := func(r record) error { return enc.Encode(r) }
+	if err := write(record{Kind: "meta", Meta: &MetaRecord{Stored: len(c.events), Dropped: c.dropped}}); err != nil {
+		return n, err
+	}
 	for i := range c.events {
 		if err := write(record{Kind: "event", Event: &c.events[i]}); err != nil {
 			return n, err
@@ -256,6 +269,12 @@ func Read(r io.Reader) (*Collector, error) {
 			return nil, fmt.Errorf("trace: parse: %w", err)
 		}
 		switch rec.Kind {
+		case "meta":
+			if rec.Meta != nil {
+				c.mu.Lock()
+				c.dropped = rec.Meta.Dropped
+				c.mu.Unlock()
+			}
 		case "event":
 			if rec.Event != nil {
 				c.AddEvent(*rec.Event)

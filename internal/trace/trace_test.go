@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -87,6 +88,34 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 	if back.TotalWrites() != 1 || back.TotalReads() != 1 {
 		t.Error("counts not rebuilt")
+	}
+}
+
+// TestWriteReadPreservesDropped checks that the log header records cap
+// overflow and survives a round trip: a consumer must be able to tell a
+// truncated log from a complete one.
+func TestWriteReadPreservesDropped(t *testing.T) {
+	c := NewCollectorCap(2)
+	for i := 0; i < 5; i++ {
+		c.AddEvent(Event{Rank: 0, EIP: uint64(i)})
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.Contains(first, `"kind":"meta"`) || !strings.Contains(first, `"dropped":3`) {
+		t.Errorf("first record is not the meta header: %s", first)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dropped() != 3 {
+		t.Errorf("dropped after round trip = %d, want 3", back.Dropped())
+	}
+	if len(back.Events()) != 2 {
+		t.Errorf("events after round trip = %d, want 2", len(back.Events()))
 	}
 }
 

@@ -75,6 +75,7 @@ func (m *Machine) Run() Termination {
 		m.execTB(tb)
 		prev = tb
 	}
+	m.flushObs()
 	return *m.term
 }
 

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"chaser/internal/isa"
+	"chaser/internal/obs"
 	"chaser/internal/taint"
 	"chaser/internal/tcg"
 )
@@ -114,6 +115,11 @@ type Config struct {
 	// PID is the guest process id reported through VMI; 0 lets the platform
 	// assign one.
 	PID int
+	// Obs, when non-nil, receives the machine's execution telemetry: hot-loop
+	// counters are flushed into it once at run end (the interpreter itself is
+	// never instrumented live), and the translator's latency histogram is
+	// attached. Nil disables all telemetry at zero cost.
+	Obs *obs.Registry
 }
 
 // Machine is one guest process.
@@ -153,6 +159,9 @@ type Machine struct {
 	term      *Termination
 	abort     abortBox
 	execTrace *execRing
+
+	obsReg     *obs.Registry
+	obsFlushed bool
 }
 
 // New creates a machine for prog with the standard memory layout mapped:
@@ -172,7 +181,9 @@ func New(prog *isa.Program, cfg Config) *Machine {
 		maxInstr:  cfg.MaxInstructions,
 		sampleIv:  cfg.SampleInterval,
 		mpi:       cfg.MPI,
+		obsReg:    cfg.Obs,
 	}
+	m.Trans.AttachObs(cfg.Obs)
 	if m.maxInstr == 0 {
 		m.maxInstr = DefaultMaxInstructions
 	}

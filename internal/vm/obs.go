@@ -1,0 +1,36 @@
+package vm
+
+// flushObs publishes the machine's end-of-run execution statistics into the
+// attached registry. The interpreter hot loop already maintains Counters, so
+// telemetry costs one registry flush per run instead of one atomic op per
+// instruction. Counters accumulate across machines: campaign workers share
+// one registry, so values are added, never set.
+func (m *Machine) flushObs() {
+	reg := m.obsReg
+	if reg == nil || m.obsFlushed {
+		return
+	}
+	m.obsFlushed = true
+
+	c := m.counters
+	reg.Counter("vm_instructions_total").Add(c.Instructions)
+	reg.Counter("vm_tb_executed_total").Add(c.TBsExecuted)
+	reg.Counter("vm_tb_chained_total").Add(c.ChainedTBs)
+	reg.Counter("vm_syscalls_total").Add(c.Syscalls)
+	reg.Counter("vm_tainted_mem_reads_total").Add(c.TaintedMemReads)
+	reg.Counter("vm_tainted_mem_writes_total").Add(c.TaintedMemWrites)
+	if m.term != nil && m.term.Reason == ReasonSignal {
+		reg.Counter("vm_signals_total").Inc()
+	}
+
+	ts := m.Trans.Stats()
+	reg.Counter("tcg_translations_total").Add(ts.Translations)
+	reg.Counter("tcg_cache_hits_total").Add(ts.CacheHits)
+	reg.Counter("tcg_cache_misses_total").Add(ts.CacheMisses)
+	reg.Counter("tcg_flushes_total").Add(ts.Flushes)
+	reg.Counter("tcg_helper_ops_total").Add(ts.HelperOps)
+	reg.Counter("tcg_opt_rewrites_total").Add(ts.OptRewrites)
+	reg.Counter("tcg_ops_emitted_total").Add(ts.OpsEmitted)
+
+	reg.Gauge("taint_tainted_bytes_high_water").SetMax(float64(m.Shadow.HighWater()))
+}
