@@ -329,6 +329,52 @@ func BenchmarkAblation_Instrumentation(b *testing.B) {
 	})
 }
 
+// BenchmarkSharedVsPrivateCache is the shared-translation-cache ablation: a
+// 100-run CLAMR campaign with the campaign-wide base cache (default) versus
+// per-machine private translator caches (the pre-shared-cache behaviour).
+// Identical seeds produce identical Summary outcomes in both modes; the
+// difference is translation work, reported as translated blocks and emitted
+// micro-ops per campaign. The acceptance bar is a >= 5x reduction with the
+// shared cache.
+func BenchmarkSharedVsPrivateCache(b *testing.B) {
+	app := mustApp(b, "clamr")
+	var summaries [2]*campaign.Summary
+	for mode, private := range map[string]bool{"shared": false, "private": true} {
+		b.Run(mode, func(b *testing.B) {
+			var translated, opsEmitted, baseHits float64
+			for i := 0; i < b.N; i++ {
+				reg := obs.NewRegistry()
+				sum, err := campaign.Run(campaign.Config{
+					Name: app.Name, Prog: app.Prog, WorldSize: app.WorldSize,
+					Ops: app.DefaultOps, TargetRank: 0,
+					Runs: 100, Bits: 1, Seed: 20200355,
+					NoSharedCache: private,
+					Obs:           reg,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				idx := 0
+				if private {
+					idx = 1
+				}
+				summaries[idx] = sum
+				translated = float64(reg.Counter("tcg_translations_total").Value())
+				opsEmitted = float64(reg.Counter("tcg_ops_emitted_total").Value())
+				baseHits = float64(reg.Counter("tcg_base_hits_total").Value())
+			}
+			b.ReportMetric(translated, "translated_tbs")
+			b.ReportMetric(opsEmitted, "emitted_ops")
+			b.ReportMetric(baseHits, "base_hits")
+		})
+	}
+	if s, p := summaries[0], summaries[1]; s != nil && p != nil {
+		if s.Benign != p.Benign || s.SDC != p.SDC || s.Detected != p.Detected || s.Terminated != p.Terminated {
+			b.Fatalf("shared/private outcome mismatch: %+v vs %+v", s, p)
+		}
+	}
+}
+
 // BenchmarkAblation_ElasticTaint measures the raw engine cost of taint
 // tracking (DECAF++-style elastic analysis: pay only when tracing).
 func BenchmarkAblation_ElasticTaint(b *testing.B) {

@@ -20,6 +20,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -121,8 +123,35 @@ func run(args []string, out io.Writer) error {
 	metricsOut := fs.String("metrics-out", "", "write metrics on exit (.json suffix = JSON snapshot, otherwise Prometheus text)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file on exit (chrome://tracing / Perfetto)")
 	progress := fs.Bool("progress", false, "print live campaign progress to stderr")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile on exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "campaign: writing heap profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "campaign: writing heap profile:", err)
+			}
+		}()
 	}
 	o := options{
 		runs: *runs, seed: *seed, parallel: *parallel, bits: *bits, csvDir: *csvDir,

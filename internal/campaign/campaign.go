@@ -12,6 +12,7 @@ import (
 	"chaser/internal/obs"
 	"chaser/internal/stats"
 	"chaser/internal/tainthub"
+	"chaser/internal/tcg"
 )
 
 // Config parameterizes a fault-injection campaign against one application.
@@ -47,6 +48,12 @@ type Config struct {
 	// head-node TaintHub); each run gets its own namespace on it. Nil runs
 	// use private in-process hubs.
 	Hub tainthub.Hub
+	// NoSharedCache disables the campaign-wide translation base cache,
+	// reverting to a private translator per machine per run (the behaviour
+	// before the shared cache existed). Outcomes are identical either way —
+	// only the translation work differs — so this exists solely for the
+	// ablation benchmark.
+	NoSharedCache bool
 	// Obs, when non-nil, receives campaign telemetry and is threaded through
 	// every run's layers (vm, mpi, injector). Nil disables it.
 	Obs *obs.Registry
@@ -107,11 +114,24 @@ type OpOutcomes struct {
 	Propagated                        int
 }
 
-// Run executes the campaign: one golden run, then cfg.Runs injection runs
-// in parallel, each flipping cfg.Bits bits at a uniformly random execution
-// of a targeted instruction (chosen from the golden run's execution counts,
-// like the paper's "after it is executed n times" methodology).
-func Run(cfg Config) (*Summary, error) {
+// baseline is the injection-independent state of a campaign: the shared
+// translation base cache (warmed by the golden run), the golden result, and
+// the quantities derived from it. It depends on the program, world size,
+// instruction budget and targeted ops — but not on the fault magnitude — so
+// BitSweep computes it once and reuses it for every bit count.
+type baseline struct {
+	cache    *tcg.BaseCache
+	golden   *core.RunResult
+	maxInstr uint64
+	// totals are the per-rank golden execution counts of the targeted ops;
+	// injection points are drawn from them.
+	totals []uint64
+	world  int
+}
+
+// prepare executes the golden run (building and warming the shared base
+// cache unless cfg.NoSharedCache) and derives the campaign baseline.
+func prepare(cfg Config) (*baseline, error) {
 	if cfg.Prog == nil || cfg.Runs <= 0 {
 		return nil, fmt.Errorf("campaign: need a program and a positive run count")
 	}
@@ -122,16 +142,16 @@ func Run(cfg Config) (*Summary, error) {
 	if world == 0 {
 		world = 1
 	}
-	bits := cfg.Bits
-	if bits == 0 {
-		bits = 1
+	var cache *tcg.BaseCache
+	if !cfg.NoSharedCache {
+		cache = tcg.NewBaseCache(cfg.Prog)
 	}
-
-	start := time.Now()
+	cfg.Obs.Counter("campaign_golden_runs_total").Inc()
 	gsp := cfg.Tracer.StartSpan("campaign.golden")
 	golden, err := core.Run(core.RunConfig{
 		Prog:            cfg.Prog,
 		WorldSize:       world,
+		BaseCache:       cache,
 		MaxInstructions: cfg.MaxInstructions,
 		Obs:             cfg.Obs,
 		Tracer:          cfg.Tracer,
@@ -167,7 +187,40 @@ func Run(cfg Config) (*Summary, error) {
 	if cfg.TargetRank >= 0 && totals[cfg.TargetRank] == 0 {
 		return nil, fmt.Errorf("campaign: rank %d never executes %v", cfg.TargetRank, cfg.Ops)
 	}
+	return &baseline{
+		cache:    cache,
+		golden:   golden,
+		maxInstr: maxInstr,
+		totals:   totals,
+		world:    world,
+	}, nil
+}
 
+// Run executes the campaign: one golden run, then cfg.Runs injection runs
+// in parallel, each flipping cfg.Bits bits at a uniformly random execution
+// of a targeted instruction (chosen from the golden run's execution counts,
+// like the paper's "after it is executed n times" methodology). Every run
+// shares the base translation cache warmed by the golden run, so after
+// warm-up only the blocks an injector instruments are ever retranslated.
+func Run(cfg Config) (*Summary, error) {
+	base, err := prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return runPrepared(cfg, base)
+}
+
+// runPrepared executes the injection runs of a campaign against a prepared
+// baseline. cfg must agree with the baseline on program, world size, ops and
+// instruction budget (BitSweep varies only the fault magnitude and name).
+func runPrepared(cfg Config, base *baseline) (*Summary, error) {
+	world, golden, totals, maxInstr := base.world, base.golden, base.totals, base.maxInstr
+	bits := cfg.Bits
+	if bits == 0 {
+		bits = 1
+	}
+
+	start := time.Now()
 	workers := cfg.Parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -245,6 +298,7 @@ func Run(cfg Config) (*Summary, error) {
 				res, err := core.Run(core.RunConfig{
 					Prog:            cfg.Prog,
 					WorldSize:       world,
+					BaseCache:       base.cache,
 					Hub:             hub,
 					MaxInstructions: maxInstr,
 					Obs:             cfg.Obs,
@@ -282,6 +336,9 @@ func Run(cfg Config) (*Summary, error) {
 		cfg.Progress(live.snapshot(cfg.Runs, time.Since(start)))
 	}
 	live.flushObs(cfg.Obs, time.Since(start))
+	if cfg.Obs != nil && base.cache != nil {
+		cfg.Obs.Gauge("campaign_base_cache_blocks").Set(float64(base.cache.Len()))
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("campaign: run failed: %w", err)

@@ -17,13 +17,21 @@ type SweepResult struct {
 // the paper's "the faults are x bits flipped within the operand" parameter
 // — quantifying how fault magnitude shifts the outcome distribution
 // (single-bit flips are often benign; multi-bit flips crash or corrupt).
+//
+// The golden run is identical for every bit count, so the campaign baseline
+// — golden execution counts, the derived instruction budget, and the shared
+// translation base cache — is computed once and reused for every entry.
 func BitSweep(cfg Config, bitCounts []int) ([]SweepResult, error) {
+	base, err := prepare(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: sweep golden run: %w", err)
+	}
 	out := make([]SweepResult, 0, len(bitCounts))
 	for _, bits := range bitCounts {
 		c := cfg
 		c.Bits = bits
 		c.Name = fmt.Sprintf("%s/bits=%d", cfg.Name, bits)
-		sum, err := Run(c)
+		sum, err := runPrepared(c, base)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: sweep bits=%d: %w", bits, err)
 		}

@@ -8,6 +8,7 @@ import (
 	"chaser/internal/mpi"
 	"chaser/internal/obs"
 	"chaser/internal/tainthub"
+	"chaser/internal/tcg"
 	"chaser/internal/trace"
 	"chaser/internal/vm"
 )
@@ -19,6 +20,10 @@ type RunConfig struct {
 	Prog      *isa.Program
 	WorldSize int
 	Spec      *Spec
+	// BaseCache, when non-nil, is the shared translation cache every rank of
+	// this run draws clean blocks from. Campaigns build one per program and
+	// reuse it across all runs; nil gives each machine a private cache.
+	BaseCache *tcg.BaseCache
 	// Hub overrides the TaintHub (e.g. a TCP client to a shared head-node
 	// hub); nil uses a private in-process hub.
 	Hub tainthub.Hub
@@ -101,6 +106,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			return vm.Config{
 				MaxInstructions: cfg.MaxInstructions,
 				SampleInterval:  cfg.SampleInterval,
+				BaseCache:       cfg.BaseCache,
 				Obs:             cfg.Obs,
 			}
 		},

@@ -1,0 +1,98 @@
+package tcg
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"chaser/internal/isa"
+)
+
+// BaseCache is a shared, concurrency-safe cache of clean (uninstrumented)
+// translation blocks for one program. It plays the role of QEMU's shared code
+// cache for a fault-injection campaign: the guest program is identical across
+// every rank of every run, so its clean translations are too, and paying for
+// them once per campaign instead of once per machine removes ~100% of the
+// redundant translation work.
+//
+// Blocks stored in a BaseCache are immutable after publication: the engine
+// keeps its block-chaining state in per-machine tables (see internal/vm), so
+// a published *TB is never written again and may be executed by any number of
+// machines concurrently. Instrumented blocks never enter the base cache —
+// they live in each Translator's private overlay, which is the only state
+// AddHook/Flush invalidate.
+//
+// The cache fills lazily: any translator that produces a clean translation
+// publishes it, so a campaign's golden run warms the cache for every
+// injection run that follows.
+type BaseCache struct {
+	prog  *isa.Program
+	noOpt bool
+
+	mu     sync.RWMutex
+	blocks map[uint64]*TB
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// BaseStats is a snapshot of shared-cache activity.
+type BaseStats struct {
+	Hits   uint64 // lookups served from the shared cache
+	Misses uint64 // lookups that fell through to translation
+	Blocks uint64 // clean blocks currently published
+}
+
+// NewBaseCache creates an empty shared cache for prog.
+func NewBaseCache(prog *isa.Program) *BaseCache {
+	return &BaseCache{prog: prog, blocks: make(map[uint64]*TB)}
+}
+
+// SetOptimizer toggles the peephole optimizer for translations published
+// into this cache (on by default). Only ablation benchmarks need this; it
+// must be set before any translator uses the cache.
+func (c *BaseCache) SetOptimizer(on bool) { c.noOpt = !on }
+
+// Prog returns the program this cache translates.
+func (c *BaseCache) Prog() *isa.Program { return c.prog }
+
+// Len returns the number of published blocks.
+func (c *BaseCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.blocks)
+}
+
+// Stats returns a snapshot of cache activity.
+func (c *BaseCache) Stats() BaseStats {
+	return BaseStats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Blocks: uint64(c.Len()),
+	}
+}
+
+// lookup returns the published block at pc, if any, counting a hit or miss.
+func (c *BaseCache) lookup(pc uint64) (*TB, bool) {
+	c.mu.RLock()
+	tb, ok := c.blocks[pc]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return tb, ok
+}
+
+// insert publishes a clean translation and returns the canonical block for
+// pc: the first writer wins, so concurrent machines that raced on the same
+// miss all converge on one shared *TB.
+func (c *BaseCache) insert(pc uint64, tb *TB) *TB {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.blocks[pc]; ok {
+		return prev
+	}
+	c.blocks[pc] = tb
+	return tb
+}

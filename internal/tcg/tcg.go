@@ -229,6 +229,11 @@ func (o Op) String() string {
 
 // TB is a translation block: the micro-ops for a straight-line run of guest
 // instructions starting at PC.
+//
+// A TB is immutable once returned by a Translator: clean blocks are shared
+// between machines through a BaseCache, so per-execution state (QEMU-style
+// block chaining, generation checks) lives in per-machine tables inside the
+// execution engine, never on the block itself.
 type TB struct {
 	PC       uint64
 	Ops      []Op
@@ -236,21 +241,6 @@ type TB struct {
 	// NextPC is the fall-through continuation when the block does not end in
 	// an explicit control transfer (e.g. it hit MaxTBInstrs).
 	NextPC uint64
-
-	// Gen is the translation-cache generation this block belongs to; the
-	// execution engine only follows Chain entries whose target matches the
-	// translator's current generation, so a Flush invalidates every chain.
-	Gen uint64
-	// Chain caches up to two successor blocks by continuation pc (QEMU's
-	// block chaining), avoiding the cache lookup on hot edges. Slots are
-	// engine-managed.
-	Chain [2]ChainSlot
-}
-
-// ChainSlot is one cached control-flow edge out of a TB.
-type ChainSlot struct {
-	PC uint64
-	To *TB
 }
 
 // String dumps the block like QEMU's `-d op` log.

@@ -193,13 +193,152 @@ func TestCacheAndFlush(t *testing.T) {
 	if s.Translations != 1 || s.CacheHits != 1 || s.CacheMisses != 1 {
 		t.Errorf("stats = %+v", s)
 	}
+	// Flush drops only the overlay: with no hooks armed, the clean block is
+	// re-admitted from the base cache without retranslation.
 	tr.Flush()
 	if _, err := tr.Block(isa.CodeBase); err != nil {
 		t.Fatal(err)
 	}
 	s = tr.Stats()
-	if s.Translations != 2 || s.Flushes != 1 {
+	if s.Translations != 1 || s.Flushes != 1 || s.BaseHits != 1 {
 		t.Errorf("stats after flush = %+v", s)
+	}
+	if tr.Gen() != 1 {
+		t.Errorf("gen = %d, want 1 (flush must still sever chains)", tr.Gen())
+	}
+}
+
+// TestFlushWithHooksRetranslatesOnlyTargetedBlocks pins the tentpole
+// guarantee: arming a hook and flushing costs retranslation only for the
+// blocks the hook instruments; every clean block is served from the base.
+func TestFlushWithHooksRetranslatesOnlyTargetedBlocks(t *testing.T) {
+	// Two blocks: one with the targeted fadd, one without.
+	target := int64(isa.CodeBase + 2*isa.InstrSize)
+	tr := NewTranslator(prog(
+		isa.Instr{Op: isa.OpFAdd, Rd: isa.F0, Rs1: isa.F1, Rs2: isa.F2},
+		isa.Instr{Op: isa.OpJmp, Imm: target},
+		isa.Instr{Op: isa.OpNop},
+		isa.Instr{Op: isa.OpHlt},
+	))
+	pcs := []uint64{isa.CodeBase, isa.CodeBase + 2*isa.InstrSize}
+	for _, pc := range pcs {
+		if _, err := tr.Block(pc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.Stats().Translations; got != 2 {
+		t.Fatalf("warm-up translations = %d, want 2", got)
+	}
+
+	tr.AddHook(func(ins isa.Instr, pc uint64) []Op {
+		if ins.Op != isa.OpFAdd {
+			return nil
+		}
+		return []Op{{Kind: KHelper, Helper: 7}}
+	})
+	tr.Flush()
+
+	armed, err := tr.Block(pcs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := tr.Block(pcs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if s.Translations != 3 {
+		t.Errorf("translations = %d, want 3 (only the fadd block retranslates)", s.Translations)
+	}
+	if s.InstrumentedBlocks != 1 || s.OverlayBlocks != 2 {
+		t.Errorf("overlay = %d instrumented / %d total, want 1/2", s.InstrumentedBlocks, s.OverlayBlocks)
+	}
+	found := false
+	for _, op := range armed.Ops {
+		if op.Kind == KHelper {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("armed block lost its helper:\n%s", armed.Dump())
+	}
+	for _, op := range clean.Ops {
+		if op.Kind == KHelper {
+			t.Errorf("clean block instrumented:\n%s", clean.Dump())
+		}
+	}
+	// The instrumented block must not leak into the shared base.
+	if n := tr.Base().Len(); n != 2 {
+		t.Errorf("base blocks = %d, want 2", n)
+	}
+}
+
+// TestSharedBaseCanonicalBlocks verifies that translators sharing a base
+// converge on the same *TB for clean blocks and never see peers' hooks.
+func TestSharedBaseCanonicalBlocks(t *testing.T) {
+	p := prog(
+		isa.Instr{Op: isa.OpMovI, Rd: isa.R1, Imm: 1},
+		isa.Instr{Op: isa.OpHlt},
+	)
+	base := NewBaseCache(p)
+	a := NewSharedTranslator(p, base)
+	b := NewSharedTranslator(p, base)
+
+	tba, err := a.Block(isa.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbb, err := b.Block(isa.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tba != tbb {
+		t.Error("translators sharing a base returned distinct clean blocks")
+	}
+	if a.Stats().Translations != 1 || b.Stats().Translations != 0 {
+		t.Errorf("translations a=%d b=%d, want 1/0", a.Stats().Translations, b.Stats().Translations)
+	}
+
+	// Arming b must give b a private instrumented block and leave a's view
+	// (and the base) untouched.
+	b.AddHook(func(ins isa.Instr, pc uint64) []Op {
+		return []Op{{Kind: KHelper, Helper: 1}}
+	})
+	b.Flush()
+	armed, err := b.Block(isa.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if armed == tba {
+		t.Error("instrumented block aliases the shared clean block")
+	}
+	again, err := a.Block(isa.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != tba {
+		t.Error("peer's arming changed a's clean block")
+	}
+	if bs := base.Stats(); bs.Blocks != 1 {
+		t.Errorf("base blocks = %d, want 1", bs.Blocks)
+	}
+}
+
+// TestSharedTranslatorProgramMismatch: a base built for another program must
+// not serve wrong translations; the translator falls back to a private cache.
+func TestSharedTranslatorProgramMismatch(t *testing.T) {
+	p1 := prog(isa.Instr{Op: isa.OpHlt})
+	p2 := prog(isa.Instr{Op: isa.OpNop}, isa.Instr{Op: isa.OpHlt})
+	tr := NewSharedTranslator(p2, NewBaseCache(p1))
+	tb, err := tr.Block(isa.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.GuestLen != 2 {
+		t.Errorf("GuestLen = %d, want 2 (translated against the wrong program?)", tb.GuestLen)
+	}
+	if tr.Base().Prog() != p2 {
+		t.Error("mismatched base not replaced by a private one")
 	}
 }
 

@@ -19,23 +19,43 @@ type InstrumentHook func(ins isa.Instr, pc uint64) []Op
 
 // Stats counts translator activity.
 type Stats struct {
-	Translations uint64 // blocks translated
-	CacheHits    uint64
-	CacheMisses  uint64
+	Translations uint64 // blocks translated by this translator
+	CacheHits    uint64 // overlay hits (includes pass-through base blocks)
+	CacheMisses  uint64 // overlay misses
+	BaseHits     uint64 // overlay misses served by the shared base cache
+	BaseMisses   uint64 // overlay misses that fell through to translation
 	Flushes      uint64
 	HelperOps    uint64 // instrumentation micro-ops inserted
 	OptRewrites  uint64 // peephole rewrites applied
 	OpsEmitted   uint64 // micro-ops emitted into translated blocks
+
+	// OverlayBlocks and InstrumentedBlocks are snapshots, not counters: the
+	// current overlay population and how many of those blocks were privately
+	// translated because a hook instrumented them.
+	OverlayBlocks      uint64
+	InstrumentedBlocks uint64
 }
 
 // Translator converts guest code into cached translation blocks.
+//
+// The cache is two-layered. The base layer is a shared, immutable BaseCache
+// of clean translations, typically one per campaign; the overlay is this
+// translator's private view, holding instrumented blocks plus pass-through
+// references to base blocks. Block consults the overlay first, then the base;
+// AddHook and Flush invalidate only the overlay, so arming an injector on one
+// machine never throws away (or races with) the translations its peers share.
 type Translator struct {
-	prog  *isa.Program
-	cache map[uint64]*TB
-	hooks []InstrumentHook
-	stats Stats
-	noOpt bool
-	gen   uint64
+	prog    *isa.Program
+	base    *BaseCache
+	overlay map[uint64]*TB
+	// instrumented counts overlay blocks that were privately translated
+	// because an armed hook placed micro-ops in them — the O(targeted
+	// blocks) work that remains per run once the base cache is warm.
+	instrumented uint64
+	hooks        []InstrumentHook
+	stats        Stats
+	noOpt        bool
+	gen          uint64
 
 	// obsLat, when attached, observes per-block translation latency. It is
 	// the only live instrument on the translator: translations are rare
@@ -44,10 +64,25 @@ type Translator struct {
 	obsLat *obs.Histogram
 }
 
-// NewTranslator creates a translator for the program with the peephole
-// optimizer enabled.
+// NewTranslator creates a translator with a private base cache and the
+// peephole optimizer enabled.
 func NewTranslator(prog *isa.Program) *Translator {
-	return &Translator{prog: prog, cache: make(map[uint64]*TB)}
+	return NewSharedTranslator(prog, NewBaseCache(prog))
+}
+
+// NewSharedTranslator creates a translator whose clean translations are
+// served from (and published into) the shared base cache. A nil base, or one
+// built for a different program, falls back to a private cache.
+func NewSharedTranslator(prog *isa.Program, base *BaseCache) *Translator {
+	if base == nil || base.prog != prog {
+		base = NewBaseCache(prog)
+	}
+	return &Translator{
+		prog:    prog,
+		base:    base,
+		overlay: make(map[uint64]*TB),
+		noOpt:   base.noOpt,
+	}
 }
 
 // SetOptimizer toggles the peephole optimizer (on by default); campaigns
@@ -68,20 +103,32 @@ func (t *Translator) ClearHooks() {
 	t.hooks = nil
 }
 
-// Flush empties the translation cache, forcing the next round of binary code
-// translation — invoked when the target process creation event is captured.
-// Bumping the generation invalidates every chained block edge.
+// Flush empties the translation overlay, forcing the next lookup of every
+// block to re-decide instrumentation — invoked when the target process
+// creation event is captured. The shared base cache is untouched: clean
+// blocks are re-admitted through it without retranslation, so only blocks an
+// armed hook actually instruments are translated again. Bumping the
+// generation invalidates every chained block edge.
 func (t *Translator) Flush() {
-	t.cache = make(map[uint64]*TB)
+	t.overlay = make(map[uint64]*TB)
+	t.instrumented = 0
 	t.stats.Flushes++
 	t.gen++
 }
 
-// Gen returns the current translation-cache generation.
+// Gen returns the current translation-overlay generation.
 func (t *Translator) Gen() uint64 { return t.gen }
 
+// Base returns the shared base cache this translator publishes into.
+func (t *Translator) Base() *BaseCache { return t.base }
+
 // Stats returns a snapshot of translator counters.
-func (t *Translator) Stats() Stats { return t.stats }
+func (t *Translator) Stats() Stats {
+	s := t.stats
+	s.OverlayBlocks = uint64(len(t.overlay))
+	s.InstrumentedBlocks = t.instrumented
+	return s
+}
 
 // AttachObs registers the translator's live instruments on reg (nil disables
 // them). Call before the machine runs.
@@ -89,19 +136,34 @@ func (t *Translator) AttachObs(reg *obs.Registry) {
 	t.obsLat = reg.Histogram("tcg_translate_seconds", obs.LatencyBuckets...)
 }
 
-// Block returns the translation block starting at guest address pc,
-// translating and caching it on a miss.
+// Block returns the translation block starting at guest address pc.
+//
+// Lookup order: the private overlay first, then the shared base cache. A
+// base block is admitted into the overlay as a pass-through reference when no
+// armed hook wants to instrument it, so the instrumentation decision is made
+// once per block, not once per execution. Only on a full miss (or when a hook
+// claims the block) does the translator do translation work; clean results
+// are published to the shared base so peers and later runs skip them.
 func (t *Translator) Block(pc uint64) (*TB, error) {
-	if tb, ok := t.cache[pc]; ok {
+	if tb, ok := t.overlay[pc]; ok {
 		t.stats.CacheHits++
 		return tb, nil
 	}
 	t.stats.CacheMisses++
+	if tb, ok := t.base.lookup(pc); ok {
+		t.stats.BaseHits++
+		if !t.hooksWant(tb) {
+			t.overlay[pc] = tb
+			return tb, nil
+		}
+	} else {
+		t.stats.BaseMisses++
+	}
 	var tStart time.Time
 	if t.obsLat != nil {
 		tStart = time.Now()
 	}
-	tb, err := t.translate(pc)
+	tb, inserted, err := t.translate(pc)
 	if err != nil {
 		return nil, err
 	}
@@ -111,15 +173,48 @@ func (t *Translator) Block(pc uint64) (*TB, error) {
 	if !t.noOpt {
 		t.stats.OptRewrites += optimize(tb.Ops)
 	}
-	tb.Gen = t.gen
-	t.cache[pc] = tb
 	t.stats.Translations++
+	if inserted == 0 {
+		// Clean translation: publish it. The base returns the canonical
+		// block, so machines that raced on the same miss share one *TB.
+		tb = t.base.insert(pc, tb)
+	} else {
+		t.instrumented++
+	}
+	t.overlay[pc] = tb
 	return tb, nil
 }
 
-// translate builds a TB beginning at pc.
-func (t *Translator) translate(pc uint64) (*TB, error) {
+// hooksWant reports whether any armed hook would place micro-ops in front of
+// an instruction of the (clean) block tb. It is called once per block per
+// overlay admission, never on the execution hot path.
+func (t *Translator) hooksWant(tb *TB) bool {
+	if len(t.hooks) == 0 {
+		return false
+	}
+	for i := range tb.Ops {
+		op := &tb.Ops[i]
+		if !op.First {
+			continue
+		}
+		ins, ok := t.prog.InstrAt(op.GuestPC)
+		if !ok {
+			continue
+		}
+		for _, h := range t.hooks {
+			if len(h(ins, op.GuestPC)) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// translate builds a TB beginning at pc, returning the number of
+// instrumentation micro-ops the armed hooks inserted.
+func (t *Translator) translate(pc uint64) (*TB, int, error) {
 	tb := &TB{PC: pc}
+	inserted := 0
 	cur := pc
 	for tb.GuestLen < MaxTBInstrs {
 		ins, ok := t.prog.InstrAt(cur)
@@ -129,7 +224,7 @@ func (t *Translator) translate(pc uint64) (*TB, error) {
 				// reach the bad address and fault there.
 				break
 			}
-			return nil, &isa.BadOpcodeError{PC: cur, Opcode: 0}
+			return nil, 0, &isa.BadOpcodeError{PC: cur, Opcode: 0}
 		}
 		for _, h := range t.hooks {
 			pre := h(ins, cur)
@@ -138,11 +233,12 @@ func (t *Translator) translate(pc uint64) (*TB, error) {
 				pre[i].GuestOp = ins.Op
 			}
 			t.stats.HelperOps += uint64(len(pre))
+			inserted += len(pre)
 			tb.Ops = append(tb.Ops, pre...)
 		}
 		ops, err := expand(ins, cur)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if len(ops) > 0 {
 			ops[0].First = true
@@ -156,7 +252,7 @@ func (t *Translator) translate(pc uint64) (*TB, error) {
 	}
 	tb.NextPC = cur
 	t.stats.OpsEmitted += uint64(len(tb.Ops))
-	return tb, nil
+	return tb, inserted, nil
 }
 
 // expand translates one guest instruction into micro-ops.

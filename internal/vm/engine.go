@@ -26,71 +26,103 @@ func (m *Machine) Abort(t Termination) {
 // Aborted returns the pending asynchronous termination, if any.
 func (m *Machine) Aborted() *Termination { return m.abort.p.Load() }
 
+// chainNode wraps a translation block with this machine's chaining state.
+// TBs may be shared read-only between machines (the campaign base cache), so
+// QEMU-style block chaining — a mutation — lives here, never on the TB.
+type chainNode struct {
+	tb   *tcg.TB
+	out  [2]chainEdge // up to two cached successor edges, engine-managed
+	slot int
+}
+
+// chainEdge is one cached control-flow edge: continuation pc -> successor.
+type chainEdge struct {
+	pc uint64
+	to *chainNode
+}
+
+// chainTable is the per-machine chain state: one node per executed TB,
+// valid for a single translation-overlay generation.
+type chainTable struct {
+	gen   uint64
+	nodes map[*tcg.TB]*chainNode
+}
+
 // Run executes the guest until it terminates and returns its final status.
 // Hot control-flow edges are block-chained: once a successor block is
-// resolved it is cached on the predecessor and followed directly, subject
-// to a generation check so cache flushes invalidate every chain.
+// resolved it is cached on the predecessor's chain node and followed
+// directly, subject to a generation check so overlay flushes invalidate
+// every chain.
 func (m *Machine) Run() Termination {
-	var prev *tcg.TB
-	var prevSlot int
 	for m.term == nil {
-		if t := m.abort.p.Load(); t != nil {
-			m.term = t
-			break
-		}
-		// The generation must be re-read every iteration: helpers can flush
-		// the translation cache mid-run (Chaser arms hooks that way), which
-		// must sever every chained edge immediately.
-		gen := m.Trans.Gen()
-		var tb *tcg.TB
-		if prev != nil {
-			for i := range prev.Chain {
-				if c := prev.Chain[i]; c.To != nil && c.PC == m.pc && c.To.Gen == gen {
-					tb = c.To
-					m.counters.ChainedTBs++
-					break
-				}
-			}
-		}
-		if tb == nil {
-			var err error
-			tb, err = m.Trans.Block(m.pc)
-			if err != nil {
-				// Instruction-fetch fault: wild jump outside the code
-				// segment (SIGSEGV) or into an undecodable word (SIGILL).
-				sig := SIGSEGV
-				var bad *isa.BadOpcodeError
-				if errors.As(err, &bad) && bad.Opcode != 0 {
-					sig = SIGILL
-				}
-				m.kill(sig, err.Error())
-				break
-			}
-			if prev != nil && prev.Gen == gen && tb.Gen == gen {
-				prev.Chain[prevSlot] = tcg.ChainSlot{PC: m.pc, To: tb}
-				prevSlot = 1 - prevSlot
-			}
-		}
-		m.counters.TBsExecuted++
-		m.execTB(tb)
-		prev = tb
+		m.step()
 	}
 	m.flushObs()
 	return *m.term
 }
 
-// Step executes exactly one translation block (for tests and debuggers).
-func (m *Machine) Step() *Termination {
-	if m.term != nil {
-		return m.term
+// step performs one engine iteration: observe pending asynchronous aborts,
+// resolve the next block through the chain table (or the translator on a
+// chain miss), execute it, and cache the taken edge.
+func (m *Machine) step() {
+	if t := m.abort.p.Load(); t != nil {
+		m.term = t
+		return
 	}
-	tb, err := m.Trans.Block(m.pc)
-	if err != nil {
-		m.kill(SIGSEGV, err.Error())
-		return m.term
+	// The generation must be re-read every iteration: helpers can flush
+	// the translation overlay mid-run (Chaser arms hooks that way), which
+	// must sever every chained edge immediately.
+	gen := m.Trans.Gen()
+	if m.chains.nodes == nil || m.chains.gen != gen {
+		m.chains = chainTable{gen: gen, nodes: make(map[*tcg.TB]*chainNode)}
+		m.prevTB = nil
+	}
+	var node *chainNode
+	if prev := m.prevTB; prev != nil {
+		for i := range prev.out {
+			if e := prev.out[i]; e.to != nil && e.pc == m.pc {
+				node = e.to
+				m.counters.ChainedTBs++
+				break
+			}
+		}
+	}
+	if node == nil {
+		tb, err := m.Trans.Block(m.pc)
+		if err != nil {
+			// Instruction-fetch fault: wild jump outside the code
+			// segment (SIGSEGV) or into an undecodable word (SIGILL).
+			sig := SIGSEGV
+			var bad *isa.BadOpcodeError
+			if errors.As(err, &bad) && bad.Opcode != 0 {
+				sig = SIGILL
+			}
+			m.kill(sig, err.Error())
+			return
+		}
+		node = m.chains.nodes[tb]
+		if node == nil {
+			node = &chainNode{tb: tb}
+			m.chains.nodes[tb] = node
+		}
+		if prev := m.prevTB; prev != nil {
+			prev.out[prev.slot] = chainEdge{pc: m.pc, to: node}
+			prev.slot = 1 - prev.slot
+		}
 	}
 	m.counters.TBsExecuted++
-	m.execTB(tb)
+	m.execTB(node.tb)
+	m.prevTB = node
+}
+
+// Step executes exactly one translation block (for tests and debuggers). It
+// has the semantics of a single Run iteration: pending aborts are honored,
+// fetch faults are classified (SIGSEGV vs SIGILL), and the budget and
+// chaining bookkeeping are identical — interleaving Step and Run is safe.
+func (m *Machine) Step() *Termination {
+	if m.term == nil {
+		m.step()
+	}
 	return m.term
 }
 

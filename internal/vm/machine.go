@@ -115,6 +115,12 @@ type Config struct {
 	// PID is the guest process id reported through VMI; 0 lets the platform
 	// assign one.
 	PID int
+	// BaseCache, when non-nil, is the shared translation cache the machine's
+	// translator serves clean blocks from (and publishes them into). All
+	// machines of a campaign share one cache so the guest program is
+	// translated once, not once per rank per run. Nil gives the machine a
+	// private cache.
+	BaseCache *tcg.BaseCache
 	// Obs, when non-nil, receives the machine's execution telemetry: hot-loop
 	// counters are flushed into it once at run end (the interpreter itself is
 	// never instrumented live), and the translator's latency histogram is
@@ -159,6 +165,8 @@ type Machine struct {
 	term      *Termination
 	abort     abortBox
 	execTrace *execRing
+	chains    chainTable
+	prevTB    *chainNode
 
 	obsReg     *obs.Registry
 	obsFlushed bool
@@ -175,7 +183,7 @@ func New(prog *isa.Program, cfg Config) *Machine {
 		WorldSize: cfg.WorldSize,
 		Prog:      prog,
 		Mem:       NewMemory(),
-		Trans:     tcg.NewTranslator(prog),
+		Trans:     tcg.NewSharedTranslator(prog, cfg.BaseCache),
 		Shadow:    taint.NewShadow(),
 		heapBrk:   isa.HeapBase,
 		maxInstr:  cfg.MaxInstructions,

@@ -484,6 +484,52 @@ func TestStepAndTerminated(t *testing.T) {
 	}
 }
 
+func TestStepHonorsPendingAbort(t *testing.T) {
+	p, err := asm.Assemble("t", "main:\n movi r1, 1\n hlt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p, Config{})
+	m.Abort(Termination{Reason: ReasonMPIError, Msg: "peer rank terminated"})
+	term := m.Step()
+	if term == nil || term.Reason != ReasonMPIError {
+		t.Fatalf("step with pending abort = %v, want MPI-error termination", term)
+	}
+	if m.GPR(isa.R1) != 0 {
+		t.Error("aborted step still executed a block")
+	}
+}
+
+func TestStepPerformsChainingBookkeeping(t *testing.T) {
+	// A loop revisits the same control-flow edge; stepping through it must
+	// populate and then follow chains exactly like Run.
+	src := `
+main:
+    movi r2, 0
+loop:
+    addi r2, r2, 1
+    cmpi r2, 5
+    jl loop
+    hlt
+`
+	p, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p, Config{})
+	for i := 0; i < 50; i++ {
+		if term := m.Step(); term != nil {
+			break
+		}
+	}
+	if m.Terminated() == nil || m.Terminated().Reason != ReasonExited {
+		t.Fatalf("terminated = %v", m.Terminated())
+	}
+	if m.Counters().ChainedTBs == 0 {
+		t.Error("Step never followed a chained edge")
+	}
+}
+
 func TestConsoleOverflowIsClamped(t *testing.T) {
 	// Printing a lot must not grow the console without bound.
 	src := `

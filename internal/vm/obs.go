@@ -27,10 +27,14 @@ func (m *Machine) flushObs() {
 	reg.Counter("tcg_translations_total").Add(ts.Translations)
 	reg.Counter("tcg_cache_hits_total").Add(ts.CacheHits)
 	reg.Counter("tcg_cache_misses_total").Add(ts.CacheMisses)
+	reg.Counter("tcg_base_hits_total").Add(ts.BaseHits)
+	reg.Counter("tcg_base_misses_total").Add(ts.BaseMisses)
+	reg.Counter("tcg_instrumented_blocks_total").Add(ts.InstrumentedBlocks)
 	reg.Counter("tcg_flushes_total").Add(ts.Flushes)
 	reg.Counter("tcg_helper_ops_total").Add(ts.HelperOps)
 	reg.Counter("tcg_opt_rewrites_total").Add(ts.OptRewrites)
 	reg.Counter("tcg_ops_emitted_total").Add(ts.OpsEmitted)
+	reg.Gauge("tcg_overlay_blocks_high_water").SetMax(float64(ts.OverlayBlocks))
 
 	reg.Gauge("taint_tainted_bytes_high_water").SetMax(float64(m.Shadow.HighWater()))
 }

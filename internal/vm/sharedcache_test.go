@@ -1,0 +1,121 @@
+package vm
+
+import (
+	"sync"
+	"testing"
+
+	"chaser/internal/asm"
+	"chaser/internal/isa"
+	"chaser/internal/tcg"
+)
+
+// sharedCacheSrc loops over a targeted fadd so the armed machine's injector
+// fires many times and every machine exercises block chaining.
+const sharedCacheSrc = `
+main:
+    movi r1, 0
+    movi r2, 0
+    fmovi f1, 1.5
+    fmovi f2, 2.25
+loop:
+    addi r1, r1, 3
+    fadd f3, f1, f2
+    addi r2, r2, 1
+    cmpi r2, 200
+    jl loop
+    hlt
+`
+
+// TestSharedBaseCacheConcurrentMachines is the tentpole's vm-level race
+// proof: many machines run concurrently off one base cache while some of
+// them arm instrumentation hooks and flush their overlays mid-fleet. Peers'
+// translations, chains and results must be unaffected, and the armed
+// machines must still see every targeted execution. Run with -race.
+func TestSharedBaseCacheConcurrentMachines(t *testing.T) {
+	p, err := asm.Assemble("shared", sharedCacheSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tcg.NewBaseCache(p)
+
+	const machines = 12
+	type result struct {
+		term    Termination
+		r1      uint64
+		fired   uint64
+		chained uint64
+		stats   tcg.Stats
+		armed   bool
+	}
+	results := make([]result, machines)
+	var wg sync.WaitGroup
+	for i := 0; i < machines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := New(p, Config{BaseCache: base})
+			armed := i%3 == 0 // every third machine injects
+			var fired uint64
+			if armed {
+				id := m.RegisterHelper(func(mm *Machine, op *tcg.Op) { fired++ })
+				m.Trans.AddHook(func(ins isa.Instr, pc uint64) []tcg.Op {
+					if ins.Op != isa.OpFAdd {
+						return nil
+					}
+					return []tcg.Op{{Kind: tcg.KHelper, Helper: id}}
+				})
+				m.Trans.Flush()
+			}
+			term := m.Run()
+			results[i] = result{
+				term:    term,
+				r1:      m.GPR(isa.R1),
+				fired:   fired,
+				chained: m.Counters().ChainedTBs,
+				stats:   m.Trans.Stats(),
+				armed:   armed,
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, r := range results {
+		if r.term.Reason != ReasonExited {
+			t.Fatalf("machine %d: %v", i, r.term)
+		}
+		if r.r1 != 600 {
+			t.Errorf("machine %d: r1 = %d, want 600", i, r.r1)
+		}
+		if r.chained == 0 {
+			t.Errorf("machine %d: no chained blocks", i)
+		}
+		if r.armed {
+			if r.fired != 200 {
+				t.Errorf("machine %d: helper fired %d times, want 200", i, r.fired)
+			}
+			if r.stats.InstrumentedBlocks == 0 {
+				t.Errorf("machine %d: armed but no instrumented blocks", i)
+			}
+		} else {
+			if r.fired != 0 || r.stats.InstrumentedBlocks != 0 {
+				t.Errorf("machine %d: clean peer saw instrumentation: fired=%d stats=%+v", i, r.fired, r.stats)
+			}
+		}
+	}
+
+	// Across the fleet the program is translated approximately once: clean
+	// peers beyond the first should add zero translations, armed machines
+	// only their targeted block. Allow for benign races on first-translation.
+	var total uint64
+	for _, r := range results {
+		total += r.stats.Translations
+	}
+	if bs := base.Stats(); bs.Blocks == 0 || bs.Hits == 0 {
+		t.Errorf("base stats = %+v, want warm shared cache", bs)
+	}
+	perMachine := uint64(base.Len()) // one full private translation's worth
+	if total >= machines*perMachine {
+		t.Errorf("total translations = %d across %d machines (private behaviour would be >= %d); sharing broken",
+			total, machines, machines*perMachine)
+	}
+}

@@ -1,0 +1,47 @@
+#!/bin/sh
+# bench.sh — run the shared-translation-cache ablation benchmark and emit a
+# machine-readable summary to BENCH_PR2.json (in the repo root, or $1).
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# The benchmark runs the same 100-run CLAMR campaign twice — once with the
+# shared base cache (default behaviour) and once with per-machine private
+# translator caches (NoSharedCache, the pre-shared-cache behaviour) — and
+# reports translated blocks, emitted micro-ops and base-cache hits per mode.
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR2.json}"
+
+raw="$(go test -run '^$' -bench 'SharedVsPrivateCache' -benchtime=1x .)"
+echo "$raw"
+
+echo "$raw" | awk -v out="$out" '
+/^BenchmarkSharedVsPrivateCache\// {
+    split($1, parts, "/")
+    mode = parts[2]
+    sub(/-[0-9]+$/, "", mode)  # strip the -GOMAXPROCS suffix
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")          ns[mode] = $i
+        if ($(i+1) == "translated_tbs") tbs[mode] = $i
+        if ($(i+1) == "emitted_ops")    ops[mode] = $i
+        if ($(i+1) == "base_hits")      hits[mode] = $i
+    }
+}
+END {
+    if (!("shared" in tbs) || !("private" in tbs)) {
+        print "bench.sh: benchmark output missing shared/private results" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n" > out
+    printf "  \"benchmark\": \"BenchmarkSharedVsPrivateCache\",\n" > out
+    printf "  \"shared\":  {\"ns_per_op\": %s, \"translated_tbs\": %s, \"emitted_ops\": %s, \"base_hits\": %s},\n", \
+        ns["shared"], tbs["shared"], ops["shared"], hits["shared"] > out
+    printf "  \"private\": {\"ns_per_op\": %s, \"translated_tbs\": %s, \"emitted_ops\": %s, \"base_hits\": %s},\n", \
+        ns["private"], tbs["private"], ops["private"], hits["private"] > out
+    printf "  \"translation_reduction_x\": %.2f\n", tbs["private"] / tbs["shared"] > out
+    printf "}\n" > out
+}
+'
+
+echo "wrote $out"
