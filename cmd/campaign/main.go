@@ -15,14 +15,17 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"chaser/internal/apps"
@@ -33,6 +36,7 @@ import (
 	"chaser/internal/lang"
 	"chaser/internal/obs"
 	"chaser/internal/stats"
+	"chaser/internal/tainthub"
 )
 
 func main() {
@@ -52,6 +56,14 @@ type options struct {
 	obs      *obs.Registry
 	tracer   *obs.Tracer
 	progress bool
+
+	// Fields of the fault-tolerant "run" experiment.
+	app        string
+	journal    string
+	resume     string
+	runTimeout time.Duration
+	hubAddr    string
+	hubPolicy  core.HubPolicy
 }
 
 // instrument attaches the process-wide telemetry sinks to one campaign
@@ -114,7 +126,7 @@ func writeTelemetry(o options, metricsPath, tracePath string) error {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
-	exp := fs.String("experiment", "all", "table1|table2|table3|fig6|fig7|fig8|fig9|fig10|sweep|perop|json|all")
+	exp := fs.String("experiment", "all", "table1|table2|table3|fig6|fig7|fig8|fig9|fig10|sweep|perop|json|run|all")
 	runs := fs.Int("runs", 400, "injection runs per application")
 	seed := fs.Int64("seed", 20200355, "campaign seed")
 	parallel := fs.Int("parallel", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -125,8 +137,22 @@ func run(args []string, out io.Writer) error {
 	progress := fs.Bool("progress", false, "print live campaign progress to stderr")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile on exit to this file")
+	appName := fs.String("app", "matvec", "application for -experiment run")
+	journal := fs.String("journal", "", "checkpoint journal for -experiment run (written as runs complete)")
+	resume := fs.String("resume", "", "resume -experiment run from this journal, skipping completed runs")
+	runTimeout := fs.Duration("run-timeout", 0, "wall-clock watchdog per run (0 = no watchdog)")
+	hubAddr := fs.String("hub", "", "shared TaintHub server address (default: in-process hub)")
+	hubPolicy := fs.String("hub-policy", "degrade", "on hub failure: degrade (proceed untainted) | fail (fail the run)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	policy := core.HubDegrade
+	switch *hubPolicy {
+	case "degrade":
+	case "fail":
+		policy = core.HubFailRun
+	default:
+		return fmt.Errorf("unknown -hub-policy %q (want degrade or fail)", *hubPolicy)
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -156,6 +182,8 @@ func run(args []string, out io.Writer) error {
 	o := options{
 		runs: *runs, seed: *seed, parallel: *parallel, bits: *bits, csvDir: *csvDir,
 		progress: *progress,
+		app:      *appName, journal: *journal, resume: *resume,
+		runTimeout: *runTimeout, hubAddr: *hubAddr, hubPolicy: policy,
 	}
 	if *metricsOut != "" {
 		o.obs = obs.NewRegistry()
@@ -176,6 +204,7 @@ func run(args []string, out io.Writer) error {
 		"sweep":  sweep,
 		"json":   jsonOut,
 		"perop":  perOp,
+		"run":    runResumable,
 	}
 	var runErr error
 	if *exp == "all" {
@@ -409,6 +438,73 @@ func sweep(out io.Writer, o options) error {
 	}
 	fmt.Fprint(out, campaign.SweepTable(results))
 	fmt.Fprintln(out, "(wider flips are less often benign and more often detected)")
+	return nil
+}
+
+// runResumable runs one fault-tolerant campaign: a single application with the
+// robustness features wired up — per-run wall-clock watchdog, optional
+// shared TaintHub over TCP with retry/reconnect, a checkpoint journal, and
+// SIGINT/SIGTERM-triggered graceful interruption that can later be resumed
+// with -resume.
+func runResumable(out io.Writer, o options) error {
+	app, err := apps.ByName(o.app)
+	if err != nil {
+		return err
+	}
+	cfg := campaign.Config{
+		Name: app.Name, Prog: app.Prog, WorldSize: app.WorldSize,
+		Ops: app.DefaultOps, TargetRank: app.TargetRank,
+		Runs: o.runs, Bits: o.bits, Seed: o.seed, Trace: true, Parallel: o.parallel,
+		RunTimeout: o.runTimeout, HubPolicy: o.hubPolicy,
+		Journal: o.journal, Resume: o.resume,
+	}
+	if o.hubAddr != "" {
+		client, err := tainthub.Dial(o.hubAddr)
+		if err != nil {
+			return fmt.Errorf("connecting to taint hub: %w", err)
+		}
+		defer client.Close()
+		cfg.Hub = client
+	}
+
+	// First SIGINT/SIGTERM stops feeding new runs; in-flight runs finish and
+	// are journaled. A second signal falls through to the default handler
+	// (hard kill), so a wedged campaign can still be ended.
+	stop := make(chan struct{})
+	cfg.Stop = stop
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	finished := make(chan struct{})
+	defer close(finished)
+	go func() {
+		select {
+		case <-sigc:
+			signal.Stop(sigc)
+			close(stop)
+		case <-finished:
+		}
+	}()
+
+	sum, err := campaign.Run(o.instrument(cfg))
+	if errors.Is(err, campaign.ErrInterrupted) {
+		journal := cfg.Journal
+		if journal == "" {
+			journal = cfg.Resume
+		}
+		if journal == "" {
+			fmt.Fprintln(out, "campaign interrupted; no -journal was set, completed runs are lost")
+			return nil
+		}
+		fmt.Fprintf(out, "campaign interrupted; completed runs journaled to %s\n", journal)
+		fmt.Fprintf(out, "resume with: campaign -experiment run -app %s -runs %d -seed %d -resume %s\n",
+			o.app, o.runs, o.seed, journal)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, sum.Report())
 	return nil
 }
 

@@ -117,6 +117,29 @@ func TestJSONSmall(t *testing.T) {
 	}
 }
 
+func TestRunJournalAndResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	full := runExp(t, "-experiment", "run", "-app", "kmeans", "-runs", "12",
+		"-seed", "77", "-journal", journal)
+	if !strings.Contains(full, "benign") {
+		t.Fatalf("no summary:\n%s", full)
+	}
+	// Resuming from a complete journal re-executes nothing and reprints the
+	// identical summary.
+	resumed := runExp(t, "-experiment", "run", "-app", "kmeans", "-runs", "12",
+		"-seed", "77", "-resume", journal)
+	if resumed != full {
+		t.Errorf("resumed summary differs:\n--- full ---\n%s--- resumed ---\n%s", full, resumed)
+	}
+}
+
+func TestRunBadHubPolicy(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "run", "-hub-policy", "maybe"}, &sb); err == nil {
+		t.Error("bad hub policy accepted")
+	}
+}
+
 func TestFig6CSVExport(t *testing.T) {
 	dir := t.TempDir()
 	out := runExp(t, "-experiment", "fig6", "-runs", "6", "-csv", dir)

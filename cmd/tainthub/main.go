@@ -50,6 +50,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("tainthub", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus metrics on http://<addr>/metrics (empty = disabled)")
+	idleTimeout := fs.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,7 +60,9 @@ func run(args []string) error {
 		reg = obs.NewRegistry()
 	}
 	hub := tainthub.NewLocal()
-	srv, err := tainthub.NewServerObs(hub, *addr, reg)
+	srv, err := tainthub.NewServerConfig(hub, *addr, tainthub.ServerConfig{
+		Obs: reg, IdleTimeout: *idleTimeout,
+	})
 	if err != nil {
 		return err
 	}

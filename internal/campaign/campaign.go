@@ -1,9 +1,11 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -42,6 +44,28 @@ type Config struct {
 	// MaxInstructions caps each rank per run (0 = 64x the golden run,
 	// bounding fault-induced loops).
 	MaxInstructions uint64
+	// RunTimeout is the per-run wall-clock watchdog (0 = none): injection
+	// runs exceeding it are killed and classified TermTimeout. It
+	// complements MaxInstructions — an instruction budget cannot catch a
+	// run that stalls without retiring instructions. The golden run is
+	// never subject to it (a dead golden run must fail the campaign).
+	RunTimeout time.Duration
+	// HubPolicy selects how runs treat TaintHub failures after the
+	// client's retries are exhausted (default core.HubDegrade).
+	HubPolicy core.HubPolicy
+	// Journal, when non-empty, writes an append-only JSONL checkpoint of
+	// completed run outcomes to this path (see journal.go); a killed
+	// campaign can then be resumed.
+	Journal string
+	// Resume, when non-empty, resumes from the journal at this path:
+	// already-completed runs are loaded instead of re-executed and new
+	// completions are appended to the same file. Takes precedence over
+	// Journal.
+	Resume string
+	// Stop, when non-nil, interrupts the campaign when closed: no new runs
+	// start, in-flight runs finish (and are journaled), and Run returns
+	// ErrInterrupted.
+	Stop <-chan struct{}
 	// KeepRunOutcomes retains each run's classified outcome in the summary.
 	KeepRunOutcomes bool
 	// Hub, when set, is shared by every run (e.g. a TCP client to a
@@ -77,11 +101,16 @@ type Summary struct {
 	SDC        int
 	Detected   int
 	Terminated int
+	// SimCrash counts runs the simulator itself crashed on (isolated
+	// panics) — tool failures, not guest outcomes, reported separately so
+	// they cannot skew the paper's taxonomy.
+	SimCrash int
 
-	TermOS    int
-	TermMPI   int
-	TermSlave int
-	TermHang  int
+	TermOS      int
+	TermMPI     int
+	TermSlave   int
+	TermHang    int
+	TermTimeout int
 
 	// Propagation subset (tracing campaigns): runs where taint crossed
 	// ranks, and what killed the slave when one died.
@@ -196,6 +225,11 @@ func prepare(cfg Config) (*baseline, error) {
 	}, nil
 }
 
+// ErrInterrupted is returned by Run when cfg.Stop closed before all runs
+// finished. Runs completed up to that point are in the journal (when one
+// was configured) and the campaign can be resumed from it.
+var ErrInterrupted = errors.New("campaign: interrupted")
+
 // Run executes the campaign: one golden run, then cfg.Runs injection runs
 // in parallel, each flipping cfg.Bits bits at a uniformly random execution
 // of a targeted instruction (chosen from the golden run's execution counts,
@@ -250,6 +284,30 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 		}
 	}
 
+	// Checkpoint/resume: every run's task above is a pure function of
+	// cfg.Seed and the golden baseline, so skipping journaled runs and
+	// re-executing only the missing ones reproduces the uninterrupted
+	// campaign exactly.
+	var journal *Journal
+	resumed := map[int]RunOutcome{}
+	switch {
+	case cfg.Resume != "":
+		var err error
+		journal, resumed, err = ResumeJournal(cfg.Resume, cfg)
+		if err != nil {
+			return nil, err
+		}
+	case cfg.Journal != "":
+		var err error
+		journal, err = CreateJournal(cfg.Journal, cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if journal != nil {
+		defer journal.Close()
+	}
+
 	var live tally
 	reportStop := make(chan struct{})
 	var reportWG sync.WaitGroup
@@ -280,6 +338,62 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 
 	outcomes := make([]RunOutcome, cfg.Runs)
 	errs := make([]error, cfg.Runs)
+	for idx, o := range resumed {
+		outcomes[idx] = o
+		live.record(o.Outcome)
+		if cfg.Obs != nil {
+			cfg.Obs.Counter("campaign_resumed_runs_total").Inc()
+		}
+	}
+
+	// runOne executes and classifies one injection run. A panic anywhere
+	// below (the vm, the translator, the taint engine, a hook — including
+	// panics captured inside rank goroutines and re-raised by World.Run) is
+	// recovered here and isolated as OutcomeSimCrash: one lost data point,
+	// not a lost campaign.
+	runOne := func(tk task) (out RunOutcome, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				msg := fmt.Sprintf("%v", r)
+				if i := strings.IndexByte(msg, '\n'); i >= 0 {
+					msg = msg[:i]
+				}
+				out = RunOutcome{Outcome: OutcomeSimCrash, RootRank: -1, PanicMsg: msg}
+				err = nil
+				if cfg.Obs != nil {
+					cfg.Obs.Counter("campaign_runs_panic_total").Inc()
+				}
+			}
+		}()
+		var hub tainthub.Hub
+		if cfg.Hub != nil {
+			hub = tainthub.WithNamespace(cfg.Hub, tk.idx)
+		}
+		res, err := core.Run(core.RunConfig{
+			Prog:            cfg.Prog,
+			WorldSize:       world,
+			BaseCache:       base.cache,
+			Hub:             hub,
+			MaxInstructions: maxInstr,
+			Timeout:         cfg.RunTimeout,
+			HubPolicy:       cfg.HubPolicy,
+			Obs:             cfg.Obs,
+			Spec: &core.Spec{
+				Target:     cfg.Prog.Name,
+				Ops:        cfg.Ops,
+				TargetRank: tk.rank,
+				Cond:       core.Deterministic{N: tk.n},
+				Bits:       bits,
+				Seed:       tk.seed,
+				Trace:      cfg.Trace,
+			},
+		})
+		if err != nil {
+			return RunOutcome{}, err
+		}
+		return Classify(res, golden.Outputs, tk.rank), nil
+	}
+
 	var wg sync.WaitGroup
 	ch := make(chan task)
 	for w := 0; w < workers; w++ {
@@ -287,46 +401,46 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 		go func(worker int) {
 			defer wg.Done()
 			for tk := range ch {
-				var hub tainthub.Hub
-				if cfg.Hub != nil {
-					hub = tainthub.WithNamespace(cfg.Hub, tk.idx)
-				}
 				if cfg.Obs != nil {
 					cfg.Obs.Counter("campaign_runs_started_total").Inc()
 				}
 				rsp := cfg.Tracer.StartSpanTID("campaign.run", worker)
-				res, err := core.Run(core.RunConfig{
-					Prog:            cfg.Prog,
-					WorldSize:       world,
-					BaseCache:       base.cache,
-					Hub:             hub,
-					MaxInstructions: maxInstr,
-					Obs:             cfg.Obs,
-					Spec: &core.Spec{
-						Target:     cfg.Prog.Name,
-						Ops:        cfg.Ops,
-						TargetRank: tk.rank,
-						Cond:       core.Deterministic{N: tk.n},
-						Bits:       bits,
-						Seed:       tk.seed,
-						Trace:      cfg.Trace,
-					},
-				})
+				out, err := runOne(tk)
 				if err != nil {
 					rsp.SetArg("error", err.Error())
 					rsp.End()
 					errs[tk.idx] = err
 					continue
 				}
-				outcomes[tk.idx] = Classify(res, golden.Outputs, tk.rank)
-				live.record(outcomes[tk.idx].Outcome)
-				rsp.SetArg("outcome", outcomes[tk.idx].Outcome.String())
+				outcomes[tk.idx] = out
+				live.record(out.Outcome)
+				if cfg.Obs != nil && out.Term == TermTimeout {
+					cfg.Obs.Counter("campaign_runs_timeout_total").Inc()
+				}
+				if journal != nil {
+					if jerr := journal.Append(tk.idx, out); jerr != nil {
+						errs[tk.idx] = jerr
+					}
+				}
+				rsp.SetArg("outcome", out.Outcome.String())
 				rsp.End()
 			}
 		}(w)
 	}
+	interrupted := false
+feed:
 	for _, tk := range tasks {
-		ch <- tk
+		if _, ok := resumed[tk.idx]; ok {
+			continue // already journaled; outcome loaded above
+		}
+		// A nil Stop channel never receives, so the select degenerates to a
+		// plain send.
+		select {
+		case <-cfg.Stop:
+			interrupted = true
+			break feed
+		case ch <- tk:
+		}
 	}
 	close(ch)
 	wg.Wait()
@@ -344,6 +458,9 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 			return nil, fmt.Errorf("campaign: run failed: %w", err)
 		}
 	}
+	if interrupted {
+		return nil, ErrInterrupted
+	}
 	return summarize(cfg, outcomes), nil
 }
 
@@ -356,6 +473,12 @@ func summarize(cfg Config, outcomes []RunOutcome) *Summary {
 		PerOp:      make(map[string]*OpOutcomes),
 	}
 	for _, o := range outcomes {
+		if o.Outcome == OutcomeSimCrash {
+			// Tool failures are accounted separately: they are not guest
+			// outcomes and must not enter Injected or the per-op breakdown.
+			s.SimCrash++
+			continue
+		}
 		if o.Outcome != OutcomeNoInjection {
 			s.Injected++
 		}
@@ -397,6 +520,8 @@ func summarize(cfg Config, outcomes []RunOutcome) *Summary {
 				s.TermSlave++
 			case TermHang:
 				s.TermHang++
+			case TermTimeout:
+				s.TermTimeout++
 			}
 		}
 		if o.Propagated {

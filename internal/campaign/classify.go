@@ -32,6 +32,13 @@ const (
 	// OutcomeNoInjection: the fault never fired (diagnostic; should not
 	// occur when injection points come from golden-run profiles).
 	OutcomeNoInjection
+	// OutcomeSimCrash: the simulator itself panicked during the run — a
+	// tool bug, not a guest outcome. Isolated per-run so the rest of the
+	// campaign proceeds; the panic message is retained for triage.
+	//
+	// New outcomes are appended here: the resume journal serializes the
+	// numeric values, so reordering would misread old journals.
+	OutcomeSimCrash
 )
 
 // String returns the outcome name.
@@ -47,6 +54,8 @@ func (o Outcome) String() string {
 		return "terminated"
 	case OutcomeNoInjection:
 		return "no-injection"
+	case OutcomeSimCrash:
+		return "crash(simulator)"
 	}
 	return fmt.Sprintf("outcome(%d)", int(o))
 }
@@ -66,6 +75,10 @@ const (
 	TermSlaveNode
 	// TermHang: the run exceeded its instruction budget (supervisor kill).
 	TermHang
+	// TermTimeout: the run exceeded its wall-clock deadline (watchdog
+	// kill). Distinct from TermHang: the guest burned real time, not
+	// instructions. Appended for journal value stability (see Outcome).
+	TermTimeout
 )
 
 // String returns the class name.
@@ -81,6 +94,8 @@ func (t TermClass) String() string {
 		return "slave-node-failed"
 	case TermHang:
 		return "hang"
+	case TermTimeout:
+		return "timeout"
 	}
 	return fmt.Sprintf("termclass(%d)", int(t))
 }
@@ -106,6 +121,9 @@ type RunOutcome struct {
 	TaintedWrites uint64
 	// Records are the injections performed.
 	Records []core.InjectionRecord
+	// PanicMsg carries the recovered panic text when Outcome is
+	// OutcomeSimCrash (first line only; the full stack goes to the log).
+	PanicMsg string `json:",omitempty"`
 }
 
 // InjectedOp returns the guest opcode of the first injection ("" if none),
@@ -188,6 +206,11 @@ func Classify(res *core.RunResult, goldenOutputs [][]byte, targetRank int) RunOu
 
 	out.Outcome = OutcomeTerminated
 	switch {
+	case root.Reason == vm.ReasonTimeout:
+		// The watchdog interrupts every rank at once, so the root rank is
+		// arbitrary (usually rank 0); classify before the slave-node check
+		// or a timeout on a rank != target would masquerade as propagation.
+		out.Term = TermTimeout
 	case out.RootRank != targetRank:
 		// The fatal event surfaced on a rank that was never injected: the
 		// corruption crossed the process boundary first.

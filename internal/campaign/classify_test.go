@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"strings"
 	"testing"
 
 	"chaser/internal/core"
@@ -123,6 +124,64 @@ func TestClassifyTerminations(t *testing.T) {
 	}
 }
 
+func TestClassifyTimeout(t *testing.T) {
+	// The watchdog interrupts every rank at once, so all ranks carry
+	// ReasonTimeout and the root falls on rank 0 regardless of the target.
+	timeoutTerms := []vm.Termination{
+		{Reason: vm.ReasonTimeout, Msg: "wall-clock deadline 5ms exceeded"},
+		{Reason: vm.ReasonTimeout, Msg: "wall-clock deadline 5ms exceeded"},
+	}
+	for _, target := range []int{0, 1} {
+		res := mkRes(timeoutTerms, [][]byte{nil, nil}, injected())
+		got := Classify(res, [][]byte{nil, nil}, target)
+		if got.Outcome != OutcomeTerminated {
+			t.Fatalf("target %d: outcome = %v", target, got.Outcome)
+		}
+		// The slavefail interaction: with target 1 the root rank (0)
+		// differs from the target, which must NOT be read as slave-node
+		// propagation — the watchdog, not the fault, killed rank 0.
+		if got.Term != TermTimeout {
+			t.Errorf("target %d: term = %v, want %v", target, got.Term, TermTimeout)
+		}
+		if got.SlaveTermOS || got.SlaveTermMPI {
+			t.Errorf("target %d: timeout set slave flags", target)
+		}
+	}
+	// A genuine slave-node failure alongside is still classified as such:
+	// only timeouts reroute.
+	res := mkRes([]vm.Termination{
+		{Reason: vm.ReasonMPIError, Msg: "peer rank 1 terminated: killed"},
+		{Reason: vm.ReasonSignal, Signal: vm.SIGSEGV},
+	}, [][]byte{nil, nil}, injected())
+	if got := Classify(res, [][]byte{nil, nil}, 0); got.Term != TermSlaveNode {
+		t.Errorf("slave classification regressed: %v", got.Term)
+	}
+}
+
+func TestSummarizeSimCrash(t *testing.T) {
+	outcomes := []RunOutcome{
+		{Outcome: OutcomeBenign, Records: injected()},
+		{Outcome: OutcomeSimCrash, RootRank: -1, PanicMsg: "mpi: rank 0: boom"},
+		{Outcome: OutcomeTerminated, Term: TermTimeout, Records: injected()},
+	}
+	s := summarize(Config{Name: "x"}, outcomes)
+	if s.SimCrash != 1 {
+		t.Errorf("SimCrash = %d", s.SimCrash)
+	}
+	if s.Injected != 2 {
+		t.Errorf("Injected = %d (crashes must not count as injected)", s.Injected)
+	}
+	if s.Benign != 1 || s.Terminated != 1 || s.TermTimeout != 1 {
+		t.Errorf("tallies = %+v", s)
+	}
+	rep := s.Report()
+	for _, want := range []string{"simulator crashes", "timeout"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
 func TestClassifySlaveBreakdownFlags(t *testing.T) {
 	res := mkRes([]vm.Termination{
 		{Reason: vm.ReasonMPIError, Msg: "peer rank 1 terminated: x"},
@@ -153,6 +212,7 @@ func TestOutcomeAndTermClassNames(t *testing.T) {
 	outs := map[Outcome]string{
 		OutcomeBenign: "benign", OutcomeSDC: "sdc", OutcomeDetected: "detected",
 		OutcomeTerminated: "terminated", OutcomeNoInjection: "no-injection",
+		OutcomeSimCrash: "crash(simulator)",
 	}
 	for o, want := range outs {
 		if o.String() != want {
@@ -165,6 +225,7 @@ func TestOutcomeAndTermClassNames(t *testing.T) {
 	terms := map[TermClass]string{
 		TermNone: "none", TermOS: "os-exception", TermMPI: "mpi-error",
 		TermSlaveNode: "slave-node-failed", TermHang: "hang",
+		TermTimeout: "timeout",
 	}
 	for tc, want := range terms {
 		if tc.String() != want {

@@ -1,0 +1,220 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Checkpoint/resume. A campaign journal is an append-only JSONL file: one
+// header line describing the campaign, then one line per completed run in
+// completion order. Workers append entries as runs finish, so a campaign
+// killed at any moment (SIGINT, OOM, power loss) loses at most the runs
+// that were still in flight; resuming re-executes only those. Because every
+// run's injection point and seed are derived deterministically from
+// Config.Seed, the re-executed runs produce the same outcomes they would
+// have, and a resumed campaign's summary is identical to an uninterrupted
+// one.
+
+// journalVersion is bumped when the line format changes incompatibly.
+const journalVersion = 1
+
+// journalHeader is the first line of a journal. It pins the campaign
+// parameters that determine per-run outcomes, so a resume with a different
+// configuration is rejected instead of silently producing a lying summary.
+type journalHeader struct {
+	V     int    `json:"v"`
+	Name  string `json:"name"`
+	Runs  int    `json:"runs"`
+	Seed  int64  `json:"seed"`
+	Bits  int    `json:"bits"`
+	World int    `json:"world"`
+	Trace bool   `json:"trace"`
+}
+
+func headerFor(cfg Config) journalHeader {
+	world := cfg.WorldSize
+	if world == 0 {
+		world = 1
+	}
+	bits := cfg.Bits
+	if bits == 0 {
+		bits = 1
+	}
+	return journalHeader{
+		V:     journalVersion,
+		Name:  cfg.Name,
+		Runs:  cfg.Runs,
+		Seed:  cfg.Seed,
+		Bits:  bits,
+		World: world,
+		Trace: cfg.Trace,
+	}
+}
+
+// journalEntry is one completed run.
+type journalEntry struct {
+	Idx     int        `json:"idx"`
+	Outcome RunOutcome `json:"outcome"`
+}
+
+// Journal is the open, append side of a campaign journal. Append is safe
+// for concurrent use by campaign workers.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// CreateJournal starts a fresh journal at path (truncating any existing
+// file) and writes the header.
+func CreateJournal(path string, cfg Config) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: create journal: %w", err)
+	}
+	line, err := json.Marshal(headerFor(cfg))
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: write journal header: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// ResumeJournal reopens an existing journal for a resumed campaign. It
+// validates the header against cfg (same campaign parameters, or the
+// resumed summary would lie), reads the completed entries — tolerating a
+// torn final line from a crash mid-append — compacts the file so the torn
+// tail cannot corrupt later reads, and reopens it for appending. The
+// returned map holds the outcomes of already-finished runs by index.
+func ResumeJournal(path string, cfg Config) (*Journal, map[int]RunOutcome, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign: resume journal: %w", err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, nil, fmt.Errorf("campaign: resume journal %s: empty file", path)
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, nil, fmt.Errorf("campaign: resume journal %s: bad header: %w", path, err)
+	}
+	if want := headerFor(cfg); hdr != want {
+		return nil, nil, fmt.Errorf(
+			"campaign: journal %s was written by a different campaign (journal %+v, config %+v)",
+			path, hdr, want)
+	}
+	done := make(map[int]RunOutcome)
+	var valid []journalEntry
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// A torn tail from a crash mid-append. Entries are written with
+			// a single O_APPEND write each, so only the final line can be
+			// incomplete; stop here and let the resume re-run the rest.
+			break
+		}
+		if e.Idx < 0 || e.Idx >= hdr.Runs {
+			return nil, nil, fmt.Errorf("campaign: journal %s: entry index %d out of range [0,%d)", path, e.Idx, hdr.Runs)
+		}
+		if _, dup := done[e.Idx]; !dup {
+			valid = append(valid, e)
+		}
+		done[e.Idx] = e.Outcome
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("campaign: resume journal %s: %w", path, err)
+	}
+
+	// Compact before appending: rewrite header + valid entries to a temp
+	// file and rename it over the journal, so a torn tail never sits in the
+	// middle of the file once new entries land after it.
+	tmp := path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign: compact journal: %w", err)
+	}
+	w := bufio.NewWriter(tf)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(hdr); err == nil {
+		for _, e := range valid {
+			if err = enc.Encode(e); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := tf.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return nil, nil, fmt.Errorf("campaign: compact journal: %w", err)
+	}
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign: reopen journal: %w", err)
+	}
+	return &Journal{f: f}, done, nil
+}
+
+// Append records one completed run. The whole line is issued as a single
+// write on an O_APPEND descriptor, so concurrent appends never interleave
+// and a crash can only tear the final line.
+func (j *Journal) Append(idx int, o RunOutcome) error {
+	line, err := json.Marshal(journalEntry{Idx: idx, Outcome: o})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("campaign: journal closed")
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("campaign: journal append: %w", err)
+	}
+	return nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return ""
+	}
+	return filepath.Clean(j.f.Name())
+}
+
+// Close flushes and closes the journal file. Idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

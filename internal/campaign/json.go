@@ -18,10 +18,13 @@ type summaryJSON struct {
 	Detected   int `json:"detected"`
 	Terminated int `json:"terminated"`
 
-	TermOS    int `json:"term_os"`
-	TermMPI   int `json:"term_mpi"`
-	TermSlave int `json:"term_slave"`
-	TermHang  int `json:"term_hang"`
+	TermOS      int `json:"term_os"`
+	TermMPI     int `json:"term_mpi"`
+	TermSlave   int `json:"term_slave"`
+	TermHang    int `json:"term_hang"`
+	TermTimeout int `json:"term_timeout"`
+
+	SimCrash int `json:"sim_crash"`
 
 	PropagatedRuns int `json:"propagated_runs"`
 	PropSlaveOS    int `json:"prop_slave_os"`
@@ -74,6 +77,7 @@ func (s *Summary) MarshalJSON() ([]byte, error) {
 		Name: s.Name, Runs: s.Runs, Injected: s.Injected,
 		Benign: s.Benign, SDC: s.SDC, Detected: s.Detected, Terminated: s.Terminated,
 		TermOS: s.TermOS, TermMPI: s.TermMPI, TermSlave: s.TermSlave, TermHang: s.TermHang,
+		TermTimeout: s.TermTimeout, SimCrash: s.SimCrash,
 		PropagatedRuns: s.PropagatedRuns, PropSlaveOS: s.PropSlaveOS, PropSlaveMPI: s.PropSlaveMPI,
 		ReadOnlyRuns: s.ReadOnlyRuns, WriteOnlyRuns: s.WriteOnlyRuns, ReadHeavyRuns: s.ReadHeavyRuns,
 		Reads:  histToJSON(s.ReadsHist),

@@ -18,6 +18,12 @@ func (s *Summary) Report() string {
 		fmt.Fprintf(&sb, "  detected:   %6d  (%s)\n", s.Detected, stats.Pct(s.Detected, s.Injected))
 	}
 	fmt.Fprintf(&sb, "  terminated: %6d  (%s)\n", s.Terminated, stats.Pct(s.Terminated, s.Injected))
+	if s.TermTimeout > 0 {
+		fmt.Fprintf(&sb, "    of which wall-clock timeouts: %d\n", s.TermTimeout)
+	}
+	if s.SimCrash > 0 {
+		fmt.Fprintf(&sb, "  simulator crashes (excluded from taxonomy): %d\n", s.SimCrash)
+	}
 	return sb.String()
 }
 

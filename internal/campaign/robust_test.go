@@ -1,0 +1,371 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chaser/internal/apps"
+	"chaser/internal/obs"
+	"chaser/internal/tainthub"
+)
+
+// summariesEqual compares two summaries through their canonical JSON form
+// (covers every count, breakdown and histogram the export exposes).
+func summariesEqual(t *testing.T, a, b *Summary) {
+	t.Helper()
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Errorf("summaries diverge:\n%s\n%s", aj, bj)
+	}
+}
+
+func kmeansConfig(t *testing.T) Config {
+	t.Helper()
+	app, err := apps.ByName("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Name: app.Name, Prog: app.Prog, WorldSize: app.WorldSize,
+		Ops: app.DefaultOps, TargetRank: 0,
+		Runs: 15, Bits: 1, Seed: 808, Trace: true, Parallel: 4,
+		KeepRunOutcomes: true,
+	}
+}
+
+// TestJournalResumeSkipsCompletedRuns journals a full campaign, then
+// resumes from the finished journal: every run must be served from the
+// journal (none re-executed) and the summary must be byte-identical.
+func TestJournalResumeSkipsCompletedRuns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	cfg := kmeansConfig(t)
+	cfg.Journal = path
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	rcfg := cfg
+	rcfg.Journal = ""
+	rcfg.Resume = path
+	rcfg.Obs = reg
+	res, err := Run(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	summariesEqual(t, full, res)
+	if got := reg.Counter("campaign_resumed_runs_total").Value(); got != uint64(cfg.Runs) {
+		t.Errorf("campaign_resumed_runs_total = %d, want %d", got, cfg.Runs)
+	}
+	if got := reg.Counter("campaign_runs_started_total").Value(); got != 0 {
+		t.Errorf("%d runs re-executed on a complete journal", got)
+	}
+	// Per-run outcomes survive the JSON round trip, including the injected
+	// opcode the per-op breakdown keys on.
+	for i := range full.Outcomes {
+		f, r := full.Outcomes[i], res.Outcomes[i]
+		if f.Outcome != r.Outcome || f.Term != r.Term || f.InjectedOp() != r.InjectedOp() {
+			t.Errorf("run %d: %v/%v/%q != %v/%v/%q",
+				i, f.Outcome, f.Term, f.InjectedOp(), r.Outcome, r.Term, r.InjectedOp())
+		}
+	}
+}
+
+// TestJournalTornTail simulates a crash mid-append: the journal loses half
+// of its final line. Resume must tolerate it, re-run only the torn run,
+// and reproduce the uninterrupted summary; afterwards the compacted file
+// must parse cleanly end to end.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	cfg := kmeansConfig(t)
+	cfg.Journal = path
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rcfg := cfg
+	rcfg.Journal = ""
+	rcfg.Resume = path
+	reg := obs.NewRegistry()
+	rcfg.Obs = reg
+	res, err := Run(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	summariesEqual(t, full, res)
+	if got := reg.Counter("campaign_resumed_runs_total").Value(); got != uint64(cfg.Runs-1) {
+		t.Errorf("resumed %d runs, want %d (one torn)", got, cfg.Runs-1)
+	}
+
+	// The compaction + append must leave a fully parseable file.
+	_, done, err := readBackJournal(t, path, cfg)
+	if err != nil {
+		t.Fatalf("journal unreadable after resume: %v", err)
+	}
+	if len(done) != cfg.Runs {
+		t.Errorf("journal holds %d runs after resume, want %d", len(done), cfg.Runs)
+	}
+}
+
+func readBackJournal(t *testing.T, path string, cfg Config) (*Journal, map[int]RunOutcome, error) {
+	t.Helper()
+	j, done, err := ResumeJournal(path, cfg)
+	if j != nil {
+		j.Close()
+	}
+	return j, done, err
+}
+
+// TestJournalHeaderMismatch: a journal from a different campaign must be
+// rejected, not silently merged.
+func TestJournalHeaderMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	cfg := kmeansConfig(t)
+	cfg.Runs = 3
+	cfg.Journal = path
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Journal = ""
+	bad.Resume = path
+	bad.Seed++
+	if _, err := Run(bad); err == nil {
+		t.Error("journal with different seed accepted")
+	}
+	if _, _, err := ResumeJournal(filepath.Join(t.TempDir(), "absent.jsonl"), cfg); err == nil {
+		t.Error("missing journal accepted")
+	}
+}
+
+// TestCampaignInterruptAndResume is the checkpoint acceptance test: a
+// campaign interrupted mid-flight (the SIGINT path minus the signal
+// plumbing) and resumed from its journal must produce exactly the summary
+// of an uninterrupted campaign.
+func TestCampaignInterruptAndResume(t *testing.T) {
+	cfg := kmeansConfig(t)
+	cfg.Runs = 40
+	cfg.Parallel = 2
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	interrupted := false
+	for attempt := 0; attempt < 5 && !interrupted; attempt++ {
+		stop := make(chan struct{})
+		var once sync.Once
+		icfg := cfg
+		icfg.Journal = path
+		icfg.Stop = stop
+		icfg.ProgressInterval = time.Millisecond
+		icfg.Progress = func(p ProgressInfo) {
+			if p.Done >= 2 {
+				once.Do(func() { close(stop) })
+			}
+		}
+		_, err := Run(icfg)
+		switch {
+		case errors.Is(err, ErrInterrupted):
+			interrupted = true
+		case err == nil:
+			// The whole campaign outran the interrupt; try again.
+		default:
+			t.Fatal(err)
+		}
+	}
+	if !interrupted {
+		t.Fatal("campaign never interrupted across 5 attempts")
+	}
+
+	rcfg := cfg
+	rcfg.Resume = path
+	res, err := Run(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	summariesEqual(t, full, res)
+}
+
+// panicHub blows up on every taint exchange, modeling a simulator bug that
+// fires inside rank goroutines (the hooks run on the rank's own stack).
+type panicHub struct{}
+
+func (panicHub) Publish(tainthub.Key, uint64, []uint8) error { panic("injected test panic: publish") }
+func (panicHub) Poll(tainthub.Key, uint64) ([]uint8, bool, error) {
+	panic("injected test panic: poll")
+}
+func (panicHub) Stats() tainthub.Stats { return tainthub.Stats{} }
+
+// TestCampaignPanicIsolation: a panic inside single runs (down in the rank
+// goroutines) must cost exactly those runs — recorded as
+// OutcomeSimCrash — while the campaign completes and classifies the rest.
+func TestCampaignPanicIsolation(t *testing.T) {
+	app, err := apps.ByName("matvec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	sum, err := Run(Config{
+		Name: app.Name, Prog: app.Prog, WorldSize: app.WorldSize,
+		Ops: app.DefaultOps, TargetRank: app.TargetRank,
+		Runs: 10, Bits: 1, Seed: 4242, Trace: true, Parallel: 2,
+		Hub: panicHub{}, Obs: reg, KeepRunOutcomes: true,
+	})
+	if err != nil {
+		t.Fatalf("campaign died instead of isolating the panic: %v", err)
+	}
+	if sum.SimCrash == 0 {
+		t.Fatal("no run ever reached the panicking hub")
+	}
+	if got := reg.Counter("campaign_runs_panic_total").Value(); got != uint64(sum.SimCrash) {
+		t.Errorf("campaign_runs_panic_total = %d, SimCrash = %d", got, sum.SimCrash)
+	}
+	crashes := 0
+	for i, o := range sum.Outcomes {
+		if o.Outcome == 0 {
+			t.Errorf("run %d has no outcome", i)
+		}
+		if o.Outcome == OutcomeSimCrash {
+			crashes++
+			if o.PanicMsg == "" {
+				t.Errorf("run %d: crash without panic message", i)
+			}
+		}
+	}
+	if crashes != sum.SimCrash {
+		t.Errorf("outcome list has %d crashes, summary says %d", crashes, sum.SimCrash)
+	}
+}
+
+// outageHub delegates to a TCP hub client and, at the Nth call, kills and
+// restarts the server — deterministically placing a full hub outage in the
+// middle of the campaign.
+type outageHub struct {
+	inner tainthub.Hub
+	calls atomic.Int64
+	at    int64
+	once  sync.Once
+	blast func()
+}
+
+func (o *outageHub) maybeBlast() {
+	if o.calls.Add(1) == o.at {
+		o.once.Do(o.blast)
+	}
+}
+
+func (o *outageHub) Publish(k tainthub.Key, seq uint64, masks []uint8) error {
+	o.maybeBlast()
+	return o.inner.Publish(k, seq, masks)
+}
+
+func (o *outageHub) Poll(k tainthub.Key, seq uint64) ([]uint8, bool, error) {
+	o.maybeBlast()
+	return o.inner.Poll(k, seq)
+}
+
+func (o *outageHub) Stats() tainthub.Stats {
+	o.maybeBlast()
+	return o.inner.Stats()
+}
+
+// TestCampaignSurvivesHubOutage is the hub-outage acceptance test: the
+// TaintHub server is killed and restarted mid-campaign; client retries and
+// reconnects must carry every run through, and the summary must equal the
+// uninterrupted (private-hub) campaign's.
+func TestCampaignSurvivesHubOutage(t *testing.T) {
+	app, err := apps.ByName("matvec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Name: app.Name, Prog: app.Prog, WorldSize: app.WorldSize,
+		Ops: app.DefaultOps, TargetRank: app.TargetRank,
+		Runs: 40, Bits: 1, Seed: 4242, Trace: true, Parallel: 4,
+	}
+	baseline, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	local := tainthub.NewLocal()
+	srv, err := tainthub.NewServer(local, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	defer func() { srv.Close() }()
+
+	reg := obs.NewRegistry()
+	client, err := tainthub.DialConfig(addr, tainthub.ClientConfig{
+		RPCTimeout:  5 * time.Second,
+		MaxAttempts: 20,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+		Obs:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	hub := &outageHub{inner: client, at: 5, blast: func() {
+		// Graceful close drains in-flight requests (their responses are
+		// delivered), then the server restarts on the same address with the
+		// same backing state — a head-node hub bouncing mid-campaign.
+		if err := srv.Close(); err != nil {
+			t.Errorf("outage close: %v", err)
+		}
+		for i := 0; ; i++ {
+			s2, err := tainthub.NewServer(local, addr)
+			if err == nil {
+				srv = s2
+				return
+			}
+			if i >= 100 {
+				t.Errorf("could not rebind %s: %v", addr, err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}}
+
+	ocfg := cfg
+	ocfg.Hub = hub
+	outage, err := Run(ocfg)
+	if err != nil {
+		t.Fatalf("campaign failed across the hub outage: %v", err)
+	}
+	summariesEqual(t, baseline, outage)
+	if hub.calls.Load() < hub.at {
+		t.Fatalf("outage never triggered (%d hub calls)", hub.calls.Load())
+	}
+	if got := reg.Counter("hub_reconnects_total").Value(); got < 1 {
+		t.Errorf("hub_reconnects_total = %d, want >= 1", got)
+	}
+}

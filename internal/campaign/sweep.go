@@ -31,6 +31,10 @@ func BitSweep(cfg Config, bitCounts []int) ([]SweepResult, error) {
 		c := cfg
 		c.Bits = bits
 		c.Name = fmt.Sprintf("%s/bits=%d", cfg.Name, bits)
+		// A sweep reuses one Config for several campaigns; a single journal
+		// path cannot checkpoint them all, so journaling is per-campaign
+		// only.
+		c.Journal, c.Resume = "", ""
 		sum, err := runPrepared(c, base)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: sweep bits=%d: %w", bits, err)

@@ -102,13 +102,15 @@ type Chaser struct {
 	mu      sync.Mutex
 	spec    *Spec
 	records []InjectionRecord
+	hubErr  error // first hub failure observed by the MPI hooks
 
 	collector *trace.Collector
 
 	// Injection telemetry (nil without a registry; all uses are nil-safe).
-	obsArmed *obs.Counter
-	obsFired *obs.Counter
-	obsBits  *obs.Counter
+	obsArmed    *obs.Counter
+	obsFired    *obs.Counter
+	obsBits     *obs.Counter
+	obsHubFails *obs.Counter
 
 	// armed maps machines to their per-rank injection state. It is written
 	// only during process creation (before guests run) and read without
@@ -154,12 +156,13 @@ func New(opts Options) *Chaser {
 		maxEv = trace.DefaultMaxEvents
 	}
 	return &Chaser{
-		hub:       hub,
-		collector: trace.NewCollectorCap(maxEv),
-		obsArmed:  opts.Obs.Counter("core_injectors_armed_total"),
-		obsFired:  opts.Obs.Counter("core_faults_fired_total"),
-		obsBits:   opts.Obs.Counter("core_bits_flipped_total"),
-		armed:     make(map[*vm.Machine]*armState),
+		hub:         hub,
+		collector:   trace.NewCollectorCap(maxEv),
+		obsArmed:    opts.Obs.Counter("core_injectors_armed_total"),
+		obsFired:    opts.Obs.Counter("core_faults_fired_total"),
+		obsBits:     opts.Obs.Counter("core_bits_flipped_total"),
+		obsHubFails: opts.Obs.Counter("core_hub_degraded_total"),
+		armed:       make(map[*vm.Machine]*armState),
 	}
 }
 
@@ -272,6 +275,27 @@ func (c *Chaser) Trace() *trace.Collector { return c.collector }
 
 // Hub returns the TaintHub in use.
 func (c *Chaser) Hub() tainthub.Hub { return c.hub }
+
+// HubErr returns the first TaintHub failure observed by the MPI hooks, or
+// nil. Under the default HubDegrade policy the failure only degrades
+// tracing; under HubFailRun the session turns it into a run error.
+func (c *Chaser) HubErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hubErr
+}
+
+// hubFailure records one degraded hub interaction: the taint of a message
+// is dropped, the degradation is counted, and the first error is retained
+// for the HubFailRun policy.
+func (c *Chaser) hubFailure(op string, err error) {
+	c.obsHubFails.Inc()
+	c.mu.Lock()
+	if c.hubErr == nil {
+		c.hubErr = fmt.Errorf("%s: %w", op, err)
+	}
+	c.mu.Unlock()
+}
 
 // creationCB is fi_creation_cb: called for every created process; arms the
 // injector when the process is the designated target.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"chaser/internal/decaf"
 	"chaser/internal/isa"
 	"chaser/internal/tainthub"
@@ -25,6 +27,33 @@ import (
 // larger is a fault-corrupted count the runtime will reject, so scanning
 // (or allocating masks for) it would only burn memory.
 const maxHookedMessageBytes = 64 << 20
+
+// HubPolicy selects how a run treats TaintHub failures (an unreachable or
+// erroring hub after the client's own retries are exhausted).
+type HubPolicy int
+
+const (
+	// HubDegrade (the default) drops the taint of the affected message and
+	// keeps running: the guest's execution is unchanged, only propagation
+	// visibility degrades. Every degradation increments
+	// core_hub_degraded_total.
+	HubDegrade HubPolicy = iota
+	// HubFailRun fails the whole run with an error once it completes, so a
+	// campaign (or its operator) can tell degraded tracing from sound
+	// tracing.
+	HubFailRun
+)
+
+// String returns the policy name.
+func (p HubPolicy) String() string {
+	switch p {
+	case HubDegrade:
+		return "degrade"
+	case HubFailRun:
+		return "fail"
+	}
+	return fmt.Sprintf("hubpolicy(%d)", int(p))
+}
 
 func (c *Chaser) state(m *vm.Machine) *armState {
 	// armed is fully populated before guests start running; reads here are
@@ -59,7 +88,10 @@ func (c *Chaser) preSyscall(info decaf.ProcInfo, m *vm.Machine, sys isa.Sys) {
 	}
 	masks := m.Shadow.MemRangeMasks(buf, n)
 	if err := c.hub.Publish(key, seq, masks); err != nil {
-		return // hub unavailable: tracing degrades, execution continues
+		// Hub unavailable: tracing degrades, execution continues. The
+		// degradation is counted and retained for the HubFailRun policy.
+		c.hubFailure("publish", err)
+		return
 	}
 }
 
@@ -100,9 +132,12 @@ func (c *Chaser) postSyscall(info decaf.ProcInfo, m *vm.Machine, sys isa.Sys) {
 	st.recvSeq[key]++
 
 	masks, found, err := c.hub.Poll(key, seq)
-	if err != nil || !found {
-		// Not tainted (or hub unreachable): simply return.
+	if err != nil {
+		c.hubFailure("poll", err)
 		return
+	}
+	if !found {
+		return // clean message
 	}
 	m.Shadow.SetMemRangeMasks(buf, masks)
 	tainted := 0

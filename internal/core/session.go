@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"chaser/internal/decaf"
 	"chaser/internal/isa"
@@ -29,6 +30,14 @@ type RunConfig struct {
 	Hub tainthub.Hub
 	// MaxInstructions caps each rank (0 = vm default).
 	MaxInstructions uint64
+	// Timeout is the wall-clock deadline for the whole run (0 = none). When
+	// it expires every rank is terminated with vm.ReasonTimeout — the
+	// watchdog companion to MaxInstructions, catching hangs that burn real
+	// time rather than instructions.
+	Timeout time.Duration
+	// HubPolicy selects how TaintHub failures are handled (default
+	// HubDegrade: continue untainted, counting the degradation).
+	HubPolicy HubPolicy
 	// SampleInterval for the tainted-bytes timeline (0 = vm default,
 	// 100K instructions as in the paper).
 	SampleInterval uint64
@@ -122,9 +131,26 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Timeout > 0 {
+		// The watchdog fires at most once per world (Interrupt is
+		// once-guarded), so a run that crashes or completes first wins.
+		deadline := cfg.Timeout
+		watchdog := time.AfterFunc(deadline, func() {
+			world.Interrupt(vm.Termination{
+				Reason: vm.ReasonTimeout,
+				Msg:    fmt.Sprintf("wall-clock deadline %s exceeded", deadline),
+			})
+		})
+		defer watchdog.Stop()
+	}
 	wsp := cfg.Tracer.StartSpan("world.run")
 	terms := world.Run()
 	wsp.End()
+	if cfg.HubPolicy == HubFailRun {
+		if herr := ch.HubErr(); herr != nil {
+			return nil, fmt.Errorf("core: taint hub failed (HubFailRun policy): %w", herr)
+		}
+	}
 
 	res := &RunResult{
 		Terms:    terms,

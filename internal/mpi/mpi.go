@@ -12,6 +12,7 @@ package mpi
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -135,13 +136,34 @@ func (w *World) Machine(rank int) *vm.Machine { return w.ranks[rank].m }
 // Run executes all ranks to completion and returns their terminations
 // indexed by rank. If any rank terminates abnormally the remaining ranks
 // are aborted, as mpirun does.
+//
+// A panic inside a rank goroutine (a simulator bug, not a guest fault) is
+// captured, the remaining ranks are aborted so nothing blocks forever, and
+// the panic is re-raised on the caller's goroutine once every rank has
+// drained — campaign workers isolate it there without losing the process.
 func (w *World) Run() []vm.Termination {
 	var wg sync.WaitGroup
 	stopWatch := make(chan struct{})
+	var panicMu sync.Mutex
+	var panicMsg string
 	for _, rs := range w.ranks {
 		wg.Add(1)
 		go func(rs *rankState) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicMsg == "" {
+						panicMsg = fmt.Sprintf("rank %d: %v\n%s", rs.id, r, debug.Stack())
+					}
+					panicMu.Unlock()
+					rs.done.Store(true)
+					w.abortPeers(rs.id, vm.Termination{
+						Reason: vm.ReasonMPIError,
+						Msg:    fmt.Sprintf("peer rank %d terminated: simulator panic", rs.id),
+					})
+				}
+			}()
 			sp := w.tracer.StartSpanTID("rank.run", rs.id)
 			term := rs.m.Run()
 			sp.SetArg("reason", term.Reason.String())
@@ -156,11 +178,33 @@ func (w *World) Run() []vm.Termination {
 	go w.watchdog(stopWatch)
 	wg.Wait()
 	close(stopWatch)
+	if panicMsg != "" {
+		panic("mpi: " + panicMsg)
+	}
 	out := make([]vm.Termination, w.size)
 	for i, rs := range w.ranks {
 		out[i] = rs.term
 	}
 	return out
+}
+
+// Interrupt force-terminates every rank with the given termination. The
+// per-run wall-clock watchdog uses it to enforce deadlines: like an mpirun
+// kill, running ranks observe the abort at their next block boundary and
+// ranks blocked in MPI waits are woken immediately.
+func (w *World) Interrupt(t vm.Termination) {
+	w.abortOnce.Do(func() {
+		w.aborted.Store(true)
+		if w.obs != nil {
+			w.obs.aborts.Inc()
+		}
+		w.tracer.Instant("mpi.interrupt", 0)
+		for _, rs := range w.ranks {
+			rs.m.Abort(t)
+			close(rs.abortCh)
+		}
+		w.barrier.abort()
+	})
 }
 
 // abortPeers kills all other ranks after rank `from` failed.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"chaser/internal/isa"
 	"chaser/internal/lang"
@@ -511,5 +512,61 @@ func TestMixedTagAndCollectiveInterleaving(t *testing.T) {
 	out := w.Machine(1).Output()
 	if got := int64(binary.LittleEndian.Uint64(out)); got != 105 {
 		t.Errorf("mixed result = %d, want 105", got)
+	}
+}
+
+// TestWorldInterrupt verifies the run-watchdog primitive: Interrupt must
+// terminate a spinning rank at its next block boundary AND wake a rank
+// blocked inside an MPI wait, tagging every rank with the given
+// termination. A second Interrupt must be a harmless no-op.
+func TestWorldInterrupt(t *testing.T) {
+	// Rank 0 blocks in a recv that will never be satisfied; rank 1 spins in
+	// a long compute loop (so the deadlock detector never trips: one rank
+	// is always live).
+	prog := compile(t, &lang.Program{Name: "stall", Funcs: []*lang.Func{{
+		Name: "main",
+		Body: B(
+			lang.Let("buf", lang.Alloc(I(1))),
+			lang.If{
+				Cond: lang.Eq(lang.RankExpr{}, I(0)),
+				Then: B(lang.MPIRecv{Buf: V("buf"), Count: I(1), Dtype: 1,
+					Source: I(1), Tag: I(9)}),
+				Else: B(
+					lang.Let("s", I(0)),
+					lang.For{Var: "i", From: I(0), To: I(1 << 40), Body: B(
+						lang.Set("s", Ad(V("s"), I(1))),
+					)},
+				),
+			},
+		),
+	}}})
+	w, err := NewWorld(prog, Config{
+		Size: 2,
+		Machine: func(int) vm.Config {
+			return vm.Config{MaxInstructions: 1 << 40} // never budget-kill
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []vm.Termination, 1)
+	go func() { done <- w.Run() }()
+	time.Sleep(5 * time.Millisecond) // let rank 0 block and rank 1 spin
+	cause := vm.Termination{Reason: vm.ReasonTimeout, Msg: "wall-clock deadline 5ms exceeded"}
+	w.Interrupt(cause)
+	w.Interrupt(cause) // idempotent
+	var terms []vm.Termination
+	select {
+	case terms = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("world did not stop after Interrupt")
+	}
+	for r, term := range terms {
+		if term.Reason != vm.ReasonTimeout {
+			t.Errorf("rank %d: reason = %v, want timeout (%v)", r, term.Reason, term)
+		}
+		if !term.Abnormal() {
+			t.Errorf("rank %d: timeout not abnormal", r)
+		}
 	}
 }

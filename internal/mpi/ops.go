@@ -73,7 +73,9 @@ func (e *env) Call(m *vm.Machine, sys isa.Sys) error {
 // classification can distinguish secondary aborts from local errors.
 func (e *env) abortErr(op string) error {
 	if t := e.rs.m.Aborted(); t != nil {
-		return &vm.MPIRuntimeError{Op: op, Msg: t.Msg}
+		// Adopt the abort's own termination: a peer failure stays an MPI
+		// error carrying the root cause, a watchdog kill stays a timeout.
+		return &vm.AbortedError{Term: *t}
 	}
 	return &vm.MPIRuntimeError{Op: op, Msg: "aborted"}
 }

@@ -1,0 +1,40 @@
+package tainthub
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeRequest drives arbitrary bytes through the wire-protocol
+// decoder and the request dispatcher. The server parses frames from
+// arbitrary TCP peers, so the invariant is: garbage may produce errors and
+// error responses, never a panic, and the malformed/disconnect distinction
+// must hold for every error the decoder can produce.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{"op":"publish","src":0,"dst":1,"tag":2,"seq":3,"masks":"qg=="}`))
+	f.Add([]byte(`{"op":"poll","src":1,"dst":0,"tag":0,"seq":0}` + "\n" + `{"op":"stats"}`))
+	f.Add([]byte(`{"op":"publish","masks":"!!not base64!!"}`))
+	f.Add([]byte(`{"op":"bogus"}`))
+	f.Add([]byte(`{"op":123}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{`))
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := &Server{hub: NewLocal(), logf: func(string, ...any) {}}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		for i := 0; i < 64; i++ { // bounded: a frame is >= 2 bytes
+			req, err := decodeRequest(dec)
+			if err != nil {
+				_ = isMalformed(err)
+				_ = isTimeout(err)
+				return
+			}
+			resp := s.dispatch(req)
+			if _, err := json.Marshal(resp); err != nil {
+				t.Fatalf("dispatch produced unmarshalable response: %v", err)
+			}
+		}
+	})
+}

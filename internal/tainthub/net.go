@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -37,6 +38,15 @@ type response struct {
 	Err   string `json:"err,omitempty"`
 }
 
+// decodeRequest reads the next request frame from the stream. It is the
+// single entry point of the wire-protocol decoder — the fuzz target
+// guaranteeing malformed frames surface as errors, never panics.
+func decodeRequest(dec *json.Decoder) (request, error) {
+	var req request
+	err := dec.Decode(&req)
+	return req, err
+}
+
 // serverObs bundles the server's instruments; nil when no registry is
 // attached.
 type serverObs struct {
@@ -46,6 +56,7 @@ type serverObs struct {
 	polls     *obs.Counter
 	pollHits  *obs.Counter
 	pollMiss  *obs.Counter
+	idleDrops *obs.Counter
 	rpcLat    *obs.Histogram
 }
 
@@ -60,8 +71,21 @@ func newServerObs(reg *obs.Registry) *serverObs {
 		polls:     reg.Counter("tainthub_polls_total"),
 		pollHits:  reg.Counter("tainthub_poll_hits_total"),
 		pollMiss:  reg.Counter("tainthub_poll_misses_total"),
+		idleDrops: reg.Counter("tainthub_idle_disconnects_total"),
 		rpcLat:    reg.Histogram("tainthub_rpc_seconds", obs.LatencyBuckets...),
 	}
+}
+
+// ServerConfig tunes a hub server beyond the defaults.
+type ServerConfig struct {
+	// Obs, when non-nil, receives server telemetry.
+	Obs *obs.Registry
+	// IdleTimeout disconnects a client whose connection stays silent for
+	// this long (0 = never). Dead campaign workers then cannot pin server
+	// resources forever.
+	IdleTimeout time.Duration
+	// Logf overrides the server's logger (nil = log.Printf).
+	Logf func(format string, args ...any)
 }
 
 // Server exposes a hub over TCP.
@@ -70,6 +94,7 @@ type Server struct {
 	ln   net.Listener
 	wg   sync.WaitGroup
 	obs  *serverObs
+	idle time.Duration
 	logf func(format string, args ...any)
 
 	mu     sync.Mutex
@@ -80,21 +105,31 @@ type Server struct {
 // NewServer starts serving hub on addr (e.g. "127.0.0.1:0"). Use Addr to
 // discover the bound address.
 func NewServer(hub Hub, addr string) (*Server, error) {
-	return NewServerObs(hub, addr, nil)
+	return NewServerConfig(hub, addr, ServerConfig{})
 }
 
 // NewServerObs is NewServer with a metrics registry attached (nil disables
 // telemetry).
 func NewServerObs(hub Hub, addr string, reg *obs.Registry) (*Server, error) {
+	return NewServerConfig(hub, addr, ServerConfig{Obs: reg})
+}
+
+// NewServerConfig is NewServer with full tuning.
+func NewServerConfig(hub Hub, addr string, cfg ServerConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("tainthub: listen: %w", err)
 	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
 	s := &Server{
 		hub:   hub,
 		ln:    ln,
-		obs:   newServerObs(reg),
-		logf:  log.Printf,
+		obs:   newServerObs(cfg.Obs),
+		idle:  cfg.IdleTimeout,
+		logf:  logf,
 		conns: make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
@@ -105,17 +140,36 @@ func NewServerObs(hub Hub, addr string, reg *obs.Registry) (*Server, error) {
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and all its connections.
+// Close stops the server: it stops accepting, wakes every connection
+// blocked in a read, lets in-flight requests finish and their responses
+// flush, and waits for all serve goroutines to drain. It is idempotent and
+// safe to call concurrently.
+//
+// The drain is graceful on purpose: a request the server has processed
+// always gets its response delivered, so a retrying client never re-issues
+// an RPC whose side effect (a consumed poll) already happened.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	wasClosed := s.closed
 	s.closed = true
 	for c := range s.conns {
-		_ = c.Close()
+		// Wake blocked decodes without closing the connection mid-write;
+		// each serve goroutine closes its own connection as it drains.
+		_ = c.SetReadDeadline(time.Now())
 	}
 	s.mu.Unlock()
-	err := s.ln.Close()
+	var err error
+	if !wasClosed {
+		err = s.ln.Close()
+	}
 	s.wg.Wait()
 	return err
+}
+
+func (s *Server) closing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 func (s *Server) acceptLoop() {
@@ -132,8 +186,8 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go s.serve(conn)
 	}
 }
@@ -149,9 +203,23 @@ func (s *Server) serve(conn net.Conn) {
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
 	for {
-		var req request
-		if err := dec.Decode(&req); err != nil {
-			if isMalformed(err) {
+		if s.closing() {
+			return
+		}
+		if s.idle > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.idle))
+		}
+		req, err := decodeRequest(dec)
+		if err != nil {
+			switch {
+			case s.closing():
+				// Shutdown woke the read; drain silently.
+			case isTimeout(err):
+				if s.obs != nil {
+					s.obs.idleDrops.Inc()
+				}
+				s.logf("tainthub: disconnecting idle client %s", conn.RemoteAddr())
+			case isMalformed(err):
 				// A garbage request is a signal (corrupted client, stray
 				// connection, protocol drift) — count it, log it, tell the
 				// peer, and drop the connection: the decoder's framing is
@@ -177,6 +245,12 @@ func isMalformed(err error) bool {
 	var syn *json.SyntaxError
 	var typ *json.UnmarshalTypeError
 	return errors.As(err, &syn) || errors.As(err, &typ) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// isTimeout reports whether err is a network deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 func (s *Server) handle(req request) response {
@@ -236,36 +310,172 @@ func (s *Server) dispatch(req request) response {
 	return response{Err: fmt.Sprintf("unknown op %q", req.Op)}
 }
 
-// Client is a Hub backed by a remote Server. It is safe for concurrent use;
-// requests are serialized over one connection.
+// ClientConfig tunes the hardened TCP hub client. The zero value selects
+// sane production defaults; see the field comments.
+type ClientConfig struct {
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// RPCTimeout bounds one request/response round trip; a stalled or dead
+	// server surfaces as an error instead of hanging the caller forever
+	// (default 10s).
+	RPCTimeout time.Duration
+	// MaxAttempts is the total number of tries per RPC including the
+	// first; 1 disables retry (default 4).
+	MaxAttempts int
+	// BackoffBase is the delay before the first retry; each further retry
+	// doubles it, capped at BackoffMax, with ±50% jitter so a fleet of
+	// campaign workers does not thundering-herd a restarting hub
+	// (defaults 10ms / 1s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Obs, when non-nil, receives client telemetry: hub_rpc_retries_total,
+	// hub_reconnects_total, hub_rpc_failures_total.
+	Obs *obs.Registry
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 10 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	return c
+}
+
+// Client is a Hub backed by a remote Server. It is safe for concurrent
+// use; requests are serialized over one connection. Transport failures are
+// retried with exponential backoff and a transparent reconnect;
+// server-reported application errors are returned immediately.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	dec  *json.Decoder
-	enc  *json.Encoder
+	addr string
+	cfg  ClientConfig
+
+	obsRetries    *obs.Counter
+	obsReconnects *obs.Counter
+	obsFailures   *obs.Counter
+
+	mu     sync.Mutex
+	closed bool
+	conn   net.Conn
+	dec    *json.Decoder
+	enc    *json.Encoder
 }
 
 var _ Hub = (*Client)(nil)
 
-// Dial connects to a hub server.
+// Dial connects to a hub server with default hardening (see ClientConfig).
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("tainthub: dial %s: %w", addr, err)
-	}
-	return &Client{
-		conn: conn,
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
-		enc:  json.NewEncoder(conn),
-	}, nil
+	return DialConfig(addr, ClientConfig{})
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// DialConfig connects to a hub server with explicit tuning. The initial
+// connection is attempted once, eagerly, so a bad address fails fast;
+// later transport failures reconnect transparently inside the retry loop.
+func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
+	c := &Client{addr: addr, cfg: cfg.withDefaults()}
+	if reg := c.cfg.Obs; reg != nil {
+		c.obsRetries = reg.Counter("hub_rpc_retries_total")
+		c.obsReconnects = reg.Counter("hub_reconnects_total")
+		c.obsFailures = reg.Counter("hub_rpc_failures_total")
+	}
+	if err := c.connectLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connectLocked (re)establishes the connection. Callers hold c.mu except
+// during construction.
+func (c *Client) connectLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("tainthub: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.dec = json.NewDecoder(bufio.NewReader(conn))
+	c.enc = json.NewEncoder(conn)
+	return nil
+}
+
+// dropLocked tears down a broken connection so the next attempt redials.
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+		c.dec = nil
+		c.enc = nil
+	}
+}
+
+// Close closes the connection. It is idempotent; RPCs issued afterwards
+// fail without reconnecting.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.dropLocked()
+	return nil
+}
+
+// backoff returns the sleep before retry number `attempt` (1-based):
+// exponential from BackoffBase, capped at BackoffMax, with ±50% jitter.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BackoffBase << uint(attempt-1)
+	if d <= 0 || d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
 
 func (c *Client) roundTrip(req request) (response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if c.closed {
+			return response{}, errors.New("tainthub: client closed")
+		}
+		if attempt > 0 {
+			c.obsRetries.Inc()
+			time.Sleep(c.backoff(attempt))
+		}
+		if c.conn == nil {
+			if err := c.connectLocked(); err != nil {
+				lastErr = err
+				continue
+			}
+			c.obsReconnects.Inc()
+		}
+		resp, err := c.attempt(req)
+		if err != nil {
+			lastErr = err
+			c.dropLocked()
+			continue
+		}
+		if resp.Err != "" {
+			// The server processed the request and reported an application
+			// error; retrying would only repeat it.
+			return response{}, errors.New("tainthub: " + resp.Err)
+		}
+		return resp, nil
+	}
+	c.obsFailures.Inc()
+	return response{}, fmt.Errorf("tainthub: rpc failed after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// attempt performs one request/response exchange under the RPC deadline.
+func (c *Client) attempt(req request) (response, error) {
+	_ = c.conn.SetDeadline(time.Now().Add(c.cfg.RPCTimeout))
 	if err := c.enc.Encode(req); err != nil {
 		return response{}, fmt.Errorf("tainthub: send: %w", err)
 	}
@@ -273,9 +483,7 @@ func (c *Client) roundTrip(req request) (response, error) {
 	if err := c.dec.Decode(&resp); err != nil {
 		return response{}, fmt.Errorf("tainthub: recv: %w", err)
 	}
-	if resp.Err != "" {
-		return response{}, errors.New("tainthub: " + resp.Err)
-	}
+	_ = c.conn.SetDeadline(time.Time{})
 	return resp, nil
 }
 

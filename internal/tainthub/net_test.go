@@ -1,0 +1,234 @@
+package tainthub
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"chaser/internal/obs"
+)
+
+// fastRetry is a client config tuned so failure paths resolve in
+// milliseconds instead of the production seconds.
+func fastRetry(reg *obs.Registry) ClientConfig {
+	return ClientConfig{
+		DialTimeout: 2 * time.Second,
+		RPCTimeout:  100 * time.Millisecond,
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+		Obs:         reg,
+	}
+}
+
+// TestClientRPCTimeout verifies the satellite fix: a round trip against a
+// server that accepts but never responds must fail within the RPC deadline
+// instead of blocking forever.
+func TestClientRPCTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // accept and go silent
+		}
+	}()
+
+	reg := obs.NewRegistry()
+	c, err := DialConfig(ln.Addr().String(), fastRetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- c.Publish(Key{Src: 0, Dst: 1}, 0, []uint8{1}) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("publish against a mute server succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish blocked past every RPC deadline: roundTrip ignores deadlines")
+	}
+	if got := reg.Counter("hub_rpc_retries_total").Value(); got != 2 {
+		t.Errorf("hub_rpc_retries_total = %d, want 2 (3 attempts)", got)
+	}
+	if got := reg.Counter("hub_rpc_failures_total").Value(); got != 1 {
+		t.Errorf("hub_rpc_failures_total = %d, want 1", got)
+	}
+}
+
+// TestClientReconnect kills the server mid-session, restarts it on the same
+// address with the same backing hub, and verifies the client transparently
+// reconnects and completes the RPC.
+func TestClientReconnect(t *testing.T) {
+	hub := NewLocal()
+	srv, err := NewServer(hub, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	reg := obs.NewRegistry()
+	cfg := fastRetry(reg)
+	cfg.MaxAttempts = 10
+	c, err := DialConfig(addr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Publish(Key{Src: 0, Dst: 1, Tag: 7}, 0, []uint8{0xaa}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Outage: the server dies and comes back on the same address, keeping
+	// its state (as a restarted head-node hub would after reloading).
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewServer(hub, addr)
+	if err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	masks, ok, err := c.Poll(Key{Src: 0, Dst: 1, Tag: 7}, 0)
+	if err != nil || !ok || masks[0] != 0xaa {
+		t.Fatalf("poll after restart = %v, %v, %v", masks, ok, err)
+	}
+	if got := reg.Counter("hub_reconnects_total").Value(); got < 1 {
+		t.Errorf("hub_reconnects_total = %d, want >= 1", got)
+	}
+}
+
+// TestClientCloseIdempotent double-closes and then uses the client.
+func TestClientCloseIdempotent(t *testing.T) {
+	srv, err := NewServer(NewLocal(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(Key{}, 0, nil); err == nil {
+		t.Error("publish on a closed client succeeded")
+	}
+}
+
+// TestServerCloseIdempotent closes a busy server from several goroutines at
+// once; every Close must return and no serve goroutine may leak (the -race
+// build of this test is the satellite's acceptance check).
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := NewServer(NewLocal(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Busy clients hammering the server while it shuts down.
+	var cwg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		cwg.Add(1)
+		go func(i int) {
+			defer cwg.Done()
+			c, err := DialConfig(srv.Addr(), ClientConfig{MaxAttempts: 1, RPCTimeout: time.Second})
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 100; j++ {
+				if err := c.Publish(Key{Src: i, Dst: j}, 0, []uint8{1}); err != nil {
+					return // server went away: expected
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(10 * time.Millisecond) // let some traffic flow
+	var swg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		swg.Add(1)
+		go func() {
+			defer swg.Done()
+			if err := srv.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+	}
+	swg.Wait()
+	cwg.Wait()
+}
+
+// TestServerDrainDeliversResponse verifies graceful drain: a request the
+// server processed before Close gets its response even when Close lands
+// immediately after — a retrying client must never see a consumed poll
+// vanish.
+func TestServerDrainDeliversResponse(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		hub := NewLocal()
+		srv, err := NewServer(hub, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := DialConfig(srv.Addr(), ClientConfig{MaxAttempts: 1, RPCTimeout: 2 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		errCh := make(chan error, 1)
+		go func() { errCh <- c.Publish(Key{Src: 0, Dst: 1}, 0, []uint8{1}) }()
+		srv.Close()
+		// Either the publish lost the race (transport error, hub untouched)
+		// or it won (response delivered, hub has the entry) — but it must
+		// never succeed-without-response or hang.
+		err = <-errCh
+		if pending := hub.Stats().Pending; err == nil && pending != 1 {
+			t.Fatalf("iteration %d: publish acked but hub has %d pending", i, pending)
+		}
+		c.Close()
+	}
+}
+
+// TestServerIdleTimeout verifies that a silent connection is dropped once
+// the configured idle deadline passes.
+func TestServerIdleTimeout(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := NewServerConfig(NewLocal(), "127.0.0.1:0", ServerConfig{
+		Obs:         reg,
+		IdleTimeout: 50 * time.Millisecond,
+		Logf:        func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server wrote to an idle connection")
+	}
+	if got := reg.Counter("tainthub_idle_disconnects_total").Value(); got != 1 {
+		t.Errorf("tainthub_idle_disconnects_total = %d, want 1", got)
+	}
+}

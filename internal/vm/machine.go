@@ -99,6 +99,15 @@ func (e *MPIRuntimeError) Error() string {
 	return fmt.Sprintf("mpi: %s: %s", e.Op, e.Msg)
 }
 
+// AbortedError carries a world-abort termination out of an interrupted MPI
+// operation. A rank woken from a blocked send/recv/collective by an abort
+// adopts the abort's own termination verbatim — so a wall-clock watchdog
+// kill surfaces as ReasonTimeout on every rank, not as a synthesized MPI
+// error on the ones that happened to be blocked.
+type AbortedError struct{ Term Termination }
+
+func (e *AbortedError) Error() string { return e.Term.Msg }
+
 // Config parameterizes machine construction.
 type Config struct {
 	// MaxInstructions caps execution; 0 selects DefaultMaxInstructions.

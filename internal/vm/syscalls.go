@@ -111,6 +111,15 @@ func (m *Machine) dispatchSyscall(sys isa.Sys, eip uint64) {
 			return
 		}
 		if err := m.mpi.Call(m, sys); err != nil {
+			var ab *AbortedError
+			if errors.As(err, &ab) {
+				t := ab.Term
+				if t.PC == 0 {
+					t.PC = eip
+				}
+				m.term = &t
+				return
+			}
 			var mpiErr *MPIRuntimeError
 			if errors.As(err, &mpiErr) {
 				m.term = &Termination{Reason: ReasonMPIError, PC: eip, Msg: err.Error()}

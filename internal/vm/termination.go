@@ -49,6 +49,12 @@ const (
 	// ReasonBudget: the instruction budget was exhausted (a hung process
 	// killed by the supervisor).
 	ReasonBudget
+	// ReasonTimeout: the wall-clock watchdog expired. Distinct from
+	// ReasonBudget: a budget kill means the guest retired too many
+	// instructions (a spinning hang), while a timeout means the run burned
+	// too much real time (a stalled hang — blocked I/O, a descheduled
+	// world, or a simulator stall the step counter can never observe).
+	ReasonTimeout
 )
 
 // String returns the reason name.
@@ -64,6 +70,8 @@ func (r Reason) String() string {
 		return "mpi-error"
 	case ReasonBudget:
 		return "budget-exhausted"
+	case ReasonTimeout:
+		return "timeout"
 	}
 	return fmt.Sprintf("reason(%d)", int(r))
 }
@@ -101,6 +109,8 @@ func (t Termination) String() string {
 		return fmt.Sprintf("mpi-error at %#x: %s", t.PC, t.Msg)
 	case ReasonBudget:
 		return fmt.Sprintf("budget-exhausted at %#x", t.PC)
+	case ReasonTimeout:
+		return fmt.Sprintf("wall-clock timeout at %#x: %s", t.PC, t.Msg)
 	}
 	return fmt.Sprintf("termination(%d)", int(t.Reason))
 }
