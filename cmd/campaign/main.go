@@ -459,7 +459,12 @@ func runResumable(out io.Writer, o options) error {
 		Journal: o.journal, Resume: o.resume,
 	}
 	if o.hubAddr != "" {
-		client, err := tainthub.Dial(o.hubAddr)
+		// Generous retry budget: a durable hub restarting from its WAL
+		// (crash, redeploy) is reachable again within seconds, and riding
+		// that out beats failing half a campaign's runs.
+		client, err := tainthub.DialConfig(o.hubAddr, tainthub.ClientConfig{
+			MaxAttempts: 12,
+		})
 		if err != nil {
 			return fmt.Errorf("connecting to taint hub: %w", err)
 		}

@@ -4,16 +4,24 @@
 //
 // Usage:
 //
-//	tainthub [-addr host:port] [-metrics-addr host:port]
+//	tainthub [-addr host:port] [-metrics-addr host:port] [-wal path]
+//
+// With -wal, every mutation is written ahead to a crash-safe log and the
+// process periodically snapshots its state; a restarted tainthub recovers
+// the exact pending taint and reply caches a kill -9 interrupted, so
+// in-flight campaigns ride out the outage through their clients' retries.
+// SIGTERM/SIGINT take a final snapshot before exiting.
 //
 // With -metrics-addr, the process also serves Prometheus text-format metrics
 // on http://<metrics-addr>/metrics: request/publish/poll counters, RPC
-// latency, malformed-request counts, and a live snapshot of hub state.
+// latency, malformed-request counts, WAL size, and a live snapshot of hub
+// state.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -31,16 +39,27 @@ func main() {
 	}
 }
 
+// statsHub is the slice of hub shared by Local and Durable that the
+// metrics handler needs.
+type statsHub interface {
+	Stats() tainthub.Stats
+}
+
 // metricsHandler serves the registry in Prometheus text format, syncing the
 // hub's own counters into gauges at scrape time so the exposition reflects
 // live hub state without a background poller.
-func metricsHandler(reg *obs.Registry, hub tainthub.Hub) http.Handler {
+func metricsHandler(reg *obs.Registry, hub statsHub, walSize func() int64) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		st := hub.Stats()
 		reg.Gauge("tainthub_statuses_published").Set(float64(st.Published))
 		reg.Gauge("tainthub_status_polls").Set(float64(st.Polls))
 		reg.Gauge("tainthub_status_poll_hits").Set(float64(st.Hits))
 		reg.Gauge("tainthub_statuses_pending").Set(float64(st.Pending))
+		reg.Gauge("tainthub_dedup_hits").Set(float64(st.DedupHits))
+		reg.Gauge("tainthub_evicted").Set(float64(st.Evicted))
+		if walSize != nil {
+			reg.Gauge("tainthub_wal_size_bytes").Set(float64(walSize()))
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
 	})
@@ -51,6 +70,12 @@ func run(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus metrics on http://<addr>/metrics (empty = disabled)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = never)")
+	wal := fs.String("wal", "", "write-ahead log path; enables crash-safe durability (empty = in-memory only)")
+	snapInterval := fs.Duration("snapshot-interval", 30*time.Second, "periodic snapshot+WAL-truncation interval (needs -wal; 0 = only at shutdown)")
+	maxPending := fs.Int("max-pending", 0, "max stored entries per namespace; publishes over it get a retryable busy response (0 = unlimited)")
+	maxPendingBytes := fs.Int64("max-pending-bytes", 0, "max stored mask bytes per namespace (0 = unlimited)")
+	maxPayload := fs.Int("max-payload", 0, "max mask bytes in one publish; larger ones are rejected (0 = unlimited)")
+	ttl := fs.Duration("ttl", 0, "evict entries older than this (orphans of crashed ranks; 0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,7 +84,30 @@ func run(args []string) error {
 	if *metricsAddr != "" {
 		reg = obs.NewRegistry()
 	}
-	hub := tainthub.NewLocal()
+	lim := tainthub.Limits{
+		MaxPending:      *maxPending,
+		MaxPendingBytes: *maxPendingBytes,
+		MaxPayload:      *maxPayload,
+		TTL:             *ttl,
+	}
+
+	var hub tainthub.Hub
+	var durable *tainthub.Durable
+	var walSize func() int64
+	if *wal != "" {
+		d, err := tainthub.OpenDurable(*wal, tainthub.DurableConfig{Limits: lim, Obs: reg})
+		if err != nil {
+			return err
+		}
+		durable = d
+		hub = d
+		walSize = d.WALSize
+		defer durable.Close()
+		fmt.Printf("tainthub: recovered %d records from %s\n", d.RecoveredRecords(), *wal)
+	} else {
+		hub = tainthub.NewLocalLimits(lim, reg)
+	}
+
 	srv, err := tainthub.NewServerConfig(hub, *addr, tainthub.ServerConfig{
 		Obs: reg, IdleTimeout: *idleTimeout,
 	})
@@ -70,25 +118,59 @@ func run(args []string) error {
 	fmt.Printf("tainthub listening on %s\n", srv.Addr())
 
 	if reg != nil {
+		mlis, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", metricsHandler(reg, hub))
+		mux.Handle("/metrics", metricsHandler(reg, hub, walSize))
 		hsrv := &http.Server{
-			Addr:              *metricsAddr,
 			Handler:           mux,
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
-			if err := hsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			if err := hsrv.Serve(mlis); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "tainthub: metrics server:", err)
 			}
 		}()
 		defer hsrv.Close()
-		fmt.Printf("tainthub metrics on http://%s/metrics\n", *metricsAddr)
+		fmt.Printf("tainthub metrics on http://%s/metrics\n", mlis.Addr())
+	}
+
+	// Periodic snapshots bound recovery time and WAL growth.
+	stopSnap := make(chan struct{})
+	if durable != nil && *snapInterval > 0 {
+		go func() {
+			t := time.NewTicker(*snapInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopSnap:
+					return
+				case <-t.C:
+					if err := durable.Snapshot(); err != nil {
+						fmt.Fprintln(os.Stderr, "tainthub: snapshot:", err)
+					}
+				}
+			}
+		}()
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	close(stopSnap)
 	fmt.Println("tainthub: shutting down")
+	// Drain connections first so in-flight mutations land in the final
+	// snapshot, then close the hub (deferred Close snapshots and fsyncs).
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	if durable != nil {
+		if err := durable.Close(); err != nil {
+			return fmt.Errorf("final snapshot: %w", err)
+		}
+		fmt.Println("tainthub: final snapshot written")
+	}
 	return nil
 }

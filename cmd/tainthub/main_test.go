@@ -1,6 +1,10 @@
 package main
 
 import (
+	"net"
+	"os"
+	"path/filepath"
+
 	"syscall"
 	"testing"
 	"time"
@@ -49,10 +53,85 @@ func TestEndToEndAgainstPackageServer(t *testing.T) {
 	}
 	defer c.Close()
 	k := tainthub.Key{Src: 1, Dst: 2, Tag: 3}
-	if err := c.Publish(k, 0, []uint8{9}); err != nil {
+	if err := c.Publish(tainthub.ReqID{}, k, 0, []uint8{9}); err != nil {
 		t.Fatal(err)
 	}
-	if masks, ok, err := c.Poll(k, 0); err != nil || !ok || masks[0] != 9 {
+	if masks, ok, err := c.Poll(tainthub.ReqID{}, k, 0); err != nil || !ok || masks[0] != 9 {
 		t.Fatalf("poll = %v %v %v", masks, ok, err)
+	}
+}
+
+// TestDurableShutdownSnapshot runs the command with -wal, feeds it state
+// over TCP, SIGTERMs it, and verifies a fresh instance recovers that state
+// from the final snapshot — the operator-facing durability contract.
+func TestDurableShutdownSnapshot(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "hub.wal")
+
+	// Reserve an address so the test can reach the ephemeral server.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", addr, "-wal", walPath, "-snapshot-interval", "0"})
+	}()
+
+	var c *tainthub.Client
+	for i := 0; ; i++ {
+		c, err = tainthub.Dial(addr)
+		if err == nil {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("server never came up on %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	k := tainthub.Key{Src: 1, Dst: 2, Tag: 3}
+	if err := c.Publish(tainthub.ReqID{Client: 1, Seq: 1}, k, 0, []uint8{0x42}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down on SIGTERM")
+	}
+	if _, err := os.Stat(walPath + ".snap"); err != nil {
+		t.Fatalf("no final snapshot: %v", err)
+	}
+
+	// A fresh process recovers the published entry.
+	h, err := tainthub.OpenDurable(walPath, tainthub.DurableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if masks, ok, _ := h.Poll(tainthub.ReqID{Client: 2, Seq: 1}, k, 0); !ok || masks[0] != 0x42 {
+		t.Fatalf("state lost across shutdown: masks=%v ok=%v", masks, ok)
+	}
+}
+
+// TestCorruptWALRefused: the command must refuse structurally corrupt
+// durable state instead of serving an empty hub.
+func TestCorruptWALRefused(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "hub.wal")
+	if err := os.WriteFile(walPath+".snap", []byte("definitely not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-addr", "127.0.0.1:0", "-wal", walPath}); err == nil {
+		t.Error("corrupt snapshot accepted")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"chaser/internal/decaf"
 	"chaser/internal/isa"
@@ -99,6 +100,12 @@ type Chaser struct {
 	platform *decaf.Platform
 	hub      tainthub.Hub
 
+	// hubClient identifies this Chaser to the hub; hubReq mints one request
+	// ID per logical Publish/Poll. Together they let the hub dedup transport
+	// retries of destructive operations (exactly-once semantics).
+	hubClient uint64
+	hubReq    atomic.Uint64
+
 	mu      sync.Mutex
 	spec    *Spec
 	records []InjectionRecord
@@ -157,6 +164,7 @@ func New(opts Options) *Chaser {
 	}
 	return &Chaser{
 		hub:         hub,
+		hubClient:   tainthub.NewClientID(),
 		collector:   trace.NewCollectorCap(maxEv),
 		obsArmed:    opts.Obs.Counter("core_injectors_armed_total"),
 		obsFired:    opts.Obs.Counter("core_faults_fired_total"),
@@ -295,6 +303,13 @@ func (c *Chaser) hubFailure(op string, err error) {
 		c.hubErr = fmt.Errorf("%s: %w", op, err)
 	}
 	c.mu.Unlock()
+}
+
+// hubReqID mints the ReqID for one logical hub operation. The MPI hooks
+// stamp it once per Publish/Poll; the TCP client re-sends it verbatim on
+// every transport retry, which is what lets the hub dedup.
+func (c *Chaser) hubReqID() tainthub.ReqID {
+	return tainthub.ReqID{Client: c.hubClient, Seq: c.hubReq.Add(1)}
 }
 
 // creationCB is fi_creation_cb: called for every created process; arms the

@@ -87,7 +87,7 @@ func (c *Chaser) preSyscall(info decaf.ProcInfo, m *vm.Machine, sys isa.Sys) {
 		return
 	}
 	masks := m.Shadow.MemRangeMasks(buf, n)
-	if err := c.hub.Publish(key, seq, masks); err != nil {
+	if err := c.hub.Publish(c.hubReqID(), key, seq, masks); err != nil {
 		// Hub unavailable: tracing degrades, execution continues. The
 		// degradation is counted and retained for the HubFailRun policy.
 		c.hubFailure("publish", err)
@@ -131,7 +131,7 @@ func (c *Chaser) postSyscall(info decaf.ProcInfo, m *vm.Machine, sys isa.Sys) {
 	seq := st.recvSeq[key]
 	st.recvSeq[key]++
 
-	masks, found, err := c.hub.Poll(key, seq)
+	masks, found, err := c.hub.Poll(c.hubReqID(), key, seq)
 	if err != nil {
 		c.hubFailure("poll", err)
 		return

@@ -62,8 +62,10 @@ func TestRunWallClockTimeout(t *testing.T) {
 // for longer than the client's whole retry budget.
 type errHub struct{}
 
-func (errHub) Publish(tainthub.Key, uint64, []uint8) error { return fmt.Errorf("hub down") }
-func (errHub) Poll(tainthub.Key, uint64) ([]uint8, bool, error) {
+func (errHub) Publish(tainthub.ReqID, tainthub.Key, uint64, []uint8) error {
+	return fmt.Errorf("hub down")
+}
+func (errHub) Poll(tainthub.ReqID, tainthub.Key, uint64) ([]uint8, bool, error) {
 	return nil, false, fmt.Errorf("hub down")
 }
 func (errHub) Stats() tainthub.Stats { return tainthub.Stats{} }

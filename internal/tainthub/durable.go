@@ -1,0 +1,418 @@
+package tainthub
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"chaser/internal/obs"
+)
+
+// Durable is a Local hub whose every mutation is written ahead to a log,
+// with periodic snapshots bounding replay time and disk use. A Durable
+// hub killed with SIGKILL and reopened on the same path recovers the
+// exact pending-taint state and reply caches it had, so an in-flight
+// campaign's retried RPCs still dedup correctly against the reborn
+// process.
+//
+// Recovery protocol. The snapshot at path+".snap" carries generation S;
+// the WAL header carries generation W. A snapshot written at generation S
+// always starts a fresh WAL with header S+1, so on open:
+//
+//	W == S+1 → normal: restore snapshot, replay WAL, truncate its torn tail
+//	W <= S   → stale WAL from before the latest snapshot survived a crash
+//	           between rename(snap) and truncate(wal): ignore it
+//	W >  S+1 → the snapshot pairing this WAL was lost: refuse (CorruptError)
+//	no WAL / torn header → restore snapshot alone, start WAL fresh at S+1
+type Durable struct {
+	mu     sync.Mutex
+	st     store
+	path   string // WAL path; snapshot lives at path+".snap"
+	w      walWriter
+	gen    uint64 // generation of the current WAL
+	closed bool
+
+	walRecords *obs.Counter // tainthub_wal_records_total
+	walBytes   *obs.Counter // tainthub_wal_bytes_total
+	snapshots  *obs.Counter // tainthub_wal_snapshots_total
+
+	// Replayed / RecoveredBytes describe the last open, for operator logs.
+	recoveredRecords int
+}
+
+var _ Hub = (*Durable)(nil)
+
+// DurableConfig configures OpenDurable. The zero value is usable.
+type DurableConfig struct {
+	Limits Limits
+	// Obs, when set, receives tainthub_wal_records_total,
+	// tainthub_wal_bytes_total, tainthub_wal_snapshots_total,
+	// tainthub_replayed_total and the shared hub counters.
+	Obs *obs.Registry
+}
+
+// snapshot gob records. Field names are part of the on-disk format.
+type snapshotRec struct {
+	Gen     uint64
+	Stats   Stats
+	Entries []snapEntryRec
+	Clients []snapClientRec
+}
+
+type snapEntryRec struct {
+	K     Key
+	Seq   uint64
+	Masks []uint8
+	Stamp int64
+}
+
+type snapClientRec struct {
+	ID      uint64
+	LastUse int64
+	Reqs    []snapReplyRec
+}
+
+type snapReplyRec struct {
+	Req   uint64
+	Masks []uint8
+	Found bool
+}
+
+const snapMagic = 0x50414e43 // "CNAP" little-endian
+
+// writeSnapshot atomically replaces path with the encoded snapshot:
+// magic + u32 length + u32 CRC + gob payload, written to a temp file,
+// fsynced, and renamed over the target.
+func writeSnapshot(path string, snap *snapshotRec) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return fmt.Errorf("tainthub: encode snapshot: %w", err)
+	}
+	payload := buf.Bytes()
+	hdr := make([]byte, 12)
+	le.PutUint32(hdr[0:4], snapMagic)
+	le.PutUint32(hdr[4:8], uint32(len(payload)))
+	le.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload))
+
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(hdr); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// loadSnapshot reads a snapshot; a missing file returns (nil, nil). Any
+// structural damage is a *CorruptError — a half-written snapshot cannot
+// exist (writes go through rename), so damage means real corruption and
+// silently starting empty would resurrect consumed taint.
+func loadSnapshot(path string) (*snapshotRec, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 12 || le.Uint32(raw[0:4]) != snapMagic {
+		return nil, &CorruptError{File: path, Reason: "bad snapshot magic"}
+	}
+	n := le.Uint32(raw[4:8])
+	if int(n) != len(raw)-12 {
+		return nil, &CorruptError{File: path, Reason: fmt.Sprintf("snapshot length %d != payload %d", n, len(raw)-12)}
+	}
+	payload := raw[12:]
+	if crc32.ChecksumIEEE(payload) != le.Uint32(raw[8:12]) {
+		return nil, &CorruptError{File: path, Reason: "snapshot checksum mismatch"}
+	}
+	var snap snapshotRec
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nil, &CorruptError{File: path, Reason: "snapshot decode: " + err.Error()}
+	}
+	return &snap, nil
+}
+
+// OpenDurable opens (or creates) a durable hub persisted at path (the
+// write-ahead log; the paired snapshot lives at path+".snap"). Existing
+// state is recovered per the generation protocol above. Structural
+// corruption — as opposed to an ordinary torn tail — returns *CorruptError.
+func OpenDurable(path string, cfg DurableConfig) (*Durable, error) {
+	d := &Durable{
+		st:   newStore(cfg.Limits, newHubObs(cfg.Obs)),
+		path: path,
+	}
+	if cfg.Obs != nil {
+		d.walRecords = cfg.Obs.Counter("tainthub_wal_records_total")
+		d.walBytes = cfg.Obs.Counter("tainthub_wal_bytes_total")
+		d.snapshots = cfg.Obs.Counter("tainthub_wal_snapshots_total")
+	}
+
+	snap, err := loadSnapshot(path + ".snap")
+	if err != nil {
+		return nil, err
+	}
+	var snapGen uint64
+	if snap != nil {
+		d.st.restore(snap)
+		snapGen = snap.Gen
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	// First pass: header + offsets only, so a stale WAL is never applied.
+	walGen, hasHeader, goodOff, err := scanWAL(f, nil)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	switch {
+	case !hasHeader:
+		// Empty or torn-before-header WAL: nothing to replay.
+		goodOff = 0
+	case walGen == snapGen+1:
+		// Normal pairing: replay the log on top of the snapshot. Entries
+		// keep their original publish stamps (so orphans re-evict after
+		// recovery), but reply caches are touched at recovery time so an
+		// in-flight client's retries still dedup.
+		now := time.Now().UnixNano()
+		var replayed int
+		if _, _, _, err := scanWAL(f, func(m walMutation) {
+			replayed++
+			switch m.kind {
+			case walRecPublish:
+				d.st.applyPublish(m.k, m.seq, m.masks, m.stamp)
+				d.st.remember(m.id, cachedReply{}, now)
+			case walRecConsume:
+				masks, _ := d.st.applyConsume(m.k, m.seq)
+				d.st.remember(m.id, cachedReply{masks: masks, found: true}, now)
+			}
+		}); err != nil {
+			f.Close()
+			return nil, err
+		}
+		d.recoveredRecords = replayed
+		d.st.stats.Replayed += uint64(replayed)
+		if d.st.o != nil && replayed > 0 {
+			d.st.o.replayed.Add(uint64(replayed))
+		}
+	case walGen <= snapGen:
+		// Stale log from before the snapshot: drop it entirely.
+		goodOff = 0
+	default: // walGen > snapGen+1
+		f.Close()
+		return nil, &CorruptError{
+			File:   path,
+			Reason: fmt.Sprintf("wal generation %d but snapshot generation %d: missing snapshot", walGen, snapGen),
+		}
+	}
+
+	// Truncate any torn/stale tail and position for appends.
+	if err := f.Truncate(goodOff); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(goodOff, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	d.w = walWriter{f: f, off: goodOff}
+	d.gen = snapGen + 1
+	if goodOff == 0 {
+		if _, err := d.w.append(encodeWALHeader(d.gen)); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// RecoveredRecords reports how many WAL records were replayed when this
+// hub was opened (for operator startup logs).
+func (d *Durable) RecoveredRecords() int { return d.recoveredRecords }
+
+var errHubClosed = errors.New("tainthub: durable hub is closed")
+
+func (d *Durable) logMutation(payload []byte) error {
+	n, err := d.w.append(payload)
+	if err != nil {
+		return err
+	}
+	if d.walRecords != nil {
+		d.walRecords.Inc()
+		d.walBytes.Add(uint64(n))
+	}
+	return nil
+}
+
+// Publish implements Hub: the record is in the WAL before the ack.
+func (d *Durable) Publish(id ReqID, k Key, seq uint64, masks []uint8) error {
+	now := time.Now().UnixNano()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errHubClosed
+	}
+	d.st.maybeSweep(now)
+	if _, dup := d.st.dedup(id, now); dup {
+		return nil
+	}
+	if err := d.st.checkPublish(k, masks); err != nil {
+		return err
+	}
+	if err := d.logMutation(encodeWALPublish(id, k, seq, now, masks)); err != nil {
+		return err
+	}
+	d.st.applyPublish(k, seq, masks, now)
+	d.st.remember(id, cachedReply{}, now)
+	return nil
+}
+
+// Poll implements Hub: a consuming poll is in the WAL before the masks
+// are returned; misses are not logged (a replayed retry re-polling the
+// then-current state is a valid linearization).
+func (d *Durable) Poll(id ReqID, k Key, seq uint64) ([]uint8, bool, error) {
+	now := time.Now().UnixNano()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, false, errHubClosed
+	}
+	d.st.maybeSweep(now)
+	if rep, dup := d.st.dedup(id, now); dup {
+		return rep.masks, rep.found, nil
+	}
+	if _, present := d.st.entries[entryKey{k, seq}]; !present {
+		d.st.stats.Polls++
+		return nil, false, nil
+	}
+	if err := d.logMutation(encodeWALConsume(id, k, seq)); err != nil {
+		return nil, false, err
+	}
+	masks, _ := d.st.applyConsume(k, seq)
+	d.st.remember(id, cachedReply{masks: masks, found: true}, now)
+	return masks, true, nil
+}
+
+// Stats implements Hub.
+func (d *Durable) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.st.snapshotStats()
+}
+
+// Sweep evicts entries and reply caches older than the configured TTL.
+func (d *Durable) Sweep() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0
+	}
+	return d.st.sweep(time.Now().UnixNano())
+}
+
+// WALSize returns the current log size in bytes (exported as the
+// tainthub_wal_size_bytes gauge by cmd/tainthub).
+func (d *Durable) WALSize() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.w.off
+}
+
+// Snapshot persists the full state to path+".snap" and truncates the WAL,
+// bounding recovery time. The lock is held across the entire sequence —
+// encode, rename, truncate, new header — so a crash at any point leaves
+// either the old (snapshot, log) pair or the new one, never a mix the
+// generation check can't classify.
+func (d *Durable) Snapshot() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errHubClosed
+	}
+	return d.snapshotLocked()
+}
+
+func (d *Durable) snapshotLocked() error {
+	d.st.sweep(time.Now().UnixNano())
+	if err := writeSnapshot(d.path+".snap", d.st.export(d.gen)); err != nil {
+		return err
+	}
+	// The snapshot at generation d.gen covers everything in the log; a
+	// crash before the truncate leaves a WAL with gen <= snapshot gen,
+	// which recovery ignores as stale.
+	if err := d.w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := d.w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	d.w.off = 0
+	d.gen++
+	if _, err := d.w.append(encodeWALHeader(d.gen)); err != nil {
+		return err
+	}
+	if err := d.w.f.Sync(); err != nil {
+		return err
+	}
+	if d.snapshots != nil {
+		d.snapshots.Inc()
+	}
+	return nil
+}
+
+// Close takes a final snapshot and releases the log. The hub rejects all
+// operations afterwards.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	err := d.snapshotLocked()
+	d.closed = true
+	if cerr := d.w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Abandon releases the log WITHOUT a final snapshot, leaving the on-disk
+// state exactly as a kill -9 would. It exists so tests and crash drills
+// can exercise WAL replay deterministically.
+func (d *Durable) Abandon() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.w.f.Close()
+}

@@ -1,0 +1,420 @@
+package tainthub
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"chaser/internal/obs"
+)
+
+func durablePath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "hub.wal")
+}
+
+// TestDurableRecoversFromWAL: state acknowledged before a hard crash (no
+// final snapshot) must be fully reconstructed from the log alone.
+func TestDurableRecoversFromWAL(t *testing.T) {
+	path := durablePath(t)
+	h, err := OpenDurable(path, DurableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kA := Key{Src: 0, Dst: 1, Tag: 2}
+	kB := Key{Src: 1, Dst: 0, Tag: 2}
+	if err := h.Publish(ReqID{Client: 1, Seq: 1}, kA, 0, []uint8{0xaa, 0x55}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Publish(ReqID{Client: 1, Seq: 2}, kB, 3, []uint8{0x01}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := h.Poll(ReqID{Client: 2, Seq: 1}, kB, 3); !ok {
+		t.Fatal("poll before crash missed")
+	}
+	if err := h.Abandon(); err != nil { // kill -9: no final snapshot
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	h2, err := OpenDurable(path, DurableConfig{Obs: reg})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer h2.Close()
+	if h2.RecoveredRecords() != 3 {
+		t.Errorf("recovered %d records, want 3", h2.RecoveredRecords())
+	}
+	if got := reg.Counter("tainthub_replayed_total").Value(); got != 3 {
+		t.Errorf("tainthub_replayed_total = %d, want 3", got)
+	}
+	st := h2.Stats()
+	if st.Replayed != 3 || st.Pending != 1 {
+		t.Errorf("stats after recovery = %+v", st)
+	}
+	// kA is still pending; kB was consumed before the crash and must stay
+	// consumed (no resurrected taint).
+	if masks, ok, _ := h2.Poll(ReqID{Client: 3, Seq: 1}, kA, 0); !ok || masks[0] != 0xaa || masks[1] != 0x55 {
+		t.Errorf("kA after recovery: masks=%v ok=%v", masks, ok)
+	}
+	if _, ok, _ := h2.Poll(ReqID{Client: 3, Seq: 2}, kB, 3); ok {
+		t.Error("consumed entry resurrected by replay")
+	}
+}
+
+// TestDurableSnapshotTruncatesWAL: a snapshot must bound the log and
+// recovery must compose snapshot + subsequent records.
+func TestDurableSnapshotTruncatesWAL(t *testing.T) {
+	path := durablePath(t)
+	reg := obs.NewRegistry()
+	h, err := OpenDurable(path, DurableConfig{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := h.Publish(ReqID{Client: 1, Seq: uint64(i + 1)}, Key{Src: 0, Dst: 1, Tag: i}, 0, []uint8{uint8(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := h.WALSize()
+	if err := h.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if after := h.WALSize(); after >= before {
+		t.Errorf("snapshot did not shrink WAL: %d -> %d", before, after)
+	}
+	if got := reg.Counter("tainthub_wal_snapshots_total").Value(); got != 1 {
+		t.Errorf("tainthub_wal_snapshots_total = %d", got)
+	}
+	// One more mutation after the snapshot, then crash.
+	if err := h.Publish(ReqID{Client: 1, Seq: 11}, Key{Src: 5, Dst: 6, Tag: 7}, 0, []uint8{0xff}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Abandon(); err != nil {
+		t.Fatal(err)
+	}
+
+	h2, err := OpenDurable(path, DurableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	if h2.RecoveredRecords() != 1 {
+		t.Errorf("replayed %d records, want 1 (rest from snapshot)", h2.RecoveredRecords())
+	}
+	if st := h2.Stats(); st.Pending != 11 || st.Published != 11 {
+		t.Errorf("stats after snapshot+WAL recovery = %+v", st)
+	}
+	for i := 0; i < 10; i++ {
+		if masks, ok, _ := h2.Poll(ReqID{Client: 2, Seq: uint64(i + 1)}, Key{Src: 0, Dst: 1, Tag: i}, 0); !ok || masks[0] != uint8(i) {
+			t.Fatalf("entry %d lost across snapshot recovery", i)
+		}
+	}
+	if masks, ok, _ := h2.Poll(ReqID{Client: 2, Seq: 11}, Key{Src: 5, Dst: 6, Tag: 7}, 0); !ok || masks[0] != 0xff {
+		t.Error("post-snapshot entry lost")
+	}
+}
+
+// TestDurableDedupSurvivesRestart: the reply cache is durable state — a
+// client retrying a consumed poll against the *reborn* process must still
+// get the original masks, not ok=false.
+func TestDurableDedupSurvivesRestart(t *testing.T) {
+	path := durablePath(t)
+	h, err := OpenDurable(path, DurableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Src: 0, Dst: 1, Tag: 2}
+	id := ReqID{Client: 77, Seq: 5}
+	if err := h.Publish(ReqID{Client: 77, Seq: 4}, k, 0, []uint8{0xbe, 0xef}); err != nil {
+		t.Fatal(err)
+	}
+	if masks, ok, _ := h.Poll(id, k, 0); !ok || masks[0] != 0xbe {
+		t.Fatal("original poll failed")
+	}
+	if err := h.Abandon(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	h2, err := OpenDurable(path, DurableConfig{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	// The retried poll carries the same ReqID; the entry itself is gone.
+	masks, ok, err := h2.Poll(id, k, 0)
+	if err != nil || !ok || masks[0] != 0xbe || masks[1] != 0xef {
+		t.Fatalf("replayed poll across restart: masks=%v ok=%v err=%v", masks, ok, err)
+	}
+	if got := reg.Counter("tainthub_dedup_hits_total").Value(); got != 1 {
+		t.Errorf("tainthub_dedup_hits_total = %d", got)
+	}
+	// A fresh poll (new ReqID) must still see the entry as consumed.
+	if _, ok, _ := h2.Poll(ReqID{Client: 78, Seq: 1}, k, 0); ok {
+		t.Error("dedup replay duplicated taint for a different request")
+	}
+}
+
+// TestDurableTornTail: a torn final record (partial write at crash) is
+// silently truncated; everything before it survives.
+func TestDurableTornTail(t *testing.T) {
+	path := durablePath(t)
+	h, err := OpenDurable(path, DurableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := h.Publish(ReqID{Client: 1, Seq: uint64(i + 1)}, Key{Src: 0, Dst: 1, Tag: i}, 0, []uint8{uint8(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Abandon(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record in half.
+	if err := os.WriteFile(path, raw[:len(raw)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := OpenDurable(path, DurableConfig{})
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	defer h2.Close()
+	if h2.RecoveredRecords() != 4 {
+		t.Errorf("recovered %d records, want 4 (last torn)", h2.RecoveredRecords())
+	}
+}
+
+// TestDurableBitFlip: CRC framing catches a corrupted record; replay stops
+// there instead of applying garbage.
+func TestDurableBitFlip(t *testing.T) {
+	path := durablePath(t)
+	h, err := OpenDurable(path, DurableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := h.Publish(ReqID{Client: 1, Seq: uint64(i + 1)}, Key{Src: 0, Dst: 1, Tag: i}, 0, []uint8{uint8(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Abandon(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-100] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := OpenDurable(path, DurableConfig{})
+	if err != nil {
+		t.Fatalf("bit flip not tolerated: %v", err)
+	}
+	defer h2.Close()
+	if n := h2.RecoveredRecords(); n >= 5 {
+		t.Errorf("recovered %d records despite a flipped bit", n)
+	}
+}
+
+// TestDurableCorruptSnapshotTyped: structural snapshot damage must surface
+// as *CorruptError, not as a silent empty hub or an untyped failure.
+func TestDurableCorruptSnapshotTyped(t *testing.T) {
+	path := durablePath(t)
+	h, err := OpenDurable(path, DurableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Publish(ReqID{Client: 1, Seq: 1}, Key{Src: 0, Dst: 1}, 0, []uint8{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil { // writes a final snapshot
+		t.Fatal(err)
+	}
+	snap, err := os.ReadFile(path + ".snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap[len(snap)/2] ^= 0xff
+	if err := os.WriteFile(path+".snap", snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenDurable(path, DurableConfig{})
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("corrupt snapshot error = %v, want *CorruptError", err)
+	}
+}
+
+// TestDurableStaleWALIgnored: a crash between snapshot rename and WAL
+// truncation leaves a log whose generation predates the snapshot; replay
+// must skip it or it would double-apply every record.
+func TestDurableStaleWALIgnored(t *testing.T) {
+	path := durablePath(t)
+	h, err := OpenDurable(path, DurableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Publish(ReqID{Client: 1, Seq: 1}, Key{Src: 0, Dst: 1}, 0, []uint8{7}); err != nil {
+		t.Fatal(err)
+	}
+	// Save the generation-1 WAL, snapshot (which starts generation 2), then
+	// put the old WAL back — exactly the state a crash mid-snapshot leaves.
+	preSnap, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Abandon(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, preSnap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := OpenDurable(path, DurableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	if h2.RecoveredRecords() != 0 {
+		t.Errorf("stale WAL replayed %d records over its own snapshot", h2.RecoveredRecords())
+	}
+	if st := h2.Stats(); st.Pending != 1 || st.Published != 1 {
+		t.Errorf("stats after stale-WAL recovery = %+v (double-applied?)", st)
+	}
+}
+
+// TestDurableMissingSnapshotRefused: a WAL generations ahead of the
+// snapshot means the pairing snapshot was lost; recovery must refuse
+// rather than replay a suffix of history onto the wrong base.
+func TestDurableMissingSnapshotRefused(t *testing.T) {
+	path := durablePath(t)
+	h, err := OpenDurable(path, DurableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Publish(ReqID{Client: 1, Seq: 1}, Key{Src: 0, Dst: 1}, 0, []uint8{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Snapshot(); err != nil { // WAL is now generation 2
+		t.Fatal(err)
+	}
+	if err := h.Abandon(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path + ".snap"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenDurable(path, DurableConfig{})
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("missing snapshot error = %v, want *CorruptError", err)
+	}
+}
+
+// TestDurableClosedOps: operations after Close fail loudly instead of
+// silently writing to a closed log.
+func TestDurableClosedOps(t *testing.T) {
+	path := durablePath(t)
+	h, err := OpenDurable(path, DurableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Publish(ReqID{}, Key{}, 0, []uint8{1}); err == nil {
+		t.Error("publish on closed hub succeeded")
+	}
+	if _, _, err := h.Poll(ReqID{}, Key{}, 0); err == nil {
+		t.Error("poll on closed hub succeeded")
+	}
+	if err := h.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+// TestDurableConcurrentHammer races Publish/Poll/Stats/Snapshot across
+// goroutines (run under -race in CI). Afterwards a recovery must account
+// for every acknowledged publish: consumed or still pending, never lost.
+func TestDurableConcurrentHammer(t *testing.T) {
+	path := durablePath(t)
+	h, err := OpenDurable(path, DurableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := uint64(w + 1)
+			for i := 0; i < perWorker; i++ {
+				k := Key{Src: w, Dst: (w + 1) % workers, Tag: i}
+				if err := h.Publish(ReqID{Client: client, Seq: uint64(2*i + 1)}, k, 0, []uint8{uint8(i)}); err != nil {
+					t.Errorf("publish: %v", err)
+					return
+				}
+				if i%2 == 0 {
+					if _, ok, err := h.Poll(ReqID{Client: client, Seq: uint64(2*i + 2)}, k, 0); err != nil || !ok {
+						t.Errorf("poll back own publish: ok=%v err=%v", ok, err)
+						return
+					}
+				}
+				_ = h.Stats()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if err := h.Snapshot(); err != nil {
+					t.Errorf("snapshot: %v", err)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	<-snapDone
+	st := h.Stats()
+	if err := h.Abandon(); err != nil {
+		t.Fatal(err)
+	}
+
+	h2, err := OpenDurable(path, DurableConfig{})
+	if err != nil {
+		t.Fatalf("recovery after hammer: %v", err)
+	}
+	defer h2.Close()
+	st2 := h2.Stats()
+	wantPending := workers * perWorker / 2 // odd i were never polled
+	if st.Pending != wantPending || st2.Pending != wantPending {
+		t.Errorf("pending = %d live / %d recovered, want %d", st.Pending, st2.Pending, wantPending)
+	}
+	if st2.Published != uint64(workers*perWorker) {
+		t.Errorf("recovered published = %d, want %d", st2.Published, workers*perWorker)
+	}
+}

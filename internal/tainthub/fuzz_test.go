@@ -1,20 +1,24 @@
 package tainthub
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
 // FuzzDecodeRequest drives arbitrary bytes through the wire-protocol
 // decoder and the request dispatcher. The server parses frames from
 // arbitrary TCP peers, so the invariant is: garbage may produce errors and
-// error responses, never a panic, and the malformed/disconnect distinction
-// must hold for every error the decoder can produce.
+// error responses, never a panic, and the malformed/disconnect/oversize
+// distinction must hold for every error the decoder can produce.
 func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte(`{"op":"publish","src":0,"dst":1,"tag":2,"seq":3,"masks":"qg=="}`))
 	f.Add([]byte(`{"op":"poll","src":1,"dst":0,"tag":0,"seq":0}` + "\n" + `{"op":"stats"}`))
-	f.Add([]byte(`{"op":"publish","masks":"!!not base64!!"}`))
+	f.Add([]byte(`{"op":"publish","client":7,"req":9,"masks":"!!not base64!!"}`))
 	f.Add([]byte(`{"op":"bogus"}`))
 	f.Add([]byte(`{"op":123}`))
 	f.Add([]byte(`null`))
@@ -22,11 +26,16 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte("\x00\xff\xfe"))
 	f.Add([]byte(""))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		s := &Server{hub: NewLocal(), logf: func(string, ...any) {}}
-		dec := json.NewDecoder(bytes.NewReader(data))
-		for i := 0; i < 64; i++ { // bounded: a frame is >= 2 bytes
-			req, err := decodeRequest(dec)
+		s := &Server{hub: NewLocal(), maxFrame: 1 << 16, logf: func(string, ...any) {}}
+		br := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ { // bounded: a frame is >= 1 byte
+			req, err := decodeRequest(br, s.maxFrame)
 			if err != nil {
+				var fe *FrameError
+				if errors.As(err, &fe) {
+					_ = discardFrame(br, 4*s.maxFrame)
+					continue
+				}
 				_ = isMalformed(err)
 				_ = isTimeout(err)
 				return
@@ -36,5 +45,89 @@ func FuzzDecodeRequest(f *testing.F) {
 				t.Fatalf("dispatch produced unmarshalable response: %v", err)
 			}
 		}
+	})
+}
+
+// FuzzWALReplay opens a durable hub over arbitrary WAL and snapshot bytes.
+// Crash recovery reads whatever a dead process left on disk, so the
+// invariant is: torn tails, bit flips, and truncated snapshots may surface
+// as *CorruptError or recover a prefix of the state — never panic, and
+// never leave the reopened hub unusable when recovery claims success.
+func FuzzWALReplay(f *testing.F) {
+	// Seed with a well-formed pair produced by a real hub.
+	seedDir := f.TempDir()
+	seedPath := filepath.Join(seedDir, "seed.wal")
+	h, err := OpenDurable(seedPath, DurableConfig{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	id := ReqID{Client: 1, Seq: 1}
+	if err := h.Publish(id, Key{Src: 0, Dst: 1, Tag: 2}, 0, []uint8{0xaa, 0x55}); err != nil {
+		f.Fatal(err)
+	}
+	if err := h.Snapshot(); err != nil {
+		f.Fatal(err)
+	}
+	if err := h.Publish(ReqID{Client: 1, Seq: 2}, Key{Src: 1, Dst: 0, Tag: 3}, 4, []uint8{1}); err != nil {
+		f.Fatal(err)
+	}
+	if _, _, err := h.Poll(ReqID{Client: 2, Seq: 1}, Key{Src: 0, Dst: 1, Tag: 2}, 0); err != nil {
+		f.Fatal(err)
+	}
+	if err := h.Abandon(); err != nil {
+		f.Fatal(err)
+	}
+	wal, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	snap, err := os.ReadFile(seedPath + ".snap")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wal, snap)
+	f.Add(wal[:len(wal)/2], snap)                  // torn WAL tail
+	f.Add(wal, snap[:len(snap)/2])                 // truncated snapshot
+	f.Add([]byte{}, snap)                          // missing WAL
+	f.Add(wal, []byte{})                           // empty snapshot
+	f.Add([]byte("garbage"), []byte("more trash")) // both corrupt
+
+	f.Fuzz(func(t *testing.T, walBytes, snapBytes []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "hub.wal")
+		if err := os.WriteFile(path, walBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if len(snapBytes) > 0 {
+			if err := os.WriteFile(path+".snap", snapBytes, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d, err := OpenDurable(path, DurableConfig{})
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("recovery failed with untyped error: %v", err)
+			}
+			return
+		}
+		// Recovery succeeded: the hub must be fully usable.
+		k := Key{Src: 9, Dst: 8, Tag: 7}
+		if err := d.Publish(ReqID{Client: 99, Seq: 1}, k, 0, []uint8{3}); err != nil {
+			t.Fatalf("publish on recovered hub: %v", err)
+		}
+		if masks, ok, err := d.Poll(ReqID{Client: 99, Seq: 2}, k, 0); err != nil || !ok || masks[0] != 3 {
+			t.Fatalf("poll on recovered hub: masks=%v ok=%v err=%v", masks, ok, err)
+		}
+		_ = d.Stats()
+		if err := d.Close(); err != nil {
+			t.Fatalf("close recovered hub: %v", err)
+		}
+		// And a second recovery from its own output must succeed cleanly.
+		d2, err := OpenDurable(path, DurableConfig{})
+		if err != nil {
+			t.Fatalf("reopen after clean close: %v", err)
+		}
+		_ = d2.Abandon()
 	})
 }

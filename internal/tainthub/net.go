@@ -21,30 +21,97 @@ import (
 // hub runs on the head node and handles a few messages per guest send/recv.
 
 type request struct {
-	Op    string `json:"op"` // "publish", "poll", "stats"
-	Src   int    `json:"src"`
-	Dst   int    `json:"dst"`
-	Tag   int    `json:"tag"`
-	NS    int    `json:"ns,omitempty"`
-	Seq   uint64 `json:"seq"`
-	Masks string `json:"masks,omitempty"` // base64
+	Op     string `json:"op"` // "publish", "poll", "stats"
+	Client uint64 `json:"client,omitempty"`
+	Req    uint64 `json:"req,omitempty"`
+	Src    int    `json:"src"`
+	Dst    int    `json:"dst"`
+	Tag    int    `json:"tag"`
+	NS     int    `json:"ns,omitempty"`
+	Seq    uint64 `json:"seq"`
+	Masks  string `json:"masks,omitempty"` // base64
 }
 
 type response struct {
-	OK    bool   `json:"ok"`
-	Found bool   `json:"found,omitempty"`
-	Masks string `json:"masks,omitempty"`
-	Stats *Stats `json:"stats,omitempty"`
-	Err   string `json:"err,omitempty"`
+	OK           bool   `json:"ok"`
+	Found        bool   `json:"found,omitempty"`
+	Masks        string `json:"masks,omitempty"`
+	Stats        *Stats `json:"stats,omitempty"`
+	Busy         bool   `json:"busy,omitempty"` // server over limits; retry after RetryAfterMs
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+	Err          string `json:"err,omitempty"`
 }
 
-// decodeRequest reads the next request frame from the stream. It is the
-// single entry point of the wire-protocol decoder — the fuzz target
-// guaranteeing malformed frames surface as errors, never panics.
-func decodeRequest(dec *json.Decoder) (request, error) {
+// FrameError reports a request line exceeding the server's frame limit —
+// the wire-level DoS guard that rejects an oversized Publish before its
+// payload is even buffered. Unlike a JSON syntax error it is recoverable:
+// the server discards the rest of the line and keeps the connection.
+type FrameError struct {
+	Size  int // bytes seen before giving up
+	Limit int
+}
+
+func (e *FrameError) Error() string {
+	return fmt.Sprintf("tainthub: request frame over %d bytes (saw %d)", e.Limit, e.Size)
+}
+
+// readFrame reads one newline-terminated frame, failing with *FrameError
+// once more than limit bytes accumulate without a newline.
+func readFrame(br *bufio.Reader, limit int) ([]byte, error) {
+	var buf []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		if len(buf) > limit {
+			return nil, &FrameError{Size: len(buf), Limit: limit}
+		}
+		switch err {
+		case nil:
+			return buf, nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if len(buf) > 0 {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, io.EOF
+		default:
+			return nil, err
+		}
+	}
+}
+
+// discardFrame skips the remainder of an oversized line so the connection
+// can resync on the next frame. It gives up (returning false) after max
+// further bytes — a peer streaming garbage without newlines gets dropped.
+func discardFrame(br *bufio.Reader, max int) bool {
+	var n int
+	for {
+		chunk, err := br.ReadSlice('\n')
+		n += len(chunk)
+		if err == nil {
+			return true
+		}
+		if err != bufio.ErrBufferFull || n > max {
+			return false
+		}
+	}
+}
+
+// decodeRequest reads and parses the next request frame from the stream,
+// bounding the frame at limit bytes. It is the single entry point of the
+// wire-protocol decoder — the fuzz target guaranteeing malformed frames
+// surface as errors, never panics.
+func decodeRequest(br *bufio.Reader, limit int) (request, error) {
+	line, err := readFrame(br, limit)
+	if err != nil {
+		return request{}, err
+	}
 	var req request
-	err := dec.Decode(&req)
-	return req, err
+	if err := json.Unmarshal(line, &req); err != nil {
+		return request{}, err
+	}
+	return req, nil
 }
 
 // serverObs bundles the server's instruments; nil when no registry is
@@ -84,18 +151,27 @@ type ServerConfig struct {
 	// this long (0 = never). Dead campaign workers then cannot pin server
 	// resources forever.
 	IdleTimeout time.Duration
+	// MaxFrameBytes caps one request line; larger frames are rejected with
+	// *FrameError before the payload is buffered (default 96 MiB — a 64 MiB
+	// mask payload base64-expands to ~85 MiB plus JSON overhead).
+	MaxFrameBytes int
 	// Logf overrides the server's logger (nil = log.Printf).
 	Logf func(format string, args ...any)
 }
 
+// defaultMaxFrame bounds a request line when ServerConfig.MaxFrameBytes
+// is zero.
+const defaultMaxFrame = 96 << 20
+
 // Server exposes a hub over TCP.
 type Server struct {
-	hub  Hub
-	ln   net.Listener
-	wg   sync.WaitGroup
-	obs  *serverObs
-	idle time.Duration
-	logf func(format string, args ...any)
+	hub      Hub
+	ln       net.Listener
+	wg       sync.WaitGroup
+	obs      *serverObs
+	idle     time.Duration
+	maxFrame int
+	logf     func(format string, args ...any)
 
 	mu     sync.Mutex
 	closed bool
@@ -124,13 +200,18 @@ func NewServerConfig(hub Hub, addr string, cfg ServerConfig) (*Server, error) {
 	if logf == nil {
 		logf = log.Printf
 	}
+	maxFrame := cfg.MaxFrameBytes
+	if maxFrame <= 0 {
+		maxFrame = defaultMaxFrame
+	}
 	s := &Server{
-		hub:   hub,
-		ln:    ln,
-		obs:   newServerObs(cfg.Obs),
-		idle:  cfg.IdleTimeout,
-		logf:  logf,
-		conns: make(map[net.Conn]struct{}),
+		hub:      hub,
+		ln:       ln,
+		obs:      newServerObs(cfg.Obs),
+		idle:     cfg.IdleTimeout,
+		maxFrame: maxFrame,
+		logf:     logf,
+		conns:    make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -164,6 +245,22 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return err
+}
+
+// Abort stops the server abruptly: connections are hard-closed with
+// responses potentially unsent, exactly as a process crash would leave
+// them. Clients see transport errors and retry against the replacement
+// server, which is what the exactly-once reply cache exists for. Tests
+// and crash drills use it; production shutdown wants Close.
+func (s *Server) Abort() {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	_ = s.ln.Close()
+	s.wg.Wait()
 }
 
 func (s *Server) closing() bool {
@@ -200,7 +297,7 @@ func (s *Server) serve(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	dec := json.NewDecoder(bufio.NewReader(conn))
+	br := bufio.NewReader(conn)
 	enc := json.NewEncoder(conn)
 	for {
 		if s.closing() {
@@ -209,8 +306,9 @@ func (s *Server) serve(conn net.Conn) {
 		if s.idle > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.idle))
 		}
-		req, err := decodeRequest(dec)
+		req, err := decodeRequest(br, s.maxFrame)
 		if err != nil {
+			var fe *FrameError
 			switch {
 			case s.closing():
 				// Shutdown woke the read; drain silently.
@@ -219,6 +317,18 @@ func (s *Server) serve(conn net.Conn) {
 					s.obs.idleDrops.Inc()
 				}
 				s.logf("tainthub: disconnecting idle client %s", conn.RemoteAddr())
+			case errors.As(err, &fe):
+				// Oversized frame: count it with the malformed requests,
+				// refuse it, but keep the connection — line framing lets us
+				// resync by discarding the rest of the line (bounded, so a
+				// newline-free garbage stream still gets dropped).
+				if s.obs != nil {
+					s.obs.malformed.Inc()
+				}
+				s.logf("tainthub: oversized request from %s: %v", conn.RemoteAddr(), err)
+				if encErr := enc.Encode(response{Err: err.Error()}); encErr == nil && discardFrame(br, 4*s.maxFrame) {
+					continue
+				}
 			case isMalformed(err):
 				// A garbage request is a signal (corrupted client, stray
 				// connection, protocol drift) — count it, log it, tell the
@@ -266,8 +376,28 @@ func (s *Server) handle(req request) response {
 	return resp
 }
 
+// hubError maps a hub-level error onto the wire: a *BusyError becomes a
+// retryable busy response carrying the backoff hint, a *PayloadError
+// counts as a malformed request (the DoS-guard satellite), anything else
+// is a plain application error.
+func (s *Server) hubError(err error) response {
+	var be *BusyError
+	if errors.As(err, &be) {
+		return response{Busy: true, RetryAfterMs: int64(be.RetryAfter / time.Millisecond), Err: ""}
+	}
+	var pe *PayloadError
+	if errors.As(err, &pe) {
+		if s.obs != nil {
+			s.obs.malformed.Inc()
+		}
+		s.logf("tainthub: rejected oversized payload: %v", pe)
+	}
+	return response{Err: err.Error()}
+}
+
 func (s *Server) dispatch(req request) response {
 	k := Key{Src: req.Src, Dst: req.Dst, Tag: req.Tag, NS: req.NS}
+	id := ReqID{Client: req.Client, Seq: req.Req}
 	switch req.Op {
 	case "publish":
 		masks, err := base64.StdEncoding.DecodeString(req.Masks)
@@ -278,17 +408,17 @@ func (s *Server) dispatch(req request) response {
 			s.logf("tainthub: publish with undecodable masks (src=%d dst=%d tag=%d)", req.Src, req.Dst, req.Tag)
 			return response{Err: "bad masks encoding"}
 		}
-		if err := s.hub.Publish(k, req.Seq, masks); err != nil {
-			return response{Err: err.Error()}
+		if err := s.hub.Publish(id, k, req.Seq, masks); err != nil {
+			return s.hubError(err)
 		}
 		if s.obs != nil {
 			s.obs.publishes.Inc()
 		}
 		return response{OK: true}
 	case "poll":
-		masks, found, err := s.hub.Poll(k, req.Seq)
+		masks, found, err := s.hub.Poll(id, k, req.Seq)
 		if err != nil {
-			return response{Err: err.Error()}
+			return s.hubError(err)
 		}
 		if s.obs != nil {
 			s.obs.polls.Inc()
@@ -441,13 +571,19 @@ func (c *Client) roundTrip(req request) (response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var lastErr error
+	var retryAfter time.Duration
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if c.closed {
 			return response{}, errors.New("tainthub: client closed")
 		}
 		if attempt > 0 {
 			c.obsRetries.Inc()
-			time.Sleep(c.backoff(attempt))
+			d := c.backoff(attempt)
+			if retryAfter > d {
+				d = retryAfter
+			}
+			time.Sleep(d)
+			retryAfter = 0
 		}
 		if c.conn == nil {
 			if err := c.connectLocked(); err != nil {
@@ -460,6 +596,13 @@ func (c *Client) roundTrip(req request) (response, error) {
 		if err != nil {
 			lastErr = err
 			c.dropLocked()
+			continue
+		}
+		if resp.Busy {
+			// The server is over its pending limits: honor its retry-after
+			// hint (the connection is fine, so no reconnect).
+			retryAfter = time.Duration(resp.RetryAfterMs) * time.Millisecond
+			lastErr = &BusyError{NS: req.NS, RetryAfter: retryAfter}
 			continue
 		}
 		if resp.Err != "" {
@@ -487,18 +630,25 @@ func (c *Client) attempt(req request) (response, error) {
 	return resp, nil
 }
 
-// Publish implements Hub.
-func (c *Client) Publish(k Key, seq uint64, masks []uint8) error {
+// Publish implements Hub. The ReqID rides every retry of the same logical
+// publish, so the server's reply cache makes re-sends idempotent.
+func (c *Client) Publish(id ReqID, k Key, seq uint64, masks []uint8) error {
 	_, err := c.roundTrip(request{
-		Op: "publish", Src: k.Src, Dst: k.Dst, Tag: k.Tag, NS: k.NS, Seq: seq,
+		Op: "publish", Client: id.Client, Req: id.Seq,
+		Src: k.Src, Dst: k.Dst, Tag: k.Tag, NS: k.NS, Seq: seq,
 		Masks: base64.StdEncoding.EncodeToString(masks),
 	})
 	return err
 }
 
-// Poll implements Hub.
-func (c *Client) Poll(k Key, seq uint64) ([]uint8, bool, error) {
-	resp, err := c.roundTrip(request{Op: "poll", Src: k.Src, Dst: k.Dst, Tag: k.Tag, NS: k.NS, Seq: seq})
+// Poll implements Hub. Because Poll is destructive, the ReqID is what
+// keeps a retry after a lost response from silently dropping taint: the
+// server replays the original masks from its reply cache.
+func (c *Client) Poll(id ReqID, k Key, seq uint64) ([]uint8, bool, error) {
+	resp, err := c.roundTrip(request{
+		Op: "poll", Client: id.Client, Req: id.Seq,
+		Src: k.Src, Dst: k.Dst, Tag: k.Tag, NS: k.NS, Seq: seq,
+	})
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,6 +1,9 @@
 package tainthub
 
 import (
+	"bufio"
+	"encoding/json"
+
 	"net"
 	"sync"
 	"testing"
@@ -49,7 +52,7 @@ func TestClientRPCTimeout(t *testing.T) {
 	defer c.Close()
 
 	done := make(chan error, 1)
-	go func() { done <- c.Publish(Key{Src: 0, Dst: 1}, 0, []uint8{1}) }()
+	go func() { done <- c.Publish(ReqID{}, Key{Src: 0, Dst: 1}, 0, []uint8{1}) }()
 	select {
 	case err := <-done:
 		if err == nil {
@@ -86,7 +89,7 @@ func TestClientReconnect(t *testing.T) {
 	}
 	defer c.Close()
 
-	if err := c.Publish(Key{Src: 0, Dst: 1, Tag: 7}, 0, []uint8{0xaa}); err != nil {
+	if err := c.Publish(ReqID{}, Key{Src: 0, Dst: 1, Tag: 7}, 0, []uint8{0xaa}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -101,7 +104,7 @@ func TestClientReconnect(t *testing.T) {
 	}
 	defer srv2.Close()
 
-	masks, ok, err := c.Poll(Key{Src: 0, Dst: 1, Tag: 7}, 0)
+	masks, ok, err := c.Poll(ReqID{}, Key{Src: 0, Dst: 1, Tag: 7}, 0)
 	if err != nil || !ok || masks[0] != 0xaa {
 		t.Fatalf("poll after restart = %v, %v, %v", masks, ok, err)
 	}
@@ -127,7 +130,7 @@ func TestClientCloseIdempotent(t *testing.T) {
 	if err := c.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Publish(Key{}, 0, nil); err == nil {
+	if err := c.Publish(ReqID{}, Key{}, 0, nil); err == nil {
 		t.Error("publish on a closed client succeeded")
 	}
 }
@@ -153,7 +156,7 @@ func TestServerCloseIdempotent(t *testing.T) {
 			}
 			defer c.Close()
 			for j := 0; j < 100; j++ {
-				if err := c.Publish(Key{Src: i, Dst: j}, 0, []uint8{1}); err != nil {
+				if err := c.Publish(ReqID{}, Key{Src: i, Dst: j}, 0, []uint8{1}); err != nil {
 					return // server went away: expected
 				}
 			}
@@ -191,7 +194,7 @@ func TestServerDrainDeliversResponse(t *testing.T) {
 			t.Fatal(err)
 		}
 		errCh := make(chan error, 1)
-		go func() { errCh <- c.Publish(Key{Src: 0, Dst: 1}, 0, []uint8{1}) }()
+		go func() { errCh <- c.Publish(ReqID{}, Key{Src: 0, Dst: 1}, 0, []uint8{1}) }()
 		srv.Close()
 		// Either the publish lost the race (transport error, hub untouched)
 		// or it won (response delivered, hub has the entry) — but it must
@@ -230,5 +233,212 @@ func TestServerIdleTimeout(t *testing.T) {
 	}
 	if got := reg.Counter("tainthub_idle_disconnects_total").Value(); got != 1 {
 		t.Errorf("tainthub_idle_disconnects_total = %d, want 1", got)
+	}
+}
+
+// TestWireDedupAcrossRetry is the heart of the exactly-once guarantee: the
+// server processes a destructive poll but the response is lost (connection
+// severed before delivery); the retry — same ReqID, new connection — must
+// return the original masks from the reply cache instead of ok=false.
+func TestWireDedupAcrossRetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	hub := NewLocalLimits(Limits{}, reg)
+	srv, err := NewServer(hub, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if err := hub.Publish(ReqID{Client: 1, Seq: 1}, Key{Src: 0, Dst: 1, Tag: 2}, 0, []uint8{0xab}); err != nil {
+		t.Fatal(err)
+	}
+
+	// First delivery: raw connection, send the poll, read the response to
+	// be sure the server consumed the entry, then drop the connection as if
+	// the response had been lost in flight.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := `{"op":"poll","client":7,"req":1,"src":0,"dst":1,"tag":2,"seq":0}` + "\n"
+	if _, err := conn.Write([]byte(frame)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if hub.Stats().Pending != 0 {
+		t.Fatal("server did not consume the entry")
+	}
+
+	// Retry through the real client with the same ReqID.
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	masks, ok, err := c.Poll(ReqID{Client: 7, Seq: 1}, Key{Src: 0, Dst: 1, Tag: 2}, 0)
+	if err != nil || !ok || masks[0] != 0xab {
+		t.Fatalf("retried poll = %v, %v, %v; taint was silently dropped", masks, ok, err)
+	}
+	if got := reg.Counter("tainthub_dedup_hits_total").Value(); got != 1 {
+		t.Errorf("tainthub_dedup_hits_total = %d, want 1", got)
+	}
+}
+
+// TestWireBusyHonored: the client treats a busy response as retryable and
+// waits out the server's retry-after hint; once capacity frees, the RPC
+// succeeds without surfacing an error to the caller.
+func TestWireBusyHonored(t *testing.T) {
+	hub := NewLocalLimits(Limits{MaxPending: 1, RetryAfter: 5 * time.Millisecond}, nil)
+	srv, err := NewServer(hub, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	cfg := fastRetry(reg)
+	cfg.MaxAttempts = 20
+	c, err := DialConfig(srv.Addr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	k := Key{Src: 0, Dst: 1}
+	if err := c.Publish(ReqID{Client: 1, Seq: 1}, k, 0, []uint8{1}); err != nil {
+		t.Fatal(err)
+	}
+	// The namespace is full; free it shortly after the publish starts
+	// retrying against the busy signal.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		_, _, _ = hub.Poll(ReqID{Client: 9, Seq: 1}, k, 0)
+	}()
+	if err := c.Publish(ReqID{Client: 1, Seq: 2}, k, 1, []uint8{2}); err != nil {
+		t.Fatalf("publish through transient busy: %v", err)
+	}
+	if got := reg.Counter("hub_rpc_retries_total").Value(); got == 0 {
+		t.Error("busy response did not register as a retry")
+	}
+	if got := reg.Counter("hub_reconnects_total").Value(); got != 0 {
+		t.Errorf("busy retry reconnected %d times; the connection was fine", got)
+	}
+}
+
+// TestWireBusyExhaustsAttempts: a persistently busy server eventually
+// surfaces as an RPC failure, not an infinite stall.
+func TestWireBusyExhaustsAttempts(t *testing.T) {
+	hub := NewLocalLimits(Limits{MaxPending: 1, RetryAfter: time.Millisecond}, nil)
+	srv, err := NewServer(hub, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialConfig(srv.Addr(), fastRetry(obs.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	k := Key{Src: 0, Dst: 1}
+	if err := c.Publish(ReqID{Client: 1, Seq: 1}, k, 0, []uint8{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(ReqID{Client: 1, Seq: 2}, k, 1, []uint8{2}); err == nil {
+		t.Fatal("publish against a permanently busy hub succeeded")
+	}
+}
+
+// TestWireFrameLimitResync: an oversized request is refused with an error
+// response, counted as malformed, and the connection keeps working for
+// subsequent well-formed frames.
+func TestWireFrameLimitResync(t *testing.T) {
+	reg := obs.NewRegistry()
+	hub := NewLocal()
+	srv, err := NewServerConfig(hub, "127.0.0.1:0", ServerConfig{
+		Obs:           reg,
+		MaxFrameBytes: 1 << 10,
+		Logf:          func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	// An oversized frame (a legal JSON publish, just too big for the limit).
+	big := make([]byte, 4<<10)
+	for i := range big {
+		big[i] = 'A'
+	}
+	if _, err := conn.Write([]byte(`{"op":"publish","masks":"` + string(big) + `"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := json.Unmarshal([]byte(line), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" {
+		t.Fatalf("oversized frame not refused: %+v", resp)
+	}
+	if got := reg.Counter("tainthub_malformed_requests_total").Value(); got != 1 {
+		t.Errorf("tainthub_malformed_requests_total = %d, want 1", got)
+	}
+
+	// The same connection must still serve a valid request.
+	if _, err := conn.Write([]byte(`{"op":"stats"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err = br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("connection dead after oversized frame: %v", err)
+	}
+	resp = response{}
+	if err := json.Unmarshal([]byte(line), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Stats == nil {
+		t.Errorf("stats after resync = %+v", resp)
+	}
+}
+
+// TestServerAbort: Abort must hard-stop the server (for crash drills) and
+// leave clients to their retry logic against a replacement.
+func TestServerAbort(t *testing.T) {
+	hub := NewLocal()
+	srv, err := NewServer(hub, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cfg := fastRetry(obs.NewRegistry())
+	cfg.MaxAttempts = 10
+	c, err := DialConfig(addr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv.Abort()
+	srv2, err := NewServer(hub, addr)
+	if err != nil {
+		t.Fatalf("restart after abort: %v", err)
+	}
+	defer srv2.Close()
+	if err := c.Publish(ReqID{Client: 1, Seq: 1}, Key{Src: 0, Dst: 1}, 0, []uint8{1}); err != nil {
+		t.Fatalf("publish after abort+restart: %v", err)
 	}
 }

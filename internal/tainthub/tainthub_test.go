@@ -1,6 +1,11 @@
 package tainthub
 
 import (
+	"errors"
+	"time"
+
+	"chaser/internal/obs"
+
 	"sync"
 	"testing"
 	"testing/quick"
@@ -10,10 +15,10 @@ func TestLocalPublishPoll(t *testing.T) {
 	h := NewLocal()
 	k := Key{Src: 0, Dst: 1, Tag: 5}
 	masks := []uint8{0, 0xff, 0x01}
-	if err := h.Publish(k, 0, masks); err != nil {
+	if err := h.Publish(ReqID{}, k, 0, masks); err != nil {
 		t.Fatal(err)
 	}
-	got, ok, err := h.Poll(k, 0)
+	got, ok, err := h.Poll(ReqID{}, k, 0)
 	if err != nil || !ok {
 		t.Fatalf("Poll = %v, %v, %v", got, ok, err)
 	}
@@ -23,14 +28,14 @@ func TestLocalPublishPoll(t *testing.T) {
 		}
 	}
 	// Poll removes.
-	if _, ok, _ := h.Poll(k, 0); ok {
+	if _, ok, _ := h.Poll(ReqID{}, k, 0); ok {
 		t.Error("second poll found the status again")
 	}
 }
 
 func TestLocalCleanMessagePollMisses(t *testing.T) {
 	h := NewLocal()
-	if _, ok, err := h.Poll(Key{Src: 1, Dst: 0, Tag: 2}, 7); ok || err != nil {
+	if _, ok, err := h.Poll(ReqID{}, Key{Src: 1, Dst: 0, Tag: 2}, 7); ok || err != nil {
 		t.Errorf("poll of unpublished = %v, %v", ok, err)
 	}
 }
@@ -40,13 +45,13 @@ func TestLocalSequencing(t *testing.T) {
 	// for seq 0 must miss and seq 1 must hit.
 	h := NewLocal()
 	k := Key{Src: 0, Dst: 1, Tag: 0}
-	if err := h.Publish(k, 1, []uint8{0xaa}); err != nil {
+	if err := h.Publish(ReqID{}, k, 1, []uint8{0xaa}); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := h.Poll(k, 0); ok {
+	if _, ok, _ := h.Poll(ReqID{}, k, 0); ok {
 		t.Error("seq 0 poll hit a seq 1 status")
 	}
-	got, ok, _ := h.Poll(k, 1)
+	got, ok, _ := h.Poll(ReqID{}, k, 1)
 	if !ok || got[0] != 0xaa {
 		t.Errorf("seq 1 poll = %v, %v", got, ok)
 	}
@@ -54,24 +59,24 @@ func TestLocalSequencing(t *testing.T) {
 
 func TestLocalKeysAreIndependent(t *testing.T) {
 	h := NewLocal()
-	_ = h.Publish(Key{Src: 0, Dst: 1, Tag: 1}, 0, []uint8{1})
-	if _, ok, _ := h.Poll(Key{Src: 0, Dst: 1, Tag: 2}, 0); ok {
+	_ = h.Publish(ReqID{}, Key{Src: 0, Dst: 1, Tag: 1}, 0, []uint8{1})
+	if _, ok, _ := h.Poll(ReqID{}, Key{Src: 0, Dst: 1, Tag: 2}, 0); ok {
 		t.Error("poll with different tag hit")
 	}
-	if _, ok, _ := h.Poll(Key{Src: 0, Dst: 2, Tag: 1}, 0); ok {
+	if _, ok, _ := h.Poll(ReqID{}, Key{Src: 0, Dst: 2, Tag: 1}, 0); ok {
 		t.Error("poll with different dst hit")
 	}
-	if _, ok, _ := h.Poll(Key{Src: 0, Dst: 1, Tag: 1}, 0); !ok {
+	if _, ok, _ := h.Poll(ReqID{}, Key{Src: 0, Dst: 1, Tag: 1}, 0); !ok {
 		t.Error("correct key missed")
 	}
 }
 
 func TestLocalStatsAndReset(t *testing.T) {
 	h := NewLocal()
-	_ = h.Publish(Key{Src: 0, Dst: 1, Tag: 0}, 0, []uint8{1})
-	_ = h.Publish(Key{Src: 0, Dst: 2, Tag: 0}, 0, []uint8{1})
-	_, _, _ = h.Poll(Key{Src: 0, Dst: 1, Tag: 0}, 0)
-	_, _, _ = h.Poll(Key{Src: 9, Dst: 9, Tag: 9}, 0)
+	_ = h.Publish(ReqID{}, Key{Src: 0, Dst: 1, Tag: 0}, 0, []uint8{1})
+	_ = h.Publish(ReqID{}, Key{Src: 0, Dst: 2, Tag: 0}, 0, []uint8{1})
+	_, _, _ = h.Poll(ReqID{}, Key{Src: 0, Dst: 1, Tag: 0}, 0)
+	_, _, _ = h.Poll(ReqID{}, Key{Src: 9, Dst: 9, Tag: 9}, 0)
 	s := h.Stats()
 	if s.Published != 2 || s.Polls != 2 || s.Hits != 1 || s.Pending != 1 {
 		t.Errorf("stats = %+v", s)
@@ -86,9 +91,9 @@ func TestLocalStatsAndReset(t *testing.T) {
 func TestLocalPublishCopiesMasks(t *testing.T) {
 	h := NewLocal()
 	masks := []uint8{1, 2, 3}
-	_ = h.Publish(Key{}, 0, masks)
+	_ = h.Publish(ReqID{}, Key{}, 0, masks)
 	masks[0] = 99
-	got, _, _ := h.Poll(Key{}, 0)
+	got, _, _ := h.Poll(ReqID{}, Key{}, 0)
 	if got[0] != 1 {
 		t.Error("hub aliases caller's mask slice")
 	}
@@ -99,10 +104,10 @@ func TestLocalRoundTripQuick(t *testing.T) {
 	h := NewLocal()
 	f := func(src, dst uint8, tag uint16, seq uint64, masks []uint8) bool {
 		k := Key{Src: int(src), Dst: int(dst), Tag: int(tag)}
-		if err := h.Publish(k, seq, masks); err != nil {
+		if err := h.Publish(ReqID{}, k, seq, masks); err != nil {
 			return false
 		}
-		got, ok, err := h.Poll(k, seq)
+		got, ok, err := h.Poll(ReqID{}, k, seq)
 		if err != nil || !ok || len(got) != len(masks) {
 			return false
 		}
@@ -133,10 +138,10 @@ func TestTCPServerClient(t *testing.T) {
 
 	k := Key{Src: 2, Dst: 3, Tag: 9}
 	masks := []uint8{0xde, 0xad, 0, 0xef}
-	if err := c.Publish(k, 4, masks); err != nil {
+	if err := c.Publish(ReqID{}, k, 4, masks); err != nil {
 		t.Fatal(err)
 	}
-	got, ok, err := c.Poll(k, 4)
+	got, ok, err := c.Poll(ReqID{}, k, 4)
 	if err != nil || !ok {
 		t.Fatalf("Poll = %v %v %v", got, ok, err)
 	}
@@ -145,7 +150,7 @@ func TestTCPServerClient(t *testing.T) {
 			t.Errorf("mask[%d] = %#x, want %#x", i, got[i], masks[i])
 		}
 	}
-	if _, ok, err := c.Poll(k, 4); ok || err != nil {
+	if _, ok, err := c.Poll(ReqID{}, k, 4); ok || err != nil {
 		t.Errorf("re-poll = %v, %v", ok, err)
 	}
 	st := c.Stats()
@@ -176,7 +181,7 @@ func TestTCPMultipleClients(t *testing.T) {
 			defer c.Close()
 			k := Key{Src: r, Dst: (r + 1) % 4, Tag: 0}
 			for seq := uint64(0); seq < 50; seq++ {
-				if err := c.Publish(k, seq, []uint8{uint8(r), uint8(seq)}); err != nil {
+				if err := c.Publish(ReqID{}, k, seq, []uint8{uint8(r), uint8(seq)}); err != nil {
 					errs <- err
 					return
 				}
@@ -197,7 +202,7 @@ func TestTCPMultipleClients(t *testing.T) {
 	for r := 0; r < 4; r++ {
 		k := Key{Src: r, Dst: (r + 1) % 4, Tag: 0}
 		for seq := uint64(0); seq < 50; seq++ {
-			masks, ok, err := c.Poll(k, seq)
+			masks, ok, err := c.Poll(ReqID{}, k, seq)
 			if err != nil || !ok {
 				t.Fatalf("poll r=%d seq=%d: %v %v", r, seq, ok, err)
 			}
@@ -219,23 +224,23 @@ func TestNamespacedIsolation(t *testing.T) {
 	a := WithNamespace(base, 1)
 	b := WithNamespace(base, 2)
 	k := Key{Src: 0, Dst: 1, Tag: 5}
-	if err := a.Publish(k, 0, []uint8{0xaa}); err != nil {
+	if err := a.Publish(ReqID{}, k, 0, []uint8{0xaa}); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Publish(k, 0, []uint8{0xbb}); err != nil {
+	if err := b.Publish(ReqID{}, k, 0, []uint8{0xbb}); err != nil {
 		t.Fatal(err)
 	}
 	// Each namespace sees only its own status.
-	got, ok, _ := b.Poll(k, 0)
+	got, ok, _ := b.Poll(ReqID{}, k, 0)
 	if !ok || got[0] != 0xbb {
 		t.Errorf("ns b = %v, %v", got, ok)
 	}
-	got, ok, _ = a.Poll(k, 0)
+	got, ok, _ = a.Poll(ReqID{}, k, 0)
 	if !ok || got[0] != 0xaa {
 		t.Errorf("ns a = %v, %v", got, ok)
 	}
 	// A third namespace sees nothing.
-	if _, ok, _ := WithNamespace(base, 3).Poll(k, 0); ok {
+	if _, ok, _ := WithNamespace(base, 3).Poll(ReqID{}, k, 0); ok {
 		t.Error("empty namespace polled a status")
 	}
 	// Stats are shared across namespaces.
@@ -256,13 +261,171 @@ func TestNamespacedOverTCP(t *testing.T) {
 	}
 	defer c.Close()
 	k := Key{Src: 0, Dst: 1, Tag: 9}
-	if err := WithNamespace(c, 7).Publish(k, 3, []uint8{1}); err != nil {
+	if err := WithNamespace(c, 7).Publish(ReqID{}, k, 3, []uint8{1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := WithNamespace(c, 8).Poll(k, 3); ok {
+	if _, ok, _ := WithNamespace(c, 8).Poll(ReqID{}, k, 3); ok {
 		t.Error("cross-namespace hit over TCP")
 	}
-	if _, ok, _ := WithNamespace(c, 7).Poll(k, 3); !ok {
+	if _, ok, _ := WithNamespace(c, 7).Poll(ReqID{}, k, 3); !ok {
 		t.Error("same-namespace miss over TCP")
+	}
+}
+
+// TestLocalIdempotentPoll: the in-process hub honors ReqID replay the same
+// way the TCP server does — a repeated destructive Poll under one ReqID
+// returns the original masks instead of ok=false.
+func TestLocalIdempotentPoll(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := NewLocalLimits(Limits{}, reg)
+	k := Key{Src: 0, Dst: 1, Tag: 2}
+	if err := h.Publish(ReqID{Client: 1, Seq: 1}, k, 0, []uint8{0xaa}); err != nil {
+		t.Fatal(err)
+	}
+	id := ReqID{Client: 1, Seq: 2}
+	if masks, ok, _ := h.Poll(id, k, 0); !ok || masks[0] != 0xaa {
+		t.Fatal("first poll failed")
+	}
+	masks, ok, err := h.Poll(id, k, 0)
+	if err != nil || !ok || masks[0] != 0xaa {
+		t.Fatalf("retried poll = %v, %v, %v; want original masks", masks, ok, err)
+	}
+	if got := h.Stats().DedupHits; got != 1 {
+		t.Errorf("DedupHits = %d, want 1", got)
+	}
+	if got := reg.Counter("tainthub_dedup_hits_total").Value(); got != 1 {
+		t.Errorf("tainthub_dedup_hits_total = %d", got)
+	}
+	// A different ReqID sees the consumed state.
+	if _, ok, _ := h.Poll(ReqID{Client: 1, Seq: 3}, k, 0); ok {
+		t.Error("fresh poll resurrected consumed taint")
+	}
+}
+
+// TestLocalIdempotentPublish: a replayed publish is acked without storing
+// a duplicate entry.
+func TestLocalIdempotentPublish(t *testing.T) {
+	h := NewLocal()
+	id := ReqID{Client: 9, Seq: 1}
+	k := Key{Src: 0, Dst: 1}
+	for i := 0; i < 3; i++ {
+		if err := h.Publish(id, k, 0, []uint8{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := h.Stats(); st.Published != 1 || st.Pending != 1 || st.DedupHits != 2 {
+		t.Errorf("stats after replayed publish = %+v", st)
+	}
+}
+
+// TestLocalBusyLimit: a namespace over MaxPending refuses publishes with a
+// retryable *BusyError carrying the backoff hint; other namespaces are
+// unaffected, and consuming frees capacity.
+func TestLocalBusyLimit(t *testing.T) {
+	h := NewLocalLimits(Limits{MaxPending: 2, RetryAfter: 7 * time.Millisecond}, nil)
+	k := Key{Src: 0, Dst: 1, NS: 1}
+	for i := 0; i < 2; i++ {
+		if err := h.Publish(ReqID{}, k, uint64(i), []uint8{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := h.Publish(ReqID{}, k, 2, []uint8{1})
+	var be *BusyError
+	if !errors.As(err, &be) {
+		t.Fatalf("over-limit publish error = %v, want *BusyError", err)
+	}
+	if be.NS != 1 || be.RetryAfter != 7*time.Millisecond {
+		t.Errorf("BusyError = %+v", be)
+	}
+	// Another namespace still has room.
+	if err := h.Publish(ReqID{}, Key{Src: 0, Dst: 1, NS: 2}, 0, []uint8{1}); err != nil {
+		t.Errorf("other namespace rejected: %v", err)
+	}
+	// Consuming an entry frees capacity.
+	if _, ok, _ := h.Poll(ReqID{}, k, 0); !ok {
+		t.Fatal("poll missed")
+	}
+	if err := h.Publish(ReqID{}, k, 2, []uint8{1}); err != nil {
+		t.Errorf("publish after freeing capacity: %v", err)
+	}
+}
+
+// TestLocalByteLimit: MaxPendingBytes is enforced per namespace.
+func TestLocalByteLimit(t *testing.T) {
+	h := NewLocalLimits(Limits{MaxPendingBytes: 10}, nil)
+	k := Key{Src: 0, Dst: 1}
+	if err := h.Publish(ReqID{}, k, 0, make([]uint8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	var be *BusyError
+	if err := h.Publish(ReqID{}, k, 1, make([]uint8, 8)); !errors.As(err, &be) {
+		t.Fatalf("over byte limit error = %v, want *BusyError", err)
+	}
+}
+
+// TestLocalPayloadLimit: an oversized single publish is rejected with the
+// permanent *PayloadError, not the retryable busy signal.
+func TestLocalPayloadLimit(t *testing.T) {
+	h := NewLocalLimits(Limits{MaxPayload: 4}, nil)
+	err := h.Publish(ReqID{}, Key{}, 0, make([]uint8, 5))
+	var pe *PayloadError
+	if !errors.As(err, &pe) {
+		t.Fatalf("oversized publish error = %v, want *PayloadError", err)
+	}
+	if pe.Size != 5 || pe.Limit != 4 {
+		t.Errorf("PayloadError = %+v", pe)
+	}
+}
+
+// TestLocalTTLEviction: orphaned entries (their rank crashed and will
+// never poll) age out, so Pending stops growing across campaigns.
+func TestLocalTTLEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := NewLocalLimits(Limits{TTL: time.Hour}, reg)
+	if err := h.Publish(ReqID{}, Key{Src: 0, Dst: 1}, 0, []uint8{1}); err != nil {
+		t.Fatal(err)
+	}
+	if n := h.Sweep(); n != 0 {
+		t.Errorf("fresh entry swept (%d evicted)", n)
+	}
+	// Age the entry past the TTL by rewriting its stamp.
+	h.mu.Lock()
+	for ek, e := range h.st.entries {
+		e.stamp -= int64(2 * time.Hour)
+		h.st.entries[ek] = e
+	}
+	h.mu.Unlock()
+	if n := h.Sweep(); n != 1 {
+		t.Fatalf("swept %d entries, want 1", n)
+	}
+	st := h.Stats()
+	if st.Pending != 0 || st.Evicted != 1 {
+		t.Errorf("stats after sweep = %+v", st)
+	}
+	if got := reg.Counter("tainthub_evicted_total").Value(); got != 1 {
+		t.Errorf("tainthub_evicted_total = %d", got)
+	}
+}
+
+// TestLocalReplyCacheBounded: the per-client reply cache is FIFO-bounded,
+// so an immortal client cannot grow hub memory without limit.
+func TestLocalReplyCacheBounded(t *testing.T) {
+	h := NewLocalLimits(Limits{ReplyCache: 4}, nil)
+	for i := 0; i < 10; i++ {
+		_ = h.Publish(ReqID{Client: 1, Seq: uint64(i + 1)}, Key{Tag: i}, 0, []uint8{1})
+	}
+	h.mu.Lock()
+	n := len(h.st.clients[1].replies)
+	h.mu.Unlock()
+	if n != 4 {
+		t.Errorf("reply cache holds %d entries, want 4", n)
+	}
+	// The oldest request ID is forgotten: replaying it re-executes (and the
+	// re-execution is a harmless duplicate-publish overwrite).
+	if err := h.Publish(ReqID{Client: 1, Seq: 1}, Key{Tag: 0}, 0, []uint8{1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := h.Stats(); st.DedupHits != 0 {
+		t.Errorf("evicted request still deduped: %+v", st)
 	}
 }

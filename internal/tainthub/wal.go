@@ -1,0 +1,213 @@
+package tainthub
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Write-ahead log: every mutation of a Durable hub (publish, consumed
+// poll) is appended as one CRC-framed record before it is applied, so a
+// hard crash (kill -9) loses nothing that was acknowledged. The frame is
+//
+//	u32 payload length | u32 CRC-32 (IEEE) of payload | payload
+//
+// written with a single write(2), so a crash can only tear the final
+// record; replay stops at the first frame whose length or checksum does
+// not hold and truncates the tail. The first record is always a header
+// carrying the WAL generation, which pairs the file with the snapshot it
+// extends (see durable.go for the recovery protocol).
+
+const (
+	walMagic   = 0x4c415743 // "CWAL" little-endian
+	walVersion = 1
+
+	walRecHeader  = 1
+	walRecPublish = 2
+	walRecConsume = 3
+
+	// maxWALPayload rejects absurd length fields before allocating: real
+	// payloads are bounded by the MPI hook's 64 MiB message cap plus a few
+	// fixed fields.
+	maxWALPayload = 80 << 20
+)
+
+// CorruptError reports an unrecoverable WAL or snapshot file: not a torn
+// tail (those are silently truncated) but structural damage — a bad magic,
+// a checksum failure in a snapshot, or a WAL generation with no matching
+// snapshot. Recovery refuses to guess at state.
+type CorruptError struct {
+	File   string
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("tainthub: %s: %s", e.File, e.Reason)
+}
+
+var le = binary.LittleEndian
+
+// walWriter appends framed records to an open WAL file. Each append is a
+// single unbuffered write, so acknowledged records survive process death
+// without fsync (fsync happens at snapshots and close, bounding loss on
+// power failure, not on kill -9).
+type walWriter struct {
+	f   *os.File
+	off int64
+}
+
+// append frames and writes one payload, returning the bytes written.
+func (w *walWriter) append(payload []byte) (int, error) {
+	frame := make([]byte, 8+len(payload))
+	le.PutUint32(frame[0:4], uint32(len(payload)))
+	le.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	n, err := w.f.Write(frame)
+	w.off += int64(n)
+	if err != nil {
+		return n, fmt.Errorf("tainthub: wal append: %w", err)
+	}
+	return len(frame), nil
+}
+
+func encodeWALHeader(gen uint64) []byte {
+	b := make([]byte, 1+4+1+8)
+	b[0] = walRecHeader
+	le.PutUint32(b[1:5], walMagic)
+	b[5] = walVersion
+	le.PutUint64(b[6:14], gen)
+	return b
+}
+
+func decodeWALHeader(p []byte) (gen uint64, err error) {
+	if len(p) != 14 || p[0] != walRecHeader {
+		return 0, errors.New("bad header record")
+	}
+	if le.Uint32(p[1:5]) != walMagic {
+		return 0, errors.New("bad magic")
+	}
+	if p[5] != walVersion {
+		return 0, fmt.Errorf("unsupported WAL version %d", p[5])
+	}
+	return le.Uint64(p[6:14]), nil
+}
+
+// walMutation is one replayable publish or consume record.
+type walMutation struct {
+	kind  byte
+	id    ReqID
+	k     Key
+	seq   uint64
+	stamp int64   // publish only
+	masks []uint8 // publish only
+}
+
+const walMutFixed = 1 + 8 + 8 + 4*8 + 8 // kind, client, req, key, seq
+
+func encodeWALPublish(id ReqID, k Key, seq uint64, stamp int64, masks []uint8) []byte {
+	b := make([]byte, walMutFixed+8+len(masks))
+	b[0] = walRecPublish
+	putWALCommon(b, id, k, seq)
+	le.PutUint64(b[walMutFixed:], uint64(stamp))
+	copy(b[walMutFixed+8:], masks)
+	return b
+}
+
+func encodeWALConsume(id ReqID, k Key, seq uint64) []byte {
+	b := make([]byte, walMutFixed)
+	b[0] = walRecConsume
+	putWALCommon(b, id, k, seq)
+	return b
+}
+
+func putWALCommon(b []byte, id ReqID, k Key, seq uint64) {
+	le.PutUint64(b[1:], id.Client)
+	le.PutUint64(b[9:], id.Seq)
+	le.PutUint64(b[17:], uint64(int64(k.Src)))
+	le.PutUint64(b[25:], uint64(int64(k.Dst)))
+	le.PutUint64(b[33:], uint64(int64(k.Tag)))
+	le.PutUint64(b[41:], uint64(int64(k.NS)))
+	le.PutUint64(b[49:], seq)
+}
+
+func decodeWALMutation(p []byte) (walMutation, error) {
+	var m walMutation
+	if len(p) < walMutFixed {
+		return m, errors.New("short mutation record")
+	}
+	m.kind = p[0]
+	m.id = ReqID{Client: le.Uint64(p[1:]), Seq: le.Uint64(p[9:])}
+	m.k = Key{
+		Src: int(int64(le.Uint64(p[17:]))),
+		Dst: int(int64(le.Uint64(p[25:]))),
+		Tag: int(int64(le.Uint64(p[33:]))),
+		NS:  int(int64(le.Uint64(p[41:]))),
+	}
+	m.seq = le.Uint64(p[49:])
+	switch m.kind {
+	case walRecPublish:
+		if len(p) < walMutFixed+8 {
+			return m, errors.New("short publish record")
+		}
+		m.stamp = int64(le.Uint64(p[walMutFixed:]))
+		m.masks = append([]uint8(nil), p[walMutFixed+8:]...)
+	case walRecConsume:
+		if len(p) != walMutFixed {
+			return m, errors.New("oversized consume record")
+		}
+	default:
+		return m, fmt.Errorf("unknown record kind %d", m.kind)
+	}
+	return m, nil
+}
+
+// scanWAL reads the log from the start: the header record (if any), then
+// every intact mutation, calling apply for each. It returns the header
+// generation, whether a header was present, and the offset just past the
+// last intact record — the caller truncates there, so a torn or
+// bit-flipped tail can never be replayed or appended after.
+func scanWAL(f *os.File, apply func(walMutation)) (gen uint64, hasHeader bool, goodOff int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, false, 0, err
+	}
+	var off int64
+	hdr := make([]byte, 8)
+	first := true
+	for {
+		if _, rerr := io.ReadFull(f, hdr); rerr != nil {
+			return gen, hasHeader, off, nil // clean EOF or torn frame header
+		}
+		n := le.Uint32(hdr[0:4])
+		if n == 0 || n > maxWALPayload {
+			return gen, hasHeader, off, nil // corrupt length: stop, truncate
+		}
+		payload := make([]byte, n)
+		if _, rerr := io.ReadFull(f, payload); rerr != nil {
+			return gen, hasHeader, off, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != le.Uint32(hdr[4:8]) {
+			return gen, hasHeader, off, nil // bit flip: stop, truncate
+		}
+		if first {
+			first = false
+			g, herr := decodeWALHeader(payload)
+			if herr != nil {
+				return 0, false, 0, &CorruptError{File: f.Name(), Reason: "wal header: " + herr.Error()}
+			}
+			gen, hasHeader = g, true
+			off += int64(8 + n)
+			continue
+		}
+		m, merr := decodeWALMutation(payload)
+		if merr != nil {
+			return gen, hasHeader, off, nil // undecodable record: stop, truncate
+		}
+		if apply != nil {
+			apply(m)
+		}
+		off += int64(8 + n)
+	}
+}
