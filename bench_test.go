@@ -19,6 +19,7 @@ import (
 	"chaser/internal/core"
 	"chaser/internal/injectors"
 	"chaser/internal/isa"
+	"chaser/internal/lang"
 	"chaser/internal/obs"
 	"chaser/internal/tcg"
 	"chaser/internal/vm"
@@ -277,6 +278,8 @@ func TestObsDisabledNoAlloc(t *testing.T) {
 		t.Errorf("telemetry adds %.0f allocs/run (disabled %.0f, enabled %.0f); flush-at-end should add ~0", delta, disabled, enabled)
 	}
 }
+
+// BenchmarkAblation_Instrumentation compares the paper's JIT-style targeted
 // instrumentation (helper calls inserted only in front of targeted
 // instructions at translation time) with the F-SEFI-style alternative of
 // instrumenting every instruction and checking the target dynamically.
@@ -417,6 +420,100 @@ func BenchmarkEngine_RawExecution(b *testing.B) {
 				instrs += m.Counters().Instructions
 			}
 			b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+		})
+	}
+}
+
+// BenchmarkFastPathVsFull is the dual-loop ablation: the same guest run on
+// the specialized taint-free fast loop with micro-op fusion (the default
+// engine) versus the pre-dual-loop configuration — every block forced
+// through the full taint-aware loop with fusion disabled. The gap is the
+// engine speedup this optimization pass delivers on untainted execution,
+// which is the state virtually every instruction of every campaign run
+// executes in (taint exists only downstream of an injected fault).
+// benchLUDN sizes the engine benchmarks' guest workload. The campaign apps
+// use DefaultLUDN for fast suites; the engine comparison wants runs long
+// enough (~2M guest instructions) that per-run machine construction is noise.
+const benchLUDN = 48
+
+func BenchmarkFastPathVsFull(b *testing.B) {
+	prog := lang.MustCompile(apps.LUDProgram(benchLUDN))
+	configs := []struct {
+		name   string
+		noFast bool
+		fusion bool
+	}{
+		{"fast+fusion", false, true},
+		{"full-nofusion", true, false},
+	}
+	for _, c := range configs {
+		b.Run(c.name, func(b *testing.B) {
+			// Campaign runs share one translation cache (golden run warms it,
+			// injected runs reuse it), so the benchmark does too: translation
+			// cost would otherwise dilute the engine comparison.
+			base := tcg.NewBaseCache(prog)
+			base.SetFusion(c.fusion)
+			warm := vm.New(prog, vm.Config{NoFastPath: c.noFast, BaseCache: base})
+			if term := warm.Run(); term.Abnormal() {
+				b.Fatal(term)
+			}
+			b.ResetTimer()
+			var instrs, fastTBs, totalTBs uint64
+			for i := 0; i < b.N; i++ {
+				m := vm.New(prog, vm.Config{NoFastPath: c.noFast, BaseCache: base})
+				if term := m.Run(); term.Abnormal() {
+					b.Fatal(term)
+				}
+				cnt := m.Counters()
+				instrs = cnt.Instructions
+				fastTBs = cnt.FastPathTBs
+				totalTBs = cnt.TBsExecuted
+			}
+			if c.noFast && fastTBs != 0 {
+				b.Fatalf("NoFastPath run counted %d fast-path TBs", fastTBs)
+			}
+			if !c.noFast && fastTBs != totalTBs {
+				b.Fatalf("fast config ran %d of %d TBs on the fast loop", fastTBs, totalTBs)
+			}
+			b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+		})
+	}
+}
+
+// BenchmarkFusion isolates the micro-op fusion pass: fast loop in both arms,
+// fusion on vs off, with the fused-op count reported so the coverage of the
+// two peephole patterns (compare+branch, address+memory) is visible.
+func BenchmarkFusion(b *testing.B) {
+	prog := lang.MustCompile(apps.LUDProgram(benchLUDN))
+	for _, on := range []bool{true, false} {
+		name := "fusion-on"
+		if !on {
+			name = "fusion-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			base := tcg.NewBaseCache(prog)
+			base.SetFusion(on)
+			warm := vm.New(prog, vm.Config{BaseCache: base})
+			if term := warm.Run(); term.Abnormal() {
+				b.Fatal(term)
+			}
+			// Iteration machines serve every block from the shared base, so the
+			// fusion count comes from the warming translator.
+			fused := warm.Trans.Stats().FusedOps
+			if on && fused == 0 {
+				b.Fatal("fusion enabled but no ops fused")
+			}
+			b.ResetTimer()
+			var instrs uint64
+			for i := 0; i < b.N; i++ {
+				m := vm.New(prog, vm.Config{BaseCache: base})
+				if term := m.Run(); term.Abnormal() {
+					b.Fatal(term)
+				}
+				instrs = m.Counters().Instructions
+			}
+			b.ReportMetric(float64(fused), "fused_ops")
+			b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 		})
 	}
 }

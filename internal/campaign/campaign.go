@@ -78,6 +78,10 @@ type Config struct {
 	// only the translation work differs — so this exists solely for the
 	// ablation benchmark.
 	NoSharedCache bool
+	// NoFastPath disables the vm's taint-free fast interpreter loop in every
+	// run. Like NoSharedCache, outcomes are identical either way — this is
+	// the ablation switch for the dual-loop benchmark.
+	NoFastPath bool
 	// Obs, when non-nil, receives campaign telemetry and is threaded through
 	// every run's layers (vm, mpi, injector). Nil disables it.
 	Obs *obs.Registry
@@ -182,6 +186,7 @@ func prepare(cfg Config) (*baseline, error) {
 		WorldSize:       world,
 		BaseCache:       cache,
 		MaxInstructions: cfg.MaxInstructions,
+		NoFastPath:      cfg.NoFastPath,
 		Obs:             cfg.Obs,
 		Tracer:          cfg.Tracer,
 	})
@@ -377,6 +382,7 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 			MaxInstructions: maxInstr,
 			Timeout:         cfg.RunTimeout,
 			HubPolicy:       cfg.HubPolicy,
+			NoFastPath:      cfg.NoFastPath,
 			Obs:             cfg.Obs,
 			Spec: &core.Spec{
 				Target:     cfg.Prog.Name,

@@ -44,6 +44,9 @@ type RunConfig struct {
 	// ExecTraceDepth enables per-rank execution-trace ring buffers of this
 	// many entries (0 = disabled) for post-mortem analysis of crashes.
 	ExecTraceDepth int
+	// NoFastPath disables the vm's taint-free fast interpreter loop on every
+	// rank — an ablation switch for benchmarks and differential tests only.
+	NoFastPath bool
 	// Obs, when non-nil, receives telemetry from every layer of the run
 	// (vm, tcg, taint, mpi, injector). Nil disables telemetry.
 	Obs *obs.Registry
@@ -117,6 +120,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 				SampleInterval:  cfg.SampleInterval,
 				BaseCache:       cfg.BaseCache,
 				Obs:             cfg.Obs,
+				NoFastPath:      cfg.NoFastPath,
 			}
 		},
 		Setup: func(rank int, m *vm.Machine) {

@@ -46,12 +46,21 @@ func BinaryMask(kind tcg.Kind, m1, m2 uint64, shift uint64) uint64 {
 		if m2 != 0 {
 			return smearAll(m1 | m2)
 		}
-		return m1 << (shift & 63)
+		if shift >= 64 {
+			// The engine defines out-of-range shifts as a constant 0 result;
+			// masking the amount with &63 here would leave phantom taint on
+			// that constant.
+			return 0
+		}
+		return m1 << shift
 	case tcg.KShr:
 		if m2 != 0 {
 			return smearAll(m1 | m2)
 		}
-		return m1 >> (shift & 63)
+		if shift >= 64 {
+			return 0
+		}
+		return m1 >> shift
 	case tcg.KFAdd, tcg.KFSub, tcg.KFMul, tcg.KFDiv:
 		return smearAll(m1 | m2)
 	}
@@ -66,6 +75,15 @@ func ImmBinaryMask(kind tcg.Kind, m1 uint64, imm int64) uint64 {
 		return smearUp(m1)
 	case tcg.KMulI:
 		return smearAll(m1)
+	case tcg.KLdD, tcg.KStD:
+		// Fused base+displacement addressing: the address temporary inherits
+		// the base register's taint exactly as the unfused sequence computed
+		// it — identity copy for a zero displacement (the peephole would have
+		// rewritten that KAddI to KMov), carry smear otherwise.
+		if imm == 0 {
+			return m1
+		}
+		return smearUp(m1)
 	}
 	return smearAll(m1)
 }

@@ -1,0 +1,211 @@
+package taint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chaser/internal/tcg"
+)
+
+// Property: the taint rules are sound with respect to the engine's concrete
+// semantics. For any operands and shadow masks, flipping a *tainted* input
+// bit must only ever change result bits *inside* the mask the rule computed
+// for the original operands. This catches the shift-relocation bug class
+// wholesale: a rule that points taint at the wrong output bits fails the
+// moment a flip lands outside them.
+//
+// The concrete functions below mirror internal/vm's execTB cases exactly;
+// compare kinds are excluded because their flags output lives in a separate
+// register with its own (deliberately coarse) CompareMask convention.
+
+// evalBinary applies the engine semantics of a two-operand kind. ok=false
+// means the operands trap (division by zero) and the trial must be skipped.
+func evalBinary(kind tcg.Kind, a, b uint64) (uint64, bool) {
+	switch kind {
+	case tcg.KAnd:
+		return a & b, true
+	case tcg.KOr:
+		return a | b, true
+	case tcg.KXor:
+		return a ^ b, true
+	case tcg.KAdd:
+		return a + b, true
+	case tcg.KSub:
+		return a - b, true
+	case tcg.KMul:
+		return a * b, true
+	case tcg.KDiv:
+		x, y := int64(a), int64(b)
+		if y == 0 {
+			return 0, false
+		}
+		if x == math.MinInt64 && y == -1 {
+			return uint64(x), true
+		}
+		return uint64(x / y), true
+	case tcg.KMod:
+		x, y := int64(a), int64(b)
+		if y == 0 {
+			return 0, false
+		}
+		if x == math.MinInt64 && y == -1 {
+			return 0, true
+		}
+		return uint64(x % y), true
+	case tcg.KShl:
+		if b >= 64 {
+			return 0, true
+		}
+		return a << b, true
+	case tcg.KShr:
+		if b >= 64 {
+			return 0, true
+		}
+		return a >> b, true
+	case tcg.KFAdd:
+		return math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b)), true
+	case tcg.KFSub:
+		return math.Float64bits(math.Float64frombits(a) - math.Float64frombits(b)), true
+	case tcg.KFMul:
+		return math.Float64bits(math.Float64frombits(a) * math.Float64frombits(b)), true
+	case tcg.KFDiv:
+		return math.Float64bits(math.Float64frombits(a) / math.Float64frombits(b)), true
+	}
+	return 0, false
+}
+
+func evalImmBinary(kind tcg.Kind, a uint64, imm int64) uint64 {
+	switch kind {
+	case tcg.KAddI, tcg.KLdD, tcg.KStD:
+		// KLdD/KStD compute the address temp exactly like the KAddI they
+		// replaced; the rule under test is their temp-register mask.
+		return a + uint64(imm)
+	case tcg.KMulI:
+		return a * uint64(imm)
+	}
+	return 0
+}
+
+func evalUnary(kind tcg.Kind, a uint64) uint64 {
+	switch kind {
+	case tcg.KMov:
+		return a
+	case tcg.KNot:
+		return ^a
+	case tcg.KFNeg:
+		return math.Float64bits(-math.Float64frombits(a))
+	case tcg.KCvtIF:
+		return math.Float64bits(float64(int64(a)))
+	case tcg.KCvtFI:
+		f := math.Float64frombits(a)
+		switch {
+		case math.IsNaN(f):
+			return 0
+		case f >= math.MaxInt64:
+			return uint64(math.MaxInt64)
+		case f <= math.MinInt64:
+			return 1 << 63
+		default:
+			return uint64(int64(f))
+		}
+	}
+	return 0
+}
+
+// checkFlips verifies every single-bit flip of the tainted input bits against
+// the computed result mask. eval returns ok=false to skip a flipped operand
+// that traps.
+func checkFlips(t *testing.T, kind tcg.Kind, label string, base uint64, tainted uint64,
+	mask uint64, orig uint64, eval func(flipped uint64) (uint64, bool)) {
+	t.Helper()
+	for bit := 0; bit < 64; bit++ {
+		if tainted&(1<<bit) == 0 {
+			continue
+		}
+		res, ok := eval(base ^ (1 << bit))
+		if !ok {
+			continue
+		}
+		if diff := (res ^ orig) &^ mask; diff != 0 {
+			t.Fatalf("%v: flipping %s bit %d changed result bits %#x outside mask %#x",
+				kind, label, bit, diff, mask)
+		}
+	}
+}
+
+func TestBinaryMaskSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	kinds := []tcg.Kind{
+		tcg.KAnd, tcg.KOr, tcg.KXor, tcg.KAdd, tcg.KSub,
+		tcg.KMul, tcg.KDiv, tcg.KMod, tcg.KShl, tcg.KShr,
+		tcg.KFAdd, tcg.KFSub, tcg.KFMul, tcg.KFDiv,
+	}
+	for _, kind := range kinds {
+		for trial := 0; trial < 300; trial++ {
+			a, b := rng.Uint64(), rng.Uint64()
+			if kind == tcg.KShl || kind == tcg.KShr {
+				// Exercise in-range, boundary, and far out-of-range amounts.
+				switch trial % 4 {
+				case 0:
+					b = rng.Uint64() & 63
+				case 1:
+					b = 63 + rng.Uint64()%4 // straddles the 64 boundary
+				case 2:
+					b = 1 << (32 + rng.Uint64()%16)
+				}
+			}
+			m1, m2 := rng.Uint64(), rng.Uint64()
+			if trial%3 == 0 {
+				m2 = 0 // exercise the precise shift-relocation arm
+			}
+			orig, ok := evalBinary(kind, a, b)
+			if !ok {
+				continue
+			}
+			mask := BinaryMask(kind, m1, m2, b)
+			checkFlips(t, kind, "A1", a, m1, mask, orig, func(fa uint64) (uint64, bool) {
+				return evalBinary(kind, fa, b)
+			})
+			checkFlips(t, kind, "A2", b, m2, mask, orig, func(fb uint64) (uint64, bool) {
+				return evalBinary(kind, a, fb)
+			})
+		}
+	}
+}
+
+func TestImmBinaryMaskSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	kinds := []tcg.Kind{tcg.KAddI, tcg.KMulI, tcg.KLdD, tcg.KStD}
+	for _, kind := range kinds {
+		for trial := 0; trial < 300; trial++ {
+			a := rng.Uint64()
+			imm := int64(rng.Uint64())
+			if trial%4 == 0 {
+				imm = 0
+			}
+			m1 := rng.Uint64()
+			orig := evalImmBinary(kind, a, imm)
+			mask := ImmBinaryMask(kind, m1, imm)
+			checkFlips(t, kind, "A1", a, m1, mask, orig, func(fa uint64) (uint64, bool) {
+				return evalImmBinary(kind, fa, imm), true
+			})
+		}
+	}
+}
+
+func TestUnaryMaskSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	kinds := []tcg.Kind{tcg.KMov, tcg.KNot, tcg.KFNeg, tcg.KCvtIF, tcg.KCvtFI}
+	for _, kind := range kinds {
+		for trial := 0; trial < 300; trial++ {
+			a := rng.Uint64()
+			m1 := rng.Uint64()
+			orig := evalUnary(kind, a)
+			mask := UnaryMask(kind, m1)
+			checkFlips(t, kind, "A1", a, m1, mask, orig, func(fa uint64) (uint64, bool) {
+				return evalUnary(kind, fa), true
+			})
+		}
+	}
+}

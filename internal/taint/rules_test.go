@@ -1,0 +1,65 @@
+package taint
+
+import (
+	"testing"
+
+	"chaser/internal/tcg"
+)
+
+// TestShiftMaskOutOfRangeAmount is the regression test for the shift-taint
+// relocation bug: the engine defines shifts with an amount >= 64 as a
+// constant 0 result, so no input taint can reach it. The old rule masked the
+// amount with &63, leaving sa=64 "shifting" the mask by zero — phantom taint
+// on an untainted constant.
+func TestShiftMaskOutOfRangeAmount(t *testing.T) {
+	var m1 uint64 = 0x0000_00ff_0000_0001
+	cases := []struct {
+		kind tcg.Kind
+		sa   uint64
+		want uint64
+	}{
+		// In range: the mask relocates exactly with the data.
+		{tcg.KShl, 63, m1 << 63},
+		{tcg.KShr, 63, m1 >> 63},
+		// Out of range: the result is the constant 0 — no taint survives.
+		{tcg.KShl, 64, 0},
+		{tcg.KShr, 64, 0},
+		{tcg.KShl, 65, 0},
+		{tcg.KShr, 65, 0},
+		{tcg.KShl, 1 << 32, 0},
+		{tcg.KShr, 1 << 32, 0},
+	}
+	for _, tc := range cases {
+		if got := BinaryMask(tc.kind, m1, 0, tc.sa); got != tc.want {
+			t.Errorf("BinaryMask(%v, %#x, 0, %d) = %#x, want %#x",
+				tc.kind, m1, tc.sa, got, tc.want)
+		}
+	}
+	// A tainted shift amount still smears regardless of its runtime value.
+	for _, kind := range []tcg.Kind{tcg.KShl, tcg.KShr} {
+		if got := BinaryMask(kind, m1, 1, 64); got != ^uint64(0) {
+			t.Errorf("BinaryMask(%v) with tainted amount = %#x, want all-ones", kind, got)
+		}
+		if got := BinaryMask(kind, 0, 1, 2); got != ^uint64(0) {
+			t.Errorf("BinaryMask(%v) amount-only taint = %#x, want all-ones", kind, got)
+		}
+	}
+}
+
+// TestFusedAddressingMask: the fused load/store kinds give the address temp
+// exactly the mask the unfused sequence computed — identity for a zero
+// displacement (the peephole's KMov), carry smear otherwise.
+func TestFusedAddressingMask(t *testing.T) {
+	const m = 0x0f0
+	for _, kind := range []tcg.Kind{tcg.KLdD, tcg.KStD} {
+		if got := ImmBinaryMask(kind, m, 0); got != m {
+			t.Errorf("ImmBinaryMask(%v, %#x, 0) = %#x, want identity", kind, m, got)
+		}
+		if got, want := ImmBinaryMask(kind, m, 8), smearUp(m); got != want {
+			t.Errorf("ImmBinaryMask(%v, %#x, 8) = %#x, want %#x", kind, m, got, want)
+		}
+		if got := ImmBinaryMask(kind, 0, 8); got != 0 {
+			t.Errorf("ImmBinaryMask(%v, 0, 8) = %#x, want 0", kind, got)
+		}
+	}
+}

@@ -33,6 +33,10 @@ type shadowPage struct {
 type Shadow struct {
 	regs  [tcg.NumMRegs]uint64
 	pages map[uint64]*shadowPage
+	// liveRegs counts micro-registers with a non-zero mask, maintained
+	// incrementally by SetRegMask so Live is O(1) — it gates the execution
+	// engine's fast path at every TB entry.
+	liveRegs int
 	// taintedBytes is the global count of guest memory bytes whose shadow
 	// mask is non-zero; highWater is its per-run peak (telemetry).
 	taintedBytes int64
@@ -48,6 +52,7 @@ func NewShadow() *Shadow {
 func (s *Shadow) Reset() {
 	s.regs = [tcg.NumMRegs]uint64{}
 	s.pages = make(map[uint64]*shadowPage)
+	s.liveRegs = 0
 	s.taintedBytes = 0
 	s.highWater = 0
 }
@@ -56,7 +61,23 @@ func (s *Shadow) Reset() {
 func (s *Shadow) RegMask(r tcg.MReg) uint64 { return s.regs[r] }
 
 // SetRegMask replaces the shadow mask of a micro-register.
-func (s *Shadow) SetRegMask(r tcg.MReg, mask uint64) { s.regs[r] = mask }
+func (s *Shadow) SetRegMask(r tcg.MReg, mask uint64) {
+	switch prev := s.regs[r]; {
+	case prev == 0 && mask != 0:
+		s.liveRegs++
+	case prev != 0 && mask == 0:
+		s.liveRegs--
+	}
+	s.regs[r] = mask
+}
+
+// Live reports whether any taint exists anywhere — registers or memory. It
+// is the O(1) emptiness check the execution engine performs at TB entry to
+// select its taint-free fast loop (DECAF++-style elastic tainting: a run with
+// taint enabled but nothing yet tainted pays nothing for the machinery).
+func (s *Shadow) Live() bool {
+	return s.liveRegs > 0 || s.taintedBytes > 0
+}
 
 // AnyRegTainted reports whether any guest-visible register carries taint.
 func (s *Shadow) AnyRegTainted() bool {

@@ -25,8 +25,9 @@ import (
 // publishes it, so a campaign's golden run warms the cache for every
 // injection run that follows.
 type BaseCache struct {
-	prog  *isa.Program
-	noOpt bool
+	prog   *isa.Program
+	noOpt  bool
+	noFuse bool
 
 	mu     sync.RWMutex
 	blocks map[uint64]*TB
@@ -51,6 +52,11 @@ func NewBaseCache(prog *isa.Program) *BaseCache {
 // into this cache (on by default). Only ablation benchmarks need this; it
 // must be set before any translator uses the cache.
 func (c *BaseCache) SetOptimizer(on bool) { c.noOpt = !on }
+
+// SetFusion toggles the micro-op fusion pass for translations published into
+// this cache (on by default); like SetOptimizer it must be set before any
+// translator uses the cache, so every sharer agrees on the block shape.
+func (c *BaseCache) SetFusion(on bool) { c.noFuse = !on }
 
 // Prog returns the program this cache translates.
 func (c *BaseCache) Prog() *isa.Program { return c.prog }

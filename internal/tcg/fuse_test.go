@@ -1,0 +1,264 @@
+package tcg
+
+import (
+	"testing"
+
+	"chaser/internal/isa"
+)
+
+// TestFuseCmpBranch pins the cross-instruction fusion: cmp+jcc collapses to
+// one KCmpBr carrying both guest identities.
+func TestFuseCmpBranch(t *testing.T) {
+	target := int64(isa.CodeBase + 4*isa.InstrSize)
+	tr := NewTranslator(prog(
+		isa.Instr{Op: isa.OpCmp, Rs1: isa.R1, Rs2: isa.R2},
+		isa.Instr{Op: isa.OpJl, Imm: target},
+		isa.Instr{Op: isa.OpNop},
+		isa.Instr{Op: isa.OpNop},
+		isa.Instr{Op: isa.OpHlt},
+	))
+	tb, err := tr.Block(isa.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Ops) != 1 {
+		t.Fatalf("ops = %d, want 1:\n%s", len(tb.Ops), tb.Dump())
+	}
+	op := tb.Ops[0]
+	if op.Kind != KCmpBr || op.A1 != GPR(isa.R1) || op.A2 != GPR(isa.R2) {
+		t.Errorf("fused op = %+v", op)
+	}
+	if op.Cond != isa.OpJl || op.Imm != target || uint64(op.Imm2) != isa.CodeBase+2*isa.InstrSize {
+		t.Errorf("branch fields = %+v", op)
+	}
+	if op.GuestPC != isa.CodeBase || op.GuestOp != isa.OpCmp || !op.First {
+		t.Errorf("first-instruction identity = %+v", op)
+	}
+	if op.GuestPC2 != isa.CodeBase+isa.InstrSize || op.GuestOp2 != isa.OpJl {
+		t.Errorf("second-instruction identity = %+v", op)
+	}
+	if tb.GuestLen != 2 {
+		t.Errorf("GuestLen = %d, want 2 (fusion must not change coverage)", tb.GuestLen)
+	}
+	if got := tr.Stats().FusedOps; got != 1 {
+		t.Errorf("FusedOps = %d, want 1", got)
+	}
+}
+
+// TestFuseCmpImmediateBranch: KSetcI+KBrCond (the loop-latch shape) fuses to
+// KCmpBrI. The compare immediate stays in Imm, the taken target moves to
+// Imm2, and the fall-through is reconstructed from the branch's guest
+// address — the three-immediates-in-two-slots encoding.
+func TestFuseCmpImmediateBranch(t *testing.T) {
+	target := int64(isa.CodeBase)
+	tr := NewTranslator(prog(
+		isa.Instr{Op: isa.OpCmpI, Rs1: isa.R1, Imm: 7},
+		isa.Instr{Op: isa.OpJe, Imm: target},
+	))
+	tb, err := tr.Block(isa.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Ops) != 1 {
+		t.Fatalf("ops = %d, want 1:\n%s", len(tb.Ops), tb.Dump())
+	}
+	op := tb.Ops[0]
+	if op.Kind != KCmpBrI || op.A1 != GPR(isa.R1) || op.Imm != 7 {
+		t.Errorf("fused op = %+v", op)
+	}
+	if op.Cond != isa.OpJe || op.Imm2 != target {
+		t.Errorf("branch fields = %+v", op)
+	}
+	if op.GuestPC != isa.CodeBase || op.GuestOp != isa.OpCmpI || !op.First {
+		t.Errorf("first-instruction identity = %+v", op)
+	}
+	if op.GuestPC2 != isa.CodeBase+isa.InstrSize || op.GuestOp2 != isa.OpJe {
+		t.Errorf("second-instruction identity = %+v", op)
+	}
+	if tb.GuestLen != 2 {
+		t.Errorf("GuestLen = %d, want 2", tb.GuestLen)
+	}
+}
+
+// TestFuseCmpImmediateFallthroughGuard: a hand-built KBrCond whose fall-through
+// is not the next guest instruction must stay unfused — KCmpBrI cannot encode
+// an arbitrary third immediate.
+func TestFuseCmpImmediateFallthroughGuard(t *testing.T) {
+	ops := []Op{
+		{Kind: KSetcI, A1: GPR(isa.R1), Imm: 7, GuestPC: isa.CodeBase, GuestOp: isa.OpCmpI, First: true},
+		{Kind: KBrCond, Cond: isa.OpJe, Imm: int64(isa.CodeBase),
+			Imm2:    int64(isa.CodeBase + 9*isa.InstrSize), // not GuestPC+InstrSize
+			GuestPC: isa.CodeBase + isa.InstrSize, GuestOp: isa.OpJe, First: true},
+	}
+	fused, n := fuse(ops)
+	if n != 0 || len(fused) != 2 || fused[0].Kind != KSetcI || fused[1].Kind != KBrCond {
+		t.Errorf("non-adjacent fall-through fused: n=%d ops=%+v", n, fused)
+	}
+}
+
+// TestFusePush: push's addi sp + st64 [sp] pair fuses to a KStD whose address
+// temp is the stack pointer itself.
+func TestFusePush(t *testing.T) {
+	tr := NewTranslator(prog(
+		isa.Instr{Op: isa.OpPush, Rs1: isa.R1},
+		isa.Instr{Op: isa.OpHlt},
+	))
+	tb, err := tr.Block(isa.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := tb.Ops[0]
+	if op.Kind != KStD || op.A0 != SPReg || op.A1 != SPReg || op.A2 != GPR(isa.R1) || op.Imm != -8 {
+		t.Errorf("fused push = %+v", op)
+	}
+	if !op.First {
+		t.Error("fused push lost First flag")
+	}
+}
+
+// TestFusePopNotFused: pop loads first and adjusts sp second, so there is no
+// addi-before-access pair to fuse.
+func TestFusePopNotFused(t *testing.T) {
+	tr := NewTranslator(prog(
+		isa.Instr{Op: isa.OpPop, Rd: isa.R1},
+		isa.Instr{Op: isa.OpHlt},
+	))
+	tb, err := tr.Block(isa.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Ops[0].Kind != KLd64 || tb.Ops[1].Kind != KAddI {
+		t.Errorf("pop shape changed:\n%s", tb.Dump())
+	}
+}
+
+// TestFuseByteAccessNotFused: only 64-bit accesses fuse; ldb/stb keep their
+// explicit address computation.
+func TestFuseByteAccessNotFused(t *testing.T) {
+	tr := NewTranslator(prog(
+		isa.Instr{Op: isa.OpLdB, Rd: isa.R1, Rs1: isa.R2, Imm: 4},
+		isa.Instr{Op: isa.OpStB, Rs1: isa.R2, Rs2: isa.R1, Imm: 4},
+		isa.Instr{Op: isa.OpHlt},
+	))
+	tb, err := tr.Block(isa.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Kind{KAddI, KLd8, KAddI, KSt8, KHlt}
+	for i, want := range kinds {
+		if tb.Ops[i].Kind != want {
+			t.Errorf("op %d = %v, want %v", i, tb.Ops[i].Kind, want)
+		}
+	}
+}
+
+// TestFuseBlockedByHelper: an instrumentation helper between cmp and jcc (or
+// in front of a memory access) breaks adjacency, so hooked instructions fall
+// back to the unfused, instrumented sequence.
+func TestFuseBlockedByHelper(t *testing.T) {
+	tr := NewTranslator(prog(
+		isa.Instr{Op: isa.OpCmp, Rs1: isa.R1, Rs2: isa.R2},
+		isa.Instr{Op: isa.OpJe, Imm: int64(isa.CodeBase)},
+	))
+	tr.AddHook(func(ins isa.Instr, pc uint64) []Op {
+		if ins.Op != isa.OpJe {
+			return nil
+		}
+		return []Op{{Kind: KHelper, Helper: 3}}
+	})
+	tb, err := tr.Block(isa.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]Kind, len(tb.Ops))
+	for i, op := range tb.Ops {
+		kinds[i] = op.Kind
+	}
+	want := []Kind{KSetc, KHelper, KBrCond}
+	if len(kinds) != len(want) {
+		t.Fatalf("ops = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("ops = %v, want %v", kinds, want)
+		}
+	}
+}
+
+// TestHooksWantSeesFusedBranch: a hook targeting the branch opcode must still
+// claim a base block whose branch was folded into a KCmpBr, or arming an
+// injector on branch instructions would silently never fire.
+func TestHooksWantSeesFusedBranch(t *testing.T) {
+	p := prog(
+		isa.Instr{Op: isa.OpCmp, Rs1: isa.R1, Rs2: isa.R2},
+		isa.Instr{Op: isa.OpJe, Imm: int64(isa.CodeBase)},
+	)
+	base := NewBaseCache(p)
+	warm := NewSharedTranslator(p, base)
+	if _, err := warm.Block(isa.CodeBase); err != nil {
+		t.Fatal(err)
+	}
+
+	armed := NewSharedTranslator(p, base)
+	armed.AddHook(func(ins isa.Instr, pc uint64) []Op {
+		if ins.Op != isa.OpJe {
+			return nil
+		}
+		return []Op{{Kind: KHelper, Helper: 9}}
+	})
+	tb, err := armed.Block(isa.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, op := range tb.Ops {
+		if op.Kind == KHelper {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hook on fused-away branch not honored:\n%s", tb.Dump())
+	}
+}
+
+// TestSetFusionDisablesOnlyFusion: with fusion off the peephole still runs.
+func TestSetFusionDisablesOnlyFusion(t *testing.T) {
+	tr := NewTranslator(prog(
+		isa.Instr{Op: isa.OpMulI, Rd: isa.R3, Rs1: isa.R4, Imm: 1},
+		isa.Instr{Op: isa.OpCmp, Rs1: isa.R1, Rs2: isa.R2},
+		isa.Instr{Op: isa.OpJe, Imm: int64(isa.CodeBase)},
+	))
+	tr.SetFusion(false)
+	tb, err := tr.Block(isa.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Ops[0].Kind != KMov {
+		t.Errorf("peephole off too: %+v", tb.Ops[0])
+	}
+	if tb.Ops[1].Kind != KSetc || tb.Ops[2].Kind != KBrCond {
+		t.Errorf("fusion still on:\n%s", tb.Dump())
+	}
+	if tr.Stats().FusedOps != 0 {
+		t.Error("FusedOps counted with fusion off")
+	}
+}
+
+// TestBaseCacheSetFusionPropagates: translators created on a no-fusion base
+// inherit the setting, so sharers agree on block shape.
+func TestBaseCacheSetFusionPropagates(t *testing.T) {
+	p := prog(
+		isa.Instr{Op: isa.OpLd, Rd: isa.R1, Rs1: isa.R2, Imm: 8},
+		isa.Instr{Op: isa.OpHlt},
+	)
+	base := NewBaseCache(p)
+	base.SetFusion(false)
+	tr := NewSharedTranslator(p, base)
+	tb, err := tr.Block(isa.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Ops[0].Kind != KAddI || tb.Ops[1].Kind != KLd64 {
+		t.Errorf("base SetFusion(false) not inherited:\n%s", tb.Dump())
+	}
+}

@@ -117,6 +117,19 @@ const (
 	KHlt     // terminate process
 	KHelper  // invoke registered helper Helper (instrumentation)
 
+	// Fused kinds produced by the peephole fusion pass (fuse.go), never by
+	// expand. They collapse the two most common micro-op pairs into single
+	// dispatches, like QEMU TCG's compare-and-branch and addressing-mode
+	// folding.
+	KCmpBr // fused KSetc+KBrCond: flags <- sign(A1-A2); branch; ends TB
+	// KCmpBrI is the immediate form: flags <- sign(A1-Imm); if flags satisfies
+	// Cond goto Imm2 else fall through to GuestPC2+InstrSize. The pair needs
+	// three immediates and Op carries two, so the fall-through is recomputed
+	// from the branch's guest address; fusion only fires when the two agree.
+	KCmpBrI
+	KLdD // fused KAddI+KLd64: A2 <- A1+Imm; A0 <- mem64[A1+Imm]
+	KStD // fused KAddI+KSt64: A0 <- A1+Imm; mem64[A1+Imm] <- A2
+
 	kindMax
 )
 
@@ -159,6 +172,10 @@ var kindNames = [...]string{
 	KSyscall: "syscall",
 	KHlt:     "hlt",
 	KHelper:  "call_helper",
+	KCmpBr:   "cmpbr",
+	KCmpBrI:  "cmpbri",
+	KLdD:     "ldd",
+	KStD:     "std",
 }
 
 // String returns the micro-op kind name.
@@ -191,6 +208,13 @@ type Op struct {
 	GuestPC uint64
 	GuestOp isa.Op
 	First   bool
+
+	// GuestPC2/GuestOp2 identify the second guest instruction covered by a
+	// cross-instruction fused op (KCmpBr, KCmpBrI); the engine retires it
+	// explicitly since its First boundary was folded away. Zero for every
+	// other kind.
+	GuestPC2 uint64
+	GuestOp2 isa.Op
 }
 
 // String renders the micro-op for debugging and TB dumps.
@@ -214,6 +238,14 @@ func (o Op) String() string {
 		return fmt.Sprintf("br %#x", uint64(o.Imm))
 	case KBrCond:
 		return fmt.Sprintf("brcond(%s) %#x else %#x", o.Cond, uint64(o.Imm), uint64(o.Imm2))
+	case KCmpBr:
+		return fmt.Sprintf("cmpbr(%s) %s, %s -> %#x else %#x", o.Cond, o.A1, o.A2, uint64(o.Imm), uint64(o.Imm2))
+	case KCmpBrI:
+		return fmt.Sprintf("cmpbri(%s) %s, %d -> %#x else %#x", o.Cond, o.A1, o.Imm, uint64(o.Imm2), o.GuestPC2+isa.InstrSize)
+	case KLdD:
+		return fmt.Sprintf("ldd %s, [%s%+d] (addr %s)", o.A0, o.A1, o.Imm, o.A2)
+	case KStD:
+		return fmt.Sprintf("std [%s%+d], %s (addr %s)", o.A1, o.Imm, o.A2, o.A0)
 	case KCall:
 		return fmt.Sprintf("call %#x ret %#x", uint64(o.Imm), uint64(o.Imm2))
 	case KSyscall:
@@ -241,6 +273,35 @@ type TB struct {
 	// NextPC is the fall-through continuation when the block does not end in
 	// an explicit control transfer (e.g. it hit MaxTBInstrs).
 	NextPC uint64
+	// OpCounts is the block's guest-opcode histogram over First micro-ops
+	// (fused-away second instructions excluded — the engine retires those
+	// explicitly). A complete execution of the block retires exactly these
+	// counts, letting the fast loop credit per-opcode statistics once per
+	// block instead of once per instruction.
+	OpCounts []OpCount
+}
+
+// OpCount is one entry of a TB's precomputed guest-opcode histogram.
+type OpCount struct {
+	Op isa.Op
+	N  uint64
+}
+
+// countOps builds a TB's OpCounts histogram from its final op schedule.
+func countOps(ops []Op) []OpCount {
+	var counts [256]uint64
+	for i := range ops {
+		if ops[i].First {
+			counts[ops[i].GuestOp]++
+		}
+	}
+	var out []OpCount
+	for op, n := range counts {
+		if n != 0 {
+			out = append(out, OpCount{Op: isa.Op(op), N: n})
+		}
+	}
+	return out
 }
 
 // String dumps the block like QEMU's `-d op` log.

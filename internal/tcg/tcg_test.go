@@ -65,16 +65,19 @@ func TestExpandArithmetic(t *testing.T) {
 }
 
 func TestExpandMemoryUsesAddressTemp(t *testing.T) {
-	tr := NewTranslator(prog(
+	p := prog(
 		isa.Instr{Op: isa.OpLd, Rd: isa.R1, Rs1: isa.R2, Imm: 8},
 		isa.Instr{Op: isa.OpFSt, Rs1: isa.R3, Rs2: isa.F4, Imm: -16},
 		isa.Instr{Op: isa.OpHlt},
-	))
+	)
+	// With fusion off the expander's raw shape is visible:
+	// ld expands to addi t0 + ld64; fst to addi t0 + st64.
+	tr := NewTranslator(p)
+	tr.SetFusion(false)
 	tb, err := tr.Block(isa.CodeBase)
 	if err != nil {
 		t.Fatalf("Block: %v", err)
 	}
-	// ld expands to addi t0 + ld64; fst to addi t0 + st64.
 	if tb.Ops[0].Kind != KAddI || tb.Ops[0].A0 != T0 || tb.Ops[0].Imm != 8 {
 		t.Errorf("op0 = %+v", tb.Ops[0])
 	}
@@ -87,6 +90,28 @@ func TestExpandMemoryUsesAddressTemp(t *testing.T) {
 	if tb.Ops[3].Kind != KSt64 || tb.Ops[3].A2 != FPR(isa.F4) {
 		t.Errorf("op3 = %+v", tb.Ops[3])
 	}
+
+	// With fusion on (the default) each pair collapses into a single
+	// base+displacement op that still names the address temp.
+	tf := NewTranslator(p)
+	ftb, err := tf.Block(isa.CodeBase)
+	if err != nil {
+		t.Fatalf("Block: %v", err)
+	}
+	if len(ftb.Ops) != 3 {
+		t.Fatalf("fused ops = %d, want 3:\n%s", len(ftb.Ops), ftb.Dump())
+	}
+	ld := ftb.Ops[0]
+	if ld.Kind != KLdD || ld.A0 != GPR(isa.R1) || ld.A1 != GPR(isa.R2) || ld.A2 != T0 || ld.Imm != 8 || !ld.First {
+		t.Errorf("fused ld = %+v", ld)
+	}
+	st := ftb.Ops[1]
+	if st.Kind != KStD || st.A0 != T0 || st.A1 != GPR(isa.R3) || st.A2 != FPR(isa.F4) || st.Imm != -16 || !st.First {
+		t.Errorf("fused st = %+v", st)
+	}
+	if got := tf.Stats().FusedOps; got != 2 {
+		t.Errorf("FusedOps = %d, want 2", got)
+	}
 }
 
 func TestExpandPushPop(t *testing.T) {
@@ -97,6 +122,9 @@ func TestExpandPushPop(t *testing.T) {
 		isa.Instr{Op: isa.OpFPop, Rd: isa.F2},
 		isa.Instr{Op: isa.OpHlt},
 	))
+	// This test pins the expander's raw shape; push fusion is covered by
+	// TestFusePush.
+	tr.SetFusion(false)
 	tb, err := tr.Block(isa.CodeBase)
 	if err != nil {
 		t.Fatalf("Block: %v", err)
@@ -133,12 +161,13 @@ func TestBlockEndsAtBranch(t *testing.T) {
 	if tb.GuestLen != 2 {
 		t.Fatalf("GuestLen = %d, want 2 (block must end at branch)", tb.GuestLen)
 	}
+	// cmpi+jne fuses, so the block ends in the immediate compare-and-branch.
 	last := tb.Ops[len(tb.Ops)-1]
-	if last.Kind != KBrCond || last.Cond != isa.OpJne || last.Imm != target {
+	if last.Kind != KCmpBrI || last.Cond != isa.OpJne || last.Imm2 != target {
 		t.Errorf("last = %+v", last)
 	}
-	if uint64(last.Imm2) != isa.CodeBase+2*isa.InstrSize {
-		t.Errorf("fallthrough = %#x", uint64(last.Imm2))
+	if last.GuestPC2+isa.InstrSize != isa.CodeBase+2*isa.InstrSize {
+		t.Errorf("fallthrough = %#x", last.GuestPC2+isa.InstrSize)
 	}
 }
 
@@ -442,13 +471,26 @@ func TestDumpAndStrings(t *testing.T) {
 		t.Fatal(err)
 	}
 	dump := tb.Dump()
-	for _, want := range []string{"addi_i64 t0, r2, 8", "ld64 r1, [t0]", "setc flags, r1, r2", "brcond(je)"} {
+	for _, want := range []string{"ldd r1, [r2+8]", "cmpbr(je) r1, r2"} {
 		if !strings.Contains(dump, want) {
 			t.Errorf("dump missing %q:\n%s", want, dump)
 		}
 	}
 	if KFAdd.String() != "fadd" || KHelper.String() != "call_helper" {
 		t.Error("kind names wrong")
+	}
+	// The unfused forms still print through the same paths.
+	raw := NewTranslator(tr.prog)
+	raw.SetFusion(false)
+	rtb, err := raw.Block(isa.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdump := rtb.Dump()
+	for _, want := range []string{"addi_i64 t0, r2, 8", "ld64 r1, [t0]", "setc flags, r1, r2", "brcond(je)"} {
+		if !strings.Contains(rdump, want) {
+			t.Errorf("raw dump missing %q:\n%s", want, rdump)
+		}
 	}
 }
 
@@ -464,20 +506,25 @@ func TestOptimizerRewrites(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tb.Ops[0].Kind != KMov || tb.Ops[0].A0 != T0 || tb.Ops[0].A1 != GPR(isa.R2) {
-		t.Errorf("zero-disp address op = %+v", tb.Ops[0])
+	// Fusion runs before the peephole, so the zero-displacement load is
+	// claimed by the fuser (KLdD), not rewritten to a mov.
+	if tb.Ops[0].Kind != KLdD || tb.Ops[0].A1 != GPR(isa.R2) || tb.Ops[0].A2 != T0 || tb.Ops[0].Imm != 0 {
+		t.Errorf("zero-disp load op = %+v", tb.Ops[0])
 	}
-	if tb.Ops[2].Kind != KMov {
-		t.Errorf("muli-by-1 op = %+v", tb.Ops[2])
+	if tb.Ops[1].Kind != KMov {
+		t.Errorf("muli-by-1 op = %+v", tb.Ops[1])
 	}
-	if tb.Ops[3].Kind != KNop {
-		t.Errorf("self-mov op = %+v", tb.Ops[3])
+	if tb.Ops[2].Kind != KNop {
+		t.Errorf("self-mov op = %+v", tb.Ops[2])
 	}
-	if tb.Ops[4].Kind != KMovI || tb.Ops[4].Imm != 0 {
-		t.Errorf("xor-self op = %+v", tb.Ops[4])
+	if tb.Ops[3].Kind != KMovI || tb.Ops[3].Imm != 0 {
+		t.Errorf("xor-self op = %+v", tb.Ops[3])
 	}
-	if got := tr.Stats().OptRewrites; got != 4 {
-		t.Errorf("OptRewrites = %d, want 4", got)
+	if got := tr.Stats().OptRewrites; got != 3 {
+		t.Errorf("OptRewrites = %d, want 3", got)
+	}
+	if got := tr.Stats().FusedOps; got != 1 {
+		t.Errorf("FusedOps = %d, want 1", got)
 	}
 	// First flags are preserved 1:1.
 	firsts := 0

@@ -27,6 +27,7 @@ type Stats struct {
 	Flushes      uint64
 	HelperOps    uint64 // instrumentation micro-ops inserted
 	OptRewrites  uint64 // peephole rewrites applied
+	FusedOps     uint64 // micro-op pairs collapsed by the fusion pass
 	OpsEmitted   uint64 // micro-ops emitted into translated blocks
 
 	// OverlayBlocks and InstrumentedBlocks are snapshots, not counters: the
@@ -55,6 +56,7 @@ type Translator struct {
 	hooks        []InstrumentHook
 	stats        Stats
 	noOpt        bool
+	noFuse       bool
 	gen          uint64
 
 	// obsLat, when attached, observes per-block translation latency. It is
@@ -82,13 +84,23 @@ func NewSharedTranslator(prog *isa.Program, base *BaseCache) *Translator {
 		base:    base,
 		overlay: make(map[uint64]*TB),
 		noOpt:   base.noOpt,
+		noFuse:  base.noFuse,
 	}
 }
 
 // SetOptimizer toggles the peephole optimizer (on by default); campaigns
-// never need to touch this, but the ablation benchmarks do.
+// never need to touch this, but the ablation benchmarks do. Disabling the
+// optimizer disables the fusion pass too: fused kinds are an optimizer
+// product, so the "optimizer off" baseline is the raw expander output.
 func (t *Translator) SetOptimizer(on bool) {
 	t.noOpt = !on
+}
+
+// SetFusion toggles the micro-op fusion pass alone (on by default), leaving
+// the 1:1 peephole rewrites in place. Only the fusion ablation benchmarks
+// need this.
+func (t *Translator) SetFusion(on bool) {
+	t.noFuse = !on
 }
 
 // AddHook registers an instrumentation hook. Hooks apply to blocks translated
@@ -171,8 +183,16 @@ func (t *Translator) Block(pc uint64) (*TB, error) {
 		t.obsLat.Observe(time.Since(tStart).Seconds())
 	}
 	if !t.noOpt {
+		// Fusion runs first: the peephole would rewrite zero-displacement
+		// KAddI addressing into KMov and hide the dominant fusion pattern.
+		if !t.noFuse {
+			var fused uint64
+			tb.Ops, fused = fuse(tb.Ops)
+			t.stats.FusedOps += fused
+		}
 		t.stats.OptRewrites += optimize(tb.Ops)
 	}
+	tb.OpCounts = countOps(tb.Ops)
 	t.stats.Translations++
 	if inserted == 0 {
 		// Clean translation: publish it. The base returns the canonical
@@ -204,6 +224,19 @@ func (t *Translator) hooksWant(tb *TB) bool {
 		for _, h := range t.hooks {
 			if len(h(ins, op.GuestPC)) > 0 {
 				return true
+			}
+		}
+		// A fused compare-and-branch covers a second guest instruction whose
+		// First boundary was folded away; probe it too so hooks targeting
+		// branch opcodes still claim the block (retranslation then inserts
+		// the helper between cmp and jcc, which blocks the fusion).
+		if op.Kind == KCmpBr || op.Kind == KCmpBrI {
+			if ins2, ok := t.prog.InstrAt(op.GuestPC2); ok {
+				for _, h := range t.hooks {
+					if len(h(ins2, op.GuestPC2)) > 0 {
+						return true
+					}
+				}
 			}
 		}
 	}

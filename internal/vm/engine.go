@@ -30,9 +30,16 @@ func (m *Machine) Aborted() *Termination { return m.abort.p.Load() }
 // TBs may be shared read-only between machines (the campaign base cache), so
 // QEMU-style block chaining — a mutation — lives here, never on the TB.
 type chainNode struct {
-	tb   *tcg.TB
-	out  [2]chainEdge // up to two cached successor edges, engine-managed
-	slot int
+	tb  *tcg.TB
+	out [2]chainEdge // up to two cached successor edges, engine-managed
+	// lastHit is the slot most recently looked up or written; eviction takes
+	// the other slot (pseudo-LRU), so an alternating pattern over three
+	// successors keeps the recurring edge cached instead of cycling it out.
+	lastHit int
+	// execs counts complete fast-loop executions of tb whose per-opcode
+	// statistics have not yet been folded into Counters.PerOp; flushPerOp
+	// applies tb's histogram execs-fold and zeroes it.
+	execs uint64
 }
 
 // chainEdge is one cached control-flow edge: continuation pc -> successor.
@@ -55,7 +62,7 @@ type chainTable struct {
 // every chain.
 func (m *Machine) Run() Termination {
 	for m.term == nil {
-		m.step()
+		m.step(true)
 	}
 	m.flushObs()
 	return *m.term
@@ -63,8 +70,10 @@ func (m *Machine) Run() Termination {
 
 // step performs one engine iteration: observe pending asynchronous aborts,
 // resolve the next block through the chain table (or the translator on a
-// chain miss), execute it, and cache the taken edge.
-func (m *Machine) step() {
+// chain miss), execute it, and cache the taken edge. chain permits the fast
+// loop to follow chained edges without unwinding (Run); Step passes false to
+// keep its one-block-per-call contract.
+func (m *Machine) step(chain bool) {
 	if t := m.abort.p.Load(); t != nil {
 		m.term = t
 		return
@@ -74,6 +83,9 @@ func (m *Machine) step() {
 	// must sever every chained edge immediately.
 	gen := m.Trans.Gen()
 	if m.chains.nodes == nil || m.chains.gen != gen {
+		// The outgoing table's nodes carry unflushed per-opcode credit;
+		// fold it in before they become unreachable.
+		m.flushPerOp()
 		m.chains = chainTable{gen: gen, nodes: make(map[*tcg.TB]*chainNode)}
 		m.prevTB = nil
 	}
@@ -82,6 +94,7 @@ func (m *Machine) step() {
 		for i := range prev.out {
 			if e := prev.out[i]; e.to != nil && e.pc == m.pc {
 				node = e.to
+				prev.lastHit = i
 				m.counters.ChainedTBs++
 				break
 			}
@@ -106,13 +119,27 @@ func (m *Machine) step() {
 			m.chains.nodes[tb] = node
 		}
 		if prev := m.prevTB; prev != nil {
-			prev.out[prev.slot] = chainEdge{pc: m.pc, to: node}
-			prev.slot = 1 - prev.slot
+			// Reuse a free slot or one already holding this pc — inserting
+			// into the other slot would duplicate the edge and evict a live
+			// distinct successor. Only when both slots hold live distinct
+			// edges does one get evicted, and then the least-recently-used
+			// one, not round-robin.
+			slot := -1
+			for i := range prev.out {
+				if prev.out[i].to == nil || prev.out[i].pc == m.pc {
+					slot = i
+					break
+				}
+			}
+			if slot < 0 {
+				slot = 1 - prev.lastHit
+			}
+			prev.out[slot] = chainEdge{pc: m.pc, to: node}
+			prev.lastHit = slot
 		}
 	}
 	m.counters.TBsExecuted++
-	m.execTB(node.tb)
-	m.prevTB = node
+	m.prevTB = m.execTB(node, chain)
 }
 
 // Step executes exactly one translation block (for tests and debuggers). It
@@ -121,7 +148,7 @@ func (m *Machine) step() {
 // chaining bookkeeping are identical — interleaving Step and Run is safe.
 func (m *Machine) Step() *Termination {
 	if m.term == nil {
-		m.step()
+		m.step(false)
 	}
 	return m.term
 }
@@ -130,13 +157,49 @@ func (m *Machine) kill(sig Signal, msg string) {
 	m.term = &Termination{Reason: ReasonSignal, Signal: sig, PC: m.pc, Msg: msg}
 }
 
+// execTB dispatches a block to one of two specialized interpreter loops:
+// the taint-free fast loop when taint is disabled or the shadow is provably
+// empty (the campaign golden run and the pre-injection prefix of every
+// injected run), or the full loop otherwise. Both loops are observationally
+// identical — terminations, counters, traces, and taint summaries match
+// bitwise; the fast loop merely skips work that is provably a no-op.
+func (m *Machine) execTB(node *chainNode, chain bool) *chainNode {
+	if !m.noFastPath && (!m.TaintEnabled || !m.Shadow.Live()) {
+		m.counters.FastPathTBs++
+		return m.execTBFast(node, chain)
+	}
+	m.execTBFull(node.tb, 0)
+	return node
+}
+
+// retireFused performs the First-boundary bookkeeping for the second guest
+// instruction covered by a cross-instruction fused op (KCmpBr), replicating
+// exactly what the unfused schedule did between the pair. It returns false
+// when the instruction budget terminates the run.
+func (m *Machine) retireFused(op *tcg.Op) bool {
+	m.counters.Instructions++
+	m.counters.PerOp[op.GuestOp2]++
+	if m.execTrace != nil {
+		m.execTrace.record(op.GuestPC2, op.GuestOp2, m.counters.Instructions)
+	}
+	if m.counters.Instructions > m.maxInstr {
+		m.pc = op.GuestPC2
+		m.term = &Termination{Reason: ReasonBudget, PC: m.pc}
+		return false
+	}
+	if m.TaintEnabled && m.Hooks.Sample != nil && m.counters.Instructions%m.sampleIv == 0 {
+		m.Hooks.Sample(m.counters.Instructions, m.Shadow.TaintedBytes())
+	}
+	return true
+}
+
 //nolint:gocyclo // the micro-op interpreter is one hot switch by design.
-func (m *Machine) execTB(tb *tcg.TB) {
+func (m *Machine) execTBFull(tb *tcg.TB, start int) {
 	taintOn := m.TaintEnabled
 	sh := m.Shadow
 	regs := &m.regs
 
-	for i := range tb.Ops {
+	for i := start; i < len(tb.Ops); i++ {
 		op := &tb.Ops[i]
 		if op.First {
 			m.counters.Instructions++
@@ -375,6 +438,51 @@ func (m *Machine) execTB(tb *tcg.TB) {
 				}
 			}
 
+		case tcg.KLdD:
+			// Fused KAddI+KLd64: the address temporary (A2) is still written
+			// — value and taint — so machine state matches the unfused pair.
+			addr := regs[op.A1] + uint64(op.Imm)
+			if taintOn {
+				sh.SetRegMask(op.A2, taint.ImmBinaryMask(tcg.KLdD, sh.RegMask(op.A1), op.Imm))
+			}
+			regs[op.A2] = addr
+			v, err := m.Mem.Read64(addr)
+			if err != nil {
+				m.pc = op.GuestPC
+				m.kill(SIGSEGV, err.Error())
+				return
+			}
+			regs[op.A0] = v
+			if taintOn {
+				mask := sh.MemMask64(addr)
+				sh.SetRegMask(op.A0, mask)
+				if mask != 0 {
+					m.memTaintEvent(op, addr, v, mask, 8, false)
+				}
+			}
+		case tcg.KStD:
+			// Fused KAddI+KSt64. The temp (A0) must be written before the
+			// source (A2) is read: for push they are both SP and the unfused
+			// sequence stores the decremented value.
+			addr := regs[op.A1] + uint64(op.Imm)
+			if taintOn {
+				sh.SetRegMask(op.A0, taint.ImmBinaryMask(tcg.KStD, sh.RegMask(op.A1), op.Imm))
+			}
+			regs[op.A0] = addr
+			v := regs[op.A2]
+			if err := m.Mem.Write64(addr, v); err != nil {
+				m.pc = op.GuestPC
+				m.kill(SIGSEGV, err.Error())
+				return
+			}
+			if taintOn {
+				mask := sh.RegMask(op.A2)
+				sh.SetMemMask64(addr, mask)
+				if mask != 0 {
+					m.memTaintEvent(op, addr, v, mask, 8, true)
+				}
+			}
+
 		case tcg.KSetc:
 			a, b := int64(regs[op.A1]), int64(regs[op.A2])
 			switch {
@@ -426,6 +534,55 @@ func (m *Machine) execTB(tb *tcg.TB) {
 				m.pc = uint64(op.Imm)
 			} else {
 				m.pc = uint64(op.Imm2)
+			}
+			return
+		case tcg.KCmpBr:
+			// Fused KSetc+KBrCond across two guest instructions: compare,
+			// retire the branch instruction, then branch — the same schedule
+			// the unfused pair executed.
+			a, b := int64(regs[op.A1]), int64(regs[op.A2])
+			switch {
+			case a < b:
+				m.flags = -1
+			case a > b:
+				m.flags = 1
+			default:
+				m.flags = 0
+			}
+			if taintOn {
+				sh.SetRegMask(tcg.FlagsReg, taint.CompareMask(sh.RegMask(op.A1), sh.RegMask(op.A2)))
+			}
+			if !m.retireFused(op) {
+				return
+			}
+			if condHolds(op.Cond, m.flags) {
+				m.pc = uint64(op.Imm)
+			} else {
+				m.pc = uint64(op.Imm2)
+			}
+			return
+		case tcg.KCmpBrI:
+			// Immediate form: Imm is the compare operand, Imm2 the taken
+			// target; the fall-through is the instruction after the branch.
+			a := int64(regs[op.A1])
+			switch {
+			case a < op.Imm:
+				m.flags = -1
+			case a > op.Imm:
+				m.flags = 1
+			default:
+				m.flags = 0
+			}
+			if taintOn {
+				sh.SetRegMask(tcg.FlagsReg, taint.CompareMask(sh.RegMask(op.A1), 0))
+			}
+			if !m.retireFused(op) {
+				return
+			}
+			if condHolds(op.Cond, m.flags) {
+				m.pc = uint64(op.Imm2)
+			} else {
+				m.pc = op.GuestPC2 + isa.InstrSize
 			}
 			return
 		case tcg.KCall:

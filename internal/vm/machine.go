@@ -71,10 +71,14 @@ type Hooks struct {
 
 // Counters aggregates execution statistics for one run.
 type Counters struct {
-	Instructions     uint64
-	PerOp            [isa.NumOps]uint64
+	Instructions uint64
+	// PerOp is indexed by opcode; it spans the full uint8 opcode space (only
+	// the first isa.NumOps entries are ever non-zero) so the interpreter's
+	// per-instruction increment compiles without a bounds check.
+	PerOp            [256]uint64
 	TBsExecuted      uint64
 	ChainedTBs       uint64 // blocks reached through chained edges
+	FastPathTBs      uint64 // blocks executed on the taint-free fast loop
 	TaintedMemReads  uint64
 	TaintedMemWrites uint64
 	Syscalls         uint64
@@ -135,6 +139,11 @@ type Config struct {
 	// never instrumented live), and the translator's latency histogram is
 	// attached. Nil disables all telemetry at zero cost.
 	Obs *obs.Registry
+	// NoFastPath forces every block through the full taint-aware interpreter
+	// loop even when taint is off or the shadow is empty. The specialized
+	// fast loop is observationally identical, so this exists only for the
+	// ablation benchmarks and differential tests that prove it.
+	NoFastPath bool
 }
 
 // Machine is one guest process.
@@ -156,13 +165,17 @@ type Machine struct {
 	// tainting: off for plain fault-injection runs, on for tracing runs).
 	TaintEnabled bool
 
-	regs  [tcg.NumMRegs]uint64
+	// regs is sized to the full uint8 MReg index space (only the first
+	// NumMRegs entries are live) so the interpreter's register accesses
+	// compile without bounds checks.
+	regs  [256]uint64
 	pc    uint64
 	flags int64 // last comparison result: -1, 0, +1
 
-	heapBrk  uint64
-	maxInstr uint64
-	sampleIv uint64
+	heapBrk    uint64
+	maxInstr   uint64
+	sampleIv   uint64
+	noFastPath bool
 
 	console []byte
 	output  []byte
@@ -176,6 +189,10 @@ type Machine struct {
 	execTrace *execRing
 	chains    chainTable
 	prevTB    *chainNode
+	// dirtyPerOp lists chain nodes holding unflushed per-opcode execution
+	// credit (chainNode.execs != 0); flushPerOp folds them into
+	// counters.PerOp before any reader sees the snapshot.
+	dirtyPerOp []*chainNode
 
 	obsReg     *obs.Registry
 	obsFlushed bool
@@ -186,19 +203,20 @@ type Machine struct {
 // translator, not data memory.
 func New(prog *isa.Program, cfg Config) *Machine {
 	m := &Machine{
-		Name:      prog.Name,
-		PID:       cfg.PID,
-		Rank:      cfg.Rank,
-		WorldSize: cfg.WorldSize,
-		Prog:      prog,
-		Mem:       NewMemory(),
-		Trans:     tcg.NewSharedTranslator(prog, cfg.BaseCache),
-		Shadow:    taint.NewShadow(),
-		heapBrk:   isa.HeapBase,
-		maxInstr:  cfg.MaxInstructions,
-		sampleIv:  cfg.SampleInterval,
-		mpi:       cfg.MPI,
-		obsReg:    cfg.Obs,
+		Name:       prog.Name,
+		PID:        cfg.PID,
+		Rank:       cfg.Rank,
+		WorldSize:  cfg.WorldSize,
+		Prog:       prog,
+		Mem:        NewMemory(),
+		Trans:      tcg.NewSharedTranslator(prog, cfg.BaseCache),
+		Shadow:     taint.NewShadow(),
+		heapBrk:    isa.HeapBase,
+		maxInstr:   cfg.MaxInstructions,
+		sampleIv:   cfg.SampleInterval,
+		noFastPath: cfg.NoFastPath,
+		mpi:        cfg.MPI,
+		obsReg:     cfg.Obs,
 	}
 	m.Trans.AttachObs(cfg.Obs)
 	if m.maxInstr == 0 {
@@ -262,7 +280,10 @@ func (m *Machine) Output() []byte {
 }
 
 // Counters returns a snapshot of the execution statistics.
-func (m *Machine) Counters() Counters { return m.counters }
+func (m *Machine) Counters() Counters {
+	m.flushPerOp()
+	return m.counters
+}
 
 // Terminated returns the final status, or nil while running.
 func (m *Machine) Terminated() *Termination { return m.term }

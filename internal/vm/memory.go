@@ -42,15 +42,40 @@ func (r region) contains(addr uint64) bool {
 // explicitly mapped regions; any access outside a mapped region faults.
 // Each page receives a physical frame at first touch, giving distinct
 // virtual and physical addresses for propagation-log records.
+// tlbSize is the number of direct-mapped TLB entries; guests interleave
+// stack, data, and a working set of heap pages (a 48x48 float matrix spans
+// five), so the size is chosen to keep conflict misses rare rather than
+// merely to beat a single-entry cache.
+const tlbSize = 8
+
+type tlbEntry struct {
+	base uint64
+	page *memPage
+}
+
 type Memory struct {
 	pages     map[uint64]*memPage
 	regions   []region
 	nextFrame uint64
+	// tlb is a direct-mapped translation cache over the page map: the map
+	// lookup dominates the interpreter's memory cost without it. Pages are
+	// never unmapped or replaced, so entries need no invalidation.
+	tlb [tlbSize]tlbEntry
 }
 
 // NewMemory creates an empty address space with no mapped regions.
 func NewMemory() *Memory {
 	return &Memory{pages: make(map[uint64]*memPage), nextFrame: 1}
+}
+
+// lookup returns the cached page for an aligned page base, or nil on a TLB
+// miss. Small enough to inline into every memory accessor.
+func (m *Memory) lookup(base uint64) *memPage {
+	e := &m.tlb[(base/PageSize)%tlbSize]
+	if e.page != nil && e.base == base {
+		return e.page
+	}
+	return nil
 }
 
 // Map adds a readable/writable region. Overlapping maps are allowed; lookup
@@ -81,15 +106,19 @@ func (m *Memory) RegionName(addr uint64) string {
 
 func (m *Memory) page(addr uint64, write bool) (*memPage, uint64, error) {
 	base := addr &^ (PageSize - 1)
-	if p, ok := m.pages[base]; ok {
+	if p := m.lookup(base); p != nil {
 		return p, addr - base, nil
 	}
-	if !m.Mapped(addr) {
-		return nil, 0, &SegFaultError{Addr: addr, Write: write}
+	p, ok := m.pages[base]
+	if !ok {
+		if !m.Mapped(addr) {
+			return nil, 0, &SegFaultError{Addr: addr, Write: write}
+		}
+		p = &memPage{frame: m.nextFrame}
+		m.nextFrame++
+		m.pages[base] = p
 	}
-	p := &memPage{frame: m.nextFrame}
-	m.nextFrame++
-	m.pages[base] = p
+	m.tlb[(base/PageSize)%tlbSize] = tlbEntry{base: base, page: p}
 	return p, addr - base, nil
 }
 
@@ -106,6 +135,10 @@ func (m *Memory) Translate(addr uint64) (uint64, error) {
 
 // Read8 loads one byte.
 func (m *Memory) Read8(addr uint64) (uint8, error) {
+	base := addr &^ (PageSize - 1)
+	if p := m.lookup(base); p != nil {
+		return p.data[addr-base], nil
+	}
 	p, off, err := m.page(addr, false)
 	if err != nil {
 		return 0, err
@@ -115,6 +148,11 @@ func (m *Memory) Read8(addr uint64) (uint8, error) {
 
 // Write8 stores one byte.
 func (m *Memory) Write8(addr uint64, v uint8) error {
+	base := addr &^ (PageSize - 1)
+	if p := m.lookup(base); p != nil {
+		p.data[addr-base] = v
+		return nil
+	}
 	p, off, err := m.page(addr, true)
 	if err != nil {
 		return err
@@ -125,6 +163,10 @@ func (m *Memory) Write8(addr uint64, v uint8) error {
 
 // Read64 loads a 64-bit little-endian word. No alignment is required.
 func (m *Memory) Read64(addr uint64) (uint64, error) {
+	base := addr &^ (PageSize - 1)
+	if p := m.lookup(base); p != nil && addr-base <= PageSize-8 {
+		return binary.LittleEndian.Uint64(p.data[addr-base : addr-base+8]), nil
+	}
 	p, off, err := m.page(addr, false)
 	if err != nil {
 		return 0, err
@@ -145,6 +187,11 @@ func (m *Memory) Read64(addr uint64) (uint64, error) {
 
 // Write64 stores a 64-bit little-endian word. No alignment is required.
 func (m *Memory) Write64(addr uint64, v uint64) error {
+	base := addr &^ (PageSize - 1)
+	if p := m.lookup(base); p != nil && addr-base <= PageSize-8 {
+		binary.LittleEndian.PutUint64(p.data[addr-base:addr-base+8], v)
+		return nil
+	}
 	p, off, err := m.page(addr, true)
 	if err != nil {
 		return err

@@ -16,6 +16,7 @@ func (m *Machine) flushObs() {
 	reg.Counter("vm_instructions_total").Add(c.Instructions)
 	reg.Counter("vm_tb_executed_total").Add(c.TBsExecuted)
 	reg.Counter("vm_tb_chained_total").Add(c.ChainedTBs)
+	reg.Counter("vm_fastpath_tbs_total").Add(c.FastPathTBs)
 	reg.Counter("vm_syscalls_total").Add(c.Syscalls)
 	reg.Counter("vm_tainted_mem_reads_total").Add(c.TaintedMemReads)
 	reg.Counter("vm_tainted_mem_writes_total").Add(c.TaintedMemWrites)
@@ -33,6 +34,7 @@ func (m *Machine) flushObs() {
 	reg.Counter("tcg_flushes_total").Add(ts.Flushes)
 	reg.Counter("tcg_helper_ops_total").Add(ts.HelperOps)
 	reg.Counter("tcg_opt_rewrites_total").Add(ts.OptRewrites)
+	reg.Counter("tcg_fused_ops_total").Add(ts.FusedOps)
 	reg.Counter("tcg_ops_emitted_total").Add(ts.OpsEmitted)
 	reg.Gauge("tcg_overlay_blocks_high_water").SetMax(float64(ts.OverlayBlocks))
 

@@ -1,13 +1,19 @@
 #!/bin/sh
-# bench.sh — run the shared-translation-cache ablation benchmark and emit a
-# machine-readable summary to BENCH_PR2.json (in the repo root, or $1).
+# bench.sh — run the repo's ablation benchmarks and emit machine-readable
+# summaries: the shared-translation-cache ablation to BENCH_PR2.json (or $1)
+# and the fast-path/fusion ablation to BENCH_PR5.json (or $2).
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [pr2-output.json] [pr5-output.json]
 #
-# The benchmark runs the same 100-run CLAMR campaign twice — once with the
-# shared base cache (default behaviour) and once with per-machine private
+# The PR2 benchmark runs the same 100-run CLAMR campaign twice — once with
+# the shared base cache (default behaviour) and once with per-machine private
 # translator caches (NoSharedCache, the pre-shared-cache behaviour) — and
 # reports translated blocks, emitted micro-ops and base-cache hits per mode.
+#
+# The PR5 benchmark runs a LUD decomposition under the taint-free fast loop
+# with micro-op fusion against the always-branching full loop without fusion
+# (the pre-dual-loop engine), plus a fusion-only ablation, and reports median
+# ns/op per arm and the resulting speedups.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -45,3 +51,50 @@ END {
 '
 
 echo "wrote $out"
+
+out5="${2:-BENCH_PR5.json}"
+
+raw5="$(go test -run '^$' -bench 'FastPathVsFull|Fusion' -benchtime=3s -count=3 .)"
+echo "$raw5"
+
+echo "$raw5" | awk -v out="$out5" '
+/^BenchmarkFastPathVsFull\// || /^BenchmarkFusion\// {
+    split($1, parts, "/")
+    mode = parts[2]
+    sub(/-[0-9]+$/, "", mode)  # strip the -GOMAXPROCS suffix
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") { n[mode]++; ns[mode "," n[mode]] = $i }
+        if ($(i+1) == "fused_ops") fused[mode] = $i
+    }
+}
+# median of the repeated -count runs, so one noisy run cannot skew the record
+function median(mode,    c, i, j, t, v) {
+    c = n[mode]
+    for (i = 1; i <= c; i++) v[i] = ns[mode "," i] + 0
+    for (i = 1; i <= c; i++)
+        for (j = i + 1; j <= c; j++)
+            if (v[j] < v[i]) { t = v[i]; v[i] = v[j]; v[j] = t }
+    return v[int((c + 1) / 2)]
+}
+END {
+    fast = median("fast+fusion"); full = median("full-nofusion")
+    fon = median("fusion-on"); foff = median("fusion-off")
+    if (!fast || !full || !fon || !foff) {
+        print "bench.sh: benchmark output missing fast-path/fusion results" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n" > out
+    printf "  \"benchmark\": \"BenchmarkFastPathVsFull + BenchmarkFusion\",\n" > out
+    printf "  \"workload\": \"LUD n=48 (~2M guest instrs/run), shared pre-warmed base cache, median of 3\",\n" > out
+    printf "  \"fast_ns_per_op\": %d,\n", fast > out
+    printf "  \"full_ns_per_op\": %d,\n", full > out
+    printf "  \"fastpath_speedup_x\": %.2f,\n", full / fast > out
+    printf "  \"fusion_on_ns_per_op\": %d,\n", fon > out
+    printf "  \"fusion_off_ns_per_op\": %d,\n", foff > out
+    printf "  \"fusion_speedup_x\": %.2f,\n", foff / fon > out
+    printf "  \"fused_ops\": %d\n", fused["fusion-on"] > out
+    printf "}\n" > out
+}
+'
+
+echo "wrote $out5"
