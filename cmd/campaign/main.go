@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -53,9 +55,10 @@ type options struct {
 	bits     int
 	csvDir   string
 
-	obs      *obs.Registry
-	tracer   *obs.Tracer
-	progress bool
+	obs         *obs.Registry
+	tracer      *obs.Tracer
+	progress    bool
+	observatory *campaign.Observatory
 
 	// Fields of the fault-tolerant "run" experiment.
 	app        string
@@ -79,6 +82,9 @@ func (o options) instrument(cfg campaign.Config) campaign.Config {
 				name, p.Done, p.Total, p.RunsPerSec,
 				p.Benign, p.SDC, p.Detected, p.Terminated, p.Elapsed.Round(100*time.Millisecond))
 		}
+	}
+	if o.observatory != nil {
+		cfg = o.observatory.Instrument(cfg)
 	}
 	return cfg
 }
@@ -133,6 +139,8 @@ func run(args []string, out io.Writer) error {
 	bits := fs.Int("bits", 1, "bits flipped per injection")
 	csvDir := fs.String("csv", "", "also write per-run outcome CSVs (fig6) into this directory")
 	metricsOut := fs.String("metrics-out", "", "write metrics on exit (.json suffix = JSON snapshot, otherwise Prometheus text)")
+	metricsAddr := fs.String("metrics-addr", "", "serve the live observatory dashboard (/metrics /progress /runs /events) on this address")
+	hold := fs.Duration("hold", 0, "keep serving the dashboard this long after the experiments finish (requires -metrics-addr)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file on exit (chrome://tracing / Perfetto)")
 	progress := fs.Bool("progress", false, "print live campaign progress to stderr")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
@@ -185,11 +193,26 @@ func run(args []string, out io.Writer) error {
 		app:      *appName, journal: *journal, resume: *resume,
 		runTimeout: *runTimeout, hubAddr: *hubAddr, hubPolicy: policy,
 	}
-	if *metricsOut != "" {
+	if *metricsOut != "" || *metricsAddr != "" {
 		o.obs = obs.NewRegistry()
 	}
 	if *traceOut != "" {
 		o.tracer = obs.NewTracer(0)
+	}
+	if *metricsAddr != "" {
+		o.observatory = campaign.NewObservatory(o.obs, obs.NewSink(0), 0)
+		lis, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("observatory listener: %w", err)
+		}
+		hsrv := &http.Server{Handler: o.observatory}
+		go func() {
+			if err := hsrv.Serve(lis); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "campaign: observatory server:", err)
+			}
+		}()
+		defer hsrv.Close()
+		fmt.Fprintf(os.Stderr, "campaign: observatory on http://%s/\n", lis.Addr())
 	}
 
 	exps := map[string]func(io.Writer, options) error{
@@ -226,6 +249,15 @@ func run(args []string, out io.Writer) error {
 	// campaign's metrics are exactly what a post-mortem wants.
 	if werr := writeTelemetry(o, *metricsOut, *traceOut); werr != nil && runErr == nil {
 		runErr = werr
+	}
+	if o.observatory != nil {
+		o.observatory.Finish()
+		if *hold > 0 {
+			// Keep the dashboard scrapeable after the last run: CI smoke
+			// tests and humans both want to inspect the final state.
+			fmt.Fprintf(os.Stderr, "campaign: holding the observatory for %s\n", *hold)
+			time.Sleep(*hold)
+		}
 	}
 	return runErr
 }

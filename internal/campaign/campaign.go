@@ -85,6 +85,17 @@ type Config struct {
 	// Obs, when non-nil, receives campaign telemetry and is threaded through
 	// every run's layers (vm, mpi, injector). Nil disables it.
 	Obs *obs.Registry
+	// Events, when non-nil, receives structured lifecycle events from every
+	// run's layers (injections, taint births, hub traffic, terminations) plus
+	// the campaign's own run_done markers. Nil disables them.
+	Events *obs.Sink
+	// RunObserver, when non-nil, is called from the worker goroutine after
+	// each freshly executed run is classified, with the run's task index, the
+	// injected rank, the classified outcome, and the full run result (nil
+	// when the simulator crashed on that run). Resumed (journaled) runs are
+	// not re-observed — their results no longer exist. The Observatory uses
+	// this hook to retain provenance graphs and build its heatmap.
+	RunObserver func(idx, rank int, out RunOutcome, res *core.RunResult)
 	// Tracer, when non-nil, records spans: campaign.golden, then one
 	// campaign.run span per injection run (thread id = worker).
 	Tracer *obs.Tracer
@@ -189,6 +200,7 @@ func prepare(cfg Config) (*baseline, error) {
 		NoFastPath:      cfg.NoFastPath,
 		Obs:             cfg.Obs,
 		Tracer:          cfg.Tracer,
+		Events:          cfg.Events,
 	})
 	gsp.End()
 	if err != nil {
@@ -356,7 +368,7 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 	// panics captured inside rank goroutines and re-raised by World.Run) is
 	// recovered here and isolated as OutcomeSimCrash: one lost data point,
 	// not a lost campaign.
-	runOne := func(tk task) (out RunOutcome, err error) {
+	runOne := func(tk task) (out RunOutcome, res *core.RunResult, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				msg := fmt.Sprintf("%v", r)
@@ -364,6 +376,7 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 					msg = msg[:i]
 				}
 				out = RunOutcome{Outcome: OutcomeSimCrash, RootRank: -1, PanicMsg: msg}
+				res = nil
 				err = nil
 				if cfg.Obs != nil {
 					cfg.Obs.Counter("campaign_runs_panic_total").Inc()
@@ -374,7 +387,7 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 		if cfg.Hub != nil {
 			hub = tainthub.WithNamespace(cfg.Hub, tk.idx)
 		}
-		res, err := core.Run(core.RunConfig{
+		res, err = core.Run(core.RunConfig{
 			Prog:            cfg.Prog,
 			WorldSize:       world,
 			BaseCache:       base.cache,
@@ -384,6 +397,7 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 			HubPolicy:       cfg.HubPolicy,
 			NoFastPath:      cfg.NoFastPath,
 			Obs:             cfg.Obs,
+			Events:          cfg.Events,
 			Spec: &core.Spec{
 				Target:     cfg.Prog.Name,
 				Ops:        cfg.Ops,
@@ -395,9 +409,9 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 			},
 		})
 		if err != nil {
-			return RunOutcome{}, err
+			return RunOutcome{}, nil, err
 		}
-		return Classify(res, golden.Outputs, tk.rank), nil
+		return Classify(res, golden.Outputs, tk.rank), res, nil
 	}
 
 	var wg sync.WaitGroup
@@ -411,7 +425,7 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 					cfg.Obs.Counter("campaign_runs_started_total").Inc()
 				}
 				rsp := cfg.Tracer.StartSpanTID("campaign.run", worker)
-				out, err := runOne(tk)
+				out, res, err := runOne(tk)
 				if err != nil {
 					rsp.SetArg("error", err.Error())
 					rsp.End()
@@ -420,6 +434,11 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 				}
 				outcomes[tk.idx] = out
 				live.record(out.Outcome)
+				cfg.Events.Emit("run_done", tk.idx, tk.rank,
+					uint64(out.Outcome), uint64(out.Term), out.Outcome.String())
+				if cfg.RunObserver != nil {
+					cfg.RunObserver(tk.idx, tk.rank, out, res)
+				}
 				if cfg.Obs != nil && out.Term == TermTimeout {
 					cfg.Obs.Counter("campaign_runs_timeout_total").Inc()
 				}

@@ -1,0 +1,277 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"chaser/internal/apps"
+	"chaser/internal/core"
+	"chaser/internal/obs"
+	"chaser/internal/trace"
+)
+
+// TestObservatoryCampaign drives a real traced campaign through an
+// instrumented Observatory and exercises every dashboard endpoint.
+func TestObservatoryCampaign(t *testing.T) {
+	app, err := apps.ByName("matvec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewObservatory(obs.NewRegistry(), obs.NewSink(8192), 16)
+	cfg := o.Instrument(Config{
+		Name: app.Name, Prog: app.Prog, WorldSize: app.WorldSize,
+		Ops: app.DefaultOps, TargetRank: app.TargetRank,
+		Runs: 12, Bits: 1, Seed: 42, Trace: true, Parallel: 4,
+		ProgressInterval: time.Millisecond,
+	})
+	sum, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Finish()
+
+	snap := o.Snapshot()
+	if snap.Name != app.Name || !snap.Finished {
+		t.Errorf("snapshot name/finished = %q/%v", snap.Name, snap.Finished)
+	}
+	if snap.Done != 12 || snap.Remaining != 0 {
+		t.Errorf("done/remaining = %d/%d, want 12/0", snap.Done, snap.Remaining)
+	}
+	outcomeSum := 0
+	for _, n := range snap.Outcomes {
+		outcomeSum += n
+	}
+	if outcomeSum+snap.SimCrashes != sum.Runs {
+		t.Errorf("taxonomy sums to %d (+%d crashes), want %d", outcomeSum, snap.SimCrashes, sum.Runs)
+	}
+	if len(snap.Heatmap) == 0 {
+		t.Error("no heatmap entries after an injected campaign")
+	}
+	heatRuns := 0
+	for _, h := range snap.Heatmap {
+		if h.App != app.Name || h.Op == "" {
+			t.Errorf("heatmap entry missing identity: %+v", h)
+		}
+		heatRuns += h.Runs
+	}
+	if heatRuns != 12 {
+		t.Errorf("heatmap covers %d runs, want 12", heatRuns)
+	}
+	if snap.RetainedRuns == 0 {
+		t.Error("no provenance graphs retained from a traced campaign")
+	}
+	if snap.EventsEmitted == 0 {
+		t.Error("no events emitted")
+	}
+
+	srv := httptest.NewServer(o)
+	defer srv.Close()
+
+	getJSON := func(path string, v any) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", path, err)
+		}
+	}
+
+	var progress Snapshot
+	getJSON("/progress", &progress)
+	if progress.Done != 12 {
+		t.Errorf("/progress done = %d, want 12", progress.Done)
+	}
+
+	var runs struct {
+		Runs []struct {
+			ID      int    `json:"id"`
+			Outcome string `json:"outcome"`
+			Nodes   int    `json:"nodes"`
+		} `json:"runs"`
+	}
+	getJSON("/runs", &runs)
+	if len(runs.Runs) == 0 {
+		t.Fatal("/runs empty")
+	}
+	id := runs.Runs[0].ID
+
+	resp, err := http.Get(srv.URL + "/runs/" + itoa(id) + "/provenance.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := trace.ReadGraph(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("provenance.json unreadable: %v", err)
+	}
+	if len(g.Nodes) != runs.Runs[0].Nodes {
+		t.Errorf("served graph has %d nodes, listing says %d", len(g.Nodes), runs.Runs[0].Nodes)
+	}
+
+	resp, err = http.Get(srv.URL + "/runs/" + itoa(id) + "/provenance.dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := readAll(t, resp)
+	if !strings.Contains(dot, "digraph") {
+		t.Errorf("provenance.dot is not DOT: %.80s", dot)
+	}
+
+	resp, err = http.Get(srv.URL + "/runs/9999/provenance.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown run id: got %s, want 404", resp.Status)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := readAll(t, resp)
+	if !strings.Contains(metrics, "campaign_runs_completed_total") {
+		t.Error("/metrics missing campaign counters")
+	}
+
+	var events struct {
+		Events []obs.Event `json:"events"`
+		Next   uint64      `json:"next"`
+	}
+	getJSON("/events", &events)
+	if len(events.Events) == 0 || events.Next == 0 {
+		t.Errorf("/events returned %d events, next=%d", len(events.Events), events.Next)
+	}
+	sawRunDone := false
+	for _, ev := range events.Events {
+		if ev.Type == "run_done" {
+			sawRunDone = true
+		}
+	}
+	if !sawRunDone {
+		t.Error("/events has no run_done marker")
+	}
+
+	resp, err = http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	index := readAll(t, resp)
+	if !strings.Contains(index, "/progress") {
+		t.Error("index page missing endpoint links")
+	}
+}
+
+// TestObservatorySSE checks the /events server-sent-events stream delivers
+// buffered events.
+func TestObservatorySSE(t *testing.T) {
+	sink := obs.NewSink(64)
+	sink.Emit("inject", 0, 1, 0x400, 0, "fadd reg f2")
+	o := NewObservatory(nil, sink, 0)
+	srv := httptest.NewServer(o)
+	defer srv.Close()
+
+	req, err := http.NewRequest("GET", srv.URL+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var data string
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+			data = rest
+			break
+		}
+	}
+	var ev obs.Event
+	if err := json.Unmarshal([]byte(data), &ev); err != nil {
+		t.Fatalf("SSE payload not an event: %v (%q)", err, data)
+	}
+	if ev.Type != "inject" || ev.Rank != 1 {
+		t.Errorf("streamed event = %+v", ev)
+	}
+}
+
+// TestObservatoryRetention pins the eviction policy: routine runs are evicted
+// before interesting ones (SDC/propagated), and a routine run arriving at a
+// store full of interesting graphs is not retained at all.
+func TestObservatoryRetention(t *testing.T) {
+	o := NewObservatory(nil, nil, 2)
+	res := func() *core.RunResult {
+		return &core.RunResult{
+			Trace:   trace.NewCollector(),
+			Records: []core.InjectionRecord{{Rank: 0, PC: 0x100, GuestOpS: "fadd", Target: "reg f1"}},
+		}
+	}
+	benign := RunOutcome{Outcome: OutcomeBenign, Records: res().Records}
+	sdc := RunOutcome{Outcome: OutcomeSDC, Records: res().Records}
+
+	o.ObserveRun("t", 0, 0, benign, res())
+	o.ObserveRun("t", 1, 0, benign, res())
+	o.ObserveRun("t", 2, 0, sdc, res()) // evicts the oldest routine run (id 0)
+	o.mu.Lock()
+	_, has0 := o.runs[0]
+	_, has1 := o.runs[1]
+	_, has2 := o.runs[2]
+	o.mu.Unlock()
+	if has0 || !has1 || !has2 {
+		t.Errorf("after first eviction: has0=%v has1=%v has2=%v, want routine id 0 gone", has0, has1, has2)
+	}
+
+	o.ObserveRun("t", 3, 0, sdc, res()) // evicts the remaining routine run (id 1)
+	o.ObserveRun("t", 4, 0, benign, res())
+	o.mu.Lock()
+	n := len(o.runs)
+	_, has4 := o.runs[4]
+	o.mu.Unlock()
+	if n != 2 || has4 {
+		t.Errorf("routine run retained over interesting ones: len=%d has4=%v", n, has4)
+	}
+
+	// A sim crash (nil result) and an untraced run must not panic or retain.
+	o.ObserveRun("t", 5, 0, RunOutcome{Outcome: OutcomeSimCrash}, nil)
+	o.ObserveRun("t", 6, 0, benign, &core.RunResult{})
+	snap := o.Snapshot()
+	if snap.SimCrashes != 1 {
+		t.Errorf("sim crashes = %d, want 1", snap.SimCrashes)
+	}
+	if snap.RetainedRuns != 2 {
+		t.Errorf("retained = %d, want 2", snap.RetainedRuns)
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

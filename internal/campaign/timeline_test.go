@@ -1,0 +1,120 @@
+package campaign
+
+import (
+	"testing"
+
+	"chaser/internal/apps"
+	"chaser/internal/vm"
+)
+
+// TestTimelineDefaultSampleInterval pins the SampleInterval=0 contract: zero
+// selects the vm's default (the paper's 100K instructions), so an explicit
+// default-interval run must produce the identical curve.
+func TestTimelineDefaultSampleInterval(t *testing.T) {
+	app, err := apps.ByName("clamr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := TimelineConfig{
+		Prog: app.Prog, WorldSize: 1, Ops: app.DefaultOps,
+		N: 200, Bits: 1, Seed: 6,
+	}
+	implicit := base // SampleInterval left zero
+	explicit := base
+	explicit.SampleInterval = vm.DefaultSampleInterval
+
+	implPoints, implRes, err := Timeline(implicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explPoints, _, err := Timeline(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !implRes.Injected() {
+		t.Fatal("no injection")
+	}
+	if len(implPoints) != len(explPoints) {
+		t.Fatalf("default-interval curve has %d points, explicit 100K has %d",
+			len(implPoints), len(explPoints))
+	}
+	for i := range implPoints {
+		if implPoints[i] != explPoints[i] {
+			t.Errorf("point %d differs: %+v vs %+v", i, implPoints[i], explPoints[i])
+		}
+	}
+	// Every sample must land on the default-interval grid.
+	for _, p := range implPoints {
+		if p.Instrs%vm.DefaultSampleInterval != 0 {
+			t.Errorf("sample at %d instrs is off the %d-instruction grid",
+				p.Instrs, uint64(vm.DefaultSampleInterval))
+		}
+	}
+}
+
+// TestTimelineInjectionBeyondEnd runs a timeline whose trigger count exceeds
+// the program's total executions of the targeted ops: the fault never fires,
+// the run completes cleanly, and the curve stays empty (no taint to sample).
+func TestTimelineInjectionBeyondEnd(t *testing.T) {
+	app, err := apps.ByName("clamr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, res, err := Timeline(TimelineConfig{
+		Prog: app.Prog, WorldSize: 1, Ops: app.DefaultOps,
+		N: 1 << 60, Bits: 1, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected() {
+		t.Fatalf("injection fired at execution %d of an op executed far fewer times", uint64(1)<<60)
+	}
+	for r, term := range res.Terms {
+		if term.Abnormal() {
+			t.Errorf("rank %d terminated abnormally without an injection: %s", r, term)
+		}
+	}
+	// The sampler still fires on its grid (tracing is armed), but with no
+	// fault there is never a tainted byte to report.
+	for _, p := range points {
+		if p.TaintedBytes != 0 {
+			t.Errorf("uninjected run reports %d tainted bytes at %d instrs",
+				p.TaintedBytes, p.Instrs)
+		}
+	}
+	if out := Classify(res, res.Outputs, 0); out.Outcome != OutcomeNoInjection {
+		t.Errorf("classified %s, want no-injection", out.Outcome)
+	}
+}
+
+// TestTimelineTargetRankOutOfWorld points the injector at a rank that does
+// not exist: no machine is armed, so the run is effectively golden — it must
+// complete normally with no injection rather than error or crash.
+func TestTimelineTargetRankOutOfWorld(t *testing.T) {
+	app, err := apps.ByName("clamr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, res, err := Timeline(TimelineConfig{
+		Prog: app.Prog, WorldSize: 1, Ops: app.DefaultOps,
+		N: 200, Bits: 1, Seed: 6, TargetRank: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected() {
+		t.Fatalf("injected on rank %d with a world of 1", res.Records[0].Rank)
+	}
+	for r, term := range res.Terms {
+		if term.Abnormal() {
+			t.Errorf("rank %d terminated abnormally: %s", r, term)
+		}
+	}
+	for _, p := range points {
+		if p.TaintedBytes != 0 {
+			t.Errorf("unarmed world reports %d tainted bytes at %d instrs",
+				p.TaintedBytes, p.Instrs)
+		}
+	}
+}

@@ -112,6 +112,7 @@ type Chaser struct {
 	hubErr  error // first hub failure observed by the MPI hooks
 
 	collector *trace.Collector
+	events    *obs.Sink
 
 	// Injection telemetry (nil without a registry; all uses are nil-safe).
 	obsArmed    *obs.Counter
@@ -150,6 +151,9 @@ type Options struct {
 	// Obs, when non-nil, receives injection telemetry (injectors armed,
 	// faults fired, bits flipped).
 	Obs *obs.Registry
+	// Events, when non-nil, receives structured propagation events (faults
+	// fired, taint births, hub publishes/polls). Nil disables them.
+	Events *obs.Sink
 }
 
 // New creates an unarmed Chaser.
@@ -158,6 +162,9 @@ func New(opts Options) *Chaser {
 	if hub == nil {
 		hub = tainthub.NewLocal()
 	}
+	// The wrapper turns every logical Publish/Poll into a structured event;
+	// with a nil sink WithEvents returns the hub unchanged.
+	hub = tainthub.WithEvents(hub, opts.Events)
 	maxEv := opts.MaxTraceEvents
 	if maxEv == 0 {
 		maxEv = trace.DefaultMaxEvents
@@ -166,6 +173,7 @@ func New(opts Options) *Chaser {
 		hub:         hub,
 		hubClient:   tainthub.NewClientID(),
 		collector:   trace.NewCollectorCap(maxEv),
+		events:      opts.Events,
 		obsArmed:    opts.Obs.Counter("core_injectors_armed_total"),
 		obsFired:    opts.Obs.Counter("core_faults_fired_total"),
 		obsBits:     opts.Obs.Counter("core_bits_flipped_total"),
@@ -334,6 +342,11 @@ func (c *Chaser) creationCB(info decaf.ProcInfo) {
 				Rank: rank, Instrs: instrs, TaintedBytes: taintedBytes,
 			})
 		}
+		if c.events != nil {
+			m.Shadow.OnFirstTaint(func() {
+				c.events.Emit("taint_seed", -1, rank, m.PC(), 0, "")
+			})
+		}
 	}
 	st := &armState{
 		ch:      c,
@@ -401,6 +414,8 @@ func (st *armState) faultInjector(m *vm.Machine, op *tcg.Op) {
 	st.ch.mu.Lock()
 	st.ch.records = append(st.ch.records, rec)
 	st.ch.mu.Unlock()
+	st.ch.events.Emit("inject", -1, rec.Rank, rec.PC, rec.Mask,
+		rec.GuestOpS+" "+rec.Target)
 	st.ch.obsFired.Inc()
 	st.ch.obsBits.Add(uint64(bits.OnesCount64(rec.Mask)))
 	st.injected++

@@ -93,6 +93,19 @@ func (c *Chaser) preSyscall(info decaf.ProcInfo, m *vm.Machine, sys isa.Sys) {
 		c.hubFailure("publish", err)
 		return
 	}
+	tainted := 0
+	for _, mk := range masks {
+		if mk != 0 {
+			tainted++
+		}
+	}
+	// The publish side of the provenance graph's cross-rank edge: the
+	// matching Poll's CrossRankRecord shares (Src, Dst, Tag, Seq).
+	c.collector.AddSend(trace.SendRecord{
+		Src: m.Rank, Dst: dest, Tag: tag, Seq: seq,
+		Buf: buf, Len: int(n), TaintedBytes: tainted,
+		EIP: m.PC(), InstrNum: m.Counters().Instructions,
+	})
 }
 
 func (c *Chaser) postSyscall(info decaf.ProcInfo, m *vm.Machine, sys isa.Sys) {
@@ -112,8 +125,13 @@ func (c *Chaser) postSyscall(info decaf.ProcInfo, m *vm.Machine, sys isa.Sys) {
 				Dst:  int(int64(m.GPR(isa.R4))),
 				Tag:  int(int64(m.GPR(isa.R5))),
 				Meta: true,
+				EIP:  m.PC(), InstrNum: m.Counters().Instructions,
 			})
 		}
+		return
+	}
+	if sys == isa.SysOutInt || sys == isa.SysOutFloat || sys == isa.SysOutBytes {
+		c.outputTaint(m, sys)
 		return
 	}
 	if sys != isa.SysMPIRecv {
@@ -148,5 +166,61 @@ func (c *Chaser) postSyscall(info decaf.ProcInfo, m *vm.Machine, sys isa.Sys) {
 	}
 	c.collector.AddCrossRank(trace.CrossRankRecord{
 		Src: source, Dst: m.Rank, Tag: tag, Seq: seq, TaintedBytes: tainted,
+		EIP: m.PC(), InstrNum: m.Counters().Instructions,
+		Buf: buf, Len: len(masks),
 	})
+}
+
+// outputTaint records tainted bytes flowing into the guest's output file —
+// the sink nodes of the provenance graph, where a propagated fault becomes
+// observable corruption. Called after the output syscall appended its bytes,
+// so the file offset is the current length minus the written count.
+func (c *Chaser) outputTaint(m *vm.Machine, sys isa.Sys) {
+	if !m.Shadow.Live() {
+		return
+	}
+	var masks []uint8
+	var buf uint64
+	n := 8
+	switch sys {
+	case isa.SysOutInt:
+		regMask := m.Shadow.RegMask(tcg.GPR(isa.R1))
+		if regMask == 0 {
+			return
+		}
+		masks = make([]uint8, 8)
+		for i := range masks {
+			masks[i] = uint8(regMask >> (8 * i))
+		}
+	case isa.SysOutFloat:
+		regMask := m.Shadow.RegMask(tcg.FPR(isa.F1))
+		if regMask == 0 {
+			return
+		}
+		masks = make([]uint8, 8)
+		for i := range masks {
+			masks[i] = uint8(regMask >> (8 * i))
+		}
+	case isa.SysOutBytes:
+		addr := m.GPR(isa.R1)
+		cnt := m.GPR(isa.R2)
+		if cnt == 0 || cnt > maxHookedMessageBytes || !m.Shadow.MemRangeTainted(addr, cnt) {
+			return
+		}
+		masks = m.Shadow.MemRangeMasks(addr, cnt)
+		buf = addr
+		n = int(cnt)
+	}
+	offset := m.OutputLen() - n
+	if offset < 0 {
+		// The append was rejected (output file at its cap); there is no file
+		// range to attribute the taint to.
+		return
+	}
+	rec := trace.OutputRecord{
+		Rank: m.Rank, Offset: offset, Len: n, Buf: buf, Masks: masks,
+		EIP: m.PC(), InstrNum: m.Counters().Instructions,
+	}
+	c.collector.AddOutput(rec)
+	c.events.Emit("output_tainted", -1, m.Rank, uint64(offset), uint64(rec.TaintedBytes()), "")
 }

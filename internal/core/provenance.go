@@ -1,0 +1,40 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+
+	"chaser/internal/trace"
+)
+
+// Sites converts injection records into the neutral provenance roots the
+// trace package consumes (trace cannot import core). Memory-target records
+// ("mem 0x...") carry the corrupted address so the graph builder can seed its
+// byte-writer map.
+func Sites(records []InjectionRecord) []trace.InjectionSite {
+	out := make([]trace.InjectionSite, len(records))
+	for i, r := range records {
+		s := trace.InjectionSite{
+			Rank:      r.Rank,
+			PC:        r.PC,
+			InstrNum:  r.InstrNum,
+			ExecCount: r.ExecCount,
+			Op:        r.GuestOpS,
+			Mask:      r.Mask,
+			Target:    r.Target,
+		}
+		if rest, ok := strings.CutPrefix(r.Target, "mem "); ok {
+			if addr, err := strconv.ParseUint(rest, 0, 64); err == nil {
+				s.MemAddr = addr
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Provenance builds the run's fault-propagation DAG from its propagation log
+// and injection records. The graph is empty when the run traced nothing.
+func (r *RunResult) Provenance() *trace.Graph {
+	return trace.BuildGraph(r.Trace, Sites(r.Records))
+}

@@ -52,6 +52,10 @@ type RunConfig struct {
 	Obs *obs.Registry
 	// Tracer, when non-nil, records spans for the run and its ranks.
 	Tracer *obs.Tracer
+	// Events, when non-nil, receives structured run-lifecycle and
+	// propagation events from every layer (vm terminations, taint births,
+	// injections, hub traffic, world aborts). Nil disables them.
+	Events *obs.Sink
 }
 
 // RunResult is everything observable from one supervised execution.
@@ -102,7 +106,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	sp := cfg.Tracer.StartSpan("core.run")
 	defer sp.End()
 	platform := decaf.NewPlatform()
-	ch := New(Options{Hub: cfg.Hub, Obs: cfg.Obs})
+	ch := New(Options{Hub: cfg.Hub, Obs: cfg.Obs, Events: cfg.Events})
 	if err := platform.LoadPlugin(ch); err != nil {
 		return nil, err
 	}
@@ -121,6 +125,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 				BaseCache:       cfg.BaseCache,
 				Obs:             cfg.Obs,
 				NoFastPath:      cfg.NoFastPath,
+				Events:          cfg.Events,
 			}
 		},
 		Setup: func(rank int, m *vm.Machine) {
@@ -131,6 +136,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		},
 		Obs:    cfg.Obs,
 		Tracer: cfg.Tracer,
+		Events: cfg.Events,
 	})
 	if err != nil {
 		return nil, err

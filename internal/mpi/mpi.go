@@ -60,6 +60,7 @@ type World struct {
 
 	obs    *worldObs
 	tracer *obs.Tracer
+	events *obs.Sink
 }
 
 type rankState struct {
@@ -89,6 +90,9 @@ type Config struct {
 	// Tracer, when non-nil, records one span per rank execution (thread id =
 	// rank, so traces render as per-rank swimlanes).
 	Tracer *obs.Tracer
+	// Events, when non-nil, receives world-lifecycle events (aborts,
+	// deadlocks, interrupts). Nil disables them.
+	Events *obs.Sink
 }
 
 // NewWorld creates a world of cfg.Size ranks all running prog.
@@ -101,6 +105,7 @@ func NewWorld(prog *isa.Program, cfg Config) (*World, error) {
 		barrier: newBarrier(cfg.Size),
 		obs:     newWorldObs(cfg.Obs),
 		tracer:  cfg.Tracer,
+		events:  cfg.Events,
 	}
 	for r := 0; r < cfg.Size; r++ {
 		var mc vm.Config
@@ -199,6 +204,7 @@ func (w *World) Interrupt(t vm.Termination) {
 			w.obs.aborts.Inc()
 		}
 		w.tracer.Instant("mpi.interrupt", 0)
+		w.events.Emit("world_interrupt", -1, -1, uint64(t.Reason), 0, t.Msg)
 		for _, rs := range w.ranks {
 			rs.m.Abort(t)
 			close(rs.abortCh)
@@ -215,6 +221,7 @@ func (w *World) abortPeers(from int, cause vm.Termination) {
 			w.obs.aborts.Inc()
 		}
 		w.tracer.Instant("mpi.abort_peers", from)
+		w.events.Emit("world_abort", -1, from, uint64(cause.Reason), 0, cause.Msg)
 		for _, rs := range w.ranks {
 			if rs.id == from {
 				continue
@@ -236,6 +243,7 @@ func (w *World) abortAll(msg string) {
 		if w.obs != nil {
 			w.obs.aborts.Inc()
 		}
+		w.events.Emit("world_deadlock", -1, -1, 0, 0, msg)
 		for _, rs := range w.ranks {
 			rs.m.Abort(vm.Termination{Reason: vm.ReasonMPIError, Msg: msg})
 			close(rs.abortCh)

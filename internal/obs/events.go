@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one structured run-lifecycle or propagation event flowing through
+// a Sink. The payload is a fixed set of scalar fields rather than a map so
+// that emitting an event never allocates: producers fill only the fields
+// their event type defines and leave the rest zero.
+type Event struct {
+	// Seq is the sink-assigned, strictly increasing sequence number.
+	Seq uint64 `json:"seq"`
+	// UnixNano is the emission timestamp.
+	UnixNano int64 `json:"ts"`
+	// Type names the event ("run_started", "inject", "hub_publish", ...).
+	// See docs/OBSERVABILITY.md for the event catalog.
+	Type string `json:"type"`
+	// Run is the campaign run index the event belongs to (-1 outside runs).
+	Run int `json:"run"`
+	// Rank is the MPI rank (-1 when not rank-scoped).
+	Rank int `json:"rank"`
+	// A and B are type-specific scalars (a PC and an instruction count, an
+	// outcome code, a byte count — whatever the type defines).
+	A uint64 `json:"a,omitempty"`
+	B uint64 `json:"b,omitempty"`
+	// Msg is an optional human-readable detail.
+	Msg string `json:"msg,omitempty"`
+}
+
+// DefaultSinkCapacity bounds the in-memory event ring.
+const DefaultSinkCapacity = 8192
+
+// Sink is a bounded ring buffer of structured events, the streaming
+// counterpart of the metrics Registry. Producers Emit; consumers page
+// through with Since or block with WaitSince (the dashboard's /events feed).
+//
+// The contract mirrors the rest of the package: a nil *Sink is the disabled
+// configuration, every method no-ops on it, and the disabled Emit path is a
+// single nil check — no lock, no allocation (guarded by
+// TestEventSinkDisabledNoAlloc). An enabled Emit takes one short mutex
+// critical section and allocates nothing either: the ring storage is
+// preallocated and old events are overwritten in place, with overwrites
+// counted as drops.
+type Sink struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // sequence number of the next event to be emitted
+	// dropped counts events overwritten before any consumer could have seen
+	// them relative to the ring head. Atomic so Dropped never takes the lock.
+	dropped atomic.Uint64
+	// wake is closed and replaced on every Emit; WaitSince blocks on it.
+	wake chan struct{}
+}
+
+// NewSink creates a sink holding at most capacity events (<=0 selects
+// DefaultSinkCapacity).
+func NewSink(capacity int) *Sink {
+	if capacity <= 0 {
+		capacity = DefaultSinkCapacity
+	}
+	return &Sink{
+		buf:  make([]Event, capacity),
+		wake: make(chan struct{}),
+	}
+}
+
+// Emit appends one event, stamping its sequence number and timestamp. When
+// the ring is full the oldest event is overwritten and counted as dropped.
+// Safe for concurrent use; a no-op on a nil sink.
+func (s *Sink) Emit(typ string, run, rank int, a, b uint64, msg string) {
+	if s == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	seq := s.next
+	s.next++
+	if seq >= uint64(len(s.buf)) {
+		s.dropped.Add(1)
+	}
+	s.buf[seq%uint64(len(s.buf))] = Event{
+		Seq: seq, UnixNano: now, Type: typ, Run: run, Rank: rank, A: a, B: b, Msg: msg,
+	}
+	wake := s.wake
+	s.wake = make(chan struct{})
+	s.mu.Unlock()
+	close(wake)
+}
+
+// Len returns how many events have ever been emitted (0 on a nil sink).
+func (s *Sink) Len() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}
+
+// Dropped returns how many events were overwritten before consumption.
+func (s *Sink) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}
+
+// Since returns up to max events with Seq >= seq, plus the sequence number to
+// pass on the next call. Events older than the ring's reach are skipped (the
+// gap shows as non-contiguous Seq values). A nil sink returns nothing.
+func (s *Sink) Since(seq uint64, max int) ([]Event, uint64) {
+	if s == nil {
+		return nil, seq
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if max <= 0 {
+		max = len(s.buf)
+	}
+	oldest := uint64(0)
+	if s.next > uint64(len(s.buf)) {
+		oldest = s.next - uint64(len(s.buf))
+	}
+	if seq < oldest {
+		seq = oldest
+	}
+	var out []Event
+	for ; seq < s.next && len(out) < max; seq++ {
+		out = append(out, s.buf[seq%uint64(len(s.buf))])
+	}
+	return out, seq
+}
+
+// WaitSince blocks until at least one event with Seq >= seq exists (returning
+// immediately when one already does) or the timeout elapses, then behaves
+// like Since. It is the long-poll primitive behind the dashboard's /events
+// feed. A nil sink sleeps for the timeout and returns nothing, so a disabled
+// feed degrades to an idle poller rather than a busy loop.
+func (s *Sink) WaitSince(seq uint64, max int, timeout time.Duration) ([]Event, uint64) {
+	if s == nil {
+		time.Sleep(timeout)
+		return nil, seq
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		ready := s.next > seq
+		wake := s.wake
+		s.mu.Unlock()
+		if ready {
+			return s.Since(seq, max)
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, seq
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-wake:
+			t.Stop()
+		case <-t.C:
+			return nil, seq
+		}
+	}
+}

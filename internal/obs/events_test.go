@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSinkEmitSince(t *testing.T) {
+	s := NewSink(8)
+	for i := 0; i < 5; i++ {
+		s.Emit("run_started", i, -1, uint64(i), 0, "")
+	}
+	evs, next := s.Since(0, 0)
+	if len(evs) != 5 || next != 5 {
+		t.Fatalf("Since(0) = %d events next=%d, want 5/5", len(evs), next)
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) || ev.Run != i || ev.Type != "run_started" {
+			t.Errorf("event %d = %+v", i, ev)
+		}
+		if ev.UnixNano == 0 {
+			t.Errorf("event %d missing timestamp", i)
+		}
+	}
+	// Paging: resume from the returned cursor.
+	s.Emit("run_done", 5, -1, 0, 0, "")
+	evs, next = s.Since(next, 0)
+	if len(evs) != 1 || evs[0].Type != "run_done" || next != 6 {
+		t.Fatalf("paged Since = %v next=%d", evs, next)
+	}
+}
+
+func TestSinkOverwriteCountsDropped(t *testing.T) {
+	s := NewSink(4)
+	for i := 0; i < 10; i++ {
+		s.Emit("e", i, -1, 0, 0, "")
+	}
+	if got := s.Dropped(); got != 6 {
+		t.Errorf("Dropped = %d, want 6", got)
+	}
+	// Only the newest 4 remain; a stale cursor snaps forward to the oldest
+	// retained event.
+	evs, next := s.Since(0, 0)
+	if len(evs) != 4 || evs[0].Seq != 6 || next != 10 {
+		t.Fatalf("Since after wrap: %d events, first seq %d, next %d", len(evs), evs[0].Seq, next)
+	}
+	if s.Len() != 10 {
+		t.Errorf("Len = %d, want 10", s.Len())
+	}
+}
+
+func TestSinkSinceMax(t *testing.T) {
+	s := NewSink(16)
+	for i := 0; i < 10; i++ {
+		s.Emit("e", i, -1, 0, 0, "")
+	}
+	evs, next := s.Since(0, 3)
+	if len(evs) != 3 || next != 3 {
+		t.Fatalf("Since max=3: %d events next=%d", len(evs), next)
+	}
+}
+
+func TestSinkWaitSince(t *testing.T) {
+	s := NewSink(8)
+	// Already-available events return immediately.
+	s.Emit("e", 0, -1, 0, 0, "")
+	start := time.Now()
+	evs, _ := s.WaitSince(0, 0, time.Second)
+	if len(evs) != 1 || time.Since(start) > 500*time.Millisecond {
+		t.Fatalf("WaitSince with ready event blocked (%v, %d events)", time.Since(start), len(evs))
+	}
+	// A waiter parked on a future sequence is woken by Emit.
+	done := make(chan int, 1)
+	go func() {
+		evs, _ := s.WaitSince(1, 0, 5*time.Second)
+		done <- len(evs)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Emit("late", 1, -1, 0, 0, "")
+	select {
+	case n := <-done:
+		if n != 1 {
+			t.Fatalf("woken waiter got %d events, want 1", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitSince never woke")
+	}
+	// Timeout path returns empty without events.
+	evs, next := s.WaitSince(99, 0, 20*time.Millisecond)
+	if len(evs) != 0 || next != 99 {
+		t.Fatalf("timed-out WaitSince = %v next=%d", evs, next)
+	}
+}
+
+func TestSinkConcurrentEmit(t *testing.T) {
+	s := NewSink(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Emit("e", w, i, 0, 0, "")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Errorf("Len = %d, want 800", s.Len())
+	}
+	evs, _ := s.Since(0, 0)
+	if len(evs) != 64 {
+		t.Errorf("retained %d events, want ring capacity 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-contiguous retained seqs: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+// TestEventSinkDisabledNoAlloc pins the "disabled is free" contract for the
+// event sink, like TestDisabledPathAllocFree does for metrics: every
+// operation on a nil *Sink must be a nil check, nothing more.
+func TestEventSinkDisabledNoAlloc(t *testing.T) {
+	var s *Sink
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Emit("e", 1, 2, 3, 4, "msg")
+		_ = s.Dropped()
+		_ = s.Len()
+		_, _ = s.Since(0, 10)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled sink allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestSinkEnabledEmitNoAlloc guards the enabled hot path: the ring storage is
+// preallocated, so emitting into a warm sink must not allocate either (the
+// transient wake channel is the one permitted allocation).
+func TestSinkEnabledEmitNoAlloc(t *testing.T) {
+	s := NewSink(32)
+	s.Emit("warm", 0, 0, 0, 0, "")
+	allocs := testing.AllocsPerRun(500, func() {
+		s.Emit("e", 1, 2, 3, 4, "msg")
+	})
+	// One small allocation per Emit (the replacement wake channel) is the
+	// accepted cost of the long-poll wakeup; anything beyond that is a ring
+	// regression.
+	if allocs > 1 {
+		t.Errorf("enabled Emit allocates %.1f per event, want <= 1", allocs)
+	}
+}

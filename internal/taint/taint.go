@@ -41,6 +41,11 @@ type Shadow struct {
 	// mask is non-zero; highWater is its per-run peak (telemetry).
 	taintedBytes int64
 	highWater    int64
+	// onFirstTaint fires once per clean→live transition (the taint birth the
+	// provenance layer dates a fault's life from). The check lives inside the
+	// transition branches of SetRegMask/SetMemMask8, so the propagation hot
+	// paths pay nothing for it while taint is already live.
+	onFirstTaint func()
 }
 
 // NewShadow creates an empty taint state.
@@ -57,6 +62,11 @@ func (s *Shadow) Reset() {
 	s.highWater = 0
 }
 
+// OnFirstTaint installs a callback invoked whenever the shadow transitions
+// from completely clean to live (including again after a Reset or a full
+// decay back to clean). A nil callback disables the notification.
+func (s *Shadow) OnFirstTaint(fn func()) { s.onFirstTaint = fn }
+
 // RegMask returns the shadow mask of a micro-register.
 func (s *Shadow) RegMask(r tcg.MReg) uint64 { return s.regs[r] }
 
@@ -65,6 +75,9 @@ func (s *Shadow) SetRegMask(r tcg.MReg, mask uint64) {
 	switch prev := s.regs[r]; {
 	case prev == 0 && mask != 0:
 		s.liveRegs++
+		if s.liveRegs == 1 && s.taintedBytes == 0 && s.onFirstTaint != nil {
+			s.onFirstTaint()
+		}
 	case prev != 0 && mask == 0:
 		s.liveRegs--
 	}
@@ -144,6 +157,9 @@ func (s *Shadow) SetMemMask8(addr uint64, mask uint8) {
 	if p.masks[off] == 0 {
 		p.count++
 		s.taintedBytes++
+		if s.taintedBytes == 1 && s.liveRegs == 0 && s.onFirstTaint != nil {
+			s.onFirstTaint()
+		}
 		if s.taintedBytes > s.highWater {
 			s.highWater = s.taintedBytes
 		}

@@ -50,6 +50,8 @@ type Collector struct {
 	writes    map[int]uint64
 	regions   map[string]*RegionCounts
 	crossRank []CrossRankRecord
+	sends     []SendRecord
+	outputs   []OutputRecord
 }
 
 // RegionCounts tallies tainted accesses per memory region.
@@ -63,11 +65,60 @@ type RegionCounts struct {
 // tag) was computed from tainted values even though the payload bytes were
 // clean — the corruption still crosses the process boundary through the
 // message's effect on the receiver.
+//
+// EIP/InstrNum/Buf/Len locate the receive in the destination rank's
+// execution (the poll side of the TaintHub pair); they key the receive node
+// of the provenance graph. Zero values mean the record predates provenance
+// support.
 type CrossRankRecord struct {
 	Src, Dst, Tag int
 	Seq           uint64
 	TaintedBytes  int
 	Meta          bool
+	EIP           uint64 `json:",omitempty"`
+	InstrNum      uint64 `json:",omitempty"`
+	Buf           uint64 `json:",omitempty"`
+	Len           int    `json:",omitempty"`
+}
+
+// SendRecord is the publish side of a TaintHub pair: a tainted MPI send
+// observed on the source rank. Together with the matching CrossRankRecord
+// (same Src/Dst/Tag/Seq) it stitches the cross-rank edge of the provenance
+// graph.
+type SendRecord struct {
+	Src, Dst, Tag int
+	Seq           uint64
+	Buf           uint64
+	Len           int
+	TaintedBytes  int
+	EIP           uint64
+	InstrNum      uint64
+}
+
+// OutputRecord notes tainted bytes reaching the guest's output file — the
+// sink where a propagated fault becomes observable corruption (SDC). Offset
+// and Len locate the written range in the output file; Masks are the
+// per-byte taint masks of the written bytes; Buf is the guest source buffer
+// for out_bytes writes (0 when the source was a register).
+type OutputRecord struct {
+	Rank     int
+	Offset   int
+	Len      int
+	Buf      uint64 `json:",omitempty"`
+	Masks    []uint8
+	EIP      uint64
+	InstrNum uint64
+}
+
+// TaintedBytes counts the non-zero per-byte masks of the written range.
+func (o *OutputRecord) TaintedBytes() int {
+	n := 0
+	for _, m := range o.Masks {
+		if m != 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // NewCollector creates a collector with the default event cap.
@@ -125,6 +176,20 @@ func (c *Collector) AddCrossRank(r CrossRankRecord) {
 	c.crossRank = append(c.crossRank, r)
 }
 
+// AddSend records the publish side of a tainted MPI send.
+func (c *Collector) AddSend(r SendRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sends = append(c.sends, r)
+}
+
+// AddOutput records tainted bytes written to the guest output file.
+func (c *Collector) AddOutput(r OutputRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.outputs = append(c.outputs, r)
+}
+
 // Events returns a copy of the stored events.
 func (c *Collector) Events() []Event {
 	c.mu.Lock()
@@ -151,6 +216,20 @@ func (c *Collector) CrossRank() []CrossRankRecord {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]CrossRankRecord(nil), c.crossRank...)
+}
+
+// Sends returns a copy of the tainted-send records.
+func (c *Collector) Sends() []SendRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]SendRecord(nil), c.sends...)
+}
+
+// Outputs returns a copy of the tainted-output records.
+func (c *Collector) Outputs() []OutputRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]OutputRecord(nil), c.outputs...)
 }
 
 // Regions returns a copy of the per-region tainted access counts: where in
@@ -216,17 +295,31 @@ type MetaRecord struct {
 	Dropped uint64 `json:"dropped"`
 }
 
+// TruncationRecord is the explicit truncation marker written at the cap
+// boundary of the event stream: everything before it is the complete prefix,
+// Dropped events past it were counted but not stored. Readers that only
+// stream events (and never see the header again) still learn the log is
+// incomplete the moment they cross the boundary.
+type TruncationRecord struct {
+	Dropped uint64 `json:"dropped"`
+}
+
 // record is the JSON-lines on-disk format.
 type record struct {
-	Kind   string           `json:"kind"` // "meta", "event", "sample", "cross"
-	Meta   *MetaRecord      `json:"meta,omitempty"`
-	Event  *Event           `json:"event,omitempty"`
-	Sample *TimelinePoint   `json:"sample,omitempty"`
-	Cross  *CrossRankRecord `json:"cross,omitempty"`
+	Kind   string            `json:"kind"` // "meta", "event", "trunc", "sample", "cross", "send", "output"
+	Meta   *MetaRecord       `json:"meta,omitempty"`
+	Event  *Event            `json:"event,omitempty"`
+	Trunc  *TruncationRecord `json:"trunc,omitempty"`
+	Sample *TimelinePoint    `json:"sample,omitempty"`
+	Cross  *CrossRankRecord  `json:"cross,omitempty"`
+	Send   *SendRecord       `json:"send,omitempty"`
+	Output *OutputRecord     `json:"output,omitempty"`
 }
 
 // WriteTo serializes the collected data as JSON lines, starting with a meta
-// record carrying the stored/dropped event counts.
+// record carrying the stored/dropped event counts. When events were dropped
+// at the in-memory cap, an explicit truncation marker follows the last
+// stored event.
 func (c *Collector) WriteTo(w io.Writer) (int64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -242,6 +335,11 @@ func (c *Collector) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 	}
+	if c.dropped > 0 {
+		if err := write(record{Kind: "trunc", Trunc: &TruncationRecord{Dropped: c.dropped}}); err != nil {
+			return n, err
+		}
+	}
 	for i := range c.timeline {
 		if err := write(record{Kind: "sample", Sample: &c.timeline[i]}); err != nil {
 			return n, err
@@ -252,17 +350,36 @@ func (c *Collector) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 	}
+	for i := range c.sends {
+		if err := write(record{Kind: "send", Send: &c.sends[i]}); err != nil {
+			return n, err
+		}
+	}
+	for i := range c.outputs {
+		if err := write(record{Kind: "output", Output: &c.outputs[i]}); err != nil {
+			return n, err
+		}
+	}
 	return n, bw.Flush()
 }
 
-// Read parses a JSON-lines propagation log back into a collector.
+// Read parses a JSON-lines propagation log back into a collector. The
+// writer's declared drop count (meta header and truncation marker) is added
+// to any drops the reading collector incurs itself, so Dropped() round-trips
+// even when the reader's cap is smaller than the writer's.
 func Read(r io.Reader) (*Collector, error) {
 	c := NewCollector()
+	var declared uint64
 	dec := json.NewDecoder(bufio.NewReader(r))
 	for {
 		var rec record
 		err := dec.Decode(&rec)
 		if err == io.EOF {
+			c.mu.Lock()
+			if declared > 0 {
+				c.dropped += declared
+			}
+			c.mu.Unlock()
 			return c, nil
 		}
 		if err != nil {
@@ -270,10 +387,12 @@ func Read(r io.Reader) (*Collector, error) {
 		}
 		switch rec.Kind {
 		case "meta":
-			if rec.Meta != nil {
-				c.mu.Lock()
-				c.dropped = rec.Meta.Dropped
-				c.mu.Unlock()
+			if rec.Meta != nil && rec.Meta.Dropped > declared {
+				declared = rec.Meta.Dropped
+			}
+		case "trunc":
+			if rec.Trunc != nil && rec.Trunc.Dropped > declared {
+				declared = rec.Trunc.Dropped
 			}
 		case "event":
 			if rec.Event != nil {
@@ -286,6 +405,14 @@ func Read(r io.Reader) (*Collector, error) {
 		case "cross":
 			if rec.Cross != nil {
 				c.AddCrossRank(*rec.Cross)
+			}
+		case "send":
+			if rec.Send != nil {
+				c.AddSend(*rec.Send)
+			}
+		case "output":
+			if rec.Output != nil {
+				c.AddOutput(*rec.Output)
 			}
 		default:
 			return nil, fmt.Errorf("trace: unknown record kind %q", rec.Kind)

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
@@ -116,6 +117,109 @@ func TestWriteReadPreservesDropped(t *testing.T) {
 	}
 	if len(back.Events()) != 2 {
 		t.Errorf("events after round trip = %d, want 2", len(back.Events()))
+	}
+}
+
+// TestTruncationMarker checks the explicit cap-boundary marker: a truncated
+// log carries a "trunc" record after the last stored event, a complete log
+// carries none, and the declared drop count round-trips through Read even
+// when a consumer streams past the header.
+func TestTruncationMarker(t *testing.T) {
+	c := NewCollectorCap(2)
+	for i := 0; i < 7; i++ {
+		c.AddEvent(Event{Rank: 0, EIP: uint64(i)})
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// meta, 2 events, trunc.
+	if len(lines) != 4 {
+		t.Fatalf("log has %d records, want 4:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[3], `"kind":"trunc"`) || !strings.Contains(lines[3], `"dropped":5`) {
+		t.Errorf("last record is not the truncation marker: %s", lines[3])
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dropped() != 5 {
+		t.Errorf("Dropped after round trip = %d, want 5", back.Dropped())
+	}
+
+	// A complete log must not carry the marker.
+	var clean bytes.Buffer
+	c2 := NewCollector()
+	c2.AddEvent(Event{Rank: 0})
+	if _, err := c2.WriteTo(&clean); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(clean.String(), `"kind":"trunc"`) {
+		t.Errorf("complete log carries a truncation marker:\n%s", clean.String())
+	}
+}
+
+// TestReadAccumulatesReaderDrops checks the drop count when the reading
+// collector's own cap is smaller than the log: writer-declared drops and
+// reader-side drops add up, so Dropped() never understates truncation.
+func TestReadAccumulatesReaderDrops(t *testing.T) {
+	c := NewCollectorCap(3)
+	for i := 0; i < 5; i++ { // 3 stored, 2 dropped at the writer
+		c.AddEvent(Event{Rank: 0, EIP: uint64(i)})
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Read with a tighter cap so 1 of the 3 stored events is dropped again.
+	readBack := func(r *bytes.Reader) *Collector {
+		t.Helper()
+		back := NewCollectorCap(2)
+		dec := json.NewDecoder(r)
+		for {
+			var rec record
+			if err := dec.Decode(&rec); err != nil {
+				break
+			}
+			switch rec.Kind {
+			case "event":
+				back.AddEvent(*rec.Event)
+			case "meta":
+				back.mu.Lock()
+				back.dropped += rec.Meta.Dropped
+				back.mu.Unlock()
+			}
+		}
+		return back
+	}
+	back := readBack(bytes.NewReader(buf.Bytes()))
+	if back.Dropped() != 3 { // 2 declared + 1 reader-side
+		t.Errorf("accumulated drops = %d, want 3", back.Dropped())
+	}
+}
+
+func TestSendOutputRoundTrip(t *testing.T) {
+	c := NewCollector()
+	c.AddSend(SendRecord{Src: 0, Dst: 1, Tag: 9, Seq: 4, Buf: 0x7000, Len: 16,
+		TaintedBytes: 4, EIP: 0x400abc, InstrNum: 9001})
+	c.AddOutput(OutputRecord{Rank: 1, Offset: 24, Len: 4, Buf: 0x8000,
+		Masks: []uint8{0, 0xff, 0, 1}, EIP: 0x400def, InstrNum: 9100})
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := back.Sends(); len(s) != 1 || s[0].Buf != 0x7000 || s[0].InstrNum != 9001 {
+		t.Errorf("sends = %+v", s)
+	}
+	o := back.Outputs()
+	if len(o) != 1 || o[0].Offset != 24 || o[0].TaintedBytes() != 2 {
+		t.Errorf("outputs = %+v", o)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"chaser/internal/asm"
 	"chaser/internal/isa"
+	"chaser/internal/obs"
 	"chaser/internal/tcg"
 )
 
@@ -290,6 +291,51 @@ func TestFastFullDifferentialMidTBInjection(t *testing.T) {
 	}
 	if len(fast.Reads) == 0 || len(fast.Writes) == 0 {
 		t.Error("no tainted memory events; differential under-exercised")
+	}
+}
+
+// TestEventSinkFastLoopNoAlloc extends the fast-loop allocation guard to the
+// observability event sink: with a disabled (nil) sink — and even with an
+// enabled one, since the vm emits only at run edges, never per block — the
+// fast loop must not allocate. This pins the "disabled is free" contract of
+// the streaming sink at the layer where it matters most.
+func TestEventSinkFastLoopNoAlloc(t *testing.T) {
+	src := `
+main:
+    movi r1, 7
+    add r2, r1, r1
+    sub r3, r2, r1
+    jmp main
+`
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"disabled sink", Config{}},
+		{"enabled sink", Config{Events: obs.NewSink(64)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := asm.Assemble("test", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := New(p, tc.cfg)
+			tb, err := m.Trans.Block(m.pc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			node := &chainNode{tb: tb}
+			m.execTB(node, false) // warm
+			allocs := testing.AllocsPerRun(200, func() {
+				m.execTB(node, false)
+			})
+			if allocs != 0 {
+				t.Errorf("fast loop allocates %.1f per block with %s, want 0", allocs, tc.name)
+			}
+			if tc.cfg.Events != nil && tc.cfg.Events.Len() != 0 {
+				t.Errorf("fast loop emitted %d events; only run edges may emit", tc.cfg.Events.Len())
+			}
+		})
 	}
 }
 

@@ -144,6 +144,11 @@ type Config struct {
 	// fast loop is observationally identical, so this exists only for the
 	// ablation benchmarks and differential tests that prove it.
 	NoFastPath bool
+	// Events, when non-nil, receives structured run-lifecycle events (rank
+	// termination). The interpreter loops never emit — only run-edge code
+	// does — so a nil sink costs nothing and an enabled one costs one Emit
+	// per rank per run.
+	Events *obs.Sink
 }
 
 // Machine is one guest process.
@@ -196,6 +201,7 @@ type Machine struct {
 
 	obsReg     *obs.Registry
 	obsFlushed bool
+	events     *obs.Sink
 }
 
 // New creates a machine for prog with the standard memory layout mapped:
@@ -217,6 +223,7 @@ func New(prog *isa.Program, cfg Config) *Machine {
 		noFastPath: cfg.NoFastPath,
 		mpi:        cfg.MPI,
 		obsReg:     cfg.Obs,
+		events:     cfg.Events,
 	}
 	m.Trans.AttachObs(cfg.Obs)
 	if m.maxInstr == 0 {
@@ -278,6 +285,11 @@ func (m *Machine) Output() []byte {
 	copy(out, m.output)
 	return out
 }
+
+// OutputLen returns the current length of the guest's output file without
+// copying it. Syscall hooks use it to compute the file offset of the bytes
+// an output syscall just appended.
+func (m *Machine) OutputLen() int { return len(m.output) }
 
 // Counters returns a snapshot of the execution statistics.
 func (m *Machine) Counters() Counters {

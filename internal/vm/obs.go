@@ -1,17 +1,35 @@
 package vm
 
+import "chaser/internal/isa"
+
+// opMetricNames precomputes the per-opcode counter names so the end-of-run
+// flush never builds strings (flushObs runs inside the whole-run allocation
+// budget guarded by TestObsDisabledNoAlloc).
+var opMetricNames = func() [isa.NumOps]string {
+	var names [isa.NumOps]string
+	for op := 1; op < isa.NumOps; op++ {
+		names[op] = "vm_op_" + isa.Op(op).String() + "_executions_total"
+	}
+	return names
+}()
+
 // flushObs publishes the machine's end-of-run execution statistics into the
 // attached registry. The interpreter hot loop already maintains Counters, so
 // telemetry costs one registry flush per run instead of one atomic op per
 // instruction. Counters accumulate across machines: campaign workers share
 // one registry, so values are added, never set.
 func (m *Machine) flushObs() {
+	if m.term != nil {
+		m.events.Emit("rank_term", -1, m.Rank,
+			uint64(m.term.Reason), m.counters.Instructions, m.term.Reason.String())
+	}
 	reg := m.obsReg
 	if reg == nil || m.obsFlushed {
 		return
 	}
 	m.obsFlushed = true
 
+	m.flushPerOp()
 	c := m.counters
 	reg.Counter("vm_instructions_total").Add(c.Instructions)
 	reg.Counter("vm_tb_executed_total").Add(c.TBsExecuted)
@@ -22,6 +40,15 @@ func (m *Machine) flushObs() {
 	reg.Counter("vm_tainted_mem_writes_total").Add(c.TaintedMemWrites)
 	if m.term != nil && m.term.Reason == ReasonSignal {
 		reg.Counter("vm_signals_total").Inc()
+	}
+	// The per-opcode execution histogram (tcg.TB.OpCounts folded into
+	// Counters.PerOp). The registry has no label dimension, so each opcode
+	// gets its own counter; mnemonics are lowercase alphanumerics, so the
+	// names are valid in both exposition formats.
+	for op := 1; op < isa.NumOps; op++ {
+		if n := c.PerOp[op]; n > 0 {
+			reg.Counter(opMetricNames[op]).Add(n)
+		}
 	}
 
 	ts := m.Trans.Stats()

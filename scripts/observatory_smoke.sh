@@ -1,0 +1,124 @@
+#!/bin/sh
+# observatory_smoke.sh — end-to-end smoke test of the live campaign
+# dashboard: run a real traced campaign with -metrics-addr, then scrape the
+# observatory over HTTP and validate what it serves (the in-process
+# equivalent lives in internal/campaign/observatory_test.go; this exercises
+# cmd/campaign's listener plumbing and the -hold window CI scrapes in).
+#
+# 1. Start a campaign serving the observatory on an ephemeral port.
+# 2. Poll /progress until the campaign reports finished.
+# 3. Validate /progress JSON (all runs done, heatmap present).
+# 4. Pull a retained run's provenance.json and .dot and validate them.
+#
+# Usage: scripts/observatory_smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+trap 'rm -rf "$work"; kill "$pid" 2>/dev/null || true' EXIT
+
+go build -o "$work/campaign" ./cmd/campaign
+
+# A sh-portable JSON validity check built on the toolchain the repo already
+# requires (no jq/python dependency).
+cat >"$work/jsonok.go" <<'EOF'
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var v any
+	if err := json.NewDecoder(os.Stdin).Decode(&v); err != nil {
+		fmt.Fprintln(os.Stderr, "invalid JSON:", err)
+		os.Exit(1)
+	}
+}
+EOF
+jsonok() { go run "$work/jsonok.go"; }
+
+echo "observatory_smoke: starting campaign with dashboard"
+"$work/campaign" -experiment run -app matvec -runs 20 -seed 7 -parallel 2 \
+    -metrics-addr 127.0.0.1:0 -hold 60s >"$work/out.txt" 2>"$work/err.txt" &
+pid=$!
+
+# The ephemeral port is announced on stderr:
+#   campaign: observatory on http://127.0.0.1:PORT/
+base=""
+i=0
+while [ -z "$base" ]; do
+    i=$((i + 1))
+    if [ $i -gt 100 ]; then
+        echo "observatory_smoke: dashboard never came up" >&2
+        cat "$work/err.txt" >&2
+        exit 1
+    fi
+    base="$(sed -n 's|.*observatory on \(http://[^/]*\)/.*|\1|p' "$work/err.txt" | head -n1)"
+    [ -n "$base" ] || sleep 0.1
+done
+echo "observatory_smoke: dashboard at $base"
+
+# Wait until the campaign has finished (the -hold window keeps it serving).
+i=0
+until curl -sf "$base/progress" | grep -q '"finished": true'; do
+    i=$((i + 1))
+    if [ $i -gt 300 ]; then
+        echo "observatory_smoke: campaign did not finish within 30s" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "observatory_smoke: validating /progress"
+curl -sf "$base/progress" >"$work/progress.json"
+jsonok <"$work/progress.json"
+grep -q '"done": 20' "$work/progress.json" || {
+    echo "observatory_smoke: FAIL — /progress does not report 20 done runs" >&2
+    cat "$work/progress.json" >&2
+    exit 1
+}
+grep -q '"heatmap"' "$work/progress.json" || {
+    echo "observatory_smoke: FAIL — /progress has no heatmap" >&2
+    exit 1
+}
+
+echo "observatory_smoke: validating /metrics"
+curl -sf "$base/metrics" | grep -q '^campaign_runs_completed_total' || {
+    echo "observatory_smoke: FAIL — /metrics missing campaign counters" >&2
+    exit 1
+}
+
+echo "observatory_smoke: validating provenance export"
+curl -sf "$base/runs" >"$work/runs.json"
+jsonok <"$work/runs.json"
+id="$(sed -n 's/.*"id": \([0-9][0-9]*\).*/\1/p' "$work/runs.json" | head -n1)"
+if [ -z "$id" ]; then
+    echo "observatory_smoke: FAIL — no retained runs in /runs" >&2
+    cat "$work/runs.json" >&2
+    exit 1
+fi
+curl -sf "$base/runs/$id/provenance.json" >"$work/provenance.json"
+jsonok <"$work/provenance.json"
+grep -q '"nodes"' "$work/provenance.json" || {
+    echo "observatory_smoke: FAIL — provenance.json has no nodes field" >&2
+    exit 1
+}
+curl -sf "$base/runs/$id/provenance.dot" | grep -q '^digraph' || {
+    echo "observatory_smoke: FAIL — provenance.dot is not DOT" >&2
+    exit 1
+}
+
+echo "observatory_smoke: validating /events"
+curl -sf "$base/events?since=0" >"$work/events.json"
+jsonok <"$work/events.json"
+grep -q '"type": "run_done"' "$work/events.json" || {
+    echo "observatory_smoke: FAIL — /events has no run_done marker" >&2
+    exit 1
+}
+
+kill "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+echo "observatory_smoke: OK — dashboard served progress, metrics, provenance and events"
