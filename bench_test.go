@@ -518,6 +518,63 @@ func BenchmarkFusion(b *testing.B) {
 	}
 }
 
+// BenchmarkForkVsScratch measures fork-point run multiplexing on a pinned
+// late injection site: a single-site LUD campaign (the paper's "after it is
+// executed n times" methodology, with n at 90% of the golden execution
+// count) run once with copy-on-write world snapshots and once replaying the
+// golden prefix from scratch in every run. The forked arm pays the prefix
+// once and each run re-executes only the post-injection tail, so the
+// throughput gap approaches 1/(1-site_fraction); snap_bytes reports the
+// snapshot cache's high-water mark.
+func BenchmarkForkVsScratch(b *testing.B) {
+	prog := lang.MustCompile(apps.LUDProgram(benchLUDN))
+	ops := []isa.Op{isa.OpFAdd, isa.OpFMul, isa.OpFSub}
+	golden, err := core.Golden(prog, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total uint64
+	for _, op := range ops {
+		total += golden.Counters[0].PerOp[op]
+	}
+	site := total * 9 / 10
+	if site == 0 {
+		b.Fatal("no targeted ops in golden run")
+	}
+	const runsPer = 40
+	for _, noFork := range []bool{false, true} {
+		name := "forked"
+		if noFork {
+			name = "scratch"
+		}
+		b.Run(name, func(b *testing.B) {
+			reg := obs.NewRegistry()
+			for i := 0; i < b.N; i++ {
+				sum, err := campaign.Run(campaign.Config{
+					Name: "lud", Prog: prog, WorldSize: 1,
+					Ops: ops, TargetRank: 0,
+					Runs: runsPer, Bits: 2, Seed: 99,
+					InjectExec: site, NoFork: noFork,
+					Obs: reg,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Injected == 0 {
+					b.Fatal("campaign injected nothing")
+				}
+			}
+			b.ReportMetric(float64(runsPer*b.N)/b.Elapsed().Seconds(), "runs/sec")
+			if !noFork {
+				if fb := reg.Counter("campaign_fork_fallbacks_total").Value(); fb > 0 {
+					b.ReportMetric(float64(fb), "fallbacks")
+				}
+				b.ReportMetric(reg.Gauge("campaign_snapshot_cache_bytes_high_water").Value(), "snap_bytes")
+			}
+		})
+	}
+}
+
 // BenchmarkAblation_PeepholeOptimizer measures the TCG peephole optimizer's
 // effect on raw execution speed (zero-displacement address arithmetic is
 // the dominant rewrite in array-heavy guests).

@@ -67,6 +67,11 @@ type options struct {
 	runTimeout time.Duration
 	hubAddr    string
 	hubPolicy  core.HubPolicy
+
+	// Fork-point run multiplexing knobs (run and sweep experiments).
+	injectExec  uint64
+	noFork      bool
+	snapCacheMB int64
 }
 
 // instrument attaches the process-wide telemetry sinks to one campaign
@@ -149,6 +154,9 @@ func run(args []string, out io.Writer) error {
 	journal := fs.String("journal", "", "checkpoint journal for -experiment run (written as runs complete)")
 	resume := fs.String("resume", "", "resume -experiment run from this journal, skipping completed runs")
 	runTimeout := fs.Duration("run-timeout", 0, "wall-clock watchdog per run (0 = no watchdog)")
+	injectExec := fs.Uint64("inject-exec", 0, "pin every run's injection to this execution count of the targeted ops (0 = random per run; >0 enables fork-point multiplexing for -experiment run)")
+	noFork := fs.Bool("no-fork", false, "disable fork-point run multiplexing (replay the golden prefix in every run)")
+	snapCacheMB := fs.Int64("snap-cache-mb", 0, "world-snapshot cache cap in MiB for fork-point multiplexing (0 = default 256)")
 	hubAddr := fs.String("hub", "", "shared TaintHub server address (default: in-process hub)")
 	hubPolicy := fs.String("hub-policy", "degrade", "on hub failure: degrade (proceed untainted) | fail (fail the run)")
 	if err := fs.Parse(args); err != nil {
@@ -192,6 +200,7 @@ func run(args []string, out io.Writer) error {
 		progress: *progress,
 		app:      *appName, journal: *journal, resume: *resume,
 		runTimeout: *runTimeout, hubAddr: *hubAddr, hubPolicy: policy,
+		injectExec: *injectExec, noFork: *noFork, snapCacheMB: *snapCacheMB,
 	}
 	if *metricsOut != "" || *metricsAddr != "" {
 		o.obs = obs.NewRegistry()
@@ -464,6 +473,8 @@ func sweep(out io.Writer, o options) error {
 		Name: app.Name, Prog: app.Prog, WorldSize: app.WorldSize,
 		Ops: app.DefaultOps, TargetRank: 0,
 		Runs: o.runs, Seed: o.seed, Parallel: o.parallel,
+		InjectExec: o.injectExec, NoFork: o.noFork,
+		SnapshotCacheBytes: o.snapCacheMB << 20,
 	}), []int{1, 2, 4, 8, 16})
 	if err != nil {
 		return err
@@ -489,6 +500,8 @@ func runResumable(out io.Writer, o options) error {
 		Runs: o.runs, Bits: o.bits, Seed: o.seed, Trace: true, Parallel: o.parallel,
 		RunTimeout: o.runTimeout, HubPolicy: o.hubPolicy,
 		Journal: o.journal, Resume: o.resume,
+		InjectExec: o.injectExec, NoFork: o.noFork,
+		SnapshotCacheBytes: o.snapCacheMB << 20,
 	}
 	if o.hubAddr != "" {
 		// Generous retry budget: a durable hub restarting from its WAL

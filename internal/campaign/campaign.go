@@ -82,6 +82,28 @@ type Config struct {
 	// run. Like NoSharedCache, outcomes are identical either way — this is
 	// the ablation switch for the dual-loop benchmark.
 	NoFastPath bool
+	// InjectExec, when > 0, pins every run's injection point to this dynamic
+	// execution count of the targeted ops instead of drawing one per run —
+	// the paper's single-site methodology ("after it is executed n times"),
+	// where only the flipped bits and seed vary across runs. Single-site
+	// campaigns are where fork-point multiplexing pays off most: the golden
+	// prefix up to the site runs once and every run forks from it.
+	InjectExec uint64
+	// NoFork disables fork-point run multiplexing, replaying the golden
+	// prefix from scratch in every run. Outcomes are bitwise identical either
+	// way — this is the ablation switch for the fork benchmark.
+	NoFork bool
+	// SnapshotCacheBytes caps the resident bytes of cached world snapshots
+	// (0 = DefaultSnapshotCacheBytes). Least-recently-used snapshots are
+	// evicted when new fork points push the cache over the cap.
+	SnapshotCacheBytes int64
+	// forkShared marks a campaign whose injection sites recur across sibling
+	// campaigns sharing one baseline (BitSweep entries draw identical task
+	// lists), making cached snapshots profitable even without InjectExec.
+	// With unique random sites, a prefix run costs as much as the full run
+	// it would save, so plain campaigns only fork when InjectExec pins the
+	// site.
+	forkShared bool
 	// Obs, when non-nil, receives campaign telemetry and is threaded through
 	// every run's layers (vm, mpi, injector). Nil disables it.
 	Obs *obs.Registry
@@ -171,6 +193,9 @@ type baseline struct {
 	// injection points are drawn from them.
 	totals []uint64
 	world  int
+	// snaps caches world snapshots by fork point for run multiplexing. Owned
+	// by the baseline so BitSweep entries share it.
+	snaps *snapCache
 }
 
 // prepare executes the golden run (building and warming the shared base
@@ -239,6 +264,7 @@ func prepare(cfg Config) (*baseline, error) {
 		maxInstr: maxInstr,
 		totals:   totals,
 		world:    world,
+		snaps:    newSnapCache(cfg.SnapshotCacheBytes, cfg.Obs),
 	}, nil
 }
 
@@ -293,10 +319,17 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 				rank = seedRng.Intn(world)
 			}
 		}
+		n := cfg.InjectExec
+		if n == 0 {
+			n = 1 + uint64(seedRng.Int63n(int64(totals[rank])))
+		} else if n > totals[rank] {
+			return nil, fmt.Errorf("campaign: InjectExec %d exceeds rank %d's %d golden executions of %v",
+				n, rank, totals[rank], cfg.Ops)
+		}
 		tasks[i] = task{
 			idx:  i,
 			rank: rank,
-			n:    1 + uint64(seedRng.Int63n(int64(totals[rank]))),
+			n:    n,
 			seed: cfg.Seed + int64(i)*7919,
 		}
 	}
@@ -363,6 +396,14 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 		}
 	}
 
+	// Fork-point multiplexing pays only when injection sites repeat: a
+	// prefix run costs as much as the full run it replaces, so it must be
+	// amortized across forks. Sites repeat when InjectExec pins one site for
+	// the whole campaign, or across BitSweep entries (forkShared), whose
+	// task lists — derived from seed and baseline alone — are identical for
+	// every bit count and hit the shared baseline cache.
+	useFork := !cfg.NoFork && (cfg.InjectExec > 0 || cfg.forkShared)
+
 	// runOne executes and classifies one injection run. A panic anywhere
 	// below (the vm, the translator, the taint engine, a hook — including
 	// panics captured inside rank goroutines and re-raised by World.Run) is
@@ -387,7 +428,7 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 		if cfg.Hub != nil {
 			hub = tainthub.WithNamespace(cfg.Hub, tk.idx)
 		}
-		res, err = core.Run(core.RunConfig{
+		rc := core.RunConfig{
 			Prog:            cfg.Prog,
 			WorldSize:       world,
 			BaseCache:       base.cache,
@@ -407,7 +448,26 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 				Seed:       tk.seed,
 				Trace:      cfg.Trace,
 			},
-		})
+		}
+		if useFork {
+			// The snapshot depends only on the fork site (injector RNGs draw
+			// nothing before the trigger), so the first task to reach a site
+			// builds it and every later task forks from it. Any failure —
+			// unpausable site, stale snapshot, resume mismatch — falls back
+			// to a from-scratch run, which is bitwise identical.
+			ws, ferr := base.snaps.get(snapKey{rank: tk.rank, n: tk.n}, func() (*core.WorldSnapshot, error) {
+				cfg.Obs.Counter("campaign_prefix_runs_total").Inc()
+				return core.PrefixRun(rc, core.ForkSite{Rank: tk.rank, N: tk.n})
+			})
+			if ferr == nil {
+				if res, err = core.RunForked(rc, ws); err == nil {
+					cfg.Obs.Counter("campaign_forked_runs_total").Inc()
+					return Classify(res, golden.Outputs, tk.rank), res, nil
+				}
+			}
+			cfg.Obs.Counter("campaign_fork_fallbacks_total").Inc()
+		}
+		res, err = core.Run(rc)
 		if err != nil {
 			return RunOutcome{}, nil, err
 		}

@@ -1,0 +1,149 @@
+package campaign
+
+import (
+	"container/list"
+	"sync"
+
+	"chaser/internal/core"
+	"chaser/internal/obs"
+)
+
+// DefaultSnapshotCacheBytes caps the fork-point snapshot cache when the
+// config leaves SnapshotCacheBytes zero.
+const DefaultSnapshotCacheBytes = 256 << 20
+
+// snapKey identifies one fork point: the injected rank and the dynamic
+// execution count of the targeted ops at which the world pauses.
+type snapKey struct {
+	rank int
+	n    uint64
+}
+
+// snapEntry is one cache slot. ready is closed once the build completes;
+// waiters block on it (singleflight: concurrent workers needing the same
+// fork point run the prefix once). A failed build is cached negatively
+// (ws == nil, err != nil) so a site that cannot pause — e.g. one that lands
+// mid-MPI-progress — is not retried by every task that shares it.
+type snapEntry struct {
+	ready chan struct{}
+	ws    *core.WorldSnapshot
+	err   error
+	bytes int64
+	elem  *list.Element
+}
+
+// snapCache is a byte-capped LRU of world snapshots keyed by fork point. It
+// is owned by the campaign baseline, so BitSweep entries — which share the
+// task list and therefore the fork points — reuse snapshots across the whole
+// sweep.
+type snapCache struct {
+	mu      sync.Mutex
+	cap     int64
+	bytes   int64
+	entries map[snapKey]*snapEntry
+	lru     *list.List // front = most recently used; values are snapKey
+
+	gaugeBytes *obs.Gauge
+	gaugeHigh  *obs.Gauge
+	hits       *obs.Counter
+	misses     *obs.Counter
+	evictions  *obs.Counter
+}
+
+func newSnapCache(capBytes int64, reg *obs.Registry) *snapCache {
+	if capBytes == 0 {
+		capBytes = DefaultSnapshotCacheBytes
+	}
+	return &snapCache{
+		cap:        capBytes,
+		entries:    make(map[snapKey]*snapEntry),
+		lru:        list.New(),
+		gaugeBytes: reg.Gauge("campaign_snapshot_cache_bytes"),
+		gaugeHigh:  reg.Gauge("campaign_snapshot_cache_bytes_high_water"),
+		hits:       reg.Counter("campaign_snapshot_cache_hits_total"),
+		misses:     reg.Counter("campaign_snapshot_cache_misses_total"),
+		evictions:  reg.Counter("campaign_snapshot_evictions_total"),
+	}
+}
+
+// get returns the snapshot for key, building it at most once per residency
+// via build. The returned snapshot stays valid even if evicted afterwards
+// (snapshots are immutable; eviction only drops the cache's reference).
+func (c *snapCache) get(key snapKey, build func() (*core.WorldSnapshot, error)) (*core.WorldSnapshot, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		c.hits.Inc()
+		<-e.ready
+		return e.ws, e.err
+	}
+	e := &snapEntry{ready: make(chan struct{})}
+	e.elem = c.lru.PushFront(key)
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.misses.Inc()
+
+	ws, err := build()
+	c.mu.Lock()
+	e.ws, e.err = ws, err
+	if ws != nil {
+		e.bytes = ws.Bytes()
+		c.bytes += e.bytes
+		c.evict()
+	}
+	c.gaugeBytes.Set(float64(c.bytes))
+	c.gaugeHigh.SetMax(float64(c.bytes))
+	c.mu.Unlock()
+	close(e.ready)
+	return ws, err
+}
+
+// evict drops least-recently-used completed entries until the cache fits its
+// cap, sparing in-flight builds (their size is unknown) and always keeping
+// at least one completed snapshot resident so a single oversized world still
+// multiplexes. Callers hold c.mu.
+func (c *snapCache) evict() {
+	for c.bytes > c.cap {
+		evicted := false
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			key := el.Value.(snapKey)
+			e := c.entries[key]
+			select {
+			case <-e.ready:
+			default:
+				continue // still building
+			}
+			if e.bytes == 0 {
+				continue // negative entry, nothing to reclaim
+			}
+			if c.lruResident() <= 1 {
+				return
+			}
+			c.lru.Remove(el)
+			delete(c.entries, key)
+			c.bytes -= e.bytes
+			c.evictions.Inc()
+			evicted = true
+			break
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// lruResident counts completed positive entries. Callers hold c.mu.
+func (c *snapCache) lruResident() int {
+	n := 0
+	for _, e := range c.entries {
+		select {
+		case <-e.ready:
+			if e.bytes > 0 {
+				n++
+			}
+		default:
+		}
+	}
+	return n
+}

@@ -34,6 +34,11 @@ type journalHeader struct {
 	Bits  int    `json:"bits"`
 	World int    `json:"world"`
 	Trace bool   `json:"trace"`
+	// Site pins Config.InjectExec: a pinned-site campaign draws different
+	// injection points than a sampling one, so resuming across the two must
+	// be rejected. Journals from before this field decode as 0, matching
+	// only campaigns without InjectExec — exactly the ones that wrote them.
+	Site uint64 `json:"site,omitempty"`
 }
 
 func headerFor(cfg Config) journalHeader {
@@ -53,6 +58,7 @@ func headerFor(cfg Config) journalHeader {
 		Bits:  bits,
 		World: world,
 		Trace: cfg.Trace,
+		Site:  cfg.InjectExec,
 	}
 }
 

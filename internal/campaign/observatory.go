@@ -304,6 +304,32 @@ type Snapshot struct {
 
 	Heatmap      []HeatEntry `json:"heatmap"`
 	RetainedRuns int         `json:"retained_runs"`
+
+	// Fork reports fork-point run multiplexing activity (zero-valued when
+	// the campaign runs with NoFork or unshareable sites).
+	Fork ForkStats `json:"fork"`
+}
+
+// ForkStats is the fork-point multiplexing section of /progress, read from
+// the metrics registry.
+type ForkStats struct {
+	// PrefixRuns counts golden prefixes executed (one per distinct fork
+	// site that entered the snapshot cache).
+	PrefixRuns uint64 `json:"prefix_runs"`
+	// ForkedRuns counts injection runs resumed from a cached snapshot
+	// instead of replaying the prefix.
+	ForkedRuns uint64 `json:"forked_runs"`
+	// Fallbacks counts runs that fell back to from-scratch execution after
+	// a failed prefix or fork.
+	Fallbacks uint64 `json:"fallbacks"`
+	// CacheHits/CacheMisses count snapshot-cache lookups; hits measure
+	// fork-point reuse across runs (and across BitSweep entries).
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// CacheBytes is the resident snapshot-cache size; CacheHighWater its
+	// peak.
+	CacheBytes     int64 `json:"cache_bytes"`
+	CacheHighWater int64 `json:"cache_high_water_bytes"`
 }
 
 // Snapshot assembles the current /progress payload.
@@ -335,6 +361,15 @@ func (o *Observatory) Snapshot() Snapshot {
 		EventsDropped: o.sink.Dropped(),
 		Heatmap:       make([]HeatEntry, 0, len(o.heat)),
 		RetainedRuns:  len(o.runs),
+		Fork: ForkStats{
+			PrefixRuns:     o.reg.Counter("campaign_prefix_runs_total").Value(),
+			ForkedRuns:     o.reg.Counter("campaign_forked_runs_total").Value(),
+			Fallbacks:      o.reg.Counter("campaign_fork_fallbacks_total").Value(),
+			CacheHits:      o.reg.Counter("campaign_snapshot_cache_hits_total").Value(),
+			CacheMisses:    o.reg.Counter("campaign_snapshot_cache_misses_total").Value(),
+			CacheBytes:     int64(o.reg.Gauge("campaign_snapshot_cache_bytes").Value()),
+			CacheHighWater: int64(o.reg.Gauge("campaign_snapshot_cache_bytes_high_water").Value()),
+		},
 	}
 	for k, v := range o.terms {
 		s.Terminations[k] = v

@@ -42,6 +42,10 @@ type Spec struct {
 	// Trace enables fault-propagation tracing (taint tracking, the
 	// propagation log, and TaintHub coordination).
 	Trace bool
+
+	// resume carries per-rank injector bookkeeping into a forked run
+	// (fork-point multiplexing); set only by RunForked, never by callers.
+	resume *resumeState
 }
 
 // Validate reports configuration errors a campaign would otherwise only
@@ -355,6 +359,17 @@ func (c *Chaser) creationCB(info decaf.ProcInfo) {
 		rng:     rand.New(rand.NewSource(spec.Seed*1000003 + int64(info.Rank))),
 		sendSeq: make(map[tainthub.Key]uint64),
 		recvSeq: make(map[tainthub.Key]uint64),
+	}
+	if rs := spec.resume; rs != nil && info.Rank < len(rs.execCount) {
+		// A forked run resumes mid-execution: restore the injector's dynamic
+		// counters so the trigger fires at the same global execution count a
+		// from-scratch run would see. The RNG needs no restoration — a
+		// deterministic condition draws nothing before the trigger, so the
+		// fresh stream above is positioned exactly as in a full run. Maps are
+		// cloned: concurrent forks share one snapshot.
+		st.execCount = rs.execCount[info.Rank]
+		st.sendSeq = cloneSeqMap(rs.sendSeq[info.Rank])
+		st.recvSeq = cloneSeqMap(rs.recvSeq[info.Rank])
 	}
 	c.mu.Lock()
 	c.armed[m] = st

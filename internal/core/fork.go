@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+
+	"chaser/internal/decaf"
+	"chaser/internal/isa"
+	"chaser/internal/mpi"
+	"chaser/internal/tainthub"
+	"chaser/internal/trace"
+	"chaser/internal/vm"
+)
+
+// Fork-point run multiplexing: every run of a fault-injection sweep executes
+// the same golden prefix up to its injection trigger, then diverges. Instead
+// of replaying that prefix per run, PrefixRun executes it once — pausing the
+// whole world at the trigger — and captures a WorldSnapshot; RunForked then
+// resumes any number of injected continuations from it via copy-on-write
+// machine snapshots. A forked run is bitwise equivalent to a from-scratch
+// run (registers, memory, counters, outputs, taint) except for translation-
+// block cache statistics (TBsExecuted/ChainedTBs/FastPathTBs), which depend
+// on block boundaries and chain-table warmth and appear in no outcome
+// classification.
+
+// ForkSite identifies an injection trigger: the site.N-th dynamic execution
+// of a targeted instruction on rank site.Rank.
+type ForkSite struct {
+	Rank int
+	N    uint64
+}
+
+// resumeState carries the per-rank injector bookkeeping captured at a fork
+// point into forked runs: the target's dynamic execution count and every
+// rank's per-flow MPI sequence numbers. Maps are cloned per fork at process
+// creation (concurrent forks must not share them).
+type resumeState struct {
+	execCount []uint64
+	sendSeq   []map[tainthub.Key]uint64
+	recvSeq   []map[tainthub.Key]uint64
+}
+
+func cloneSeqMap(src map[tainthub.Key]uint64) map[tainthub.Key]uint64 {
+	out := make(map[tainthub.Key]uint64, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// WorldSnapshot is a complete MPI world paused at a fork site: one machine
+// snapshot per rank, the in-flight message queues, injector resume state,
+// and the taint timeline accumulated so far. It is immutable and shareable
+// across any number of concurrent RunForked calls.
+type WorldSnapshot struct {
+	prog      *isa.Program
+	worldSize int
+	site      ForkSite
+	machines  []*vm.Snapshot
+	mailboxes [][]mpi.Message
+	pendings  [][]mpi.Message
+	resume    *resumeState
+	samples   []trace.TimelinePoint
+	bytes     int64
+}
+
+// Site returns the fork site the snapshot was captured at.
+func (ws *WorldSnapshot) Site() ForkSite { return ws.site }
+
+// Bytes returns the approximate resident size of the snapshot (page data,
+// console/output copies, queued message payloads), the quantity snapshot
+// caches account against their memory cap.
+func (ws *WorldSnapshot) Bytes() int64 { return ws.bytes }
+
+// errPaused is returned by the pause injector so the Chaser records nothing
+// and detaches nothing: the pause is infrastructure, not an injection.
+var errPaused = fmt.Errorf("core: fork-point pause")
+
+// pauseInjector suspends the machine at the trigger instead of corrupting
+// it. The helper runs in front of the target instruction, so the pause pc is
+// the instruction's own address and resuming re-executes it — at which point
+// the forked run's real injector fires with the identical dynamic context.
+type pauseInjector struct{}
+
+func (pauseInjector) Inject(ctx *Context) (InjectionRecord, error) {
+	ctx.Machine.PauseAt(ctx.Op.GuestPC)
+	return InjectionRecord{}, errPaused
+}
+
+// PrefixRun executes the golden prefix of cfg up to the fork site and
+// captures the paused world. cfg.Spec supplies the target application, the
+// targeted opcodes and the Trace flag; its condition, injector and seed are
+// ignored (the prefix is uninjected, and injector RNGs draw nothing before
+// the trigger, so one snapshot serves tasks with any seed).
+//
+// PrefixRun fails — and the caller falls back to from-scratch execution —
+// when the site never fires, a rank terminates abnormally before it, the
+// wall-clock deadline expires, or the pause lands inside an MPI call that
+// had already made externally visible progress (World.PauseDirty).
+func PrefixRun(cfg RunConfig, site ForkSite) (*WorldSnapshot, error) {
+	if cfg.Prog == nil {
+		return nil, fmt.Errorf("core: prefix run has no program")
+	}
+	if cfg.Spec == nil {
+		return nil, fmt.Errorf("core: prefix run has no spec")
+	}
+	size := cfg.WorldSize
+	if size == 0 {
+		size = 1
+	}
+	if site.Rank < 0 || site.Rank >= size {
+		return nil, fmt.Errorf("core: fork site rank %d out of world [0,%d)", site.Rank, size)
+	}
+	if site.N == 0 {
+		return nil, fmt.Errorf("core: fork site N must be >= 1")
+	}
+
+	prefix := cfg
+	prefix.Spec = &Spec{
+		Target:     cfg.Spec.Target,
+		Ops:        cfg.Spec.Ops,
+		TargetRank: site.Rank,
+		Cond:       Deterministic{N: site.N},
+		Inj:        pauseInjector{},
+		Trace:      cfg.Spec.Trace,
+	}
+	// The prefix publishes nothing (no taint exists before the trigger), so
+	// a private hub keeps per-run namespaced hubs identical to from-scratch
+	// runs; events and tracing belong to real runs only.
+	prefix.Hub = nil
+	prefix.Events = nil
+	prefix.Tracer = nil
+	prefix.ExecTraceDepth = 0
+
+	platform := decaf.NewPlatform()
+	ch := New(Options{Obs: prefix.Obs})
+	if err := platform.LoadPlugin(ch); err != nil {
+		return nil, err
+	}
+	ch.Arm(prefix.Spec)
+	world, err := newSessionWorld(prefix, size, platform, nil)
+	if err != nil {
+		return nil, err
+	}
+	stopWatchdog := armTimeout(world, prefix.Timeout)
+	terms := world.Run()
+	stopWatchdog()
+
+	if world.PauseDirty() {
+		return nil, fmt.Errorf("core: fork site (rank %d, n %d) paused mid-MPI-progress", site.Rank, site.N)
+	}
+	if terms[site.Rank].Reason != vm.ReasonPaused {
+		return nil, fmt.Errorf("core: fork site (rank %d, n %d) did not pause: target %s",
+			site.Rank, site.N, terms[site.Rank])
+	}
+	for r, t := range terms {
+		if t.Reason != vm.ReasonPaused && !(t.Reason == vm.ReasonExited && !t.Abnormal()) {
+			return nil, fmt.Errorf("core: rank %d ended abnormally before fork site: %s", r, t)
+		}
+	}
+	st := ch.armed[world.Machine(site.Rank)]
+	if st == nil || st.execCount != site.N {
+		return nil, fmt.Errorf("core: fork site trigger mismatch (helper count %v, want %d)",
+			stateCount(st), site.N)
+	}
+
+	ws := &WorldSnapshot{
+		prog:      cfg.Prog,
+		worldSize: size,
+		site:      site,
+		machines:  make([]*vm.Snapshot, size),
+		resume: &resumeState{
+			execCount: make([]uint64, size),
+			sendSeq:   make([]map[tainthub.Key]uint64, size),
+			recvSeq:   make([]map[tainthub.Key]uint64, size),
+		},
+	}
+	for r := 0; r < size; r++ {
+		m := world.Machine(r)
+		snap, err := m.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("core: rank %d: %w", r, err)
+		}
+		ws.machines[r] = snap
+		ws.bytes += snap.Bytes()
+
+		rst := ch.armed[m]
+		ws.resume.execCount[r] = rst.execCount
+		ws.resume.sendSeq[r] = cloneSeqMap(rst.sendSeq)
+		ws.resume.recvSeq[r] = cloneSeqMap(rst.recvSeq)
+		// The pause rewound the helper's trigger execution on the target: the
+		// re-executed instruction re-counts it.
+		if r == site.Rank {
+			ws.resume.execCount[r]--
+		}
+		// A pause that interrupted a blocked MPI_Send rewinds the syscall, but
+		// its pre-syscall hook already advanced the flow's sequence number
+		// (the hook runs before the send blocks). Undo it — replicating the
+		// hook's own validity guard — so the re-executed send re-numbers the
+		// flow identically to a from-scratch run.
+		if cfg.Spec.Trace && snap.PausedIn() == isa.SysMPISend {
+			count := int64(snap.GPR(isa.R2))
+			dtype := isa.Datatype(snap.GPR(isa.R3))
+			if count >= 0 && dtype.Valid() && count*dtype.Size() <= maxHookedMessageBytes {
+				key := tainthub.Key{
+					Src: r,
+					Dst: int(int64(snap.GPR(isa.R4))),
+					Tag: int(int64(snap.GPR(isa.R5))),
+				}
+				ws.resume.sendSeq[r][key]--
+			}
+		}
+	}
+	ws.mailboxes, ws.pendings = world.QueueSnapshot()
+	for r := range ws.mailboxes {
+		for _, msg := range ws.mailboxes[r] {
+			ws.bytes += int64(len(msg.Data))
+		}
+		for _, msg := range ws.pendings[r] {
+			ws.bytes += int64(len(msg.Data))
+		}
+	}
+	// Keep only timeline points the restored counters have already passed:
+	// a sample scheduled between a rewound syscall's first and second
+	// retirement would otherwise appear twice.
+	for _, p := range ch.collector.Timeline() {
+		if p.Rank >= 0 && p.Rank < size &&
+			p.Instrs <= ws.machines[p.Rank].Counters().Instructions {
+			ws.samples = append(ws.samples, p)
+		}
+	}
+	return ws, nil
+}
+
+func stateCount(st *armState) interface{} {
+	if st == nil {
+		return "unarmed"
+	}
+	return st.execCount
+}
+
+// RunForked executes one injected continuation from a world snapshot. The
+// spec must trigger at the snapshot's fork site (same target rank, a
+// deterministic condition with the same N); everything else — injector,
+// bits, seed, tracing — varies freely across forks of one snapshot.
+func RunForked(cfg RunConfig, ws *WorldSnapshot) (*RunResult, error) {
+	if ws == nil {
+		return nil, fmt.Errorf("core: nil world snapshot")
+	}
+	if cfg.Prog != ws.prog {
+		return nil, fmt.Errorf("core: snapshot belongs to a different program")
+	}
+	size := cfg.WorldSize
+	if size == 0 {
+		size = 1
+	}
+	if size != ws.worldSize {
+		return nil, fmt.Errorf("core: world size %d != snapshot world %d", size, ws.worldSize)
+	}
+	if cfg.Spec == nil {
+		return nil, fmt.Errorf("core: forked run has no spec")
+	}
+	if cfg.Spec.TargetRank != ws.site.Rank {
+		return nil, fmt.Errorf("core: spec targets rank %d, snapshot paused rank %d",
+			cfg.Spec.TargetRank, ws.site.Rank)
+	}
+	if d, ok := cfg.Spec.Cond.(Deterministic); !ok || d.N != ws.site.N {
+		return nil, fmt.Errorf("core: spec condition %v does not match fork site n=%d",
+			cfg.Spec.Cond, ws.site.N)
+	}
+	spec := *cfg.Spec
+	spec.resume = ws.resume
+	cfg.Spec = &spec
+	return execute(cfg, ws)
+}

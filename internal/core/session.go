@@ -96,27 +96,15 @@ func (r *RunResult) FirstAbnormal() int {
 // Chaser armed with cfg.Spec, creates the world (firing VMI events that arm
 // the injector on target ranks), runs all ranks, and gathers results.
 func Run(cfg RunConfig) (*RunResult, error) {
-	if cfg.Prog == nil {
-		return nil, fmt.Errorf("core: no program")
-	}
-	size := cfg.WorldSize
-	if size == 0 {
-		size = 1
-	}
-	sp := cfg.Tracer.StartSpan("core.run")
-	defer sp.End()
-	platform := decaf.NewPlatform()
-	ch := New(Options{Hub: cfg.Hub, Obs: cfg.Obs, Events: cfg.Events})
-	if err := platform.LoadPlugin(ch); err != nil {
-		return nil, err
-	}
-	if cfg.Spec != nil {
-		if err := cfg.Spec.Validate(); err != nil {
-			return nil, err
-		}
-		ch.Arm(cfg.Spec)
-	}
-	world, err := mpi.NewWorld(cfg.Prog, mpi.Config{
+	return execute(cfg, nil)
+}
+
+// newSessionWorld builds the MPI world for a run. With a non-nil snapshot
+// the machines are resumed from it (fork-point multiplexing) and the
+// in-flight message queues are preloaded; otherwise the machines start
+// fresh at the program entry.
+func newSessionWorld(cfg RunConfig, size int, platform *decaf.Platform, snap *WorldSnapshot) (*mpi.World, error) {
+	mcfg := mpi.Config{
 		Size: size,
 		Machine: func(rank int) vm.Config {
 			return vm.Config{
@@ -137,22 +125,71 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		Obs:    cfg.Obs,
 		Tracer: cfg.Tracer,
 		Events: cfg.Events,
+	}
+	if snap != nil {
+		mcfg.NewMachine = func(rank int, mc vm.Config) *vm.Machine {
+			return vm.NewFromSnapshot(cfg.Prog, snap.machines[rank], mc)
+		}
+		// Message values are copied into the new world's queues; payload
+		// bytes stay shared read-only with the snapshot.
+		mcfg.Mailboxes = snap.mailboxes
+		mcfg.Pendings = snap.pendings
+	}
+	return mpi.NewWorld(cfg.Prog, mcfg)
+}
+
+// armTimeout installs the wall-clock watchdog; the returned stop function is
+// safe to call whether or not the deadline fired. The watchdog fires at most
+// once per world (Interrupt is once-guarded), so a run that crashes or
+// completes first wins.
+func armTimeout(world *mpi.World, deadline time.Duration) func() {
+	if deadline <= 0 {
+		return func() {}
+	}
+	watchdog := time.AfterFunc(deadline, func() {
+		world.Interrupt(vm.Termination{
+			Reason: vm.ReasonTimeout,
+			Msg:    fmt.Sprintf("wall-clock deadline %s exceeded", deadline),
+		})
 	})
+	return func() { watchdog.Stop() }
+}
+
+func execute(cfg RunConfig, snap *WorldSnapshot) (*RunResult, error) {
+	if cfg.Prog == nil {
+		return nil, fmt.Errorf("core: no program")
+	}
+	size := cfg.WorldSize
+	if size == 0 {
+		size = 1
+	}
+	sp := cfg.Tracer.StartSpan("core.run")
+	defer sp.End()
+	platform := decaf.NewPlatform()
+	ch := New(Options{Hub: cfg.Hub, Obs: cfg.Obs, Events: cfg.Events})
+	if err := platform.LoadPlugin(ch); err != nil {
+		return nil, err
+	}
+	if cfg.Spec != nil {
+		if err := cfg.Spec.Validate(); err != nil {
+			return nil, err
+		}
+		ch.Arm(cfg.Spec)
+	}
+	if snap != nil {
+		// Seed the propagation timeline with the prefix's samples so the
+		// forked run's curve spans the whole execution, as a from-scratch
+		// run's would.
+		for _, p := range snap.samples {
+			ch.collector.AddSample(p)
+		}
+	}
+	world, err := newSessionWorld(cfg, size, platform, snap)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Timeout > 0 {
-		// The watchdog fires at most once per world (Interrupt is
-		// once-guarded), so a run that crashes or completes first wins.
-		deadline := cfg.Timeout
-		watchdog := time.AfterFunc(deadline, func() {
-			world.Interrupt(vm.Termination{
-				Reason: vm.ReasonTimeout,
-				Msg:    fmt.Sprintf("wall-clock deadline %s exceeded", deadline),
-			})
-		})
-		defer watchdog.Stop()
-	}
+	stopWatchdog := armTimeout(world, cfg.Timeout)
+	defer stopWatchdog()
 	wsp := cfg.Tracer.StartSpan("world.run")
 	terms := world.Run()
 	wsp.End()

@@ -58,6 +58,15 @@ type World struct {
 	abortOnce sync.Once
 	aborted   atomic.Bool
 
+	// pausing is set when the abort in flight is a fork-point pause rather
+	// than a failure; pauseDirty is raised by any rank whose in-progress MPI
+	// call had already made externally visible progress (a delivered message
+	// or a consumed match) when the pause landed — rewinding such a call
+	// would replay the progress, so the snapshot is rejected and the
+	// campaign falls back to a from-scratch run.
+	pausing    atomic.Bool
+	pauseDirty atomic.Bool
+
 	obs    *worldObs
 	tracer *obs.Tracer
 	events *obs.Sink
@@ -81,6 +90,16 @@ type Config struct {
 	// Machine returns the vm.Config for a rank. Rank/WorldSize/MPI fields
 	// are overwritten by the world. Nil uses defaults.
 	Machine func(rank int) vm.Config
+	// NewMachine, when non-nil, constructs the rank's machine instead of
+	// vm.New — the fork path uses it to resume machines from snapshots. The
+	// supplied config already has Rank/WorldSize/MPI filled in.
+	NewMachine func(rank int, mc vm.Config) *vm.Machine
+	// Mailboxes and Pendings, when non-nil, preload each rank's undelivered
+	// message queues (restoring a paused world's in-flight state). Indexed
+	// by rank; Message.Data is shared read-only with the snapshot, so
+	// callers pass per-fork copies of the slice headers only.
+	Mailboxes [][]Message
+	Pendings  [][]Message
 	// Setup runs after each machine is created and before it starts; Chaser
 	// instruments target ranks here (the VMI process-creation event).
 	Setup func(rank int, m *vm.Machine)
@@ -120,8 +139,20 @@ func NewWorld(prog *isa.Program, cfg Config) (*World, error) {
 			abortCh: make(chan struct{}),
 		}
 		mc.MPI = &env{w: w, rs: rs}
-		rs.m = vm.New(prog, mc)
+		if cfg.NewMachine != nil {
+			rs.m = cfg.NewMachine(r, mc)
+		} else {
+			rs.m = vm.New(prog, mc)
+		}
 		rs.m.PID = 1000 + r
+		if cfg.Mailboxes != nil {
+			for _, msg := range cfg.Mailboxes[r] {
+				rs.mailbox <- msg
+			}
+		}
+		if cfg.Pendings != nil {
+			rs.pending = append([]Message(nil), cfg.Pendings[r]...)
+		}
 		w.ranks = append(w.ranks, rs)
 	}
 	if cfg.Setup != nil {
@@ -152,6 +183,14 @@ func (w *World) Run() []vm.Termination {
 	var panicMu sync.Mutex
 	var panicMsg string
 	for _, rs := range w.ranks {
+		// A rank restored from a snapshot may already have terminated in the
+		// prefix (clean exit before the fork point): record it and skip the
+		// goroutine entirely.
+		if t := rs.m.Terminated(); t != nil {
+			rs.term = *t
+			rs.done.Store(true)
+			continue
+		}
 		wg.Add(1)
 		go func(rs *rankState) {
 			defer wg.Done()
@@ -175,7 +214,13 @@ func (w *World) Run() []vm.Termination {
 			sp.End()
 			rs.term = term
 			rs.done.Store(true)
-			if term.Abnormal() {
+			switch {
+			case term.Reason == vm.ReasonPaused:
+				// A fork-point pause initiated by this rank: suspend the
+				// whole world at this quiescent boundary instead of treating
+				// the stop as a failure.
+				w.Pause(term)
+			case term.Abnormal():
 				w.abortPeers(rs.id, term)
 			}
 		}(rs)
@@ -211,6 +256,51 @@ func (w *World) Interrupt(t vm.Termination) {
 		}
 		w.barrier.abort()
 	})
+}
+
+// Pause suspends every rank with a ReasonPaused termination for a
+// fork-point snapshot. Running ranks stop at their next block boundary (a
+// resumable pc); ranks blocked in MPI waits are woken and rewound to the
+// blocking syscall instruction (see vm.Machine.Snapshot). Pause shares
+// abortOnce with the failure aborts, so a pause racing a real abort loses
+// cleanly — the prefix run then fails validation and the caller falls back.
+func (w *World) Pause(t vm.Termination) {
+	w.pausing.Store(true)
+	w.abortOnce.Do(func() {
+		w.tracer.Instant("mpi.pause", 0)
+		w.events.Emit("world_pause", -1, -1, uint64(t.Reason), 0, t.Msg)
+		for _, rs := range w.ranks {
+			rs.m.Abort(t)
+			close(rs.abortCh)
+		}
+		w.barrier.abort()
+	})
+}
+
+// PauseDirty reports whether any rank's interrupted MPI call had made
+// externally visible progress, making the pause point non-resumable.
+func (w *World) PauseDirty() bool { return w.pauseDirty.Load() }
+
+// QueueSnapshot captures every rank's undelivered messages: the mailbox
+// contents (in delivery order) and the received-but-unmatched pending list.
+// It drains the mailboxes destructively, so it is only legal on a world that
+// has fully stopped (after Run returns).
+func (w *World) QueueSnapshot() (mailboxes, pendings [][]Message) {
+	mailboxes = make([][]Message, w.size)
+	pendings = make([][]Message, w.size)
+	for i, rs := range w.ranks {
+	drain:
+		for {
+			select {
+			case msg := <-rs.mailbox:
+				mailboxes[i] = append(mailboxes[i], msg)
+			default:
+				break drain
+			}
+		}
+		pendings[i] = append([]Message(nil), rs.pending...)
+	}
+	return mailboxes, pendings
 }
 
 // abortPeers kills all other ranks after rank `from` failed.
@@ -344,13 +434,19 @@ func (b *barrier) wait(abortCh <-chan struct{}) bool {
 		return true
 	}
 	release := b.release
+	myGen := b.gen
 	b.mu.Unlock()
 	select {
 	case <-release:
 		b.mu.Lock()
+		// The generation check distinguishes a completion that raced an
+		// abort from a pure abort: if the generation advanced past ours, all
+		// n parties arrived and this waiter was released legitimately — the
+		// barrier completed even if the world was broken immediately after.
+		completed := b.gen > myGen
 		broken := b.broken
 		b.mu.Unlock()
-		return !broken
+		return completed || !broken
 	case <-abortCh:
 		return false
 	}

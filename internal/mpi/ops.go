@@ -14,6 +14,14 @@ import (
 type env struct {
 	w  *World
 	rs *rankState
+	// progress counts externally visible effects of the current Call — a
+	// message delivered to a peer's mailbox or a match consumed from the
+	// local queues. A fork-point pause that interrupts a call with
+	// progress > 0 cannot rewind it (re-execution would replay the effects),
+	// so abortErr marks the world's pause dirty. Draining the mailbox into
+	// pending is NOT progress: pending is part of the snapshot and the
+	// re-executed receive rescans it.
+	progress int
 }
 
 var _ vm.MPIEnv = (*env)(nil)
@@ -21,6 +29,7 @@ var _ vm.MPIEnv = (*env)(nil)
 // Call dispatches one MPI syscall for machine m. Argument registers follow
 // the guest ABI documented in package isa.
 func (e *env) Call(m *vm.Machine, sys isa.Sys) error {
+	e.progress = 0
 	switch sys {
 	case isa.SysMPIRank:
 		m.SetGPR(isa.R0, uint64(e.rs.id))
@@ -72,6 +81,9 @@ func (e *env) Call(m *vm.Machine, sys isa.Sys) error {
 // world abort, carrying the root cause (peer failure or deadlock) so outcome
 // classification can distinguish secondary aborts from local errors.
 func (e *env) abortErr(op string) error {
+	if e.w.pausing.Load() && e.progress > 0 {
+		e.w.pauseDirty.Store(true)
+	}
 	if t := e.rs.m.Aborted(); t != nil {
 		// Adopt the abort's own termination: a peer failure stays an MPI
 		// error carrying the root cause, a watchdog kill stays a timeout.
@@ -122,6 +134,7 @@ func (e *env) sendTag(m *vm.Machine, buf uint64, count int64, dtype isa.Datatype
 	select {
 	case dst.mailbox <- msg:
 		e.w.delivered.Add(1)
+		e.progress++
 		e.w.obs.sent(len(data))
 		return nil
 	default:
@@ -135,6 +148,7 @@ func (e *env) sendTag(m *vm.Machine, buf uint64, count int64, dtype isa.Datatype
 	select {
 	case dst.mailbox <- msg:
 		e.w.delivered.Add(1)
+		e.progress++
 		if e.w.obs != nil {
 			e.w.obs.sendWait.Observe(time.Since(t0).Seconds())
 		}
@@ -174,6 +188,7 @@ func (e *env) match(source, tag int) (Message, error) {
 	for i, p := range e.rs.pending {
 		if p.Src == source && p.Tag == tag {
 			e.rs.pending = append(e.rs.pending[:i], e.rs.pending[i+1:]...)
+			e.progress++
 			return p, nil
 		}
 	}
@@ -183,6 +198,7 @@ func (e *env) match(source, tag int) (Message, error) {
 		select {
 		case msg := <-e.rs.mailbox:
 			if msg.Src == source && msg.Tag == tag {
+				e.progress++
 				return msg, nil
 			}
 			e.rs.pending = append(e.rs.pending, msg)
@@ -201,6 +217,7 @@ func (e *env) match(source, tag int) (Message, error) {
 		select {
 		case msg := <-e.rs.mailbox:
 			if msg.Src == source && msg.Tag == tag {
+				e.progress++
 				if e.w.obs != nil {
 					e.w.obs.recvWait.Observe(time.Since(t0).Seconds())
 				}

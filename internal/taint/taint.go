@@ -62,6 +62,26 @@ func (s *Shadow) Reset() {
 	s.highWater = 0
 }
 
+// Clone returns a deep copy of the taint state: shadow registers, shadow
+// pages, and the incrementally maintained counts. The onFirstTaint callback
+// is NOT copied — it closes over the originating machine, and a forked
+// machine installs its own. Fork-point snapshots use Clone so forks mutate
+// taint independently of the captured prefix.
+func (s *Shadow) Clone() *Shadow {
+	cp := &Shadow{
+		regs:         s.regs,
+		pages:        make(map[uint64]*shadowPage, len(s.pages)),
+		liveRegs:     s.liveRegs,
+		taintedBytes: s.taintedBytes,
+		highWater:    s.highWater,
+	}
+	for base, p := range s.pages {
+		pp := *p
+		cp.pages[base] = &pp
+	}
+	return cp
+}
+
 // OnFirstTaint installs a callback invoked whenever the shadow transitions
 // from completely clean to live (including again after a Reset or a full
 // decay back to clean). A nil callback disables the notification.

@@ -188,8 +188,13 @@ type Machine struct {
 	helpers []Helper
 	mpi     MPIEnv
 
-	counters  Counters
-	term      *Termination
+	counters Counters
+	term     *Termination
+	// pausedIn records the syscall a ReasonPaused termination interrupted
+	// (0 when the pause landed at a block boundary); Snapshot uses it to
+	// rewind the pc to the syscall instruction and uncount its retirement so
+	// a forked continuation re-executes it exactly once.
+	pausedIn  isa.Sys
 	abort     abortBox
 	execTrace *execRing
 	chains    chainTable

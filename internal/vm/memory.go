@@ -24,9 +24,16 @@ func (e *SegFaultError) Error() string {
 	return fmt.Sprintf("vm: segmentation fault: %s at %#x", kind, e.Addr)
 }
 
+// memPage is one guest page. A sealed page belongs to an immutable snapshot
+// generation: it may be shared read-only by any number of forked address
+// spaces and is never written again — a write through any fork (or the
+// original) first replaces it with a private copy (copy-on-write). The copy
+// keeps the frame number, so physical addresses are stable across
+// snapshot/fork and propagation-log records match a from-scratch run bitwise.
 type memPage struct {
-	data  [PageSize]byte
-	frame uint64 // physical frame number, assigned at first touch
+	data   [PageSize]byte
+	frame  uint64 // physical frame number, assigned at first touch
+	sealed bool
 }
 
 type region struct {
@@ -58,9 +65,14 @@ type Memory struct {
 	regions   []region
 	nextFrame uint64
 	// tlb is a direct-mapped translation cache over the page map: the map
-	// lookup dominates the interpreter's memory cost without it. Pages are
-	// never unmapped or replaced, so entries need no invalidation.
+	// lookup dominates the interpreter's memory cost without it. Only private
+	// (unsealed) pages are ever cached, so a TLB hit is always safe to write
+	// through — the interpreter's inlined store paths rely on this. Snapshot
+	// seals every page and resets the TLB; a COW copy refreshes the entry.
 	tlb [tlbSize]tlbEntry
+	// cowCopies counts pages privatized by copy-on-write since creation
+	// (telemetry: vm_cow_page_copies_total).
+	cowCopies uint64
 }
 
 // NewMemory creates an empty address space with no mapped regions.
@@ -69,7 +81,8 @@ func NewMemory() *Memory {
 }
 
 // lookup returns the cached page for an aligned page base, or nil on a TLB
-// miss. Small enough to inline into every memory accessor.
+// miss. Small enough to inline into every memory accessor. Cached pages are
+// always private to this Memory, so a hit may be read or written directly.
 func (m *Memory) lookup(base uint64) *memPage {
 	e := &m.tlb[(base/PageSize)%tlbSize]
 	if e.page != nil && e.base == base {
@@ -110,17 +123,81 @@ func (m *Memory) page(addr uint64, write bool) (*memPage, uint64, error) {
 		return p, addr - base, nil
 	}
 	p, ok := m.pages[base]
-	if !ok {
+	switch {
+	case !ok:
 		if !m.Mapped(addr) {
 			return nil, 0, &SegFaultError{Addr: addr, Write: write}
 		}
 		p = &memPage{frame: m.nextFrame}
 		m.nextFrame++
 		m.pages[base] = p
+	case p.sealed:
+		if !write {
+			// Reads may share the sealed page, but it must never enter the
+			// TLB: cached pages are written through directly.
+			return p, addr - base, nil
+		}
+		// Copy-on-write: privatize the page, keeping its frame so physical
+		// addresses stay stable across snapshot/fork.
+		cp := &memPage{data: p.data, frame: p.frame}
+		m.pages[base] = cp
+		m.cowCopies++
+		p = cp
 	}
 	m.tlb[(base/PageSize)%tlbSize] = tlbEntry{base: base, page: p}
 	return p, addr - base, nil
 }
+
+// MemImage is an immutable snapshot of an address space. All pages it
+// references are sealed: forks created from it share them and privatize
+// pages on first write.
+type MemImage struct {
+	pages     map[uint64]*memPage
+	regions   []region
+	nextFrame uint64
+}
+
+// Bytes returns the resident size of the image (page data only), the
+// quantity snapshot caches account against their memory cap.
+func (img *MemImage) Bytes() int64 { return int64(len(img.pages)) * PageSize }
+
+// Snapshot freezes the current page set into an immutable image. Every page
+// becomes sealed — including in this Memory, whose next write to any of them
+// will privatize a copy — and the TLB is reset so no writable pointer to a
+// now-shared page survives.
+func (m *Memory) Snapshot() *MemImage {
+	pages := make(map[uint64]*memPage, len(m.pages))
+	for base, p := range m.pages {
+		p.sealed = true
+		pages[base] = p
+	}
+	m.tlb = [tlbSize]tlbEntry{}
+	return &MemImage{
+		pages:     pages,
+		regions:   append([]region(nil), m.regions...),
+		nextFrame: m.nextFrame,
+	}
+}
+
+// NewMemoryFromImage creates a forked address space sharing the image's
+// sealed pages. Writes privatize pages (copy-on-write); new pages continue
+// the image's frame numbering, so first-touch order yields the same physical
+// addresses a from-scratch run would assign.
+func NewMemoryFromImage(img *MemImage) *Memory {
+	pages := make(map[uint64]*memPage, len(img.pages))
+	for base, p := range img.pages {
+		pages[base] = p
+	}
+	return &Memory{
+		pages:     pages,
+		regions:   append([]region(nil), img.regions...),
+		nextFrame: img.nextFrame,
+	}
+}
+
+// CowCopies returns the number of pages this Memory privatized via
+// copy-on-write.
+func (m *Memory) CowCopies() uint64 { return m.cowCopies }
 
 // Translate returns the physical address backing a virtual address, mapping
 // the page in if needed. It fails with a SegFaultError outside mapped
@@ -174,15 +251,16 @@ func (m *Memory) Read64(addr uint64) (uint64, error) {
 	if off <= PageSize-8 {
 		return binary.LittleEndian.Uint64(p.data[off : off+8]), nil
 	}
-	var v uint64
-	for i := uint64(0); i < 8; i++ {
-		b, err := m.Read8(addr + i)
-		if err != nil {
-			return 0, err
-		}
-		v |= uint64(b) << (8 * i)
+	// Page-straddling load: resolve the second page once and stitch the two
+	// fragments instead of eight per-byte lookups.
+	p2, _, err := m.page(base+PageSize, false)
+	if err != nil {
+		return 0, err
 	}
-	return v, nil
+	var buf [8]byte
+	k := copy(buf[:], p.data[off:])
+	copy(buf[k:], p2.data[:])
+	return binary.LittleEndian.Uint64(buf[:]), nil
 }
 
 // Write64 stores a 64-bit little-endian word. No alignment is required.
@@ -200,33 +278,39 @@ func (m *Memory) Write64(addr uint64, v uint64) error {
 		binary.LittleEndian.PutUint64(p.data[off:off+8], v)
 		return nil
 	}
-	for i := uint64(0); i < 8; i++ {
-		if err := m.Write8(addr+i, uint8(v>>(8*i))); err != nil {
-			return err
-		}
+	// Page-straddling store: resolve both pages once and split the copy.
+	p2, _, err := m.page(base+PageSize, true)
+	if err != nil {
+		return err
 	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	k := copy(p.data[off:], buf[:])
+	copy(p2.data[:8-k], buf[k:])
 	return nil
 }
 
-// ReadBytes copies n bytes starting at addr.
+// ReadBytes copies n bytes starting at addr, chunked per page.
 func (m *Memory) ReadBytes(addr, n uint64) ([]byte, error) {
 	out := make([]byte, n)
-	for i := uint64(0); i < n; i++ {
-		b, err := m.Read8(addr + i)
+	for done := uint64(0); done < n; {
+		p, off, err := m.page(addr+done, false)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = b
+		done += uint64(copy(out[done:], p.data[off:]))
 	}
 	return out, nil
 }
 
-// WriteBytes copies data into guest memory at addr.
+// WriteBytes copies data into guest memory at addr, chunked per page.
 func (m *Memory) WriteBytes(addr uint64, data []byte) error {
-	for i, b := range data {
-		if err := m.Write8(addr+uint64(i), b); err != nil {
+	for done := 0; done < len(data); {
+		p, off, err := m.page(addr+uint64(done), true)
+		if err != nil {
 			return err
 		}
+		done += copy(p.data[off:], data[done:])
 	}
 	return nil
 }

@@ -36,6 +36,7 @@ func (m *Machine) flushObs() {
 	reg.Counter("vm_tb_chained_total").Add(c.ChainedTBs)
 	reg.Counter("vm_fastpath_tbs_total").Add(c.FastPathTBs)
 	reg.Counter("vm_syscalls_total").Add(c.Syscalls)
+	reg.Counter("vm_cow_page_copies_total").Add(m.Mem.CowCopies())
 	reg.Counter("vm_tainted_mem_reads_total").Add(c.TaintedMemReads)
 	reg.Counter("vm_tainted_mem_writes_total").Add(c.TaintedMemWrites)
 	if m.term != nil && m.term.Reason == ReasonSignal {

@@ -55,6 +55,10 @@ const (
 	// too much real time (a stalled hang — blocked I/O, a descheduled
 	// world, or a simulator stall the step counter can never observe).
 	ReasonTimeout
+	// ReasonPaused: the machine was suspended at a resumable point for a
+	// snapshot (fork-point run multiplexing). Not a guest outcome: a paused
+	// world is captured and discarded, never classified.
+	ReasonPaused
 )
 
 // String returns the reason name.
@@ -72,6 +76,8 @@ func (r Reason) String() string {
 		return "budget-exhausted"
 	case ReasonTimeout:
 		return "timeout"
+	case ReasonPaused:
+		return "paused"
 	}
 	return fmt.Sprintf("reason(%d)", int(r))
 }
@@ -111,6 +117,8 @@ func (t Termination) String() string {
 		return fmt.Sprintf("budget-exhausted at %#x", t.PC)
 	case ReasonTimeout:
 		return fmt.Sprintf("wall-clock timeout at %#x: %s", t.PC, t.Msg)
+	case ReasonPaused:
+		return fmt.Sprintf("paused at %#x", t.PC)
 	}
 	return fmt.Sprintf("termination(%d)", int(t.Reason))
 }

@@ -1,9 +1,10 @@
 #!/bin/sh
 # bench.sh — run the repo's ablation benchmarks and emit machine-readable
-# summaries: the shared-translation-cache ablation to BENCH_PR2.json (or $1)
-# and the fast-path/fusion ablation to BENCH_PR5.json (or $2).
+# summaries: the shared-translation-cache ablation to BENCH_PR2.json (or $1),
+# the fast-path/fusion ablation to BENCH_PR5.json (or $2), and the fork-point
+# run-multiplexing ablation to BENCH_PR7.json (or $3).
 #
-# Usage: scripts/bench.sh [pr2-output.json] [pr5-output.json]
+# Usage: scripts/bench.sh [pr2-output.json] [pr5-output.json] [pr7-output.json]
 #
 # The PR2 benchmark runs the same 100-run CLAMR campaign twice — once with
 # the shared base cache (default behaviour) and once with per-machine private
@@ -14,6 +15,12 @@
 # with micro-op fusion against the always-branching full loop without fusion
 # (the pre-dual-loop engine), plus a fusion-only ablation, and reports median
 # ns/op per arm and the resulting speedups.
+#
+# The PR7 benchmark runs the same single-site LUD BitSweep-style campaign
+# (injection pinned at 90% of the golden execution count) with fork-point run
+# multiplexing against the replay-the-prefix-every-run baseline (NoFork), and
+# reports runs/sec per arm, the throughput speedup, and the snapshot cache's
+# memory high-water mark.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -98,3 +105,48 @@ END {
 '
 
 echo "wrote $out5"
+
+out7="${3:-BENCH_PR7.json}"
+
+raw7="$(go test -run '^$' -bench 'ForkVsScratch' -benchtime=1x -count=3 .)"
+echo "$raw7"
+
+echo "$raw7" | awk -v out="$out7" '
+/^BenchmarkForkVsScratch\// {
+    split($1, parts, "/")
+    mode = parts[2]
+    sub(/-[0-9]+$/, "", mode)  # strip the -GOMAXPROCS suffix
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "runs/sec")   { n[mode]++; rps[mode "," n[mode]] = $i }
+        if ($(i+1) == "snap_bytes") snap = $i
+        if ($(i+1) == "fallbacks")  fb = $i
+    }
+}
+# median of the repeated -count runs, so one noisy run cannot skew the record
+function median(mode,    c, i, j, t, v) {
+    c = n[mode]
+    for (i = 1; i <= c; i++) v[i] = rps[mode "," i] + 0
+    for (i = 1; i <= c; i++)
+        for (j = i + 1; j <= c; j++)
+            if (v[j] < v[i]) { t = v[i]; v[i] = v[j]; v[j] = t }
+    return v[int((c + 1) / 2)]
+}
+END {
+    forked = median("forked"); scratch = median("scratch")
+    if (!forked || !scratch) {
+        print "bench.sh: benchmark output missing fork/scratch results" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n" > out
+    printf "  \"benchmark\": \"BenchmarkForkVsScratch\",\n" > out
+    printf "  \"workload\": \"LUD n=48 single-site campaign, 40 runs, site at 90%% of golden executions, median of 3\",\n" > out
+    printf "  \"forked_runs_per_sec\": %.1f,\n", forked > out
+    printf "  \"scratch_runs_per_sec\": %.1f,\n", scratch > out
+    printf "  \"fork_speedup_x\": %.2f,\n", forked / scratch > out
+    printf "  \"fork_fallbacks\": %d,\n", fb + 0 > out
+    printf "  \"snapshot_cache_high_water_bytes\": %d\n", snap + 0 > out
+    printf "}\n" > out
+}
+'
+
+echo "wrote $out7"
