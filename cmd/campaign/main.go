@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -37,6 +38,7 @@ import (
 	"chaser/internal/isa"
 	"chaser/internal/lang"
 	"chaser/internal/obs"
+	"chaser/internal/server"
 	"chaser/internal/stats"
 	"chaser/internal/tainthub"
 )
@@ -72,6 +74,12 @@ type options struct {
 	injectExec  uint64
 	noFork      bool
 	snapCacheMB int64
+
+	// Control-plane client fields (submit and watch experiments).
+	chaserd    string
+	campaignID string
+	shards     int
+	tenant     string
 }
 
 // instrument attaches the process-wide telemetry sinks to one campaign
@@ -159,6 +167,10 @@ func run(args []string, out io.Writer) error {
 	snapCacheMB := fs.Int64("snap-cache-mb", 0, "world-snapshot cache cap in MiB for fork-point multiplexing (0 = default 256)")
 	hubAddr := fs.String("hub", "", "shared TaintHub server address (default: in-process hub)")
 	hubPolicy := fs.String("hub-policy", "degrade", "on hub failure: degrade (proceed untainted) | fail (fail the run)")
+	chaserdAddr := fs.String("chaserd", "", "chaserd control-plane URL for -experiment submit/watch")
+	campaignID := fs.String("campaign", "", "campaign ID for -experiment watch")
+	shards := fs.Int("shards", 0, "shard count for -experiment submit (0 = server default)")
+	tenant := fs.String("tenant", "", "tenant namespace for -experiment submit (empty = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -201,6 +213,7 @@ func run(args []string, out io.Writer) error {
 		app:      *appName, journal: *journal, resume: *resume,
 		runTimeout: *runTimeout, hubAddr: *hubAddr, hubPolicy: policy,
 		injectExec: *injectExec, noFork: *noFork, snapCacheMB: *snapCacheMB,
+		chaserd: *chaserdAddr, campaignID: *campaignID, shards: *shards, tenant: *tenant,
 	}
 	if *metricsOut != "" || *metricsAddr != "" {
 		o.obs = obs.NewRegistry()
@@ -220,7 +233,17 @@ func run(args []string, out io.Writer) error {
 				fmt.Fprintln(os.Stderr, "campaign: observatory server:", err)
 			}
 		}()
-		defer hsrv.Close()
+		// Graceful teardown: Observatory.Shutdown releases SSE streams and
+		// parked long-polls (which would otherwise pin connections past any
+		// HTTP drain), then Shutdown(ctx) lets in-flight responses finish.
+		defer func() {
+			o.observatory.Shutdown()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := hsrv.Shutdown(ctx); err != nil {
+				hsrv.Close()
+			}
+		}()
 		fmt.Fprintf(os.Stderr, "campaign: observatory on http://%s/\n", lis.Addr())
 	}
 
@@ -237,6 +260,8 @@ func run(args []string, out io.Writer) error {
 		"json":   jsonOut,
 		"perop":  perOp,
 		"run":    runResumable,
+		"submit": submitCampaign,
+		"watch":  watchCampaign,
 	}
 	var runErr error
 	if *exp == "all" {
@@ -264,8 +289,18 @@ func run(args []string, out io.Writer) error {
 		if *hold > 0 {
 			// Keep the dashboard scrapeable after the last run: CI smoke
 			// tests and humans both want to inspect the final state.
+			// SIGINT/SIGTERM end the hold early and fall through to the
+			// graceful drain above, so connected SSE/long-poll clients get
+			// clean stream ends instead of resets.
 			fmt.Fprintf(os.Stderr, "campaign: holding the observatory for %s\n", *hold)
-			time.Sleep(*hold)
+			sigc := make(chan os.Signal, 1)
+			signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+			select {
+			case <-time.After(*hold):
+			case sig := <-sigc:
+				fmt.Fprintf(os.Stderr, "campaign: %s; draining the observatory\n", sig)
+			}
+			signal.Stop(sigc)
 		}
 	}
 	return runErr
@@ -555,6 +590,51 @@ func runResumable(out io.Writer, o options) error {
 		return err
 	}
 	fmt.Fprint(out, sum.Report())
+	return nil
+}
+
+// submitCampaign posts one experiment spec to a chaserd control plane and
+// prints the assigned campaign ID. The spec mirrors what -experiment run
+// would execute standalone (Trace on), so a sharded campaign's merged
+// summary is comparable — bitwise — with the single-process one.
+func submitCampaign(out io.Writer, o options) error {
+	if o.chaserd == "" {
+		return fmt.Errorf("-experiment submit requires -chaserd URL")
+	}
+	cl := server.NewClient(o.chaserd)
+	id, err := cl.Submit(server.Spec{
+		Tenant:       o.tenant,
+		App:          o.app,
+		Runs:         o.runs,
+		Seed:         o.seed,
+		Bits:         o.bits,
+		Shards:       o.shards,
+		Trace:        true,
+		Parallel:     o.parallel,
+		RunTimeoutMs: o.runTimeout.Milliseconds(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, id)
+	fmt.Fprintf(os.Stderr, "campaign: submitted; watch with: campaign -experiment watch -chaserd %s -campaign %s\n",
+		o.chaserd, id)
+	return nil
+}
+
+// watchCampaign long-polls a chaserd until the campaign completes, then
+// prints the merged report — the exact text -experiment run would have
+// printed for an uninterrupted local campaign.
+func watchCampaign(out io.Writer, o options) error {
+	if o.chaserd == "" || o.campaignID == "" {
+		return fmt.Errorf("-experiment watch requires -chaserd URL and -campaign ID")
+	}
+	cl := server.NewClient(o.chaserd)
+	doc, err := cl.WaitSummary(o.campaignID)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, doc.Report)
 	return nil
 }
 

@@ -66,6 +66,17 @@ type Config struct {
 	// start, in-flight runs finish (and are journaled), and Run returns
 	// ErrInterrupted.
 	Stop <-chan struct{}
+	// Shard, when non-nil, restricts execution to run indices in [Lo, Hi).
+	// The task list is still derived for all cfg.Runs runs — every shard of
+	// a campaign computes the identical list from the seed and baseline —
+	// but only the shard's slice is executed, journaled, and summarized.
+	// Shard journals share the full campaign's header, so MergeJournals can
+	// validate and merge them back into the uninterrupted summary.
+	Shard *ShardRange
+	// HubNamespaceBase offsets every run's namespace on the shared Hub, so
+	// concurrent campaigns multiplexed onto one hub (the chaserd control
+	// plane) cannot collide: run idx uses namespace HubNamespaceBase+idx.
+	HubNamespaceBase int
 	// KeepRunOutcomes retains each run's classified outcome in the summary.
 	KeepRunOutcomes bool
 	// Hub, when set, is shared by every run (e.g. a TCP client to a
@@ -273,6 +284,23 @@ func prepare(cfg Config) (*baseline, error) {
 // was configured) and the campaign can be resumed from it.
 var ErrInterrupted = errors.New("campaign: interrupted")
 
+// ShardRange restricts a campaign to the run indices in [Lo, Hi).
+type ShardRange struct {
+	Lo, Hi int
+}
+
+// bounds returns the effective [lo, hi) execution window for cfg.
+func (cfg Config) bounds() (lo, hi int, err error) {
+	if cfg.Shard == nil {
+		return 0, cfg.Runs, nil
+	}
+	s := *cfg.Shard
+	if s.Lo < 0 || s.Hi > cfg.Runs || s.Lo >= s.Hi {
+		return 0, 0, fmt.Errorf("campaign: shard [%d,%d) out of range for %d runs", s.Lo, s.Hi, cfg.Runs)
+	}
+	return s.Lo, s.Hi, nil
+}
+
 // Run executes the campaign: one golden run, then cfg.Runs injection runs
 // in parallel, each flipping cfg.Bits bits at a uniformly random execution
 // of a targeted instruction (chosen from the golden run's execution counts,
@@ -296,6 +324,11 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 	if bits == 0 {
 		bits = 1
 	}
+	shardLo, shardHi, err := cfg.bounds()
+	if err != nil {
+		return nil, err
+	}
+	shardRuns := shardHi - shardLo
 
 	start := time.Now()
 	workers := cfg.Parallel
@@ -376,10 +409,10 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 				case <-reportStop:
 					return
 				case <-ticker.C:
-					cfg.Progress(live.snapshot(cfg.Runs, time.Since(start)))
+					cfg.Progress(live.snapshot(shardRuns, time.Since(start)))
 					if cfg.Obs != nil {
 						cfg.Obs.Gauge("campaign_runs_per_second").
-							Set(live.snapshot(cfg.Runs, time.Since(start)).RunsPerSec)
+							Set(live.snapshot(shardRuns, time.Since(start)).RunsPerSec)
 					}
 				}
 			}
@@ -389,6 +422,13 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 	outcomes := make([]RunOutcome, cfg.Runs)
 	errs := make([]error, cfg.Runs)
 	for idx, o := range resumed {
+		if idx < shardLo || idx >= shardHi {
+			// A re-enqueued shard can inherit a journal holding entries from
+			// outside its window (another shard appended to the same file, or
+			// the window changed); they merge later, but this shard neither
+			// re-executes nor summarizes them.
+			continue
+		}
 		outcomes[idx] = o
 		live.record(o.Outcome)
 		if cfg.Obs != nil {
@@ -426,7 +466,7 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 		}()
 		var hub tainthub.Hub
 		if cfg.Hub != nil {
-			hub = tainthub.WithNamespace(cfg.Hub, tk.idx)
+			hub = tainthub.WithNamespace(cfg.Hub, cfg.HubNamespaceBase+tk.idx)
 		}
 		rc := core.RunConfig{
 			Prog:            cfg.Prog,
@@ -515,6 +555,9 @@ func runPrepared(cfg Config, base *baseline) (*Summary, error) {
 	interrupted := false
 feed:
 	for _, tk := range tasks {
+		if tk.idx < shardLo || tk.idx >= shardHi {
+			continue // another shard's run
+		}
 		if _, ok := resumed[tk.idx]; ok {
 			continue // already journaled; outcome loaded above
 		}
@@ -532,7 +575,7 @@ feed:
 	if cfg.Progress != nil {
 		close(reportStop)
 		reportWG.Wait()
-		cfg.Progress(live.snapshot(cfg.Runs, time.Since(start)))
+		cfg.Progress(live.snapshot(shardRuns, time.Since(start)))
 	}
 	live.flushObs(cfg.Obs, time.Since(start))
 	if cfg.Obs != nil && base.cache != nil {
@@ -546,7 +589,7 @@ feed:
 	if interrupted {
 		return nil, ErrInterrupted
 	}
-	return summarize(cfg, outcomes), nil
+	return summarize(cfg, outcomes[shardLo:shardHi]), nil
 }
 
 func summarize(cfg Config, outcomes []RunOutcome) *Summary {

@@ -94,33 +94,29 @@ func CreateJournal(path string, cfg Config) (*Journal, error) {
 	return &Journal{f: f}, nil
 }
 
-// ResumeJournal reopens an existing journal for a resumed campaign. It
-// validates the header against cfg (same campaign parameters, or the
-// resumed summary would lie), reads the completed entries — tolerating a
-// torn final line from a crash mid-append — compacts the file so the torn
-// tail cannot corrupt later reads, and reopens it for appending. The
-// returned map holds the outcomes of already-finished runs by index.
-func ResumeJournal(path string, cfg Config) (*Journal, map[int]RunOutcome, error) {
+// readJournal reads one journal file: the header, the valid entries in file
+// order with duplicate indices dropped deterministically (first occurrence
+// wins — every occurrence of an index describes the same deterministic run,
+// so the earliest append is the canonical one), and the number of duplicate
+// entries dropped. A torn final line from a crash mid-append is tolerated:
+// reading stops there and the torn run simply counts as incomplete.
+func readJournal(path string) (journalHeader, []journalEntry, int, error) {
+	var hdr journalHeader
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, fmt.Errorf("campaign: resume journal: %w", err)
+		return hdr, nil, 0, fmt.Errorf("campaign: read journal: %w", err)
 	}
 	sc := bufio.NewScanner(bytes.NewReader(raw))
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	if !sc.Scan() {
-		return nil, nil, fmt.Errorf("campaign: resume journal %s: empty file", path)
+		return hdr, nil, 0, fmt.Errorf("campaign: journal %s: empty file", path)
 	}
-	var hdr journalHeader
 	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
-		return nil, nil, fmt.Errorf("campaign: resume journal %s: bad header: %w", path, err)
+		return hdr, nil, 0, fmt.Errorf("campaign: journal %s: bad header: %w", path, err)
 	}
-	if want := headerFor(cfg); hdr != want {
-		return nil, nil, fmt.Errorf(
-			"campaign: journal %s was written by a different campaign (journal %+v, config %+v)",
-			path, hdr, want)
-	}
-	done := make(map[int]RunOutcome)
+	seen := make(map[int]bool)
 	var valid []journalEntry
+	dupes := 0
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -130,19 +126,49 @@ func ResumeJournal(path string, cfg Config) (*Journal, map[int]RunOutcome, error
 		if err := json.Unmarshal(line, &e); err != nil {
 			// A torn tail from a crash mid-append. Entries are written with
 			// a single O_APPEND write each, so only the final line can be
-			// incomplete; stop here and let the resume re-run the rest.
+			// incomplete; stop here and let the caller re-run the rest.
 			break
 		}
 		if e.Idx < 0 || e.Idx >= hdr.Runs {
-			return nil, nil, fmt.Errorf("campaign: journal %s: entry index %d out of range [0,%d)", path, e.Idx, hdr.Runs)
+			return hdr, nil, 0, fmt.Errorf("campaign: journal %s: entry index %d out of range [0,%d)", path, e.Idx, hdr.Runs)
 		}
-		if _, dup := done[e.Idx]; !dup {
-			valid = append(valid, e)
+		if seen[e.Idx] {
+			dupes++
+			continue
 		}
-		done[e.Idx] = e.Outcome
+		seen[e.Idx] = true
+		valid = append(valid, e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("campaign: resume journal %s: %w", path, err)
+		return hdr, nil, 0, fmt.Errorf("campaign: journal %s: %w", path, err)
+	}
+	return hdr, valid, dupes, nil
+}
+
+// ResumeJournal reopens an existing journal for a resumed campaign. It
+// validates the header against cfg (same campaign parameters, or the
+// resumed summary would lie), reads the completed entries — tolerating a
+// torn final line from a crash mid-append and deduplicating re-journaled
+// runs (counted as campaign_runs_deduped_total on cfg.Obs) — compacts the
+// file so the torn tail cannot corrupt later reads, and reopens it for
+// appending. The returned map holds the outcomes of already-finished runs
+// by index.
+func ResumeJournal(path string, cfg Config) (*Journal, map[int]RunOutcome, error) {
+	hdr, valid, dupes, err := readJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if want := headerFor(cfg); hdr != want {
+		return nil, nil, fmt.Errorf(
+			"campaign: journal %s was written by a different campaign (journal %+v, config %+v)",
+			path, hdr, want)
+	}
+	if dupes > 0 && cfg.Obs != nil {
+		cfg.Obs.Counter("campaign_runs_deduped_total").Add(uint64(dupes))
+	}
+	done := make(map[int]RunOutcome, len(valid))
+	for _, e := range valid {
+		done[e.Idx] = e.Outcome
 	}
 
 	// Compact before appending: rewrite header + valid entries to a temp

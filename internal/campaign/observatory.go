@@ -41,6 +41,12 @@ type Observatory struct {
 	sink      *obs.Sink
 	maxGraphs int
 
+	// done is closed by Shutdown; SSE streams and long-polls select on it so
+	// a draining http.Server.Shutdown is never pinned by a live dashboard
+	// client.
+	done     chan struct{}
+	downOnce sync.Once
+
 	mu       sync.Mutex
 	name     string
 	total    int
@@ -106,11 +112,20 @@ func NewObservatory(reg *obs.Registry, sink *obs.Sink, maxGraphs int) *Observato
 	}
 	return &Observatory{
 		reg: reg, sink: sink, maxGraphs: maxGraphs,
+		done:  make(chan struct{}),
 		terms: make(map[string]int),
 		heat:  make(map[SiteKey]*SiteCell),
 		runs:  make(map[int]*runRecord),
 		start: time.Now(),
 	}
+}
+
+// Shutdown tells every streaming handler (SSE, long-poll) to finish its
+// response, so a subsequent http.Server.Shutdown drains instead of waiting
+// out clients that would otherwise hold their connections open forever.
+// Idempotent and safe to call concurrently with handlers.
+func (o *Observatory) Shutdown() {
+	o.downOnce.Do(func() { close(o.done) })
 }
 
 // Registry returns the observatory's metrics registry (may be nil).
@@ -502,7 +517,7 @@ func (o *Observatory) handleEvents(w http.ResponseWriter, r *http.Request) {
 	var evs []obs.Event
 	var next uint64
 	if wait > 0 {
-		evs, next = o.sink.WaitSince(since, 1024, wait)
+		evs, next = o.waitEvents(r, since, 1024, wait)
 	} else {
 		evs, next = o.sink.Since(since, 1024)
 	}
@@ -516,7 +531,35 @@ func (o *Observatory) handleEvents(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// serveSSE streams events as server-sent events until the client disconnects.
+// waitEvents is a drainable WaitSince: it waits up to `wait` for events past
+// seq, but returns early when the request is cancelled or the observatory
+// shuts down, so long-polls cannot pin a draining server for the full wait.
+func (o *Observatory) waitEvents(r *http.Request, seq uint64, max int, wait time.Duration) ([]obs.Event, uint64) {
+	deadline := time.Now().Add(wait)
+	for {
+		slice := time.Until(deadline)
+		if slice <= 0 {
+			return o.sink.Since(seq, max)
+		}
+		if slice > 250*time.Millisecond {
+			slice = 250 * time.Millisecond
+		}
+		evs, next := o.sink.WaitSince(seq, max, slice)
+		if len(evs) > 0 {
+			return evs, next
+		}
+		select {
+		case <-o.done:
+			return evs, next
+		case <-r.Context().Done():
+			return evs, next
+		default:
+		}
+	}
+}
+
+// serveSSE streams events as server-sent events until the client
+// disconnects or the observatory shuts down.
 func (o *Observatory) serveSSE(w http.ResponseWriter, r *http.Request, since uint64) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
@@ -544,6 +587,9 @@ func (o *Observatory) serveSSE(w http.ResponseWriter, r *http.Request, since uin
 		}
 		seq = next
 		select {
+		case <-o.done:
+			// Shutdown: finish the stream so the server can drain.
+			return
 		case <-r.Context().Done():
 			return
 		default:

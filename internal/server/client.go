@@ -1,0 +1,221 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to a chaserd over HTTP. It implements Control (for workers)
+// and the submit/watch surface (for cmd/campaign). A zero HTTPClient uses a
+// modest default timeout; long-poll calls override per-request.
+type Client struct {
+	// Base is the server address, e.g. "http://127.0.0.1:7070".
+	Base string
+	// HTTPClient overrides the transport (nil = 30s-timeout default).
+	HTTPClient *http.Client
+}
+
+// NewClient builds a client for base ("host:port" or full URL).
+func NewClient(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// RemoteError is a non-2xx response from chaserd, preserving the status
+// code and any Retry-After hint so callers can implement the 429 contract.
+type RemoteError struct {
+	Status     int
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("chaserd: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// do issues one request and decodes a JSON body into out (when non-nil).
+func (c *Client) do(method, path string, body, out any) error {
+	return c.doClient(c.http(), method, path, body, out)
+}
+
+func (c *Client) doClient(hc *http.Client, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode == http.StatusNoContent {
+		return nil
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		re := &RemoteError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(raw))}
+		var he httpError
+		if json.Unmarshal(raw, &he) == nil && he.Error != "" {
+			re.Msg = he.Error
+		}
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			re.RetryAfter = time.Duration(ra) * time.Second
+		}
+		if resp.StatusCode == http.StatusNotFound && strings.Contains(re.Msg, "lease") {
+			return fmt.Errorf("%w (%s)", ErrLeaseUnknown, re.Msg)
+		}
+		return re
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Submit posts a spec, honoring 429 + Retry-After with bounded waiting
+// (at most ~30s total) before giving up — the graceful-degradation side of
+// the admission-control contract.
+func (c *Client) Submit(sp Spec) (string, error) {
+	var waited time.Duration
+	for {
+		var resp struct {
+			ID string `json:"id"`
+		}
+		err := c.do(http.MethodPost, "/api/v1/campaigns", sp, &resp)
+		if err == nil {
+			return resp.ID, nil
+		}
+		var re *RemoteError
+		if errors.As(err, &re) && re.Status == http.StatusTooManyRequests && waited < 30*time.Second {
+			wait := re.RetryAfter
+			if wait <= 0 {
+				wait = time.Second
+			}
+			waited += wait
+			time.Sleep(wait)
+			continue
+		}
+		return "", err
+	}
+}
+
+// Status fetches one campaign's status.
+func (c *Client) Status(id string) (*CampaignStatus, error) {
+	var st CampaignStatus
+	if err := c.do(http.MethodGet, "/api/v1/campaigns/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// SummaryDoc is the stored summary document: the pre-rendered report text
+// (histogram internals do not survive a JSON round trip, so the server
+// renders the report at merge time) plus the raw summary JSON.
+type SummaryDoc struct {
+	Report  string          `json:"report"`
+	Summary json.RawMessage `json:"summary"`
+}
+
+// WaitSummary long-polls until the campaign completes and returns its
+// summary document. It re-polls indefinitely while the campaign is active;
+// a failed campaign surfaces as the server's 409 error.
+func (c *Client) WaitSummary(id string) (*SummaryDoc, error) {
+	// Per-request timeout must exceed the server's long-poll cap (60s).
+	hc := &http.Client{Timeout: 90 * time.Second}
+	for {
+		req, err := http.NewRequest(http.MethodGet, c.Base+"/api/v1/campaigns/"+id+"/summary?wait=30s", nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var doc SummaryDoc
+			if err := json.Unmarshal(raw, &doc); err != nil {
+				return nil, fmt.Errorf("chaserd: bad summary document: %v", err)
+			}
+			return &doc, nil
+		case http.StatusAccepted:
+			continue // still running; poll again
+		default:
+			re := &RemoteError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(raw))}
+			var he httpError
+			if json.Unmarshal(raw, &he) == nil && he.Error != "" {
+				re.Msg = he.Error
+			}
+			return nil, re
+		}
+	}
+}
+
+// Claim implements Control over HTTP. (nil, nil) mirrors the server's 204.
+func (c *Client) Claim(worker string) (*Assignment, error) {
+	req := struct {
+		Worker string `json:"worker"`
+	}{worker}
+	var a Assignment
+	err := c.do(http.MethodPost, "/api/v1/leases", req, &a)
+	if err != nil {
+		return nil, err
+	}
+	if a.Token == "" { // 204: no body was decoded
+		return nil, nil
+	}
+	return &a, nil
+}
+
+// Heartbeat implements Control over HTTP.
+func (c *Client) Heartbeat(token string) error {
+	return c.do(http.MethodPost, "/api/v1/leases/"+token+"/heartbeat", struct{}{}, nil)
+}
+
+// Complete implements Control over HTTP.
+func (c *Client) Complete(token string) error {
+	return c.do(http.MethodPost, "/api/v1/leases/"+token+"/complete", struct{}{}, nil)
+}
+
+// Fail implements Control over HTTP.
+func (c *Client) Fail(token, reason string) error {
+	req := struct {
+		Reason string `json:"reason"`
+	}{reason}
+	return c.do(http.MethodPost, "/api/v1/leases/"+token+"/fail", req, nil)
+}

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"chaser/internal/obs"
+)
+
+// ServerConfig wires one chaserd instance.
+type ServerConfig struct {
+	// Addr is the listen address (e.g. "127.0.0.1:7070"; ":0" for tests).
+	Addr string
+	// StoreDir is the durable state directory.
+	StoreDir string
+	// Sched tunes the scheduler (Obs and OnTerminal are overwritten by the
+	// server's own wiring).
+	Sched SchedConfig
+	// Tenants bounds per-tenant admission.
+	Tenants TenantLimits
+	// Obs is the metrics registry (nil allocates a private one).
+	Obs *obs.Registry
+	// Logf overrides the server logger (nil = log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Server is one chaserd instance: store + scheduler + tenant table behind
+// the HTTP API. Construct with NewServer, serve with Start (or use
+// Handler with a test server), stop with Shutdown.
+type Server struct {
+	cfg     ServerConfig
+	reg     *obs.Registry
+	store   *Store
+	sched   *Scheduler
+	tenants *Tenants
+	logf    func(format string, args ...any)
+
+	hsrv *http.Server
+	ln   net.Listener
+}
+
+// NewServer opens the store, replays the WAL, and wires the scheduler and
+// tenant table. Tenant active-campaign counts are recovered from the
+// replayed state so a restart cannot be used to dodge quotas.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.StoreDir == "" {
+		return nil, fmt.Errorf("server: StoreDir required")
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	store, recs, err := OpenStore(cfg.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	tenants := NewTenants(cfg.Tenants)
+	scfg := cfg.Sched
+	scfg.Obs = reg
+	if scfg.Logf == nil {
+		scfg.Logf = logf
+	}
+	scfg.OnTerminal = tenants.Release
+	sched, err := NewScheduler(store, recs, scfg)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	tenants.Restore(sched.ActiveByTenant())
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		store:   store,
+		sched:   sched,
+		tenants: tenants,
+		logf:    logf,
+	}
+	return s, nil
+}
+
+// Handler returns the API handler (for tests via httptest.Server).
+func (s *Server) Handler() http.Handler { return s.handler() }
+
+// Scheduler exposes the scheduler (in-process workers, tests).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Registry exposes the metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Start listens on cfg.Addr and serves the API in the background. It
+// returns once the listener is bound, so the caller can print the
+// resolved address before any request arrives.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.hsrv = &http.Server{
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		if err := s.hsrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.logf("chaserd: serve: %v", err)
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains the HTTP server (bounded by ctx), stops the expiry
+// loop, and closes the WAL. Campaign state is durable: a later NewServer
+// over the same StoreDir resumes every active campaign.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	if s.hsrv != nil {
+		err = s.hsrv.Shutdown(ctx)
+	}
+	s.sched.Stop()
+	if cerr := s.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Abort is Shutdown without draining — for tests simulating a crash. The
+// WAL descriptor is closed so the file can be reopened, but nothing is
+// flushed or finalized beyond what Append already persisted (which, by
+// design, is everything).
+func (s *Server) Abort() {
+	if s.hsrv != nil {
+		s.hsrv.Close()
+	}
+	s.sched.Stop()
+	s.store.Close()
+}

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The control plane's durable state is a CRC-framed JSONL write-ahead log:
+// one record per line, each line `%08x <json>\n` where the hex prefix is
+// the IEEE CRC32 of the JSON payload. This combines the two idioms the rest
+// of the tree already proved out — the campaign journal's append-only JSONL
+// with torn-tail tolerance (PR 3) and the TaintHub WAL's CRC framing that
+// distinguishes a torn tail from silent bit rot (PR 4). Every state
+// transition (submit, shard done, requeue, quarantine, complete, fail) is
+// one unbuffered O_APPEND write, so a chaserd killed at any instant loses
+// at most the record being written; replaying the log on startup rebuilds
+// the scheduler exactly, and shards that were mid-flight simply return to
+// the pending queue (their run journals make the re-execution incremental).
+//
+// Leases are deliberately NOT in the WAL: a restarted chaserd voids every
+// lease by construction. Surviving workers notice at their next heartbeat
+// (unknown lease), abandon the shard, and re-claim; their journaled runs
+// are not lost. Durable leases would buy nothing but recovery complexity.
+
+// walRecord is one control-plane state transition.
+type walRecord struct {
+	// T is the record type: "campaign", "done", "requeue", "quarantine",
+	// "complete", "failed".
+	T string `json:"t"`
+	// C is the campaign ID.
+	C string `json:"c,omitempty"`
+	// Shard is the shard index within the campaign.
+	Shard int `json:"s,omitempty"`
+	// Spec rides the "campaign" record.
+	Spec *Spec `json:"spec,omitempty"`
+	// Hub is the TaintHub address assigned to the campaign ("" = private
+	// in-process hubs).
+	Hub string `json:"hub,omitempty"`
+	// NSBase is the campaign's hub namespace base.
+	NSBase int `json:"ns_base,omitempty"`
+	// Retries is the shard's requeue count ("requeue" records).
+	Retries int `json:"retries,omitempty"`
+	// Reason is why a shard was requeued or quarantined.
+	Reason string `json:"reason,omitempty"`
+	// Err is a campaign-level failure ("failed" records).
+	Err string `json:"err,omitempty"`
+}
+
+// Store owns the control plane's on-disk layout:
+//
+//	<dir>/state.jsonl                    the WAL
+//	<dir>/journals/<cid>-shard<N>.jsonl  per-shard run journals
+//	<dir>/summaries/<cid>.json           merged campaign summaries
+//
+// Append is safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu sync.Mutex
+	f  *os.File
+}
+
+var crcTable = crc32.IEEETable
+
+// frameRecord encodes one WAL line.
+func frameRecord(rec walRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	line := make([]byte, 0, len(payload)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.Checksum(payload, crcTable))
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// parseLine decodes one WAL line, reporting ok=false for any damage (bad
+// frame shape, CRC mismatch, undecodable JSON).
+func parseLine(line []byte) (walRecord, bool) {
+	var rec walRecord
+	if len(line) < 10 || line[8] != ' ' {
+		return rec, false
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return rec, false
+	}
+	payload := line[9:]
+	if crc32.Checksum(payload, crcTable) != want {
+		return rec, false
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, false
+	}
+	return rec, true
+}
+
+// OpenStore opens (creating if necessary) the store at dir, replays the
+// WAL, truncates any torn or corrupt tail so later appends land after valid
+// records only, and reopens the log for appending. The returned records are
+// the valid prefix in append order.
+func OpenStore(dir string) (*Store, []walRecord, error) {
+	for _, sub := range []string{"", "journals", "summaries"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, nil, fmt.Errorf("server: store dir: %w", err)
+		}
+	}
+	path := filepath.Join(dir, "state.jsonl")
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("server: read wal: %w", err)
+	}
+	var recs []walRecord
+	valid := 0 // byte offset of the end of the last valid record
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		rec, ok := parseLine(line)
+		if !ok {
+			// Torn or corrupted tail: everything after the last valid record
+			// is dropped. Records are single writes, so only the final line
+			// can legitimately be damaged; anything else is treated the same
+			// way — better to lose a suffix (shards re-enqueue, journals make
+			// re-execution cheap) than to trust damaged state.
+			break
+		}
+		recs = append(recs, rec)
+		valid += len(line) + 1
+	}
+	if valid > len(raw) { // file did not end in '\n'
+		valid = len(raw)
+	}
+	if valid < len(raw) {
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return nil, nil, fmt.Errorf("server: truncate torn wal tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: open wal: %w", err)
+	}
+	return &Store{dir: dir, f: f}, recs, nil
+}
+
+// Append durably records one state transition: a single write(2) of one
+// CRC-framed line on an O_APPEND descriptor, so concurrent appends never
+// interleave and a crash can only tear the final line.
+func (s *Store) Append(rec walRecord) error {
+	line, err := frameRecord(rec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("server: store closed")
+	}
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("server: wal append: %w", err)
+	}
+	return nil
+}
+
+// JournalPath returns the run journal path for one shard of one campaign.
+// The path is stable across re-enqueues and chaserd restarts — that
+// stability is what lets a re-leased shard resume instead of re-executing.
+func (s *Store) JournalPath(cid string, shard int) string {
+	return filepath.Join(s.dir, "journals", fmt.Sprintf("%s-shard%04d.jsonl", cid, shard))
+}
+
+// SummaryPath returns the merged summary path for one campaign.
+func (s *Store) SummaryPath(cid string) string {
+	return filepath.Join(s.dir, "summaries", cid+".json")
+}
+
+// WriteSummary persists a campaign's merged summary with the
+// temp+rename idiom: readers never observe a half-written file.
+func (s *Store) WriteSummary(cid string, data []byte) error {
+	path := s.SummaryPath(cid)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("server: write summary: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: write summary: %w", err)
+	}
+	return nil
+}
+
+// ReadSummary loads a campaign's merged summary ("" if absent).
+func (s *Store) ReadSummary(cid string) ([]byte, error) {
+	raw, err := os.ReadFile(s.SummaryPath(cid))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	return raw, err
+}
+
+// Close closes the WAL. Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStoreTornTailTruncated: a crash mid-append leaves a torn final line;
+// reopening must recover every complete record, truncate the tail, and
+// keep accepting appends that a further reopen also recovers.
+func TestStoreTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	store, recs, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh store replayed %d records", len(recs))
+	}
+	for i := 0; i < 3; i++ {
+		if err := store.Append(walRecord{T: "done", C: "c000000", Shard: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store.Close()
+
+	// Tear the tail the way a crash does: a partial line at EOF.
+	path := filepath.Join(dir, "state.jsonl")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`0123abcd {"t":"done","c":"c0000`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	store2, recs2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(recs2))
+	}
+	for i, rec := range recs2 {
+		if rec.T != "done" || rec.Shard != i {
+			t.Errorf("record %d = %+v", i, rec)
+		}
+	}
+	// Appends after the truncation must land cleanly after the valid prefix.
+	if err := store2.Append(walRecord{T: "complete", C: "c000000"}); err != nil {
+		t.Fatal(err)
+	}
+	store2.Close()
+	_, recs3, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs3) != 4 || recs3[3].T != "complete" {
+		t.Fatalf("after post-truncation append: %d records, last %+v", len(recs3), recs3[len(recs3)-1])
+	}
+}
+
+// TestStoreCorruptMiddleStopsReplay: silent bit rot inside the file (CRC
+// mismatch on a non-final line) must stop replay at the damage rather than
+// trust anything after it.
+func TestStoreCorruptMiddleStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	store, _, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := store.Append(walRecord{T: "done", C: "c000000", Shard: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store.Close()
+	path := filepath.Join(dir, "state.jsonl")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40 // flip a bit mid-file
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store2, recs, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if len(recs) >= 3 {
+		t.Fatalf("replay returned %d records across corruption, want a strict prefix", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Shard != i {
+			t.Errorf("prefix record %d = %+v", i, rec)
+		}
+	}
+}
+
+// TestStoreSummaryRoundTrip exercises the temp+rename summary store.
+func TestStoreSummaryRoundTrip(t *testing.T) {
+	store, _, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if raw, err := store.ReadSummary("c000000"); err != nil || raw != nil {
+		t.Fatalf("absent summary: %q, %v", raw, err)
+	}
+	want := []byte(`{"report":"ok"}`)
+	if err := store.WriteSummary("c000000", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.ReadSummary("c000000")
+	if err != nil || string(got) != string(want) {
+		t.Fatalf("read summary: %q, %v", got, err)
+	}
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Per-tenant admission control. Every submission is accounted against a
+// tenant namespace and passes two gates before the scheduler sees it: a
+// token-bucket rate limit (smooths submission bursts) and an
+// active-campaign quota (bounds how much of the worker fleet one tenant
+// can hold at once). Both degrade gracefully rather than dropping
+// connections: the HTTP layer maps their typed errors to 429 with a
+// Retry-After header, mirroring the TaintHub's BusyError contract, so a
+// well-behaved client backs off instead of hammering.
+
+// TenantLimits bounds one tenant namespace. Zero values select defaults.
+type TenantLimits struct {
+	// MaxActive is the number of concurrently active (non-terminal)
+	// campaigns a tenant may hold (default 8).
+	MaxActive int
+	// RatePerSec is the sustained submission rate (default 4/s).
+	RatePerSec float64
+	// Burst is the token-bucket depth (default 8).
+	Burst int
+}
+
+func (l TenantLimits) withDefaults() TenantLimits {
+	if l.MaxActive <= 0 {
+		l.MaxActive = 8
+	}
+	if l.RatePerSec <= 0 {
+		l.RatePerSec = 4
+	}
+	if l.Burst <= 0 {
+		l.Burst = 8
+	}
+	return l
+}
+
+// ThrottleError reports a submission rejected by a tenant's rate limit.
+type ThrottleError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *ThrottleError) Error() string {
+	return fmt.Sprintf("server: tenant %q over submission rate; retry after %s", e.Tenant, e.RetryAfter)
+}
+
+// QuotaError reports a submission rejected by a tenant's active-campaign
+// quota. RetryAfter is advisory: the quota frees when a campaign finishes,
+// not on a clock.
+type QuotaError struct {
+	Tenant     string
+	Active     int
+	Max        int
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("server: tenant %q at active-campaign quota (%d/%d)", e.Tenant, e.Active, e.Max)
+}
+
+// tenantState is one namespace's admission bookkeeping.
+type tenantState struct {
+	tokens float64   // token bucket level
+	last   time.Time // last refill
+	active int       // non-terminal campaigns
+}
+
+// Tenants is the admission-control table. All methods are safe for
+// concurrent use.
+type Tenants struct {
+	limits TenantLimits
+
+	mu sync.Mutex
+	m  map[string]*tenantState
+}
+
+// NewTenants builds the table; every tenant shares one limit set.
+func NewTenants(limits TenantLimits) *Tenants {
+	return &Tenants{limits: limits.withDefaults(), m: make(map[string]*tenantState)}
+}
+
+func (t *Tenants) stateLocked(tenant string, now time.Time) *tenantState {
+	ts := t.m[tenant]
+	if ts == nil {
+		ts = &tenantState{tokens: float64(t.limits.Burst), last: now}
+		t.m[tenant] = ts
+	}
+	return ts
+}
+
+// Admit charges one submission against tenant's rate limit and quota,
+// reserving an active-campaign slot on success. The caller must Release
+// the slot if the submission subsequently fails, and when the campaign
+// reaches a terminal state.
+func (t *Tenants) Admit(tenant string) error {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ts := t.stateLocked(tenant, now)
+	// Refill, clamped to the bucket depth.
+	ts.tokens += now.Sub(ts.last).Seconds() * t.limits.RatePerSec
+	if max := float64(t.limits.Burst); ts.tokens > max {
+		ts.tokens = max
+	}
+	ts.last = now
+	if ts.tokens < 1 {
+		wait := time.Duration((1 - ts.tokens) / t.limits.RatePerSec * float64(time.Second))
+		if wait < time.Second {
+			wait = time.Second // Retry-After is whole seconds; never advise 0
+		}
+		return &ThrottleError{Tenant: tenant, RetryAfter: wait}
+	}
+	if ts.active >= t.limits.MaxActive {
+		return &QuotaError{Tenant: tenant, Active: ts.active, Max: t.limits.MaxActive, RetryAfter: 5 * time.Second}
+	}
+	ts.tokens--
+	ts.active++
+	return nil
+}
+
+// Release frees one of tenant's active-campaign slots (campaign reached a
+// terminal state, or its submission failed after Admit).
+func (t *Tenants) Release(tenant string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ts := t.m[tenant]; ts != nil && ts.active > 0 {
+		ts.active--
+	}
+}
+
+// Restore seeds active-campaign counts recovered from the WAL after a
+// restart, without charging rate-limit tokens.
+func (t *Tenants) Restore(active map[string]int) {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for tenant, n := range active {
+		t.stateLocked(tenant, now).active = n
+	}
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTenantQuota: the active-campaign quota admits up to MaxActive, then
+// rejects with a QuotaError until a slot is released.
+func TestTenantQuota(t *testing.T) {
+	tn := NewTenants(TenantLimits{MaxActive: 2, RatePerSec: 1000, Burst: 100})
+	if err := tn.Admit("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Admit("a"); err != nil {
+		t.Fatal(err)
+	}
+	err := tn.Admit("a")
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("third admit: %v, want QuotaError", err)
+	}
+	if qe.Active != 2 || qe.Max != 2 || qe.RetryAfter <= 0 {
+		t.Errorf("QuotaError = %+v", qe)
+	}
+	// Tenants are independent namespaces.
+	if err := tn.Admit("b"); err != nil {
+		t.Errorf("tenant b blocked by tenant a's quota: %v", err)
+	}
+	tn.Release("a")
+	if err := tn.Admit("a"); err != nil {
+		t.Errorf("admit after release: %v", err)
+	}
+}
+
+// TestTenantThrottle: the token bucket rejects a burst over its depth with
+// a ThrottleError carrying a positive Retry-After.
+func TestTenantThrottle(t *testing.T) {
+	tn := NewTenants(TenantLimits{MaxActive: 100, RatePerSec: 0.001, Burst: 2})
+	if err := tn.Admit("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Admit("a"); err != nil {
+		t.Fatal(err)
+	}
+	err := tn.Admit("a")
+	var te *ThrottleError
+	if !errors.As(err, &te) {
+		t.Fatalf("burst-exhausted admit: %v, want ThrottleError", err)
+	}
+	if te.RetryAfter < time.Second {
+		t.Errorf("RetryAfter = %s, want >= 1s", te.RetryAfter)
+	}
+}
+
+// TestTenantRestore seeds recovered active counts without spending tokens.
+func TestTenantRestore(t *testing.T) {
+	tn := NewTenants(TenantLimits{MaxActive: 2, RatePerSec: 1000, Burst: 100})
+	tn.Restore(map[string]int{"a": 2})
+	var qe *QuotaError
+	if err := tn.Admit("a"); !errors.As(err, &qe) {
+		t.Fatalf("admit over restored quota: %v, want QuotaError", err)
+	}
+}
+
+// TestSubmitOverQuotaReturns429 drives the admission-control contract end
+// to end over HTTP: quota and rate rejections must surface as 429 with a
+// Retry-After header, and a rejected submission must not leak a quota slot.
+func TestSubmitOverQuotaReturns429(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Addr:     "127.0.0.1:0",
+		StoreDir: t.TempDir(),
+		Sched:    SchedConfig{ExpiryInterval: time.Hour, Logf: t.Logf},
+		Tenants:  TenantLimits{MaxActive: 1, RatePerSec: 1000, Burst: 100},
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Abort()
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/api/v1/campaigns", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	spec := `{"tenant":"team-a","app":"kmeans","runs":10,"seed":1}`
+	if resp := post(spec); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first submit: HTTP %d", resp.StatusCode)
+	}
+	resp := post(spec)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	// A bad spec from another tenant must not consume its quota slot.
+	if resp := post(`{"tenant":"team-b","app":"no-such-app","runs":10,"seed":1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown app: HTTP %d, want 400", resp.StatusCode)
+	}
+	if resp := post(`{"tenant":"team-b","app":"kmeans","runs":10,"seed":1}`); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("team-b submit after rejected spec: HTTP %d, want 201", resp.StatusCode)
+	}
+	// Oversized and malformed payloads map to their own statuses.
+	if resp := post(strings.Repeat("x", MaxSpecBytes+1)); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized spec: HTTP %d, want 413", resp.StatusCode)
+	}
+	if resp := post(`{"app":`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed spec: HTTP %d, want 400", resp.StatusCode)
+	}
+}

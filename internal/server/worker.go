@@ -1,0 +1,251 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"chaser/internal/apps"
+	"chaser/internal/campaign"
+	"chaser/internal/obs"
+	"chaser/internal/tainthub"
+)
+
+// Control is the worker's view of the scheduler: claim a shard, keep its
+// lease alive, report the result. LocalControl binds it in-process (tests,
+// single-binary mode); Client binds it over HTTP (the worker fleet).
+type Control interface {
+	// Claim requests work. (nil, nil) means none is currently available.
+	Claim(worker string) (*Assignment, error)
+	// Heartbeat extends the lease; ErrLeaseUnknown means it is gone and the
+	// worker must abandon the shard.
+	Heartbeat(token string) error
+	// Complete reports successful shard execution.
+	Complete(token string) error
+	// Fail reports a shard execution error.
+	Fail(token, reason string) error
+}
+
+// LocalControl adapts a Scheduler into a Control for in-process workers.
+type LocalControl struct{ Sched *Scheduler }
+
+func (l LocalControl) Claim(worker string) (*Assignment, error) { return l.Sched.Claim(worker) }
+func (l LocalControl) Heartbeat(token string) error             { return l.Sched.Heartbeat(token) }
+func (l LocalControl) Complete(token string) error              { return l.Sched.Complete(token) }
+func (l LocalControl) Fail(token, reason string) error          { return l.Sched.Fail(token, reason) }
+
+// WorkerConfig tunes one worker process.
+type WorkerConfig struct {
+	// Name identifies the worker in scheduler logs and shard status.
+	Name string
+	// Control is the scheduler binding (required).
+	Control Control
+	// PollInterval is the idle claim retry cadence (default 500ms).
+	PollInterval time.Duration
+	// IdleExit, when positive, stops the worker after that long without
+	// claimable work (batch mode; 0 = run until Stop).
+	IdleExit time.Duration
+	// Obs receives worker telemetry (nil disables it).
+	Obs *obs.Registry
+	// Logf overrides the worker's logger (nil = log.Printf).
+	Logf func(format string, args ...any)
+	// RunShard overrides shard execution (tests stub it; nil = ExecuteShard).
+	RunShard func(a *Assignment) error
+}
+
+// Worker claims shards from a Control and executes them until stopped. The
+// failure contract is symmetrical with the scheduler's: any shard error —
+// including a panic in the campaign engine — is reported via Fail so the
+// scheduler can retry elsewhere or quarantine, and a lease the scheduler no
+// longer recognizes makes the worker abandon the shard silently (its
+// journal keeps the completed runs).
+type Worker struct {
+	cfg  WorkerConfig
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// NewWorker builds a worker. Call Run (blocking) or Start (background).
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 500 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	return &Worker{cfg: cfg, stop: make(chan struct{})}
+}
+
+// Start runs the worker loop in the background.
+func (w *Worker) Start() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		w.Run()
+	}()
+}
+
+// Stop asks the worker to finish its current shard and exit; it returns
+// after the loop has drained.
+func (w *Worker) Stop() {
+	w.once.Do(func() { close(w.stop) })
+	w.wg.Wait()
+}
+
+// Run is the claim-execute loop. It returns when stopped, or — with
+// IdleExit set — after the idle deadline passes with no claimable work.
+func (w *Worker) Run() {
+	idleSince := time.Now()
+	for {
+		select {
+		case <-w.stop:
+			return
+		default:
+		}
+		a, err := w.cfg.Control.Claim(w.cfg.Name)
+		if err != nil {
+			w.cfg.Logf("%s: claim: %v", w.cfg.Name, err)
+		}
+		if a == nil {
+			if w.cfg.IdleExit > 0 && time.Since(idleSince) >= w.cfg.IdleExit {
+				w.cfg.Logf("%s: idle for %s; exiting", w.cfg.Name, w.cfg.IdleExit)
+				return
+			}
+			select {
+			case <-w.stop:
+				return
+			case <-time.After(w.cfg.PollInterval):
+			}
+			continue
+		}
+		idleSince = time.Now()
+		w.cfg.Obs.Counter("worker_shards_claimed_total").Inc()
+		w.cfg.Logf("%s: claimed campaign %s shard %d (runs [%d,%d))",
+			w.cfg.Name, a.Campaign, a.Shard, a.Lo, a.Hi)
+		w.execute(a)
+	}
+}
+
+// execute runs one assignment under a live lease, converting every failure
+// mode — error return, panic, lost lease — into the right Control call.
+func (w *Worker) execute(a *Assignment) {
+	// Heartbeat at a third of the TTL so two beats can be lost before the
+	// lease expires. lost is closed when the scheduler disowns the lease
+	// (expired, or chaserd restarted): the shard's work is abandoned —
+	// NOT completed — because another worker may already own it.
+	lost := make(chan struct{})
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		interval := time.Duration(a.TTLMs) * time.Millisecond / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-ticker.C:
+				if err := w.cfg.Control.Heartbeat(a.Token); err != nil {
+					if errors.Is(err, ErrLeaseUnknown) {
+						w.cfg.Logf("%s: lease for campaign %s shard %d gone; abandoning",
+							w.cfg.Name, a.Campaign, a.Shard)
+						w.cfg.Obs.Counter("worker_shards_abandoned_total").Inc()
+						close(lost)
+						return
+					}
+					w.cfg.Logf("%s: heartbeat: %v", w.cfg.Name, err)
+				}
+			}
+		}
+	}()
+
+	err := w.runShard(a, lost)
+	close(hbStop)
+	hbWG.Wait()
+
+	select {
+	case <-lost:
+		// Lease disowned mid-run: nothing to report; the journal keeps
+		// whatever completed.
+		return
+	default:
+	}
+	if err != nil {
+		if rerr := w.cfg.Control.Fail(a.Token, err.Error()); rerr != nil {
+			if !errors.Is(rerr, ErrLeaseUnknown) {
+				w.cfg.Logf("%s: fail report: %v", w.cfg.Name, rerr)
+			}
+			return
+		}
+		w.cfg.Obs.Counter("worker_shards_failed_total").Inc()
+		return
+	}
+	if rerr := w.cfg.Control.Complete(a.Token); rerr != nil {
+		if !errors.Is(rerr, ErrLeaseUnknown) {
+			w.cfg.Logf("%s: complete report: %v", w.cfg.Name, rerr)
+		}
+		return
+	}
+	w.cfg.Obs.Counter("worker_shards_completed_total").Inc()
+}
+
+// runShard executes the assignment, converting panics into errors so a
+// poisoned shard (one that crashes the engine deterministically) surfaces
+// as bounded retries and quarantine instead of killing the worker fleet.
+func (w *Worker) runShard(a *Assignment, lost <-chan struct{}) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if w.cfg.RunShard != nil {
+		return w.cfg.RunShard(a)
+	}
+	return ExecuteShard(a, lost, w.cfg.Obs)
+}
+
+// ExecuteShard runs one shard of a campaign: build the deterministic
+// campaign config from the assignment, journal to the shard's stable path
+// (resuming if a previous attempt left one — re-enqueued shards pick up
+// where the dead worker stopped), and execute only the assigned run window.
+// stop aborts execution early (lost lease, worker shutdown).
+func ExecuteShard(a *Assignment, stop <-chan struct{}, reg *obs.Registry) error {
+	app, err := apps.ByName(a.Spec.App)
+	if err != nil {
+		return err
+	}
+	cfg := campaignConfig(a.Spec, app, a.NSBase)
+	cfg.Shard = &campaign.ShardRange{Lo: a.Lo, Hi: a.Hi}
+	cfg.Stop = stop
+	cfg.Obs = reg
+	if _, err := os.Stat(a.Journal); err == nil {
+		cfg.Resume = a.Journal
+	} else {
+		cfg.Journal = a.Journal
+	}
+	if a.Hub != "" {
+		client, err := tainthub.DialConfig(a.Hub, tainthub.ClientConfig{MaxAttempts: 12})
+		if err != nil {
+			return fmt.Errorf("connecting to taint hub: %w", err)
+		}
+		defer client.Close()
+		cfg.Hub = client
+	}
+	_, err = campaign.Run(cfg)
+	if errors.Is(err, campaign.ErrInterrupted) {
+		return fmt.Errorf("shard interrupted: %w", err)
+	}
+	return err
+}
