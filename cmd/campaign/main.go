@@ -167,7 +167,7 @@ func run(args []string, out io.Writer) error {
 	snapCacheMB := fs.Int64("snap-cache-mb", 0, "world-snapshot cache cap in MiB for fork-point multiplexing (0 = default 256)")
 	hubAddr := fs.String("hub", "", "shared TaintHub server address (default: in-process hub)")
 	hubPolicy := fs.String("hub-policy", "degrade", "on hub failure: degrade (proceed untainted) | fail (fail the run)")
-	chaserdAddr := fs.String("chaserd", "", "chaserd control-plane URL for -experiment submit/watch")
+	chaserdAddr := fs.String("chaserd", "", "chaserd control-plane URL for -experiment submit/watch (comma-separated peers for an HA pair; the client fails over)")
 	campaignID := fs.String("campaign", "", "campaign ID for -experiment watch")
 	shards := fs.Int("shards", 0, "shard count for -experiment submit (0 = server default)")
 	tenant := fs.String("tenant", "", "tenant namespace for -experiment submit (empty = default)")

@@ -15,6 +15,24 @@
 //
 //	chaserd -worker -connect http://127.0.0.1:7070 -name w1
 //
+// HA mode pairs two servers over a shared fence file and data directory:
+// whichever holds the fence lease leads, the other replicates the leader's
+// WAL as a hot standby and promotes within about one -leader-ttl of the
+// leader going silent. Workers and clients take the full peer list and
+// fail over automatically:
+//
+//	chaserd -store ./a -data ./shared -fence-file ./shared/fence \
+//	    -advertise http://127.0.0.1:7070 -addr 127.0.0.1:7070 \
+//	    -peer http://127.0.0.1:7071 -role leader
+//	chaserd -store ./b -data ./shared -fence-file ./shared/fence \
+//	    -advertise http://127.0.0.1:7071 -addr 127.0.0.1:7071 \
+//	    -peer http://127.0.0.1:7070 -role follower
+//	chaserd -worker -connect http://127.0.0.1:7070,http://127.0.0.1:7071
+//
+// The -chaos flag (or CHASERD_CHAOS) arms the deterministic self-chaos
+// harness: seeded fault injection at named sites inside the WAL, the
+// replication stream and the fencer clock (see docs/ROBUSTNESS.md).
+//
 // SIGTERM/SIGINT shut either mode down gracefully: the server drains HTTP
 // and closes its store (campaign state is durable); a worker finishes its
 // current shard first — or, killed harder, simply stops heartbeating and
@@ -55,6 +73,16 @@ func run(args []string) error {
 	maxActive := fs.Int("tenant-max-active", 0, "active campaigns per tenant (0 = default)")
 	ratePerSec := fs.Float64("tenant-rate", 0, "sustained submissions/s per tenant (0 = default)")
 	burst := fs.Int("tenant-burst", 0, "submission burst per tenant (0 = default)")
+	// HA mode.
+	dataDir := fs.String("data", "", "journals + summaries directory, shared between HA peers (empty = -store)")
+	fenceFile := fs.String("fence-file", "", "shared fencing file; setting it enables HA leader election")
+	peer := fs.String("peer", "", "the other HA node's base URL (replication source and redirect fallback)")
+	advertise := fs.String("advertise", "", "this node's externally reachable base URL (default http://<addr>)")
+	role := fs.String("role", "", "startup role bias: leader contends immediately, follower yields one TTL first")
+	leaderTTL := fs.Duration("leader-ttl", 3*time.Second, "fence lease duration; a leader silent this long is deposed")
+	fsync := fs.Bool("fsync", false, "fsync the WAL on every append")
+	walSegment := fs.Int64("wal-segment", 0, "WAL segment rotation threshold in bytes (0 = 1 MiB default)")
+	chaosSpec := fs.String("chaos", os.Getenv("CHASERD_CHAOS"), "self-chaos spec, e.g. seed=42,rate=0.05,sites=wal.short_write+repl.drop_frame (default $CHASERD_CHAOS)")
 	// Worker mode.
 	worker := fs.Bool("worker", false, "run as a worker instead of a server")
 	connect := fs.String("connect", "", "chaserd URL to claim shards from (worker mode)")
@@ -76,6 +104,9 @@ func run(args []string) error {
 		addr: *addr, storeDir: *storeDir, pool: *pool, hubs: *hubs,
 		leaseTTL: *leaseTTL, maxRetries: *maxRetries, defaultShards: *defaultShards,
 		maxActive: *maxActive, ratePerSec: *ratePerSec, burst: *burst,
+		dataDir: *dataDir, fenceFile: *fenceFile, peer: *peer, advertise: *advertise,
+		role: *role, leaderTTL: *leaderTTL, fsync: *fsync, chaos: *chaosSpec,
+		walSegment: *walSegment,
 	}, sigc)
 }
 
@@ -86,6 +117,12 @@ type serverOpts struct {
 	burst                    int
 	ratePerSec               float64
 	leaseTTL                 time.Duration
+
+	dataDir, fenceFile, peer string
+	advertise, role, chaos   string
+	leaderTTL                time.Duration
+	walSegment               int64
+	fsync                    bool
 }
 
 func runServer(o serverOpts, sigc <-chan os.Signal) error {
@@ -100,9 +137,14 @@ func runServer(o serverOpts, sigc <-chan os.Signal) error {
 			}
 		}
 	}
+	chaos, err := server.ParseChaos(o.chaos)
+	if err != nil {
+		return err
+	}
 	srv, err := server.NewServer(server.ServerConfig{
 		Addr:     o.addr,
 		StoreDir: o.storeDir,
+		DataDir:  o.dataDir,
 		Obs:      obs.NewRegistry(),
 		Sched: server.SchedConfig{
 			LeaseTTL:        o.leaseTTL,
@@ -115,6 +157,14 @@ func runServer(o serverOpts, sigc <-chan os.Signal) error {
 			RatePerSec: o.ratePerSec,
 			Burst:      o.burst,
 		},
+		FenceFile:       o.fenceFile,
+		Peer:            o.peer,
+		AdvertiseURL:    o.advertise,
+		LeaderTTL:       o.leaderTTL,
+		RolePreference:  o.role,
+		WALSegmentBytes: o.walSegment,
+		Fsync:           o.fsync,
+		Chaos:           chaos,
 	})
 	if err != nil {
 		return err
@@ -126,9 +176,19 @@ func runServer(o serverOpts, sigc <-chan os.Signal) error {
 
 	workers := make([]*server.Worker, o.pool)
 	for i := range workers {
+		// Over HTTP (not LocalControl) so pool workers survive this node
+		// being an HA follower and follow redirects to the leader.
+		control := server.Control(server.LocalControl{Sched: srv.Scheduler()})
+		if o.fenceFile != "" {
+			peers := srv.Advertise()
+			if o.peer != "" {
+				peers += "," + o.peer
+			}
+			control = server.NewClient(peers)
+		}
 		workers[i] = server.NewWorker(server.WorkerConfig{
 			Name:    fmt.Sprintf("pool-%d", i),
-			Control: server.LocalControl{Sched: srv.Scheduler()},
+			Control: control,
 			Obs:     srv.Registry(),
 		})
 		workers[i].Start()
@@ -146,7 +206,7 @@ func runServer(o serverOpts, sigc <-chan os.Signal) error {
 
 func runWorker(connect, name string, poll, idleExit time.Duration, sigc <-chan os.Signal) error {
 	if connect == "" {
-		return fmt.Errorf("worker mode requires -connect URL")
+		return fmt.Errorf("worker mode requires -connect URL (comma-separated for an HA pair)")
 	}
 	w := server.NewWorker(server.WorkerConfig{
 		Name:         name,

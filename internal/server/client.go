@@ -6,28 +6,60 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 )
 
 // Client talks to a chaserd over HTTP. It implements Control (for workers)
 // and the submit/watch surface (for cmd/campaign). A zero HTTPClient uses a
 // modest default timeout; long-poll calls override per-request.
+//
+// In HA deployments a client is built with the full peer list
+// ("host:port,host:port"); it remembers which peer last served it (sticky),
+// follows the follower's 307 redirects to the leader automatically, and on
+// connection failure or 503 rotates through the remaining peers, honoring
+// Retry-After, until the failover budget is spent. A request no peer would
+// serve comes back as *FailoverError.
 type Client struct {
-	// Base is the server address, e.g. "http://127.0.0.1:7070".
+	// Base is the preferred server address, e.g. "http://127.0.0.1:7070".
 	Base string
+	// Peers lists every known server (failover candidates, includes Base).
+	Peers []string
 	// HTTPClient overrides the transport (nil = 30s-timeout default).
 	HTTPClient *http.Client
+	// FailoverWait caps the total time spent cycling peers and sleeping on
+	// Retry-After before a request fails with *FailoverError (default 30s).
+	FailoverWait time.Duration
+
+	mu     sync.Mutex
+	sticky string // the peer (or redirect target) that last served us
 }
 
-// NewClient builds a client for base ("host:port" or full URL).
+// NewClient builds a client for base ("host:port" or full URL). A
+// comma-separated list of addresses configures the HA peer set; the first
+// entry is the initial preference.
 func NewClient(base string) *Client {
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	var peers []string
+	for _, p := range strings.Split(base, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !strings.Contains(p, "://") {
+			p = "http://" + p
+		}
+		peers = append(peers, strings.TrimRight(p, "/"))
 	}
-	return &Client{Base: strings.TrimRight(base, "/")}
+	if len(peers) == 0 {
+		peers = []string{"http://" + base}
+	}
+	return &Client{Base: peers[0], Peers: peers}
 }
 
 func (c *Client) http() *http.Client {
@@ -35,6 +67,55 @@ func (c *Client) http() *http.Client {
 		return c.HTTPClient
 	}
 	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *Client) failoverWait() time.Duration {
+	if c.FailoverWait > 0 {
+		return c.FailoverWait
+	}
+	return 30 * time.Second
+}
+
+// currentPeer returns the sticky peer, falling back to Base.
+func (c *Client) currentPeer() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sticky != "" {
+		return c.sticky
+	}
+	return c.Base
+}
+
+// noteServed records the address that actually served a response — after
+// any redirects — so the next request goes straight to the leader.
+func (c *Client) noteServed(resp *http.Response) {
+	if resp.Request == nil || resp.Request.URL == nil {
+		return
+	}
+	u := resp.Request.URL
+	c.mu.Lock()
+	c.sticky = u.Scheme + "://" + u.Host
+	c.mu.Unlock()
+}
+
+// rotate advances the sticky peer past the one that just failed. If the
+// failed address is not in Peers (a redirect target that died), fall back
+// to the head of the peer list.
+func (c *Client) rotate(from string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur := c.sticky; cur != "" && cur != from {
+		return // another goroutine already moved on
+	}
+	for i, p := range c.Peers {
+		if p == from {
+			c.sticky = c.Peers[(i+1)%len(c.Peers)]
+			return
+		}
+	}
+	if len(c.Peers) > 0 {
+		c.sticky = c.Peers[0]
+	}
 }
 
 // RemoteError is a non-2xx response from chaserd, preserving the status
@@ -49,25 +130,100 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("chaserd: HTTP %d: %s", e.Status, e.Msg)
 }
 
-// do issues one request and decodes a JSON body into out (when non-nil).
+// FailoverError reports that no configured peer would serve a request
+// within the failover budget: every one was down or leaderless.
+type FailoverError struct {
+	Peers  []string      // the peer set that was tried
+	Waited time.Duration // total time spent before giving up
+	Last   error         // the final per-peer failure
+}
+
+func (e *FailoverError) Error() string {
+	return fmt.Sprintf("chaserd: no peer served the request after %s (peers %s): %v",
+		e.Waited.Round(time.Millisecond), strings.Join(e.Peers, ", "), e.Last)
+}
+
+func (e *FailoverError) Unwrap() error { return e.Last }
+
+// retryableAcross reports whether an error may be retried against another
+// peer. A 503 (follower with no leader, or mid-demotion) is always safe:
+// the server refused before touching state. Transport errors are safe for
+// idempotent requests; for POSTs only failures that provably happened
+// before the request was delivered (dial errors) qualify — a timeout after
+// delivery might have been processed.
+func retryableAcross(err error, idempotent bool) bool {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Status == http.StatusServiceUnavailable
+	}
+	var ue *url.Error
+	if !errors.As(err, &ue) {
+		return false
+	}
+	if idempotent {
+		return true
+	}
+	var oe *net.OpError
+	if errors.As(ue, &oe) && oe.Op == "dial" {
+		return true
+	}
+	return errors.Is(ue, syscall.ECONNREFUSED)
+}
+
+// retryDelay picks how long to sleep before the next peer attempt.
+func retryDelay(err error) time.Duration {
+	var re *RemoteError
+	if errors.As(err, &re) && re.RetryAfter > 0 {
+		return re.RetryAfter
+	}
+	return 250 * time.Millisecond
+}
+
+// do issues one request with failover and decodes a JSON body into out
+// (when non-nil).
 func (c *Client) do(method, path string, body, out any) error {
 	return c.doClient(c.http(), method, path, body, out)
 }
 
 func (c *Client) doClient(hc *http.Client, method, path string, body, out any) error {
-	var rd io.Reader
+	var payload []byte
 	if body != nil {
 		raw, err := json.Marshal(body)
 		if err != nil {
 			return err
 		}
-		rd = bytes.NewReader(raw)
+		payload = raw
 	}
-	req, err := http.NewRequest(method, c.Base+path, rd)
+	idempotent := method == http.MethodGet
+	var waited time.Duration
+	for {
+		peer := c.currentPeer()
+		err := c.doOnce(hc, peer, method, path, payload, out)
+		if err == nil || !retryableAcross(err, idempotent) {
+			return err
+		}
+		wait := retryDelay(err)
+		if waited+wait > c.failoverWait() {
+			return &FailoverError{Peers: append([]string(nil), c.Peers...), Waited: waited, Last: err}
+		}
+		c.rotate(peer)
+		time.Sleep(wait)
+		waited += wait
+	}
+}
+
+// doOnce issues one request against one peer. Transport failures surface
+// as *url.Error, HTTP failures as *RemoteError (or ErrLeaseUnknown).
+func (c *Client) doOnce(hc *http.Client, base, method, path string, payload []byte, out any) error {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequest(method, base+path, rd)
 	if err != nil {
 		return err
 	}
-	if body != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := hc.Do(req)
@@ -78,9 +234,6 @@ func (c *Client) doClient(hc *http.Client, method, path string, body, out any) e
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
 		return err
-	}
-	if resp.StatusCode == http.StatusNoContent {
-		return nil
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		re := &RemoteError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(raw))}
@@ -96,7 +249,8 @@ func (c *Client) doClient(hc *http.Client, method, path string, body, out any) e
 		}
 		return re
 	}
-	if out == nil {
+	c.noteServed(resp)
+	if resp.StatusCode == http.StatusNoContent || out == nil {
 		return nil
 	}
 	return json.Unmarshal(raw, out)
@@ -104,7 +258,8 @@ func (c *Client) doClient(hc *http.Client, method, path string, body, out any) e
 
 // Submit posts a spec, honoring 429 + Retry-After with bounded waiting
 // (at most ~30s total) before giving up — the graceful-degradation side of
-// the admission-control contract.
+// the admission-control contract. Failover across peers happens one layer
+// down, with its own budget.
 func (c *Client) Submit(sp Spec) (string, error) {
 	var waited time.Duration
 	for {
@@ -147,19 +302,30 @@ type SummaryDoc struct {
 }
 
 // WaitSummary long-polls until the campaign completes and returns its
-// summary document. It re-polls indefinitely while the campaign is active;
-// a failed campaign surfaces as the server's 409 error.
+// summary document. It re-polls indefinitely while the campaign is active
+// and rides out failovers: the budget only counts consecutive failures, so
+// a leader crash mid-watch costs one promotion, not the watch.
 func (c *Client) WaitSummary(id string) (*SummaryDoc, error) {
 	// Per-request timeout must exceed the server's long-poll cap (60s).
 	hc := &http.Client{Timeout: 90 * time.Second}
+	path := "/api/v1/campaigns/" + id + "/summary?wait=30s"
+	var waited time.Duration
 	for {
-		req, err := http.NewRequest(http.MethodGet, c.Base+"/api/v1/campaigns/"+id+"/summary?wait=30s", nil)
+		peer := c.currentPeer()
+		req, err := http.NewRequest(http.MethodGet, peer+path, nil)
 		if err != nil {
 			return nil, err
 		}
 		resp, err := hc.Do(req)
 		if err != nil {
-			return nil, err
+			wait := retryDelay(err)
+			if waited+wait > c.failoverWait() {
+				return nil, &FailoverError{Peers: append([]string(nil), c.Peers...), Waited: waited, Last: err}
+			}
+			c.rotate(peer)
+			time.Sleep(wait)
+			waited += wait
+			continue
 		}
 		raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 		resp.Body.Close()
@@ -168,13 +334,37 @@ func (c *Client) WaitSummary(id string) (*SummaryDoc, error) {
 		}
 		switch resp.StatusCode {
 		case http.StatusOK:
+			c.noteServed(resp)
 			var doc SummaryDoc
 			if err := json.Unmarshal(raw, &doc); err != nil {
 				return nil, fmt.Errorf("chaserd: bad summary document: %v", err)
 			}
 			return &doc, nil
 		case http.StatusAccepted:
-			continue // still running; poll again
+			c.noteServed(resp)
+			waited = 0 // the campaign is alive and being served
+			continue
+		case http.StatusServiceUnavailable, http.StatusNotFound:
+			// 503: leaderless interregnum. 404: the new leader has not yet
+			// replayed far enough to know the campaign (async replication
+			// lag) — indistinguishable from a bad ID, so bound the retries.
+			re := &RemoteError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(raw))}
+			var he httpError
+			if json.Unmarshal(raw, &he) == nil && he.Error != "" {
+				re.Msg = he.Error
+			}
+			if ra, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil {
+				re.RetryAfter = time.Duration(ra) * time.Second
+			}
+			wait := retryDelay(re)
+			if waited+wait > c.failoverWait() {
+				return nil, &FailoverError{Peers: append([]string(nil), c.Peers...), Waited: waited, Last: re}
+			}
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				c.rotate(peer)
+			}
+			time.Sleep(wait)
+			waited += wait
 		default:
 			re := &RemoteError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(raw))}
 			var he httpError

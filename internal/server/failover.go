@@ -1,0 +1,318 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Leader election and fencing. HA chaserd pairs share a tiny fence file —
+// a lease: {epoch, holder, expires} — CRC-framed like every other durable
+// byte in this tree. Whoever holds the live lease is leader; epochs are
+// strictly monotonic, bumped on every acquisition, and every durable write
+// the leader makes is stamped with its epoch. The fencing rules:
+//
+//  1. To lead, acquire the lease: allowed only when the current lease is
+//     expired (or held by you). The new epoch is max(file, everything this
+//     process ever saw)+1, so even a corrupted fence file cannot move
+//     epochs backward.
+//  2. To stay leader, renew before the lease expires. A renewal that finds
+//     a different holder or a higher epoch means you were deposed: demote
+//     immediately.
+//  3. Every local WAL append first validates the lease (Validate). A
+//     deposed leader's writes fail with ErrFenced before any byte lands —
+//     no dual-leader writes, ever. Control-plane appends are rare, so the
+//     extra fence read per append costs microseconds and buys the strict
+//     "zero accepted writes from a deposed epoch" guarantee.
+//  4. Replication consumers reject frames whose epoch is below the highest
+//     epoch they have observed (replica.go) — the network-facing half of
+//     the same rule.
+//
+// Mutual exclusion on the fence file itself is flock(2): read-modify-write
+// cycles are serialized, so two candidates racing to acquire cannot both
+// win one epoch (the loser sees the winner's record and observes). The
+// file lives wherever both peers can reach it — for the single-machine
+// deployments the tests and smokes exercise, any local path.
+
+// ErrFenced fails a local append attempted without a live leader lease.
+var ErrFenced = errors.New("server: append fenced: not the leader")
+
+// ErrDeposed reports a renewal or validation that discovered a newer
+// leader. The holder field names the usurper when known.
+type DeposedError struct {
+	Epoch  uint64 // our epoch
+	Seen   uint64 // the newer epoch observed
+	Holder string
+}
+
+func (e *DeposedError) Error() string {
+	return fmt.Sprintf("server: deposed: epoch %d superseded by %d (holder %s)", e.Epoch, e.Seen, e.Holder)
+}
+
+// fenceDoc is the durable lease record.
+type fenceDoc struct {
+	Epoch   uint64 `json:"epoch"`
+	Holder  string `json:"holder"`  // the leader's advertise URL
+	Expires int64  `json:"expires"` // unix nanoseconds
+}
+
+// Fencer manages one node's view of the fence file. Safe for concurrent
+// use; every operation opens, flocks, reads, optionally writes, and
+// releases the file, so crashed holders never leave the fence wedged
+// (flock dies with the process).
+type Fencer struct {
+	path string
+	self string
+	ttl  time.Duration
+	now  func() time.Time
+
+	mu      sync.Mutex
+	epoch   uint64 // lease we hold (0 = not leader)
+	maxSeen uint64 // highest epoch ever observed (monotonicity floor)
+}
+
+// NewFencer builds a fencer for one node. self is the node's advertise
+// URL (it doubles as the holder identity in the fence file); now may be
+// chaos-wrapped.
+func NewFencer(path, self string, ttl time.Duration, now func() time.Time) *Fencer {
+	if now == nil {
+		now = time.Now
+	}
+	return &Fencer{path: path, self: self, ttl: ttl, now: now}
+}
+
+// withFence runs fn with the fence file exclusively locked, passing the
+// current doc (zero doc if absent or damaged). If fn returns a non-nil
+// doc, it is written back (truncate + write + sync) before unlock.
+func (f *Fencer) withFence(fn func(cur fenceDoc) (*fenceDoc, error)) error {
+	fd, err := os.OpenFile(f.path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: fence open: %w", err)
+	}
+	defer fd.Close()
+	if err := syscall.Flock(int(fd.Fd()), syscall.LOCK_EX); err != nil {
+		return fmt.Errorf("server: fence lock: %w", err)
+	}
+	defer syscall.Flock(int(fd.Fd()), syscall.LOCK_UN)
+	raw, err := io.ReadAll(io.LimitReader(fd, 4096))
+	if err != nil {
+		return fmt.Errorf("server: fence read: %w", err)
+	}
+	// A damaged fence (torn write, bit rot) reads as the zero doc: the
+	// lease is up for grabs, and epoch monotonicity survives via maxSeen.
+	cur := parseFenceLine(raw)
+	next, err := fn(cur)
+	if err != nil {
+		return err
+	}
+	if next == nil {
+		return nil
+	}
+	line, err := frameFenceDoc(*next)
+	if err != nil {
+		return err
+	}
+	if err := fd.Truncate(0); err != nil {
+		return fmt.Errorf("server: fence truncate: %w", err)
+	}
+	if _, err := fd.WriteAt(line, 0); err != nil {
+		return fmt.Errorf("server: fence write: %w", err)
+	}
+	if err := fd.Sync(); err != nil {
+		return fmt.Errorf("server: fence sync: %w", err)
+	}
+	return nil
+}
+
+// frameFenceDoc encodes a fence doc with the store's CRC line framing.
+func frameFenceDoc(doc fenceDoc) ([]byte, error) {
+	payload, err := json.Marshal(doc)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(fmt.Sprintf("%08x %s\n", crc32.Checksum(payload, crcTable), payload)), nil
+}
+
+// parseFenceLine decodes a fence file's contents; damage yields the zero
+// doc (lease up for grabs; see maxSeen for epoch safety).
+func parseFenceLine(raw []byte) fenceDoc {
+	line := bytes.TrimRight(raw, "\n")
+	if len(line) < 10 || line[8] != ' ' {
+		return fenceDoc{}
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return fenceDoc{}
+	}
+	payload := line[9:]
+	if crc32.Checksum(payload, crcTable) != want {
+		return fenceDoc{}
+	}
+	var doc fenceDoc
+	if err := json.Unmarshal(payload, &doc); err != nil {
+		return fenceDoc{}
+	}
+	return doc
+}
+
+// TryAcquire attempts to take the lease. It returns (epoch, true, prev) on
+// success — the caller is now leader at that epoch, prev being the lease it
+// superseded — or (0, false, cur) with the live lease it observed.
+func (f *Fencer) TryAcquire() (uint64, bool, fenceDoc, error) {
+	var granted uint64
+	var observed fenceDoc
+	err := f.withFence(func(cur fenceDoc) (*fenceDoc, error) {
+		f.noteEpoch(cur.Epoch)
+		now := f.now()
+		observed = cur
+		live := cur.Holder != "" && now.UnixNano() < cur.Expires
+		if live && cur.Holder != f.self {
+			return nil, nil
+		}
+		// Expired, unclaimed, or our own stale lease from a previous
+		// incarnation: claim with a strictly higher epoch.
+		next := f.floorEpoch(cur.Epoch) + 1
+		granted = next
+		doc := fenceDoc{Epoch: next, Holder: f.self, Expires: now.Add(f.ttl).UnixNano()}
+		return &doc, nil
+	})
+	if err != nil {
+		return 0, false, fenceDoc{}, err
+	}
+	if granted == 0 {
+		return 0, false, observed, nil
+	}
+	f.mu.Lock()
+	f.epoch = granted
+	if granted > f.maxSeen {
+		f.maxSeen = granted
+	}
+	f.mu.Unlock()
+	return granted, true, observed, nil
+}
+
+// Is makes a deposition satisfy errors.Is(err, ErrFenced): both mean "you
+// may not write".
+func (e *DeposedError) Is(target error) bool { return target == ErrFenced }
+
+// Renew extends the held lease. A fence showing another holder or epoch
+// returns *DeposedError and drops leadership locally.
+func (f *Fencer) Renew() error {
+	f.mu.Lock()
+	mine := f.epoch
+	f.mu.Unlock()
+	if mine == 0 {
+		return ErrFenced
+	}
+	return f.withFence(func(cur fenceDoc) (*fenceDoc, error) {
+		f.noteEpoch(cur.Epoch)
+		if cur.Holder != f.self || cur.Epoch != mine {
+			f.dropLease()
+			return nil, &DeposedError{Epoch: mine, Seen: cur.Epoch, Holder: cur.Holder}
+		}
+		doc := cur
+		doc.Expires = f.now().Add(f.ttl).UnixNano()
+		return &doc, nil
+	})
+}
+
+// Validate confirms the lease is still ours and live — called before every
+// local WAL append. Failure means fenced: no write may proceed.
+func (f *Fencer) Validate() error {
+	f.mu.Lock()
+	mine := f.epoch
+	f.mu.Unlock()
+	if mine == 0 {
+		return ErrFenced
+	}
+	return f.withFence(func(cur fenceDoc) (*fenceDoc, error) {
+		f.noteEpoch(cur.Epoch)
+		if cur.Holder != f.self || cur.Epoch != mine {
+			f.dropLease()
+			return nil, &DeposedError{Epoch: mine, Seen: cur.Epoch, Holder: cur.Holder}
+		}
+		if f.now().UnixNano() >= cur.Expires {
+			// Our own lease expired un-renewed (stalled process, frozen
+			// clock). Nobody else claimed yet, but writing now would race
+			// whoever does; fence ourselves.
+			f.dropLease()
+			return nil, ErrFenced
+		}
+		return nil, nil
+	})
+}
+
+// Observe reads the current fence without contending.
+func (f *Fencer) Observe() (fenceDoc, error) {
+	var out fenceDoc
+	err := f.withFence(func(cur fenceDoc) (*fenceDoc, error) {
+		f.noteEpoch(cur.Epoch)
+		out = cur
+		return nil, nil
+	})
+	return out, err
+}
+
+// Release voluntarily gives the lease up (graceful shutdown): the expiry
+// is zeroed so a standby promotes immediately instead of waiting a TTL.
+func (f *Fencer) Release() error {
+	f.mu.Lock()
+	mine := f.epoch
+	f.epoch = 0
+	f.mu.Unlock()
+	if mine == 0 {
+		return nil
+	}
+	return f.withFence(func(cur fenceDoc) (*fenceDoc, error) {
+		if cur.Holder != f.self || cur.Epoch != mine {
+			return nil, nil // already superseded; nothing to release
+		}
+		doc := cur
+		doc.Expires = 0
+		return &doc, nil
+	})
+}
+
+// Epoch returns the lease epoch this fencer holds (0 = not leader).
+func (f *Fencer) Epoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+// MaxSeen returns the highest epoch this fencer has ever observed.
+func (f *Fencer) MaxSeen() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.maxSeen
+}
+
+func (f *Fencer) noteEpoch(e uint64) {
+	f.mu.Lock()
+	if e > f.maxSeen {
+		f.maxSeen = e
+	}
+	f.mu.Unlock()
+}
+
+func (f *Fencer) floorEpoch(fileEpoch uint64) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.maxSeen > fileEpoch {
+		return f.maxSeen
+	}
+	return fileEpoch
+}
+
+func (f *Fencer) dropLease() {
+	f.mu.Lock()
+	f.epoch = 0
+	f.mu.Unlock()
+}

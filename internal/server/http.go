@@ -20,12 +20,20 @@ import (
 //	POST /api/v1/leases/{token}/heartbeat      extend the lease
 //	POST /api/v1/leases/{token}/complete       report success
 //	POST /api/v1/leases/{token}/fail           report failure   {"reason": ...}
+//	GET  /api/v1/replicate?from=N&logid=L      WAL shipping stream (leader only)
 //	GET  /metrics                              Prometheus text
-//	GET  /healthz                              liveness
+//	GET  /healthz                              liveness + role + epoch
 //
 // Admission-control rejections surface as 429 + Retry-After (the hub's
 // BusyError contract over HTTP); unknown leases as 404 so a worker can
 // distinguish "abandon the shard" from transient transport errors.
+//
+// In HA mode only the leader serves the API. A follower answers every
+// /api/v1/* call (except the replication stream, which it 503s) with a
+// 307 redirect to the leader plus Retry-After, so clients and workers
+// rediscover the leader without configuration; when no leader is known
+// yet, it answers 503 + Retry-After and the client's failover retry does
+// the rest. Every response carries X-Chaser-Epoch.
 
 // httpError is the JSON error envelope.
 type httpError struct {
@@ -42,21 +50,66 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, httpError{Error: err.Error()})
 }
 
-// handler builds the API mux over a scheduler, tenant table and store.
+// schedOr503 fetches the live scheduler, answering 503 + Retry-After when
+// this node has none (a demotion landed between the role middleware and the
+// handler body). Callers must return immediately on nil.
+func (s *Server) schedOr503(w http.ResponseWriter) *Scheduler {
+	sched := s.currentSched()
+	if sched == nil {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, errNotLeader)
+	}
+	return sched
+}
+
+// handler builds the API mux over a scheduler, tenant table and store,
+// wrapped in the role middleware that keeps follower nodes honest.
 func (s *Server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v1/campaigns", s.handleCampaigns)
 	mux.HandleFunc("/api/v1/campaigns/", s.handleCampaign)
 	mux.HandleFunc("/api/v1/leases", s.handleLeases)
 	mux.HandleFunc("/api/v1/leases/", s.handleLease)
+	mux.HandleFunc("/api/v1/replicate", s.handleReplicate)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		s.reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+		role := "follower"
+		if s.IsLeader() {
+			role = "leader"
+		}
+		fmt.Fprintf(w, "ok role=%s epoch=%d\n", role, s.currentEpoch())
 	})
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Chaser-Epoch", strconv.FormatUint(s.currentEpoch(), 10))
+		switch r.URL.Path {
+		case "/metrics", "/healthz":
+			mux.ServeHTTP(w, r)
+			return
+		}
+		if s.IsLeader() {
+			mux.ServeHTTP(w, r)
+			return
+		}
+		// Follower: never serve state. The replication stream must come
+		// from the leader (a follower relaying a follower could serve a
+		// deposed line of history); everything else redirects.
+		if r.URL.Path == "/api/v1/replicate" {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, errNotLeader)
+			return
+		}
+		leader := s.leaderHint()
+		if leader == "" || leader == s.Advertise() {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, errNotLeader)
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		http.Redirect(w, r, leader+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+	})
 }
 
 // handleCampaigns serves POST (submit) and GET (list) on /api/v1/campaigns.
@@ -65,7 +118,11 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		s.handleSubmit(w, r)
 	case http.MethodGet:
-		writeJSON(w, http.StatusOK, s.sched.List(r.URL.Query().Get("tenant")))
+		sched := s.schedOr503(w)
+		if sched == nil {
+			return
+		}
+		writeJSON(w, http.StatusOK, sched.List(r.URL.Query().Get("tenant")))
 	default:
 		w.Header().Set("Allow", "GET, POST")
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("method not allowed"))
@@ -103,7 +160,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusTooManyRequests, err)
 		return
 	}
-	id, err := s.sched.Submit(sp)
+	sched := s.schedOr503(w)
+	if sched == nil {
+		s.tenants.Release(sp.Tenant)
+		return
+	}
+	id, err := sched.Submit(sp)
 	if err != nil {
 		s.tenants.Release(sp.Tenant) // the admitted slot was never used
 		var specErr *SpecError
@@ -126,7 +188,11 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/campaigns/")
 	id, sub, _ := strings.Cut(rest, "/")
-	st := s.sched.Status(id)
+	sched := s.schedOr503(w)
+	if sched == nil {
+		return
+	}
+	st := sched.Status(id)
 	if st == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", id))
 		return
@@ -145,6 +211,10 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 // the campaign reaches a terminal state (?wait=30s, capped at 60s so a
 // watch client re-polls rather than pinning a connection forever).
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request, id string) {
+	sched := s.schedOr503(w)
+	if sched == nil {
+		return
+	}
 	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
 		wait, err := time.ParseDuration(waitStr)
 		if err != nil {
@@ -154,7 +224,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request, id string
 		if wait > time.Minute {
 			wait = time.Minute
 		}
-		done := s.sched.Done(id)
+		done := sched.Done(id)
 		if done != nil && wait > 0 {
 			select {
 			case <-done:
@@ -164,7 +234,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request, id string
 			}
 		}
 	}
-	st := s.sched.Status(id)
+	st := sched.Status(id)
 	if st == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", id))
 		return
@@ -205,7 +275,11 @@ func (s *Server) handleLeases(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad claim request: %v", err))
 		return
 	}
-	a, err := s.sched.Claim(req.Worker)
+	sched := s.schedOr503(w)
+	if sched == nil {
+		return
+	}
+	a, err := sched.Claim(req.Worker)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -230,12 +304,16 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, errors.New("expected /api/v1/leases/{token}/{verb}"))
 		return
 	}
+	sched := s.schedOr503(w)
+	if sched == nil {
+		return
+	}
 	var err error
 	switch verb {
 	case "heartbeat":
-		err = s.sched.Heartbeat(token)
+		err = sched.Heartbeat(token)
 	case "complete":
-		err = s.sched.Complete(token)
+		err = sched.Complete(token)
 	case "fail":
 		var req struct {
 			Reason string `json:"reason"`
@@ -244,7 +322,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad fail request: %v", derr))
 			return
 		}
-		err = s.sched.Fail(token, req.Reason)
+		err = sched.Fail(token, req.Reason)
 	default:
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown lease verb %q", verb))
 		return

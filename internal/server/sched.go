@@ -239,6 +239,12 @@ func (s *Scheduler) replay(recs []walRecord) error {
 		case "complete":
 			if c := s.campaigns[rec.C]; c != nil {
 				c.status = StatusComplete
+				// Startup compaction folds a terminal campaign down to its
+				// campaign + terminal records, so the per-shard done records
+				// may be gone: the terminal record implies all of them.
+				for _, sh := range c.shards {
+					sh.state = shardDone
+				}
 				close(c.done)
 			}
 		case "failed":

@@ -14,7 +14,7 @@ import (
 // expireOnce directly for determinism).
 func testSched(t *testing.T, mut func(*SchedConfig)) (*Scheduler, *obs.Registry) {
 	t.Helper()
-	store, recs, err := OpenStore(t.TempDir())
+	store, recs, err := OpenStore(t.TempDir(), StoreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func TestWorkerAbandonsDisownedLease(t *testing.T) {
 // collide with recovered IDs or hub namespace windows.
 func TestSchedulerRestartRecoversState(t *testing.T) {
 	dir := t.TempDir()
-	store, recs, err := OpenStore(dir)
+	store, recs, err := OpenStore(dir, StoreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +275,7 @@ func TestSchedulerRestartRecoversState(t *testing.T) {
 	s1.Stop()
 	store.Close() // crash: leases and memory are gone, the WAL remains
 
-	store2, recs2, err := OpenStore(dir)
+	store2, recs2, err := OpenStore(dir, StoreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

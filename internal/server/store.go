@@ -8,7 +8,9 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"time"
 )
 
 // The control plane's durable state is a CRC-framed JSONL write-ahead log:
@@ -23,10 +25,23 @@ import (
 // the scheduler exactly, and shards that were mid-flight simply return to
 // the pending queue (their run journals make the re-execution incremental).
 //
+// The log is segmented: appends rotate to a fresh `wal/seg-NNNNNN.jsonl`
+// once the active segment passes SegmentBytes, and startup compaction
+// rewrites the log keeping only the `campaign` + terminal record of every
+// finished campaign, so a long-lived chaserd's WAL stays proportional to
+// its *active* state, not its history. Each open also assigns the log a
+// fresh random identity and numbers the replayed+appended records 0..n —
+// the (logID, seq) pair is the shipping cursor a hot-standby follower
+// replicates from (see replica.go): any cursor bearing a different logID
+// forces a full resync, which is always possible because the store keeps
+// the whole logical log in memory (control-plane records are tiny).
+//
 // Leases are deliberately NOT in the WAL: a restarted chaserd voids every
 // lease by construction. Surviving workers notice at their next heartbeat
 // (unknown lease), abandon the shard, and re-claim; their journaled runs
 // are not lost. Durable leases would buy nothing but recovery complexity.
+// Failover inherits the same contract: a freshly promoted follower has no
+// leases, which is exactly a restart.
 
 // walRecord is one control-plane state transition.
 type walRecord struct {
@@ -50,20 +65,52 @@ type walRecord struct {
 	Reason string `json:"reason,omitempty"`
 	// Err is a campaign-level failure ("failed" records).
 	Err string `json:"err,omitempty"`
+	// Epoch is the fencing epoch of the leader that wrote the record (0 in
+	// standalone mode). Replication rejects records from deposed epochs.
+	Epoch uint64 `json:"e,omitempty"`
 }
 
-// Store owns the control plane's on-disk layout:
-//
-//	<dir>/state.jsonl                    the WAL
-//	<dir>/journals/<cid>-shard<N>.jsonl  per-shard run journals
-//	<dir>/summaries/<cid>.json           merged campaign summaries
-//
-// Append is safe for concurrent use.
-type Store struct {
-	dir string
+// StoreOptions tunes a Store beyond its directory.
+type StoreOptions struct {
+	// DataDir holds the run journals and merged summaries. In HA mode the
+	// leader and follower each own a private WAL dir but must share DataDir
+	// (workers write journals there and the merge reads them back, on
+	// whichever node is leader at the time). Empty = the WAL dir itself.
+	DataDir string
+	// SegmentBytes is the WAL rotation threshold (default 1 MiB).
+	SegmentBytes int64
+	// Fsync syncs the active segment after every append. Off by default —
+	// the WAL's loss unit is "records after the last flushed one", and every
+	// record is re-derivable from worker journals — but HA deployments that
+	// want the replication stream to never run ahead of the leader's disk
+	// can turn it on.
+	Fsync bool
+	// Chaos arms fault injection at the store's chaos sites (nil = off).
+	Chaos *Chaos
+}
 
-	mu sync.Mutex
-	f  *os.File
+// Store owns one node's durable control-plane state:
+//
+//	<dir>/wal/seg-NNNNNN.jsonl               the segmented WAL
+//	<data>/journals/<cid>-shard<N>.jsonl     per-shard run journals
+//	<data>/summaries/<cid>.json              merged campaign summaries
+//
+// All methods are safe for concurrent use.
+type Store struct {
+	dir     string
+	dataDir string
+	opts    StoreOptions
+
+	mu      sync.Mutex
+	seg     *os.File
+	segIdx  int
+	segSize int64
+	recs    []walRecord // the full logical log; a record's seq is its index
+	logID   string
+	epoch   uint64       // stamped on every local append
+	guard   func() error // leadership check before local appends (nil = none)
+	notify  chan struct{}
+	closed  bool
 }
 
 var crcTable = crc32.IEEETable
@@ -102,83 +149,494 @@ func parseLine(line []byte) (walRecord, bool) {
 	return rec, true
 }
 
+const (
+	defaultSegmentBytes = 1 << 20
+	segPattern          = "seg-%06d.jsonl"
+)
+
+func segName(i int) string { return fmt.Sprintf(segPattern, i) }
+
+// newLogID derives a fresh log identity for this open. It only has to be
+// unique across opens of stores a follower might ship from, so nanoseconds
+// + pid is plenty.
+func newLogID() string {
+	return fmt.Sprintf("%x-%x", time.Now().UnixNano(), os.Getpid())
+}
+
 // OpenStore opens (creating if necessary) the store at dir, replays the
-// WAL, truncates any torn or corrupt tail so later appends land after valid
-// records only, and reopens the log for appending. The returned records are
-// the valid prefix in append order.
-func OpenStore(dir string) (*Store, []walRecord, error) {
-	for _, sub := range []string{"", "journals", "summaries"} {
-		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+// WAL segments, truncates any torn or corrupt tail so later appends land
+// after valid records only, compacts fully-terminal campaigns, and reopens
+// the newest segment for appending. The returned records are the valid
+// (compacted) log in append order.
+func OpenStore(dir string, opts StoreOptions) (*Store, []walRecord, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	dataDir := opts.DataDir
+	if dataDir == "" {
+		dataDir = dir
+	}
+	walDir := filepath.Join(dir, "wal")
+	for _, d := range []string{dir, dataDir, filepath.Join(dataDir, "journals"), filepath.Join(dataDir, "summaries")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, nil, fmt.Errorf("server: store dir: %w", err)
 		}
 	}
-	path := filepath.Join(dir, "state.jsonl")
-	raw, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
-		return nil, nil, fmt.Errorf("server: read wal: %w", err)
+	if err := recoverCompaction(dir); err != nil {
+		return nil, nil, err
+	}
+	if err := os.MkdirAll(walDir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("server: store dir: %w", err)
+	}
+	// Migrate the pre-segmentation layout: a single <dir>/state.jsonl
+	// becomes the first segment.
+	if old := filepath.Join(dir, "state.jsonl"); fileExists(old) {
+		if err := os.Rename(old, filepath.Join(walDir, segName(0))); err != nil {
+			return nil, nil, fmt.Errorf("server: migrate legacy wal: %w", err)
+		}
+	}
+
+	recs, lastIdx, err := replaySegments(walDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Store{
+		dir:     dir,
+		dataDir: dataDir,
+		opts:    opts,
+		segIdx:  lastIdx,
+		recs:    recs,
+		logID:   newLogID(),
+		notify:  make(chan struct{}),
+	}
+	if compacted, ok := compactRecords(recs); ok {
+		if err := s.rewrite(compacted); err != nil {
+			return nil, nil, err
+		}
+		s.recs = compacted
+	}
+	if err := s.openActive(); err != nil {
+		return nil, nil, err
+	}
+	return s, append([]walRecord(nil), s.recs...), nil
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// segIndices lists the segment indices present in walDir, sorted.
+func segIndices(walDir string) ([]int, error) {
+	ents, err := os.ReadDir(walDir)
+	if err != nil {
+		return nil, fmt.Errorf("server: read wal dir: %w", err)
+	}
+	var idx []int
+	for _, e := range ents {
+		var i int
+		if _, err := fmt.Sscanf(e.Name(), segPattern, &i); err == nil {
+			idx = append(idx, i)
+		}
+	}
+	sort.Ints(idx)
+	return idx, nil
+}
+
+// replaySegments replays every segment in order. The first damaged line
+// anywhere ends the replay: the damaged segment is truncated at the damage
+// and every later segment is deleted — records are single writes, so only
+// the true tail can legitimately be torn; anything else is bit rot and
+// nothing after it can be trusted. Returns the valid records and the index
+// of the segment appends should continue in.
+func replaySegments(walDir string) ([]walRecord, int, error) {
+	idx, err := segIndices(walDir)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(idx) == 0 {
+		return nil, 0, nil
 	}
 	var recs []walRecord
-	valid := 0 // byte offset of the end of the last valid record
-	sc := bufio.NewScanner(bytes.NewReader(raw))
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	for sc.Scan() {
-		line := sc.Bytes()
-		rec, ok := parseLine(line)
-		if !ok {
-			// Torn or corrupted tail: everything after the last valid record
-			// is dropped. Records are single writes, so only the final line
-			// can legitimately be damaged; anything else is treated the same
-			// way — better to lose a suffix (shards re-enqueue, journals make
-			// re-execution cheap) than to trust damaged state.
-			break
+	for pos, i := range idx {
+		path := filepath.Join(walDir, segName(i))
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, 0, fmt.Errorf("server: read wal segment: %w", err)
 		}
-		recs = append(recs, rec)
-		valid += len(line) + 1
-	}
-	if valid > len(raw) { // file did not end in '\n'
-		valid = len(raw)
-	}
-	if valid < len(raw) {
-		if err := os.Truncate(path, int64(valid)); err != nil {
-			return nil, nil, fmt.Errorf("server: truncate torn wal tail: %w", err)
+		valid := 0 // byte offset of the end of the last valid record
+		damaged := false
+		sc := bufio.NewScanner(bytes.NewReader(raw))
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+		for sc.Scan() {
+			line := sc.Bytes()
+			rec, ok := parseLine(line)
+			if !ok {
+				damaged = true
+				break
+			}
+			recs = append(recs, rec)
+			valid += len(line) + 1
+		}
+		if valid > len(raw) { // file did not end in '\n'
+			valid = len(raw)
+		}
+		if valid < len(raw) {
+			damaged = true
+			if err := os.Truncate(path, int64(valid)); err != nil {
+				return nil, 0, fmt.Errorf("server: truncate torn wal tail: %w", err)
+			}
+		}
+		if damaged {
+			for _, j := range idx[pos+1:] {
+				if err := os.Remove(filepath.Join(walDir, segName(j))); err != nil {
+					return nil, 0, fmt.Errorf("server: drop post-damage segment: %w", err)
+				}
+			}
+			return recs, i, nil
 		}
 	}
+	return recs, idx[len(idx)-1], nil
+}
+
+// compactRecords drops the history of fully-terminal campaigns, keeping
+// only their "campaign" record (which carries the spec, the ID high-water
+// mark and the hub namespace window) and the terminal "complete"/"failed"
+// record. Reports whether anything was dropped.
+func compactRecords(recs []walRecord) ([]walRecord, bool) {
+	terminal := make(map[string]bool)
+	for _, rec := range recs {
+		if rec.T == "complete" || rec.T == "failed" {
+			terminal[rec.C] = true
+		}
+	}
+	if len(terminal) == 0 {
+		return recs, false
+	}
+	out := make([]walRecord, 0, len(recs))
+	for _, rec := range recs {
+		if terminal[rec.C] {
+			switch rec.T {
+			case "campaign", "complete", "failed":
+			default:
+				continue
+			}
+		}
+		out = append(out, rec)
+	}
+	return out, len(out) < len(recs)
+}
+
+// rewrite atomically replaces the WAL with exactly recs, crash-safely:
+// the new log is fully written and synced into wal.tmp, the old wal is
+// parked at wal.old, wal.tmp renamed into place, wal.old removed. A crash
+// in any window is repaired by recoverCompaction on the next open.
+func (s *Store) rewrite(recs []walRecord) error {
+	walDir := filepath.Join(s.dir, "wal")
+	tmpDir := filepath.Join(s.dir, "wal.tmp")
+	oldDir := filepath.Join(s.dir, "wal.old")
+	if err := os.RemoveAll(tmpDir); err != nil {
+		return fmt.Errorf("server: compact: %w", err)
+	}
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		return fmt.Errorf("server: compact: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(tmpDir, segName(0)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: compact: %w", err)
+	}
+	for _, rec := range recs {
+		line, err := frameRecord(rec)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("server: compact: %w", err)
+		}
+		if _, err := f.Write(line); err != nil {
+			f.Close()
+			return fmt.Errorf("server: compact: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("server: compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("server: compact: %w", err)
+	}
+	if err := os.Rename(walDir, oldDir); err != nil {
+		return fmt.Errorf("server: compact: %w", err)
+	}
+	if err := os.Rename(tmpDir, walDir); err != nil {
+		return fmt.Errorf("server: compact: %w", err)
+	}
+	if err := os.RemoveAll(oldDir); err != nil {
+		return fmt.Errorf("server: compact: %w", err)
+	}
+	s.segIdx = 0
+	return nil
+}
+
+// recoverCompaction repairs a crash inside rewrite. Invariant: wal.tmp is
+// only renamed to wal after it is complete, and wal is only renamed to
+// wal.old after wal.tmp is complete — so whichever of the two survives
+// intact wins.
+func recoverCompaction(dir string) error {
+	walDir := filepath.Join(dir, "wal")
+	tmpDir := filepath.Join(dir, "wal.tmp")
+	oldDir := filepath.Join(dir, "wal.old")
+	switch {
+	case fileExists(walDir):
+		// wal is authoritative; any leftovers are pre-rename (tmp) or
+		// post-rename (old) debris.
+		os.RemoveAll(tmpDir)
+		os.RemoveAll(oldDir)
+	case fileExists(tmpDir):
+		// Crashed between parking wal and installing wal.tmp: finish.
+		if err := os.Rename(tmpDir, walDir); err != nil {
+			return fmt.Errorf("server: finish interrupted compaction: %w", err)
+		}
+		os.RemoveAll(oldDir)
+	case fileExists(oldDir):
+		// wal.tmp vanished but wal.old remains — should be impossible with
+		// the ordering above; restore the parked log rather than lose it.
+		if err := os.Rename(oldDir, walDir); err != nil {
+			return fmt.Errorf("server: restore parked wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// openActive opens the active segment for appending.
+func (s *Store) openActive() error {
+	path := filepath.Join(s.dir, "wal", segName(s.segIdx))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("server: open wal: %w", err)
+		return fmt.Errorf("server: open wal segment: %w", err)
 	}
-	return &Store{dir: dir, f: f}, recs, nil
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("server: stat wal segment: %w", err)
+	}
+	s.seg = f
+	s.segSize = st.Size()
+	return nil
+}
+
+// LogID identifies this open of the store; it changes on every OpenStore
+// and Reset. Together with a record index it forms the shipping cursor.
+func (s *Store) LogID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logID
+}
+
+// Seq returns the number of records in the logical log (the next seq).
+func (s *Store) Seq() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Records returns a copy of the full logical log.
+func (s *Store) Records() []walRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]walRecord(nil), s.recs...)
+}
+
+// SetEpoch stamps every subsequent local append with the given fencing
+// epoch (a freshly promoted leader calls this before serving writes).
+func (s *Store) SetEpoch(e uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch = e
+}
+
+// SetGuard installs the leadership check local appends must pass. The
+// guard runs outside the store lock order concern (it may hit the fence
+// file); a non-nil error fails the append with no bytes written.
+func (s *Store) SetGuard(g func() error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.guard = g
 }
 
 // Append durably records one state transition: a single write(2) of one
 // CRC-framed line on an O_APPEND descriptor, so concurrent appends never
-// interleave and a crash can only tear the final line.
+// interleave and a crash can only tear the final line. Appends pass the
+// leadership guard first — a deposed leader's writes fail here, with no
+// bytes on disk — and rotate to a fresh segment past the size threshold.
 func (s *Store) Append(rec walRecord) error {
+	s.mu.Lock()
+	guard := s.guard
+	epoch := s.epoch
+	s.mu.Unlock()
+	// The guard may read the fence file; keep it outside the store lock so
+	// a slow fence check cannot stall the replication tail.
+	if guard != nil {
+		if err := guard(); err != nil {
+			return err
+		}
+	}
+	rec.Epoch = epoch
+	return s.append(rec)
+}
+
+// ApplyReplicated appends a record received from the replication stream,
+// bypassing the leadership guard (followers are never leaders) and keeping
+// the originating leader's epoch stamp.
+func (s *Store) ApplyReplicated(rec walRecord) error {
+	return s.append(rec)
+}
+
+func (s *Store) append(rec walRecord) error {
 	line, err := frameRecord(rec)
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.f == nil {
+	if s.closed {
 		return fmt.Errorf("server: store closed")
 	}
-	if _, err := s.f.Write(line); err != nil {
-		return fmt.Errorf("server: wal append: %w", err)
+	if s.segSize >= s.opts.SegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
 	}
+	off := s.segSize
+	var n int
+	if s.opts.Chaos.Hit(ChaosWALShortWrite) {
+		// Injected short write(2): half the line lands, then the "error".
+		n, _ = s.seg.Write(line[:len(line)/2])
+		err = fmt.Errorf("server: wal append: %w", errChaosShortWrite)
+	} else {
+		n, err = s.seg.Write(line)
+	}
+	if err == nil && n < len(line) {
+		err = fmt.Errorf("server: wal append: short write (%d of %d bytes)", n, len(line))
+	}
+	if err != nil {
+		// Repair the torn line so later appends don't land after damage
+		// (replay stops at the first damaged line, which would silently
+		// discard them). O_APPEND writes at EOF, so truncating back to the
+		// pre-write offset restores the segment exactly.
+		if terr := s.seg.Truncate(off); terr != nil {
+			return fmt.Errorf("server: wal append failed (%v) and segment unrepaired: %w", err, terr)
+		}
+		return err
+	}
+	if s.opts.Fsync {
+		serr := s.seg.Sync()
+		if s.opts.Chaos.Hit(ChaosWALFsync) {
+			serr = errChaosFsync
+		}
+		if serr != nil {
+			// The bytes are written; only durability is in doubt. Fail the
+			// append (callers retry or surface the error) without admitting
+			// the record to the logical log — replay after a real crash may
+			// still see it, and every record type is idempotent to replay.
+			return fmt.Errorf("server: wal fsync: %w", serr)
+		}
+	}
+	s.segSize += int64(len(line))
+	s.recs = append(s.recs, rec)
+	close(s.notify)
+	s.notify = make(chan struct{})
 	return nil
 }
 
+// rotateLocked closes the active segment and starts the next one.
+func (s *Store) rotateLocked() error {
+	if err := s.seg.Close(); err != nil {
+		return fmt.Errorf("server: rotate wal: %w", err)
+	}
+	s.segIdx++
+	return s.openActive()
+}
+
+// SegmentIndex returns the active segment's index (observability, tests).
+func (s *Store) SegmentIndex() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.segIdx
+}
+
+// WaitRecords returns the records from seq `from` on, blocking up to
+// timeout for at least one to exist. A nil result means the timeout
+// elapsed. This is the leader half of the shipping cursor: the replication
+// handler parks here between appends.
+func (s *Store) WaitRecords(from int, timeout time.Duration) []walRecord {
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil
+		}
+		if len(s.recs) > from {
+			out := append([]walRecord(nil), s.recs[from:]...)
+			s.mu.Unlock()
+			return out
+		}
+		ch := s.notify
+		s.mu.Unlock()
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return nil
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			return nil
+		}
+	}
+}
+
+// Reset wipes the WAL and logical log and assigns a fresh log identity —
+// the follower's answer to a shipping-cursor mismatch (new leader, or a
+// leader that restarted and compacted). Journals and summaries are left
+// alone: they are content-addressed by campaign and shard, and the rebuilt
+// log re-references them.
+func (s *Store) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("server: store closed")
+	}
+	if s.seg != nil {
+		s.seg.Close()
+		s.seg = nil
+	}
+	walDir := filepath.Join(s.dir, "wal")
+	if err := os.RemoveAll(walDir); err != nil {
+		return fmt.Errorf("server: reset wal: %w", err)
+	}
+	if err := os.MkdirAll(walDir, 0o755); err != nil {
+		return fmt.Errorf("server: reset wal: %w", err)
+	}
+	s.recs = nil
+	s.segIdx = 0
+	s.logID = newLogID()
+	close(s.notify)
+	s.notify = make(chan struct{})
+	return s.openActive()
+}
+
 // JournalPath returns the run journal path for one shard of one campaign.
-// The path is stable across re-enqueues and chaserd restarts — that
-// stability is what lets a re-leased shard resume instead of re-executing.
+// The path is stable across re-enqueues, chaserd restarts and failovers —
+// that stability is what lets a re-leased shard resume instead of
+// re-executing (in HA mode, DataDir is shared between the peers).
 func (s *Store) JournalPath(cid string, shard int) string {
-	return filepath.Join(s.dir, "journals", fmt.Sprintf("%s-shard%04d.jsonl", cid, shard))
+	return filepath.Join(s.dataDir, "journals", fmt.Sprintf("%s-shard%04d.jsonl", cid, shard))
 }
 
 // SummaryPath returns the merged summary path for one campaign.
 func (s *Store) SummaryPath(cid string) string {
-	return filepath.Join(s.dir, "summaries", cid+".json")
+	return filepath.Join(s.dataDir, "summaries", cid+".json")
 }
 
 // WriteSummary persists a campaign's merged summary with the
@@ -209,10 +667,16 @@ func (s *Store) ReadSummary(cid string) ([]byte, error) {
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.f == nil {
+	if s.closed {
 		return nil
 	}
-	err := s.f.Close()
-	s.f = nil
+	s.closed = true
+	close(s.notify)
+	s.notify = make(chan struct{})
+	if s.seg == nil {
+		return nil
+	}
+	err := s.seg.Close()
+	s.seg = nil
 	return err
 }

@@ -11,7 +11,7 @@ import (
 // keep accepting appends that a further reopen also recovers.
 func TestStoreTornTailTruncated(t *testing.T) {
 	dir := t.TempDir()
-	store, recs, err := OpenStore(dir)
+	store, recs, err := OpenStore(dir, StoreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +26,7 @@ func TestStoreTornTailTruncated(t *testing.T) {
 	store.Close()
 
 	// Tear the tail the way a crash does: a partial line at EOF.
-	path := filepath.Join(dir, "state.jsonl")
+	path := filepath.Join(dir, "wal", "seg-000000.jsonl")
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
@@ -36,7 +36,7 @@ func TestStoreTornTailTruncated(t *testing.T) {
 	}
 	f.Close()
 
-	store2, recs2, err := OpenStore(dir)
+	store2, recs2, err := OpenStore(dir, StoreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,15 +49,17 @@ func TestStoreTornTailTruncated(t *testing.T) {
 		}
 	}
 	// Appends after the truncation must land cleanly after the valid prefix.
-	if err := store2.Append(walRecord{T: "complete", C: "c000000"}); err != nil {
+	// (A non-terminal record: a terminal one would let startup compaction
+	// legitimately fold the campaign down on the next open.)
+	if err := store2.Append(walRecord{T: "done", C: "c000000", Shard: 3}); err != nil {
 		t.Fatal(err)
 	}
 	store2.Close()
-	_, recs3, err := OpenStore(dir)
+	_, recs3, err := OpenStore(dir, StoreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs3) != 4 || recs3[3].T != "complete" {
+	if len(recs3) != 4 || recs3[3].Shard != 3 {
 		t.Fatalf("after post-truncation append: %d records, last %+v", len(recs3), recs3[len(recs3)-1])
 	}
 }
@@ -67,7 +69,7 @@ func TestStoreTornTailTruncated(t *testing.T) {
 // trust anything after it.
 func TestStoreCorruptMiddleStopsReplay(t *testing.T) {
 	dir := t.TempDir()
-	store, _, err := OpenStore(dir)
+	store, _, err := OpenStore(dir, StoreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +79,7 @@ func TestStoreCorruptMiddleStopsReplay(t *testing.T) {
 		}
 	}
 	store.Close()
-	path := filepath.Join(dir, "state.jsonl")
+	path := filepath.Join(dir, "wal", "seg-000000.jsonl")
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +88,7 @@ func TestStoreCorruptMiddleStopsReplay(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	store2, recs, err := OpenStore(dir)
+	store2, recs, err := OpenStore(dir, StoreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +105,7 @@ func TestStoreCorruptMiddleStopsReplay(t *testing.T) {
 
 // TestStoreSummaryRoundTrip exercises the temp+rename summary store.
 func TestStoreSummaryRoundTrip(t *testing.T) {
-	store, _, err := OpenStore(t.TempDir())
+	store, _, err := OpenStore(t.TempDir(), StoreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

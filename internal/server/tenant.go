@@ -142,4 +142,12 @@ func (t *Tenants) Restore(active map[string]int) {
 	for tenant, n := range active {
 		t.stateLocked(tenant, now).active = n
 	}
+	// Tenants absent from the rebuilt view hold no slots. This matters on
+	// re-promotion: a node that led before, demoted, and leads again must
+	// not double-count campaigns it already admitted in its first term.
+	for tenant, st := range t.m {
+		if _, ok := active[tenant]; !ok {
+			st.active = 0
+		}
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"sync"
 	"time"
@@ -67,6 +68,9 @@ type Worker struct {
 	stop chan struct{}
 	once sync.Once
 	wg   sync.WaitGroup
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // NewWorker builds a worker. Call Run (blocking) or Start (background).
@@ -80,7 +84,22 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.Name == "" {
 		cfg.Name = fmt.Sprintf("worker-%d", os.Getpid())
 	}
-	return &Worker{cfg: cfg, stop: make(chan struct{})}
+	// Jitter RNG seeded from the worker name: deterministic per worker but
+	// decorrelated across a fleet, so heartbeats and claim retries never
+	// phase-lock into a thundering herd against a freshly promoted leader.
+	return &Worker{
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		rng:  rand.New(rand.NewSource(int64(siteHash(cfg.Name)))),
+	}
+}
+
+// jitter scales base by a uniform draw from [lo, lo+spread).
+func (w *Worker) jitter(base time.Duration, lo, spread float64) time.Duration {
+	w.rngMu.Lock()
+	f := lo + spread*w.rng.Float64()
+	w.rngMu.Unlock()
+	return time.Duration(float64(base) * f)
 }
 
 // Start runs the worker loop in the background.
@@ -121,7 +140,7 @@ func (w *Worker) Run() {
 			select {
 			case <-w.stop:
 				return
-			case <-time.After(w.cfg.PollInterval):
+			case <-time.After(w.jitter(w.cfg.PollInterval, 0.5, 1.0)):
 			}
 			continue
 		}
@@ -150,13 +169,17 @@ func (w *Worker) execute(a *Assignment) {
 		if interval <= 0 {
 			interval = time.Second
 		}
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
+		// Each beat lands at 0.7x-1.3x the base interval: the mean keeps
+		// the two-missed-beats safety margin while a worker fleet spreads
+		// its load over the window instead of beating in lockstep.
+		timer := time.NewTimer(w.jitter(interval, 0.7, 0.6))
+		defer timer.Stop()
 		for {
 			select {
 			case <-hbStop:
 				return
-			case <-ticker.C:
+			case <-timer.C:
+				timer.Reset(w.jitter(interval, 0.7, 0.6))
 				if err := w.cfg.Control.Heartbeat(a.Token); err != nil {
 					if errors.Is(err, ErrLeaseUnknown) {
 						w.cfg.Logf("%s: lease for campaign %s shard %d gone; abandoning",
