@@ -41,6 +41,7 @@ import (
 	"chaser/internal/server"
 	"chaser/internal/stats"
 	"chaser/internal/tainthub"
+	"chaser/internal/tainthub/codec"
 )
 
 func main() {
@@ -69,6 +70,7 @@ type options struct {
 	runTimeout time.Duration
 	hubAddr    string
 	hubPolicy  core.HubPolicy
+	hubWire    codec.Format
 
 	// Fork-point run multiplexing knobs (run and sweep experiments).
 	injectExec  uint64
@@ -167,6 +169,7 @@ func run(args []string, out io.Writer) error {
 	snapCacheMB := fs.Int64("snap-cache-mb", 0, "world-snapshot cache cap in MiB for fork-point multiplexing (0 = default 256)")
 	hubAddr := fs.String("hub", "", "shared TaintHub server address (default: in-process hub)")
 	hubPolicy := fs.String("hub-policy", "degrade", "on hub failure: degrade (proceed untainted) | fail (fail the run)")
+	hubWire := fs.String("wire", "auto", "hub wire format: auto (binary) | json | binary")
 	chaserdAddr := fs.String("chaserd", "", "chaserd control-plane URL for -experiment submit/watch (comma-separated peers for an HA pair; the client fails over)")
 	campaignID := fs.String("campaign", "", "campaign ID for -experiment watch")
 	shards := fs.Int("shards", 0, "shard count for -experiment submit (0 = server default)")
@@ -181,6 +184,10 @@ func run(args []string, out io.Writer) error {
 		policy = core.HubFailRun
 	default:
 		return fmt.Errorf("unknown -hub-policy %q (want degrade or fail)", *hubPolicy)
+	}
+	wireFmt, err := codec.ParseFormat(*hubWire)
+	if err != nil {
+		return err
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -211,7 +218,7 @@ func run(args []string, out io.Writer) error {
 		runs: *runs, seed: *seed, parallel: *parallel, bits: *bits, csvDir: *csvDir,
 		progress: *progress,
 		app:      *appName, journal: *journal, resume: *resume,
-		runTimeout: *runTimeout, hubAddr: *hubAddr, hubPolicy: policy,
+		runTimeout: *runTimeout, hubAddr: *hubAddr, hubPolicy: policy, hubWire: wireFmt,
 		injectExec: *injectExec, noFork: *noFork, snapCacheMB: *snapCacheMB,
 		chaserd: *chaserdAddr, campaignID: *campaignID, shards: *shards, tenant: *tenant,
 	}
@@ -544,6 +551,7 @@ func runResumable(out io.Writer, o options) error {
 		// that out beats failing half a campaign's runs.
 		client, err := tainthub.DialConfig(o.hubAddr, tainthub.ClientConfig{
 			MaxAttempts: 12,
+			Wire:        o.hubWire,
 		})
 		if err != nil {
 			return fmt.Errorf("connecting to taint hub: %w", err)

@@ -26,6 +26,7 @@ import (
 	"chaser/internal/lang"
 	"chaser/internal/obs"
 	"chaser/internal/tainthub"
+	"chaser/internal/tainthub/codec"
 )
 
 // progName derives a process name from a source path (base without ext).
@@ -59,6 +60,7 @@ func run(args []string, out io.Writer) error {
 	traceOut := fs.String("trace-out", "", "write the propagation log (JSON lines) to this file")
 	spanTrace := fs.String("span-trace", "", "write a Chrome trace-event JSON of the run's spans to this file (chrome://tracing / Perfetto)")
 	hubAddr := fs.String("hub", "", "TaintHub server address (default: in-process hub)")
+	hubWire := fs.String("wire", "auto", "hub wire format: auto (binary) | json | binary")
 	golden := fs.Bool("golden", false, "run without any injection")
 	execTrace := fs.Int("exec-trace", 0, "record the last N instructions per rank and print them on a crash")
 	if err := fs.Parse(args); err != nil {
@@ -108,7 +110,11 @@ func run(args []string, out io.Writer) error {
 		cfg.Tracer = tracer
 	}
 	if *hubAddr != "" {
-		client, err := tainthub.Dial(*hubAddr)
+		wireFmt, err := codec.ParseFormat(*hubWire)
+		if err != nil {
+			return err
+		}
+		client, err := tainthub.DialConfig(*hubAddr, tainthub.ClientConfig{Wire: wireFmt})
 		if err != nil {
 			return err
 		}

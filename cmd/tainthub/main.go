@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tainthub [-addr host:port] [-metrics-addr host:port] [-wal path]
+//	tainthub [-addr host:port] [-metrics-addr host:port] [-wal path] [-wire auto|json|binary]
 //
 // With -wal, every mutation is written ahead to a crash-safe log and the
 // process periodically snapshots its state; a restarted tainthub recovers
@@ -30,6 +30,7 @@ import (
 
 	"chaser/internal/obs"
 	"chaser/internal/tainthub"
+	"chaser/internal/tainthub/codec"
 )
 
 func main() {
@@ -76,7 +77,12 @@ func run(args []string) error {
 	maxPendingBytes := fs.Int64("max-pending-bytes", 0, "max stored mask bytes per namespace (0 = unlimited)")
 	maxPayload := fs.Int("max-payload", 0, "max mask bytes in one publish; larger ones are rejected (0 = unlimited)")
 	ttl := fs.Duration("ttl", 0, "evict entries older than this (orphans of crashed ranks; 0 = never)")
+	wire := fs.String("wire", "auto", "accepted wire format: auto (per-connection autodetect) | json | binary")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	wireFmt, err := codec.ParseFormat(*wire)
+	if err != nil {
 		return err
 	}
 
@@ -109,7 +115,7 @@ func run(args []string) error {
 	}
 
 	srv, err := tainthub.NewServerConfig(hub, *addr, tainthub.ServerConfig{
-		Obs: reg, IdleTimeout: *idleTimeout,
+		Obs: reg, IdleTimeout: *idleTimeout, Wire: wireFmt,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,133 @@
+package codec
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"io"
+)
+
+// The JSON codec is the original wire protocol: one request object per
+// newline-terminated line, one response object per line, masks as base64
+// strings ([]byte's native encoding/json representation, so the bytes on
+// the wire are identical to the legacy hand-rolled encoding — the golden
+// vector tests pin this). It survives as the compatibility option proving
+// the Parser/Emitter abstraction and as the format old tooling speaks.
+
+type jsonParser struct {
+	br       *bufio.Reader
+	maxFrame int
+}
+
+// readFrame reads one newline-terminated frame, failing with *FrameError
+// once more than limit bytes accumulate without a newline. On overflow the
+// remainder of the line has NOT been consumed; discardLine resyncs.
+func (p *jsonParser) readFrame() ([]byte, error) {
+	var buf []byte
+	for {
+		chunk, err := p.br.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		if len(buf) > p.maxFrame {
+			// Resync before surfacing the error: drain the rest of the
+			// line so the caller can refuse the frame and keep the
+			// connection. The drain runs chunk by chunk to the actual
+			// newline — no arbitrary multiple of the frame limit that a
+			// longer frame would overrun (desynchronizing the stream) or
+			// that could overflow int on 32-bit platforms.
+			size := len(buf)
+			if err == bufio.ErrBufferFull {
+				n, derr := p.discardLine()
+				size += n
+				if derr != nil {
+					return nil, derr
+				}
+			}
+			return nil, &FrameError{Size: size, Limit: p.maxFrame}
+		}
+		switch err {
+		case nil:
+			return buf, nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if len(buf) > 0 {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, io.EOF
+		default:
+			return nil, err
+		}
+	}
+}
+
+// discardLine consumes the remainder of the current line in bounded
+// chunks, returning how many bytes it dropped. A peer that never sends the
+// newline is bounded by the connection's read deadline, not by a byte cap.
+func (p *jsonParser) discardLine() (int, error) {
+	var n int
+	for {
+		chunk, err := p.br.ReadSlice('\n')
+		n += len(chunk)
+		switch err {
+		case nil:
+			return n, nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			return n, io.ErrUnexpectedEOF
+		default:
+			return n, err
+		}
+	}
+}
+
+// classify maps a json.Unmarshal failure onto the codec's error taxonomy:
+// undecodable base64 in a masks field is a *PayloadError (permanent,
+// connection recoverable — the frame was fully consumed); anything else is
+// malformed (connection unrecoverable).
+func classifyJSON(err error) error {
+	var b64 base64.CorruptInputError
+	if errors.As(err, &b64) {
+		return &PayloadError{Reason: err.Error()}
+	}
+	return err
+}
+
+func (p *jsonParser) ReadRequest() (Request, error) {
+	line, err := p.readFrame()
+	if err != nil {
+		return Request{}, err
+	}
+	var req Request
+	if err := json.Unmarshal(line, &req); err != nil {
+		return Request{}, classifyJSON(err)
+	}
+	return req, nil
+}
+
+func (p *jsonParser) ReadResponse() (Response, error) {
+	line, err := p.readFrame()
+	if err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return Response{}, classifyJSON(err)
+	}
+	return resp, nil
+}
+
+type jsonEmitter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+func newJSONEmitter(w io.Writer) *jsonEmitter {
+	bw := bufio.NewWriter(w)
+	return &jsonEmitter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+func (e *jsonEmitter) WriteRequest(req Request) error    { return e.enc.Encode(req) }
+func (e *jsonEmitter) WriteResponse(resp Response) error { return e.enc.Encode(resp) }
+func (e *jsonEmitter) Flush() error                      { return e.bw.Flush() }

@@ -1,0 +1,155 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Varint and run-length packing primitives. The wire protocol, the WAL and
+// snapshots all build their records from these, so one codec owns every
+// byte the hub persists or transmits.
+
+var errShortBuffer = errors.New("short buffer")
+
+// AppendUvarint appends v in unsigned LEB128.
+func AppendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// AppendSvarint appends v zig-zag encoded, so small negative ints (rank -1
+// wildcards, negative tags) stay short.
+func AppendSvarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+// ConsumeUvarint decodes a uvarint from the front of b, returning the
+// value and the rest.
+func ConsumeUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, b, errShortBuffer
+	}
+	return v, b[n:], nil
+}
+
+// ConsumeSvarint decodes a zig-zag varint from the front of b.
+func ConsumeSvarint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, b, errShortBuffer
+	}
+	return v, b[n:], nil
+}
+
+// Run-length mask encoding. Taint masks are overwhelmingly sparse — long
+// zero stretches around short tainted spans, and tainted spans are usually
+// solid 0xff runs — so the encoding is run-structured:
+//
+//	uvarint totalLen, then runs until totalLen bytes are produced:
+//	  uvarint hdr, tag = hdr&3, runLen = hdr>>2
+//	    tag 0: runLen zero bytes
+//	    tag 1: runLen copies of the single byte that follows
+//	    tag 2: runLen literal bytes follow
+//
+// A 64 MiB all-clean mask is 6 bytes; a solid tainted span is 2 bytes plus
+// its value. Worst-case (incompressible) data costs a few header bytes per
+// short run, bounded well under the base64 expansion it replaces.
+const (
+	rleZero    = 0
+	rleRepeat  = 1
+	rleLiteral = 2
+
+	// minRepeatRun is the shortest identical-byte run worth a repeat run;
+	// shorter ones ride in the surrounding literal.
+	minRepeatRun = 4
+)
+
+// AppendMasks appends the RLE encoding of masks to b.
+func AppendMasks(b []byte, masks []byte) []byte {
+	b = AppendUvarint(b, uint64(len(masks)))
+	i := 0
+	litStart := -1
+	flushLit := func(end int) {
+		if litStart >= 0 {
+			b = AppendUvarint(b, uint64(end-litStart)<<2|rleLiteral)
+			b = append(b, masks[litStart:end]...)
+			litStart = -1
+		}
+	}
+	for i < len(masks) {
+		j := i + 1
+		for j < len(masks) && masks[j] == masks[i] {
+			j++
+		}
+		run := j - i
+		switch {
+		case masks[i] == 0:
+			flushLit(i)
+			b = AppendUvarint(b, uint64(run)<<2|rleZero)
+		case run >= minRepeatRun:
+			flushLit(i)
+			b = AppendUvarint(b, uint64(run)<<2|rleRepeat)
+			b = append(b, masks[i])
+		default:
+			if litStart < 0 {
+				litStart = i
+			}
+		}
+		i = j
+	}
+	flushLit(len(masks))
+	return b
+}
+
+// ConsumeMasks decodes an RLE mask block from the front of b. maxLen
+// bounds the decoded size (a decompression-bomb guard: a few header bytes
+// may not conjure gigabytes). A zero-length block decodes as nil, matching
+// the JSON codec's omitempty round trip.
+func ConsumeMasks(b []byte, maxLen int) ([]byte, []byte, error) {
+	total, b, err := ConsumeUvarint(b)
+	if err != nil {
+		return nil, b, err
+	}
+	if maxLen >= 0 && total > uint64(maxLen) {
+		return nil, b, errors.New("mask length over limit")
+	}
+	if total == 0 {
+		return nil, b, nil
+	}
+	masks := make([]byte, total)
+	off := uint64(0)
+	for off < total {
+		var hdr uint64
+		hdr, b, err = ConsumeUvarint(b)
+		if err != nil {
+			return nil, b, err
+		}
+		run := hdr >> 2
+		if run == 0 || run > total-off {
+			return nil, b, errors.New("mask run overflows declared length")
+		}
+		switch hdr & 3 {
+		case rleZero:
+			// masks is zero-initialized
+		case rleRepeat:
+			if len(b) < 1 {
+				return nil, b, errShortBuffer
+			}
+			v := b[0]
+			b = b[1:]
+			for i := uint64(0); i < run; i++ {
+				masks[off+i] = v
+			}
+		case rleLiteral:
+			if uint64(len(b)) < run {
+				return nil, b, errShortBuffer
+			}
+			copy(masks[off:], b[:run])
+			b = b[run:]
+		default:
+			return nil, b, errors.New("unknown mask run tag")
+		}
+		off += run
+	}
+	return masks, b, nil
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"chaser/internal/obs"
+	"chaser/internal/tainthub/codec"
 )
 
 // Durable is a Local hub whose every mutation is written ahead to a log,
@@ -58,7 +59,9 @@ type DurableConfig struct {
 	Obs *obs.Registry
 }
 
-// snapshot gob records. Field names are part of the on-disk format.
+// snapshot records. Field names are part of the legacy gob on-disk format;
+// the current format encodes them with the codec package's varint/RLE
+// primitives.
 type snapshotRec struct {
 	Gen     uint64
 	Stats   Stats
@@ -85,21 +88,156 @@ type snapReplyRec struct {
 	Found bool
 }
 
-const snapMagic = 0x50414e43 // "CNAP" little-endian
+const (
+	snapMagicGob = 0x50414e43 // "CNAP" little-endian: legacy gob payload
+	snapMagic    = 0x32504e43 // "CNP2" little-endian: versioned binary payload
+	snapVersion  = 1          // of the binary payload layout
+)
+
+// encodeSnapshotPayload packs a snapshot with the codec primitives:
+// varint-packed fields, run-length-encoded masks — the same encoding the
+// wire and the WAL use.
+func encodeSnapshotPayload(snap *snapshotRec) []byte {
+	b := codec.AppendUvarint(nil, snap.Gen)
+	st := snap.Stats
+	for _, v := range []uint64{st.Published, st.Polls, st.Hits, uint64(st.Pending), st.Evicted, st.DedupHits, st.Replayed} {
+		b = codec.AppendUvarint(b, v)
+	}
+	b = codec.AppendUvarint(b, uint64(len(snap.Entries)))
+	for _, e := range snap.Entries {
+		b = codec.AppendSvarint(b, int64(e.K.Src))
+		b = codec.AppendSvarint(b, int64(e.K.Dst))
+		b = codec.AppendSvarint(b, int64(e.K.Tag))
+		b = codec.AppendSvarint(b, int64(e.K.NS))
+		b = codec.AppendUvarint(b, e.Seq)
+		b = codec.AppendSvarint(b, e.Stamp)
+		b = codec.AppendMasks(b, e.Masks)
+	}
+	b = codec.AppendUvarint(b, uint64(len(snap.Clients)))
+	for _, c := range snap.Clients {
+		b = codec.AppendUvarint(b, c.ID)
+		b = codec.AppendSvarint(b, c.LastUse)
+		b = codec.AppendUvarint(b, uint64(len(c.Reqs)))
+		for _, r := range c.Reqs {
+			b = codec.AppendUvarint(b, r.Req)
+			if r.Found {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+			b = codec.AppendMasks(b, r.Masks)
+		}
+	}
+	return b
+}
+
+func decodeSnapshotPayload(b []byte) (*snapshotRec, error) {
+	var snap snapshotRec
+	var err error
+	if snap.Gen, b, err = codec.ConsumeUvarint(b); err != nil {
+		return nil, err
+	}
+	var pending uint64
+	stats := []*uint64{
+		&snap.Stats.Published, &snap.Stats.Polls, &snap.Stats.Hits, &pending,
+		&snap.Stats.Evicted, &snap.Stats.DedupHits, &snap.Stats.Replayed,
+	}
+	for _, f := range stats {
+		if *f, b, err = codec.ConsumeUvarint(b); err != nil {
+			return nil, err
+		}
+	}
+	snap.Stats.Pending = int(pending)
+	n, b, err := codec.ConsumeUvarint(b)
+	if err != nil || n > maxSnapItems {
+		return nil, fmt.Errorf("entry count: %w", orCorrupt(err))
+	}
+	snap.Entries = make([]snapEntryRec, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e snapEntryRec
+		key := []*int{&e.K.Src, &e.K.Dst, &e.K.Tag, &e.K.NS}
+		for _, f := range key {
+			var v int64
+			if v, b, err = codec.ConsumeSvarint(b); err != nil {
+				return nil, err
+			}
+			*f = int(v)
+		}
+		if e.Seq, b, err = codec.ConsumeUvarint(b); err != nil {
+			return nil, err
+		}
+		if e.Stamp, b, err = codec.ConsumeSvarint(b); err != nil {
+			return nil, err
+		}
+		if e.Masks, b, err = codec.ConsumeMasks(b, maxWALPayload); err != nil {
+			return nil, err
+		}
+		snap.Entries = append(snap.Entries, e)
+	}
+	if n, b, err = codec.ConsumeUvarint(b); err != nil || n > maxSnapItems {
+		return nil, fmt.Errorf("client count: %w", orCorrupt(err))
+	}
+	snap.Clients = make([]snapClientRec, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var c snapClientRec
+		if c.ID, b, err = codec.ConsumeUvarint(b); err != nil {
+			return nil, err
+		}
+		if c.LastUse, b, err = codec.ConsumeSvarint(b); err != nil {
+			return nil, err
+		}
+		var nr uint64
+		if nr, b, err = codec.ConsumeUvarint(b); err != nil || nr > maxSnapItems {
+			return nil, fmt.Errorf("reply count: %w", orCorrupt(err))
+		}
+		c.Reqs = make([]snapReplyRec, 0, nr)
+		for j := uint64(0); j < nr; j++ {
+			var r snapReplyRec
+			if r.Req, b, err = codec.ConsumeUvarint(b); err != nil {
+				return nil, err
+			}
+			if len(b) < 1 {
+				return nil, errors.New("short reply record")
+			}
+			r.Found = b[0] != 0
+			b = b[1:]
+			if r.Masks, b, err = codec.ConsumeMasks(b, maxWALPayload); err != nil {
+				return nil, err
+			}
+			c.Reqs = append(c.Reqs, r)
+		}
+		snap.Clients = append(snap.Clients, c)
+	}
+	if len(b) != 0 {
+		return nil, errors.New("trailing bytes after snapshot payload")
+	}
+	return &snap, nil
+}
+
+// maxSnapItems bounds declared collection sizes before allocation.
+const maxSnapItems = 1 << 26
+
+// orCorrupt keeps error wrapping total when a count check fails on a
+// bounds violation rather than a decode error.
+func orCorrupt(err error) error {
+	if err != nil {
+		return err
+	}
+	return errors.New("over limit")
+}
 
 // writeSnapshot atomically replaces path with the encoded snapshot:
-// magic + u32 length + u32 CRC + gob payload, written to a temp file,
-// fsynced, and renamed over the target.
+// magic + version + u32 length + u32 CRC + binary payload, written to a
+// temp file, fsynced, and renamed over the target. The version byte is the
+// refusal hook: a future layout change bumps it, and old code refuses the
+// file with *CorruptError instead of silently misdecoding it.
 func writeSnapshot(path string, snap *snapshotRec) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
-		return fmt.Errorf("tainthub: encode snapshot: %w", err)
-	}
-	payload := buf.Bytes()
-	hdr := make([]byte, 12)
+	payload := encodeSnapshotPayload(snap)
+	hdr := make([]byte, 13)
 	le.PutUint32(hdr[0:4], snapMagic)
-	le.PutUint32(hdr[4:8], uint32(len(payload)))
-	le.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload))
+	hdr[4] = snapVersion
+	le.PutUint32(hdr[5:9], uint32(len(payload)))
+	le.PutUint32(hdr[9:13], crc32.ChecksumIEEE(payload))
 
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -127,7 +265,9 @@ func writeSnapshot(path string, snap *snapshotRec) error {
 // loadSnapshot reads a snapshot; a missing file returns (nil, nil). Any
 // structural damage is a *CorruptError — a half-written snapshot cannot
 // exist (writes go through rename), so damage means real corruption and
-// silently starting empty would resurrect consumed taint.
+// silently starting empty would resurrect consumed taint. Both the current
+// versioned binary format and the legacy gob format are readable; an
+// unknown version byte is refused.
 func loadSnapshot(path string) (*snapshotRec, error) {
 	raw, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -136,8 +276,36 @@ func loadSnapshot(path string) (*snapshotRec, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(raw) < 12 || le.Uint32(raw[0:4]) != snapMagic {
+	if len(raw) >= 4 && le.Uint32(raw[0:4]) == snapMagicGob {
+		return loadSnapshotGob(path, raw)
+	}
+	if len(raw) < 13 || le.Uint32(raw[0:4]) != snapMagic {
 		return nil, &CorruptError{File: path, Reason: "bad snapshot magic"}
+	}
+	if v := raw[4]; v != snapVersion {
+		return nil, &CorruptError{File: path, Reason: fmt.Sprintf("unsupported snapshot version %d (have %d)", v, snapVersion)}
+	}
+	n := le.Uint32(raw[5:9])
+	if int(n) != len(raw)-13 {
+		return nil, &CorruptError{File: path, Reason: fmt.Sprintf("snapshot length %d != payload %d", n, len(raw)-13)}
+	}
+	payload := raw[13:]
+	if crc32.ChecksumIEEE(payload) != le.Uint32(raw[9:13]) {
+		return nil, &CorruptError{File: path, Reason: "snapshot checksum mismatch"}
+	}
+	snap, err := decodeSnapshotPayload(payload)
+	if err != nil {
+		return nil, &CorruptError{File: path, Reason: "snapshot decode: " + err.Error()}
+	}
+	return snap, nil
+}
+
+// loadSnapshotGob reads the pre-codec format: gob payload behind a
+// magic + u32 length + u32 CRC header, with no version byte — the gap
+// that motivated the versioned format.
+func loadSnapshotGob(path string, raw []byte) (*snapshotRec, error) {
+	if len(raw) < 12 {
+		return nil, &CorruptError{File: path, Reason: "truncated snapshot header"}
 	}
 	n := le.Uint32(raw[4:8])
 	if int(n) != len(raw)-12 {
@@ -184,7 +352,7 @@ func OpenDurable(path string, cfg DurableConfig) (*Durable, error) {
 		return nil, err
 	}
 	// First pass: header + offsets only, so a stale WAL is never applied.
-	walGen, hasHeader, goodOff, err := scanWAL(f, nil)
+	walGen, walVer, hasHeader, goodOff, err := scanWAL(f, nil)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -200,7 +368,7 @@ func OpenDurable(path string, cfg DurableConfig) (*Durable, error) {
 		// in-flight client's retries still dedup.
 		now := time.Now().UnixNano()
 		var replayed int
-		if _, _, _, err := scanWAL(f, func(m walMutation) {
+		if _, _, _, _, err := scanWAL(f, func(m walMutation) {
 			replayed++
 			switch m.kind {
 			case walRecPublish:
@@ -247,6 +415,15 @@ func OpenDurable(path string, cfg DurableConfig) (*Durable, error) {
 			return nil, err
 		}
 		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if walVer != walVersion {
+		// The recovered log speaks an older record layout. Appends use the
+		// current one, and a log must never mix versions — so fold the
+		// replayed state into a fresh snapshot and rotate to a new log with
+		// a current-version header.
+		if err := d.snapshotLocked(); err != nil {
 			f.Close()
 			return nil, err
 		}

@@ -8,13 +8,16 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"chaser/internal/tainthub/codec"
 )
 
 // FuzzDecodeRequest drives arbitrary bytes through the wire-protocol
-// decoder and the request dispatcher. The server parses frames from
-// arbitrary TCP peers, so the invariant is: garbage may produce errors and
-// error responses, never a panic, and the malformed/disconnect/oversize
-// distinction must hold for every error the decoder can produce.
+// decoder and the request dispatcher, for both codecs. The server parses
+// frames from arbitrary TCP peers, so the invariant is: garbage may
+// produce errors and error responses, never a panic, and the recoverable
+// (oversized frame, undecodable payload) vs fatal (malformed, disconnect)
+// distinction must hold for every error the parser can produce.
 func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte(`{"op":"publish","src":0,"dst":1,"tag":2,"seq":3,"masks":"qg=="}`))
 	f.Add([]byte(`{"op":"poll","src":1,"dst":0,"tag":0,"seq":0}` + "\n" + `{"op":"stats"}`))
@@ -25,24 +28,27 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte(`{`))
 	f.Add([]byte("\x00\xff\xfe"))
 	f.Add([]byte(""))
+	f.Add([]byte("\xc7\x02\x03\x01")) // binary magic + tiny frame
 	f.Fuzz(func(t *testing.T, data []byte) {
-		s := &Server{hub: NewLocal(), maxFrame: 1 << 16, logf: func(string, ...any) {}}
-		br := bufio.NewReader(bytes.NewReader(data))
-		for i := 0; i < 64; i++ { // bounded: a frame is >= 1 byte
-			req, err := decodeRequest(br, s.maxFrame)
-			if err != nil {
-				var fe *FrameError
-				if errors.As(err, &fe) {
-					_ = discardFrame(br, 4*s.maxFrame)
-					continue
+		for _, format := range []codec.Format{codec.FormatJSON, codec.FormatBinary} {
+			s := &Server{hub: NewLocal(), maxFrame: 1 << 16, logf: func(string, ...any) {}}
+			parser := codec.NewParser(format, bufio.NewReader(bytes.NewReader(data)), s.maxFrame)
+			for i := 0; i < 64; i++ { // bounded: a frame is >= 1 byte
+				req, err := parser.ReadRequest()
+				if err != nil {
+					var fe *codec.FrameError
+					var pe *codec.PayloadError
+					if errors.As(err, &fe) || errors.As(err, &pe) {
+						continue // recoverable: the parser resynced the stream
+					}
+					_ = isMalformed(err)
+					_ = isTimeout(err)
+					break
 				}
-				_ = isMalformed(err)
-				_ = isTimeout(err)
-				return
-			}
-			resp := s.dispatch(req)
-			if _, err := json.Marshal(resp); err != nil {
-				t.Fatalf("dispatch produced unmarshalable response: %v", err)
+				resp := s.handle(req)
+				if _, err := json.Marshal(resp); err != nil {
+					t.Fatalf("dispatch produced unmarshalable response: %v", err)
+				}
 			}
 		}
 	})

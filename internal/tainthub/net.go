@@ -2,7 +2,6 @@ package tainthub
 
 import (
 	"bufio"
-	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,108 +10,28 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"chaser/internal/obs"
+	"chaser/internal/tainthub/codec"
 )
 
-// The wire protocol is newline-delimited JSON over TCP: one request object
-// per line, one response object per line. It is deliberately simple — the
-// hub runs on the head node and handles a few messages per guest send/recv.
+// The wire protocol is one request frame / one response frame over TCP,
+// serialized by the codec package: either the legacy newline-delimited JSON
+// format or the compact length-prefixed binary format (the default). The
+// server autodetects the format per connection from the first byte; the
+// client pipelines requests over one connection and coalesces concurrent
+// calls into batch frames, so one round trip carries many logical RPCs.
 
-type request struct {
-	Op     string `json:"op"` // "publish", "poll", "stats"
-	Client uint64 `json:"client,omitempty"`
-	Req    uint64 `json:"req,omitempty"`
-	Src    int    `json:"src"`
-	Dst    int    `json:"dst"`
-	Tag    int    `json:"tag"`
-	NS     int    `json:"ns,omitempty"`
-	Seq    uint64 `json:"seq"`
-	Masks  string `json:"masks,omitempty"` // base64
-}
+// FrameError re-exports the codec type: a request frame exceeding the
+// server's limit — the wire-level DoS guard that rejects an oversized
+// Publish before its payload is buffered. It is recoverable: the codec has
+// already resynchronized the stream past the refused frame.
+type FrameError = codec.FrameError
 
-type response struct {
-	OK           bool   `json:"ok"`
-	Found        bool   `json:"found,omitempty"`
-	Masks        string `json:"masks,omitempty"`
-	Stats        *Stats `json:"stats,omitempty"`
-	Busy         bool   `json:"busy,omitempty"` // server over limits; retry after RetryAfterMs
-	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
-	Err          string `json:"err,omitempty"`
-}
-
-// FrameError reports a request line exceeding the server's frame limit —
-// the wire-level DoS guard that rejects an oversized Publish before its
-// payload is even buffered. Unlike a JSON syntax error it is recoverable:
-// the server discards the rest of the line and keeps the connection.
-type FrameError struct {
-	Size  int // bytes seen before giving up
-	Limit int
-}
-
-func (e *FrameError) Error() string {
-	return fmt.Sprintf("tainthub: request frame over %d bytes (saw %d)", e.Limit, e.Size)
-}
-
-// readFrame reads one newline-terminated frame, failing with *FrameError
-// once more than limit bytes accumulate without a newline.
-func readFrame(br *bufio.Reader, limit int) ([]byte, error) {
-	var buf []byte
-	for {
-		chunk, err := br.ReadSlice('\n')
-		buf = append(buf, chunk...)
-		if len(buf) > limit {
-			return nil, &FrameError{Size: len(buf), Limit: limit}
-		}
-		switch err {
-		case nil:
-			return buf, nil
-		case bufio.ErrBufferFull:
-			continue
-		case io.EOF:
-			if len(buf) > 0 {
-				return nil, io.ErrUnexpectedEOF
-			}
-			return nil, io.EOF
-		default:
-			return nil, err
-		}
-	}
-}
-
-// discardFrame skips the remainder of an oversized line so the connection
-// can resync on the next frame. It gives up (returning false) after max
-// further bytes — a peer streaming garbage without newlines gets dropped.
-func discardFrame(br *bufio.Reader, max int) bool {
-	var n int
-	for {
-		chunk, err := br.ReadSlice('\n')
-		n += len(chunk)
-		if err == nil {
-			return true
-		}
-		if err != bufio.ErrBufferFull || n > max {
-			return false
-		}
-	}
-}
-
-// decodeRequest reads and parses the next request frame from the stream,
-// bounding the frame at limit bytes. It is the single entry point of the
-// wire-protocol decoder — the fuzz target guaranteeing malformed frames
-// surface as errors, never panics.
-func decodeRequest(br *bufio.Reader, limit int) (request, error) {
-	line, err := readFrame(br, limit)
-	if err != nil {
-		return request{}, err
-	}
-	var req request
-	if err := json.Unmarshal(line, &req); err != nil {
-		return request{}, err
-	}
-	return req, nil
-}
+// response aliases the wire response; tests build and decode it directly.
+type response = codec.Response
 
 // serverObs bundles the server's instruments; nil when no registry is
 // attached.
@@ -151,15 +70,19 @@ type ServerConfig struct {
 	// this long (0 = never). Dead campaign workers then cannot pin server
 	// resources forever.
 	IdleTimeout time.Duration
-	// MaxFrameBytes caps one request line; larger frames are rejected with
+	// MaxFrameBytes caps one request frame; larger frames are rejected with
 	// *FrameError before the payload is buffered (default 96 MiB — a 64 MiB
 	// mask payload base64-expands to ~85 MiB plus JSON overhead).
 	MaxFrameBytes int
+	// Wire pins the wire format. FormatAuto (the default) detects the
+	// format per connection from its first byte; a pinned format refuses
+	// connections speaking the other one.
+	Wire codec.Format
 	// Logf overrides the server's logger (nil = log.Printf).
 	Logf func(format string, args ...any)
 }
 
-// defaultMaxFrame bounds a request line when ServerConfig.MaxFrameBytes
+// defaultMaxFrame bounds a request frame when ServerConfig.MaxFrameBytes
 // is zero.
 const defaultMaxFrame = 96 << 20
 
@@ -171,6 +94,7 @@ type Server struct {
 	obs      *serverObs
 	idle     time.Duration
 	maxFrame int
+	wire     codec.Format
 	logf     func(format string, args ...any)
 
 	mu     sync.Mutex
@@ -210,6 +134,7 @@ func NewServerConfig(hub Hub, addr string, cfg ServerConfig) (*Server, error) {
 		obs:      newServerObs(cfg.Obs),
 		idle:     cfg.IdleTimeout,
 		maxFrame: maxFrame,
+		wire:     cfg.Wire,
 		logf:     logf,
 		conns:    make(map[net.Conn]struct{}),
 	}
@@ -297,8 +222,30 @@ func (s *Server) serve(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	br := bufio.NewReader(conn)
-	enc := json.NewEncoder(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	if s.idle > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.idle))
+	}
+	format := s.wire
+	if format == codec.FormatAuto {
+		// Peek the first byte to classify the connection's format without
+		// consuming it; the binary magic can never begin a JSON request.
+		f, err := codec.Detect(br)
+		if err != nil {
+			switch {
+			case s.closing():
+			case isTimeout(err):
+				if s.obs != nil {
+					s.obs.idleDrops.Inc()
+				}
+				s.logf("tainthub: disconnecting idle client %s", conn.RemoteAddr())
+			}
+			return
+		}
+		format = f
+	}
+	parser := codec.NewParser(format, br, s.maxFrame)
+	emitter := codec.NewEmitter(format, conn)
 	for {
 		if s.closing() {
 			return
@@ -306,9 +253,10 @@ func (s *Server) serve(conn net.Conn) {
 		if s.idle > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.idle))
 		}
-		req, err := decodeRequest(br, s.maxFrame)
+		req, err := parser.ReadRequest()
 		if err != nil {
-			var fe *FrameError
+			var fe *codec.FrameError
+			var pe *codec.PayloadError
 			switch {
 			case s.closing():
 				// Shutdown woke the read; drain silently.
@@ -319,34 +267,55 @@ func (s *Server) serve(conn net.Conn) {
 				s.logf("tainthub: disconnecting idle client %s", conn.RemoteAddr())
 			case errors.As(err, &fe):
 				// Oversized frame: count it with the malformed requests,
-				// refuse it, but keep the connection — line framing lets us
-				// resync by discarding the rest of the line (bounded, so a
-				// newline-free garbage stream still gets dropped).
+				// refuse it, but keep the connection — the codec has already
+				// resynchronized the stream past the refused frame (the JSON
+				// parser drains to the actual newline, the binary parser
+				// skips the declared length).
 				if s.obs != nil {
 					s.obs.malformed.Inc()
 				}
 				s.logf("tainthub: oversized request from %s: %v", conn.RemoteAddr(), err)
-				if encErr := enc.Encode(response{Err: err.Error()}); encErr == nil && discardFrame(br, 4*s.maxFrame) {
+				if werr := writeResponse(emitter, response{Err: err.Error(), Code: codec.CodeFrame}); werr == nil {
+					continue
+				}
+			case errors.As(err, &pe):
+				// The frame was structurally sound but its payload can never
+				// decode (bad base64, corrupt RLE). Permanent for the sender,
+				// recoverable for the connection: the frame was fully
+				// consumed, so refuse it with a typed code and keep reading.
+				if s.obs != nil {
+					s.obs.malformed.Inc()
+				}
+				s.logf("tainthub: undecodable payload from %s: %v", conn.RemoteAddr(), err)
+				if werr := writeResponse(emitter, response{Err: err.Error(), Code: codec.CodePayload}); werr == nil {
 					continue
 				}
 			case isMalformed(err):
 				// A garbage request is a signal (corrupted client, stray
 				// connection, protocol drift) — count it, log it, tell the
-				// peer, and drop the connection: the decoder's framing is
-				// unrecoverable after a syntax error.
+				// peer, and drop the connection: the stream position is
+				// unreliable after a framing error.
 				if s.obs != nil {
 					s.obs.malformed.Inc()
 				}
 				s.logf("tainthub: malformed request from %s: %v", conn.RemoteAddr(), err)
-				_ = enc.Encode(response{Err: "malformed request: " + err.Error()})
+				_ = writeResponse(emitter, response{Err: "malformed request: " + err.Error()})
 			}
 			return
 		}
 		resp := s.handle(req)
-		if err := enc.Encode(resp); err != nil {
+		if writeResponse(emitter, resp) != nil {
 			return
 		}
 	}
+}
+
+// writeResponse emits one response frame and pushes it onto the wire.
+func writeResponse(e codec.Emitter, resp codec.Response) error {
+	if err := e.WriteResponse(resp); err != nil {
+		return err
+	}
+	return e.Flush()
 }
 
 // isMalformed distinguishes a garbage request from an ordinary disconnect
@@ -354,7 +323,9 @@ func (s *Server) serve(conn net.Conn) {
 func isMalformed(err error) bool {
 	var syn *json.SyntaxError
 	var typ *json.UnmarshalTypeError
-	return errors.As(err, &syn) || errors.As(err, &typ) || errors.Is(err, io.ErrUnexpectedEOF)
+	var mal *codec.MalformedError
+	return errors.As(err, &syn) || errors.As(err, &typ) || errors.As(err, &mal) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
 }
 
 // isTimeout reports whether err is a network deadline expiry.
@@ -363,13 +334,36 @@ func isTimeout(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
-func (s *Server) handle(req request) response {
+// handle dispatches one request frame. A batch frame fans out to its
+// entries — each is a full logical RPC with its own ReqID, metrics, and
+// response slot; the batch reply preserves order.
+func (s *Server) handle(req codec.Request) codec.Response {
+	if req.Op == codec.OpBatch {
+		if len(req.Batch) == 0 {
+			if s.obs != nil {
+				s.obs.malformed.Inc()
+			}
+			return response{Err: "empty batch"}
+		}
+		out := make([]codec.Response, len(req.Batch))
+		for i := range req.Batch {
+			out[i] = s.handleOne(req.Batch[i])
+		}
+		return codec.Response{OK: true, Batch: out}
+	}
+	return s.handleOne(req)
+}
+
+func (s *Server) handleOne(req codec.Request) codec.Response {
 	var t0 time.Time
 	if s.obs != nil {
 		s.obs.requests.Inc()
 		t0 = time.Now()
 	}
 	resp := s.dispatch(req)
+	// Echo the ReqID so a pipelined client can verify correlation.
+	resp.Client = req.Client
+	resp.Req = req.Req
 	if s.obs != nil {
 		s.obs.rpcLat.Observe(time.Since(t0).Seconds())
 	}
@@ -378,12 +372,13 @@ func (s *Server) handle(req request) response {
 
 // hubError maps a hub-level error onto the wire: a *BusyError becomes a
 // retryable busy response carrying the backoff hint, a *PayloadError
-// counts as a malformed request (the DoS-guard satellite), anything else
-// is a plain application error.
-func (s *Server) hubError(err error) response {
+// (masks over the hub's payload limit) is refused with the permanent
+// payload code so clients stop retrying bytes that can never be accepted,
+// anything else is a plain application error.
+func (s *Server) hubError(err error) codec.Response {
 	var be *BusyError
 	if errors.As(err, &be) {
-		return response{Busy: true, RetryAfterMs: int64(be.RetryAfter / time.Millisecond), Err: ""}
+		return response{Busy: true, RetryAfterMs: int64(be.RetryAfter / time.Millisecond)}
 	}
 	var pe *PayloadError
 	if errors.As(err, &pe) {
@@ -391,31 +386,24 @@ func (s *Server) hubError(err error) response {
 			s.obs.malformed.Inc()
 		}
 		s.logf("tainthub: rejected oversized payload: %v", pe)
+		return response{Err: err.Error(), Code: codec.CodePayload}
 	}
 	return response{Err: err.Error()}
 }
 
-func (s *Server) dispatch(req request) response {
+func (s *Server) dispatch(req codec.Request) codec.Response {
 	k := Key{Src: req.Src, Dst: req.Dst, Tag: req.Tag, NS: req.NS}
 	id := ReqID{Client: req.Client, Seq: req.Req}
 	switch req.Op {
-	case "publish":
-		masks, err := base64.StdEncoding.DecodeString(req.Masks)
-		if err != nil {
-			if s.obs != nil {
-				s.obs.malformed.Inc()
-			}
-			s.logf("tainthub: publish with undecodable masks (src=%d dst=%d tag=%d)", req.Src, req.Dst, req.Tag)
-			return response{Err: "bad masks encoding"}
-		}
-		if err := s.hub.Publish(id, k, req.Seq, masks); err != nil {
+	case codec.OpPublish:
+		if err := s.hub.Publish(id, k, req.Seq, req.Masks); err != nil {
 			return s.hubError(err)
 		}
 		if s.obs != nil {
 			s.obs.publishes.Inc()
 		}
 		return response{OK: true}
-	case "poll":
+	case codec.OpPoll:
 		masks, found, err := s.hub.Poll(id, k, req.Seq)
 		if err != nil {
 			return s.hubError(err)
@@ -428,10 +416,12 @@ func (s *Server) dispatch(req request) response {
 				s.obs.pollMiss.Inc()
 			}
 		}
-		return response{OK: true, Found: found, Masks: base64.StdEncoding.EncodeToString(masks)}
-	case "stats":
+		return response{OK: true, Found: found, Masks: masks}
+	case codec.OpStats:
 		st := s.hub.Stats()
 		return response{OK: true, Stats: &st}
+	case codec.OpBatch:
+		return response{Err: "batches do not nest"}
 	}
 	if s.obs != nil {
 		s.obs.malformed.Inc()
@@ -458,6 +448,19 @@ type ClientConfig struct {
 	// (defaults 10ms / 1s).
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// Wire selects the wire format. FormatAuto (the default) speaks binary;
+	// FormatJSON speaks the legacy protocol to old servers.
+	Wire codec.Format
+	// MaxBatch caps how many concurrent calls coalesce into one batch
+	// frame; 1 disables batching (default 64).
+	MaxBatch int
+	// MaxBatchBytes caps the estimated payload of one batch frame, so a few
+	// huge publishes do not ride in one frame near the server's limit
+	// (default 1 MiB).
+	MaxBatchBytes int
+	// MaxInflight caps pipelined request frames awaiting responses on one
+	// connection (default 64).
+	MaxInflight int
 	// Obs, when non-nil, receives client telemetry: hub_rpc_retries_total,
 	// hub_reconnects_total, hub_rpc_failures_total.
 	Obs *obs.Registry
@@ -479,26 +482,214 @@ func (c ClientConfig) withDefaults() ClientConfig {
 	if c.BackoffMax <= 0 {
 		c.BackoffMax = time.Second
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 1 << 20
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
 	return c
 }
 
+var errClientClosed = errors.New("tainthub: client closed")
+
+// call is one in-flight RPC. state is a claim token: whoever flips it from
+// 0 to 1 — the session's reader delivering a response, or the caller
+// rescuing itself after the session died — owns the call's outcome. The
+// token is what lets callers abandon a dead session without any drain
+// handshake with its goroutines.
+type call struct {
+	req   codec.Request
+	resp  codec.Response
+	state atomic.Int32 // 0 pending, 1 claimed
+	done  chan struct{}
+}
+
+// deliver hands the call its response unless the caller already claimed it
+// back.
+func (c *call) deliver(resp codec.Response) {
+	if c.state.CompareAndSwap(0, 1) {
+		c.resp = resp
+		close(c.done)
+	}
+}
+
+// claim returns true when the caller now owns the call: no response was
+// delivered, and none will be.
+func (c *call) claim() bool { return c.state.CompareAndSwap(0, 1) }
+
+// session is one pipelined connection: a writer goroutine coalesces queued
+// calls into frames, a reader goroutine correlates response frames back to
+// call groups in FIFO order (the server processes one connection's frames
+// sequentially, so frame order is response order; the echoed ReqID
+// cross-checks it). Any transport error fails the whole session; callers
+// notice via the done channel and retry on a fresh one.
+type session struct {
+	conn     net.Conn
+	parser   codec.Parser
+	emit     codec.Emitter
+	sendq    chan *call
+	inflight chan []*call // frame groups awaiting responses, FIFO
+
+	failOnce sync.Once
+	err      error
+	done     chan struct{}
+}
+
+// fail terminates the session exactly once: records the reason, wakes every
+// waiter, and closes the connection (unblocking both goroutines).
+func (s *session) fail(err error) {
+	s.failOnce.Do(func() {
+		s.err = err
+		close(s.done)
+		_ = s.conn.Close()
+	})
+}
+
+// failure returns the terminal error; only valid after done is closed.
+func (s *session) failure() error { return s.err }
+
+// reqSize estimates a request's frame contribution for batch sizing.
+func reqSize(req codec.Request) int { return len(req.Masks) + 64 }
+
+// writeLoop drains the send queue, opportunistically coalescing whatever
+// calls are already waiting into one batch frame. Under light load every
+// frame carries one call (no added latency); under concurrency one frame
+// (and one syscall) carries up to maxBatch logical RPCs.
+func (s *session) writeLoop(maxBatch, maxBatchBytes int) {
+	for {
+		var first *call
+		select {
+		case <-s.done:
+			return
+		case first = <-s.sendq:
+		}
+		group := []*call{first}
+		size := reqSize(first.req)
+		for len(group) < maxBatch && size < maxBatchBytes {
+			var next *call
+			select {
+			case next = <-s.sendq:
+			default:
+			}
+			if next == nil {
+				break
+			}
+			group = append(group, next)
+			size += reqSize(next.req)
+		}
+		// Publish the group to the reader before the bytes hit the wire, so
+		// the response can never arrive before its group is known.
+		select {
+		case s.inflight <- group:
+		case <-s.done:
+			return
+		}
+		var err error
+		if len(group) == 1 {
+			err = s.emit.WriteRequest(group[0].req)
+		} else {
+			batch := make([]codec.Request, len(group))
+			for i, c := range group {
+				batch[i] = c.req
+			}
+			err = s.emit.WriteRequest(codec.Request{Op: codec.OpBatch, Batch: batch})
+		}
+		if err == nil {
+			err = s.emit.Flush()
+		}
+		if err != nil {
+			s.fail(fmt.Errorf("tainthub: send: %w", err))
+			return
+		}
+	}
+}
+
+// readLoop pops the oldest unanswered group, reads its response frame, and
+// distributes the replies.
+func (s *session) readLoop() {
+	for {
+		var group []*call
+		select {
+		case <-s.done:
+			return
+		case group = <-s.inflight:
+		}
+		resp, err := s.parser.ReadResponse()
+		if err != nil {
+			s.fail(fmt.Errorf("tainthub: recv: %w", err))
+			return
+		}
+		if !s.deliverGroup(group, resp) {
+			return
+		}
+	}
+}
+
+func (s *session) deliverGroup(group []*call, resp codec.Response) bool {
+	switch {
+	case len(group) == 1 && resp.Batch == nil:
+		if !echoMatches(group[0].req, resp) {
+			s.fail(errors.New("tainthub: response correlation mismatch"))
+			return false
+		}
+		group[0].deliver(resp)
+	case resp.Batch != nil && len(resp.Batch) == len(group):
+		for i := range group {
+			if !echoMatches(group[i].req, resp.Batch[i]) {
+				s.fail(errors.New("tainthub: response correlation mismatch"))
+				return false
+			}
+		}
+		for i, c := range group {
+			c.deliver(resp.Batch[i])
+		}
+	case resp.Batch == nil && resp.Err != "":
+		// The server refused the whole frame (oversized, undecodable);
+		// every call aboard gets the refusal.
+		for _, c := range group {
+			c.deliver(resp)
+		}
+	default:
+		s.fail(fmt.Errorf("tainthub: response shape mismatch (%d calls, %d replies)",
+			len(group), len(resp.Batch)))
+		return false
+	}
+	return true
+}
+
+// echoMatches cross-checks the server's ReqID echo against the call. A zero
+// echo (zero-ReqID ops, error replies, legacy servers) is accepted — the
+// FIFO order is then the only correlation, which is how the protocol worked
+// before the echo existed.
+func echoMatches(req codec.Request, resp codec.Response) bool {
+	if resp.Client == 0 && resp.Req == 0 {
+		return true
+	}
+	return resp.Client == req.Client && resp.Req == req.Req
+}
+
 // Client is a Hub backed by a remote Server. It is safe for concurrent
-// use; requests are serialized over one connection. Transport failures are
-// retried with exponential backoff and a transparent reconnect;
-// server-reported application errors are returned immediately.
+// use; concurrent calls are pipelined over one connection and coalesced
+// into batch frames. Transport failures are retried with exponential
+// backoff and a transparent reconnect; server-reported application errors
+// are returned immediately.
 type Client struct {
 	addr string
 	cfg  ClientConfig
+	wire codec.Format
 
 	obsRetries    *obs.Counter
 	obsReconnects *obs.Counter
 	obsFailures   *obs.Counter
 
-	mu     sync.Mutex
-	closed bool
-	conn   net.Conn
-	dec    *json.Decoder
-	enc    *json.Encoder
+	mu        sync.Mutex
+	closed    bool
+	sess      *session
+	connected bool // a session existed before, so the next dial is a reconnect
 }
 
 var _ Hub = (*Client)(nil)
@@ -512,39 +703,59 @@ func Dial(addr string) (*Client, error) {
 // connection is attempted once, eagerly, so a bad address fails fast;
 // later transport failures reconnect transparently inside the retry loop.
 func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
-	c := &Client{addr: addr, cfg: cfg.withDefaults()}
-	if reg := c.cfg.Obs; reg != nil {
+	cfg = cfg.withDefaults()
+	wire := cfg.Wire
+	if wire == codec.FormatAuto {
+		wire = codec.FormatBinary
+	}
+	c := &Client{addr: addr, cfg: cfg, wire: wire}
+	if reg := cfg.Obs; reg != nil {
 		c.obsRetries = reg.Counter("hub_rpc_retries_total")
 		c.obsReconnects = reg.Counter("hub_reconnects_total")
 		c.obsFailures = reg.Counter("hub_rpc_failures_total")
 	}
-	if err := c.connectLocked(); err != nil {
+	if _, err := c.session(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-// connectLocked (re)establishes the connection. Callers hold c.mu except
-// during construction.
-func (c *Client) connectLocked() error {
+// session returns the live session, dialing a fresh one if the previous
+// died (or none exists yet).
+func (c *Client) session() (*session, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errClientClosed
+	}
+	if c.sess != nil {
+		select {
+		case <-c.sess.done:
+			c.sess = nil // dead; replace
+		default:
+			return c.sess, nil
+		}
+	}
 	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
 	if err != nil {
-		return fmt.Errorf("tainthub: dial %s: %w", c.addr, err)
+		return nil, fmt.Errorf("tainthub: dial %s: %w", c.addr, err)
 	}
-	c.conn = conn
-	c.dec = json.NewDecoder(bufio.NewReader(conn))
-	c.enc = json.NewEncoder(conn)
-	return nil
-}
-
-// dropLocked tears down a broken connection so the next attempt redials.
-func (c *Client) dropLocked() {
-	if c.conn != nil {
-		_ = c.conn.Close()
-		c.conn = nil
-		c.dec = nil
-		c.enc = nil
+	s := &session{
+		conn:     conn,
+		parser:   codec.NewParser(c.wire, bufio.NewReaderSize(conn, 64<<10), defaultMaxFrame),
+		emit:     codec.NewEmitter(c.wire, conn),
+		sendq:    make(chan *call, c.cfg.MaxBatch),
+		inflight: make(chan []*call, c.cfg.MaxInflight),
+		done:     make(chan struct{}),
 	}
+	go s.writeLoop(c.cfg.MaxBatch, c.cfg.MaxBatchBytes)
+	go s.readLoop()
+	if c.connected {
+		c.obsReconnects.Inc()
+	}
+	c.connected = true
+	c.sess = s
+	return s, nil
 }
 
 // Close closes the connection. It is idempotent; RPCs issued afterwards
@@ -553,7 +764,10 @@ func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
-	c.dropLocked()
+	if c.sess != nil {
+		c.sess.fail(errClientClosed)
+		c.sess = nil
+	}
 	return nil
 }
 
@@ -567,15 +781,10 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
-func (c *Client) roundTrip(req request) (response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+func (c *Client) roundTrip(req codec.Request) (codec.Response, error) {
 	var lastErr error
 	var retryAfter time.Duration
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
-		if c.closed {
-			return response{}, errors.New("tainthub: client closed")
-		}
 		if attempt > 0 {
 			c.obsRetries.Inc()
 			d := c.backoff(attempt)
@@ -585,17 +794,17 @@ func (c *Client) roundTrip(req request) (response, error) {
 			time.Sleep(d)
 			retryAfter = 0
 		}
-		if c.conn == nil {
-			if err := c.connectLocked(); err != nil {
-				lastErr = err
-				continue
+		s, err := c.session()
+		if err != nil {
+			if errors.Is(err, errClientClosed) {
+				return codec.Response{}, err
 			}
-			c.obsReconnects.Inc()
+			lastErr = err
+			continue
 		}
-		resp, err := c.attempt(req)
+		resp, err := c.attempt(s, req)
 		if err != nil {
 			lastErr = err
-			c.dropLocked()
 			continue
 		}
 		if resp.Busy {
@@ -607,36 +816,54 @@ func (c *Client) roundTrip(req request) (response, error) {
 		}
 		if resp.Err != "" {
 			// The server processed the request and reported an application
-			// error; retrying would only repeat it.
-			return response{}, errors.New("tainthub: " + resp.Err)
+			// error; retrying would only repeat it. Payload refusals come
+			// back as the typed permanent error.
+			if resp.Code == codec.CodePayload {
+				return codec.Response{}, &codec.PayloadError{Reason: resp.Err}
+			}
+			return codec.Response{}, errors.New("tainthub: " + resp.Err)
 		}
 		return resp, nil
 	}
 	c.obsFailures.Inc()
-	return response{}, fmt.Errorf("tainthub: rpc failed after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+	return codec.Response{}, fmt.Errorf("tainthub: rpc failed after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
 }
 
-// attempt performs one request/response exchange under the RPC deadline.
-func (c *Client) attempt(req request) (response, error) {
-	_ = c.conn.SetDeadline(time.Now().Add(c.cfg.RPCTimeout))
-	if err := c.enc.Encode(req); err != nil {
-		return response{}, fmt.Errorf("tainthub: send: %w", err)
+// attempt runs one try of the RPC through a session: enqueue the call, wait
+// for its response, the session's death, or the RPC deadline — whichever
+// comes first. On death or timeout the caller claims the call back (unless
+// a response won the race) and the retry loop takes over.
+func (c *Client) attempt(s *session, req codec.Request) (codec.Response, error) {
+	cl := &call{req: req, done: make(chan struct{})}
+	select {
+	case s.sendq <- cl:
+	case <-s.done:
+		return codec.Response{}, s.failure()
 	}
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		return response{}, fmt.Errorf("tainthub: recv: %w", err)
+	timer := time.NewTimer(c.cfg.RPCTimeout)
+	defer timer.Stop()
+	select {
+	case <-cl.done:
+		return cl.resp, nil
+	case <-timer.C:
+		s.fail(fmt.Errorf("tainthub: rpc timed out after %v", c.cfg.RPCTimeout))
+	case <-s.done:
 	}
-	_ = c.conn.SetDeadline(time.Time{})
-	return resp, nil
+	if cl.claim() {
+		return codec.Response{}, s.failure()
+	}
+	// A response was delivered concurrently with the session dying; take it.
+	<-cl.done
+	return cl.resp, nil
 }
 
 // Publish implements Hub. The ReqID rides every retry of the same logical
 // publish, so the server's reply cache makes re-sends idempotent.
 func (c *Client) Publish(id ReqID, k Key, seq uint64, masks []uint8) error {
-	_, err := c.roundTrip(request{
-		Op: "publish", Client: id.Client, Req: id.Seq,
+	_, err := c.roundTrip(codec.Request{
+		Op: codec.OpPublish, Client: id.Client, Req: id.Seq,
 		Src: k.Src, Dst: k.Dst, Tag: k.Tag, NS: k.NS, Seq: seq,
-		Masks: base64.StdEncoding.EncodeToString(masks),
+		Masks: masks,
 	})
 	return err
 }
@@ -645,8 +872,8 @@ func (c *Client) Publish(id ReqID, k Key, seq uint64, masks []uint8) error {
 // keeps a retry after a lost response from silently dropping taint: the
 // server replays the original masks from its reply cache.
 func (c *Client) Poll(id ReqID, k Key, seq uint64) ([]uint8, bool, error) {
-	resp, err := c.roundTrip(request{
-		Op: "poll", Client: id.Client, Req: id.Seq,
+	resp, err := c.roundTrip(codec.Request{
+		Op: codec.OpPoll, Client: id.Client, Req: id.Seq,
 		Src: k.Src, Dst: k.Dst, Tag: k.Tag, NS: k.NS, Seq: seq,
 	})
 	if err != nil {
@@ -655,16 +882,12 @@ func (c *Client) Poll(id ReqID, k Key, seq uint64) ([]uint8, bool, error) {
 	if !resp.Found {
 		return nil, false, nil
 	}
-	masks, err := base64.StdEncoding.DecodeString(resp.Masks)
-	if err != nil {
-		return nil, false, fmt.Errorf("tainthub: bad masks in response: %w", err)
-	}
-	return masks, true, nil
+	return resp.Masks, true, nil
 }
 
 // Stats implements Hub.
 func (c *Client) Stats() Stats {
-	resp, err := c.roundTrip(request{Op: "stats"})
+	resp, err := c.roundTrip(codec.Request{Op: codec.OpStats})
 	if err != nil || resp.Stats == nil {
 		return Stats{}
 	}

@@ -1,0 +1,330 @@
+package tainthub
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"chaser/internal/obs"
+	"chaser/internal/tainthub/codec"
+)
+
+// TestWireJSONClientCompat pins the compatibility path: a client speaking
+// the legacy JSON format against an autodetecting server behaves exactly
+// like the binary default.
+func TestWireJSONClientCompat(t *testing.T) {
+	for _, wire := range []codec.Format{codec.FormatJSON, codec.FormatBinary} {
+		t.Run(wire.String(), func(t *testing.T) {
+			hub := NewLocal()
+			srv, err := NewServer(hub, "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			c, err := DialConfig(srv.Addr(), ClientConfig{Wire: wire})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			k := Key{Src: 0, Dst: 1, Tag: 7}
+			if err := c.Publish(ReqID{Client: 1, Seq: 1}, k, 0, []uint8{0xaa, 0x00, 0x55}); err != nil {
+				t.Fatal(err)
+			}
+			masks, ok, err := c.Poll(ReqID{Client: 1, Seq: 2}, k, 0)
+			if err != nil || !ok || len(masks) != 3 || masks[0] != 0xaa || masks[2] != 0x55 {
+				t.Fatalf("poll = %v, %v, %v", masks, ok, err)
+			}
+			if st := c.Stats(); st.Published != 1 || st.Polls != 1 || st.Hits != 1 {
+				t.Fatalf("stats = %+v", st)
+			}
+		})
+	}
+}
+
+// TestWirePinnedServerRejectsMismatch: a server pinned to one format drops
+// connections speaking the other instead of misparsing them.
+func TestWirePinnedServerRejectsMismatch(t *testing.T) {
+	hub := NewLocal()
+	srv, err := NewServerConfig(hub, "127.0.0.1:0", ServerConfig{
+		Wire: codec.FormatBinary,
+		Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialConfig(srv.Addr(), ClientConfig{
+		Wire: codec.FormatJSON, MaxAttempts: 2,
+		RPCTimeout: time.Second, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Publish(ReqID{Client: 1, Seq: 1}, Key{Src: 0, Dst: 1}, 0, []uint8{1}); err == nil {
+		t.Fatal("JSON publish accepted by a binary-pinned server")
+	}
+	// And the matching format still works.
+	c2, err := DialConfig(srv.Addr(), ClientConfig{Wire: codec.FormatBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Publish(ReqID{Client: 1, Seq: 2}, Key{Src: 0, Dst: 1}, 0, []uint8{1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireFrameLimitResyncBeyondOldCap is the satellite-1 regression test:
+// a frame far beyond the old 4×maxFrame drain cap must still be refused
+// with the connection resynchronized — the old discard gave up mid-line,
+// desynchronizing the stream after the error reply.
+func TestWireFrameLimitResyncBeyondOldCap(t *testing.T) {
+	reg := obs.NewRegistry()
+	limit := 1 << 10
+	srv, err := NewServerConfig(NewLocal(), "127.0.0.1:0", ServerConfig{
+		Obs:           reg,
+		MaxFrameBytes: limit,
+		Logf:          func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	// 10x the limit — past the old 4x drain cap.
+	big := make([]byte, 10*limit)
+	for i := range big {
+		big[i] = 'A'
+	}
+	if _, err := conn.Write([]byte(`{"op":"publish","masks":"` + string(big) + `"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := json.Unmarshal([]byte(line), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" || resp.Code != codec.CodeFrame {
+		t.Fatalf("oversized frame reply = %+v, want frame-coded error", resp)
+	}
+	// The connection must have resynced to the next frame boundary.
+	if _, err := conn.Write([]byte(`{"op":"stats"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err = br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("connection dead after oversized frame: %v", err)
+	}
+	resp = response{}
+	if err := json.Unmarshal([]byte(line), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Stats == nil {
+		t.Errorf("stats after resync = %+v", resp)
+	}
+}
+
+// TestWireBadBase64TypedAndRecoverable is the satellite-2 regression test:
+// malformed base64 in a publish gets a payload-coded error reply, the
+// connection survives, and the real client surfaces it as the typed
+// permanent *codec.PayloadError without burning retry budget.
+func TestWireBadBase64TypedAndRecoverable(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := NewServerConfig(NewLocal(), "127.0.0.1:0", ServerConfig{
+		Obs:  reg,
+		Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Write([]byte(`{"op":"publish","client":1,"req":1,"src":0,"dst":1,"tag":0,"seq":0,"masks":"!!not base64!!"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := json.Unmarshal([]byte(line), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" || resp.Code != codec.CodePayload {
+		t.Fatalf("bad base64 reply = %+v, want payload-coded error", resp)
+	}
+	if got := reg.Counter("tainthub_malformed_requests_total").Value(); got != 1 {
+		t.Errorf("tainthub_malformed_requests_total = %d, want 1", got)
+	}
+	// The connection survives the refused frame.
+	if _, err := conn.Write([]byte(`{"op":"stats"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("connection dead after payload error: %v", err)
+	}
+}
+
+// TestWirePayloadLimitNoRetryBudget: a publish over the hub's payload
+// limit must come back as the typed permanent error on the first attempt —
+// zero transport retries — because re-sending bytes that can never be
+// accepted only burns backoff budget.
+func TestWirePayloadLimitNoRetryBudget(t *testing.T) {
+	hub := NewLocalLimits(Limits{MaxPayload: 4}, nil)
+	srv, err := NewServerConfig(hub, "127.0.0.1:0", ServerConfig{Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	c, err := DialConfig(srv.Addr(), fastRetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Publish(ReqID{Client: 1, Seq: 1}, Key{Src: 0, Dst: 1}, 0, make([]uint8, 64))
+	var pe *codec.PayloadError
+	if !errors.As(err, &pe) {
+		t.Fatalf("oversized publish error = %v, want *codec.PayloadError", err)
+	}
+	if got := reg.Counter("hub_rpc_retries_total").Value(); got != 0 {
+		t.Errorf("hub_rpc_retries_total = %d: retried a permanent payload error", got)
+	}
+}
+
+// TestWireBatchRPC exercises the server's batch dispatch directly: one
+// frame carrying many ops returns one batch reply preserving order, with
+// every sub-response echoing its ReqID.
+func TestWireBatchRPC(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := NewServerConfig(NewLocal(), "127.0.0.1:0", ServerConfig{Obs: reg, Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	frame := `{"op":"batch","batch":[` +
+		`{"op":"publish","client":5,"req":1,"src":0,"dst":1,"tag":2,"seq":0,"masks":"qg=="},` +
+		`{"op":"poll","client":5,"req":2,"src":0,"dst":1,"tag":2,"seq":0},` +
+		`{"op":"stats","client":5,"req":3}]}` + "\n"
+	if _, err := conn.Write([]byte(frame)); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(line), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || len(resp.Batch) != 3 {
+		t.Fatalf("batch reply = %+v", resp)
+	}
+	if !resp.Batch[0].OK || resp.Batch[0].Req != 1 {
+		t.Errorf("publish sub-reply = %+v", resp.Batch[0])
+	}
+	if !resp.Batch[1].OK || !resp.Batch[1].Found || len(resp.Batch[1].Masks) != 1 || resp.Batch[1].Masks[0] != 0xaa || resp.Batch[1].Req != 2 {
+		t.Errorf("poll sub-reply = %+v", resp.Batch[1])
+	}
+	if !resp.Batch[2].OK || resp.Batch[2].Stats == nil || resp.Batch[2].Req != 3 {
+		t.Errorf("stats sub-reply = %+v", resp.Batch[2])
+	}
+	// Each batched op counts as a logical request.
+	if got := reg.Counter("tainthub_requests_total").Value(); got != 3 {
+		t.Errorf("tainthub_requests_total = %d, want 3", got)
+	}
+}
+
+// TestWirePipelinedConcurrency hammers one client from many goroutines:
+// concurrent calls coalesce into batch frames and pipeline over one
+// connection, and every logical RPC must still complete with its own
+// correct result (the ReqID echo check would fail the session on any
+// cross-wiring).
+func TestWirePipelinedConcurrency(t *testing.T) {
+	hub := NewLocal()
+	srv, err := NewServer(hub, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const workers = 16
+	const perWorker = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := NewClientID()
+			var seq uint64
+			for i := 0; i < perWorker; i++ {
+				k := Key{Src: w, Dst: w + 1, Tag: i}
+				want := []uint8{uint8(w), uint8(i), 0, 0, uint8(w ^ i)}
+				seq++
+				if err := c.Publish(ReqID{Client: client, Seq: seq}, k, 0, want); err != nil {
+					errs <- fmt.Errorf("worker %d publish %d: %w", w, i, err)
+					return
+				}
+				seq++
+				got, ok, err := c.Poll(ReqID{Client: client, Seq: seq}, k, 0)
+				if err != nil || !ok {
+					errs <- fmt.Errorf("worker %d poll %d: ok=%v err=%w", w, i, ok, err)
+					return
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						errs <- fmt.Errorf("worker %d op %d: cross-wired response %v != %v", w, i, got, want)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := hub.Stats(); st.Published != workers*perWorker || st.Hits != workers*perWorker {
+		t.Fatalf("stats after hammer = %+v", st)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"chaser/internal/obs"
+	"chaser/internal/tainthub/codec"
 )
 
 // Key identifies a message flow between two ranks. NS is a namespace
@@ -90,16 +91,10 @@ type Hub interface {
 	Stats() Stats
 }
 
-// Stats counts hub activity.
-type Stats struct {
-	Published uint64 // tainted message statuses stored
-	Polls     uint64 // total poll requests
-	Hits      uint64 // polls that found a tainted status
-	Pending   int    // statuses currently stored
-	Evicted   uint64 // entries and reply caches dropped by TTL or pressure
-	DedupHits uint64 // RPC replays served from the reply cache
-	Replayed  uint64 // WAL records replayed at recovery (durable hubs)
-}
+// Stats counts hub activity. It is defined in the codec package (its
+// fields cross the wire and live in snapshots) and aliased here as the
+// public name.
+type Stats = codec.Stats
 
 // BusyError reports that a namespace is at its pending-entry or byte
 // limit. The caller should wait RetryAfter and retry — the TCP client does

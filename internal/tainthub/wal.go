@@ -7,6 +7,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+
+	"chaser/internal/tainthub/codec"
 )
 
 // Write-ahead log: every mutation of a Durable hub (publish, consumed
@@ -20,10 +22,17 @@ import (
 // not hold and truncates the tail. The first record is always a header
 // carrying the WAL generation, which pairs the file with the snapshot it
 // extends (see durable.go for the recovery protocol).
+//
+// Record payloads are versioned by the header. Version 1 used fixed
+// 8-byte-field layouts; version 2 (current) packs fields with the codec
+// package's varints and run-length-encodes masks — the same primitives the
+// wire protocol uses, so one codec owns every persisted byte. Version-1
+// logs are still replayed; recovery then rotates them to a fresh
+// version-2 log via a snapshot, so appends never mix versions.
 
 const (
 	walMagic   = 0x4c415743 // "CWAL" little-endian
-	walVersion = 1
+	walVersion = 2
 
 	walRecHeader  = 1
 	walRecPublish = 2
@@ -82,17 +91,21 @@ func encodeWALHeader(gen uint64) []byte {
 	return b
 }
 
-func decodeWALHeader(p []byte) (gen uint64, err error) {
+// decodeWALHeader validates the header record and returns the generation
+// and payload version. Unknown versions are refused — silently misreading
+// a future layout would resurrect or drop taint.
+func decodeWALHeader(p []byte) (gen uint64, version byte, err error) {
 	if len(p) != 14 || p[0] != walRecHeader {
-		return 0, errors.New("bad header record")
+		return 0, 0, errors.New("bad header record")
 	}
 	if le.Uint32(p[1:5]) != walMagic {
-		return 0, errors.New("bad magic")
+		return 0, 0, errors.New("bad magic")
 	}
-	if p[5] != walVersion {
-		return 0, fmt.Errorf("unsupported WAL version %d", p[5])
+	version = p[5]
+	if version == 0 || version > walVersion {
+		return 0, 0, fmt.Errorf("unsupported WAL version %d", version)
 	}
-	return le.Uint64(p[6:14]), nil
+	return le.Uint64(p[6:14]), version, nil
 }
 
 // walMutation is one replayable publish or consume record.
@@ -105,37 +118,83 @@ type walMutation struct {
 	masks []uint8 // publish only
 }
 
-const walMutFixed = 1 + 8 + 8 + 4*8 + 8 // kind, client, req, key, seq
+// walMutFixedV1 is the version-1 fixed prefix: kind, client, req, key, seq.
+const walMutFixedV1 = 1 + 8 + 8 + 4*8 + 8
 
 func encodeWALPublish(id ReqID, k Key, seq uint64, stamp int64, masks []uint8) []byte {
-	b := make([]byte, walMutFixed+8+len(masks))
-	b[0] = walRecPublish
-	putWALCommon(b, id, k, seq)
-	le.PutUint64(b[walMutFixed:], uint64(stamp))
-	copy(b[walMutFixed+8:], masks)
-	return b
+	b := appendWALCommon(make([]byte, 0, 48+len(masks)/4), walRecPublish, id, k, seq)
+	b = codec.AppendSvarint(b, stamp)
+	return codec.AppendMasks(b, masks)
 }
 
 func encodeWALConsume(id ReqID, k Key, seq uint64) []byte {
-	b := make([]byte, walMutFixed)
-	b[0] = walRecConsume
-	putWALCommon(b, id, k, seq)
-	return b
+	return appendWALCommon(make([]byte, 0, 48), walRecConsume, id, k, seq)
 }
 
-func putWALCommon(b []byte, id ReqID, k Key, seq uint64) {
-	le.PutUint64(b[1:], id.Client)
-	le.PutUint64(b[9:], id.Seq)
-	le.PutUint64(b[17:], uint64(int64(k.Src)))
-	le.PutUint64(b[25:], uint64(int64(k.Dst)))
-	le.PutUint64(b[33:], uint64(int64(k.Tag)))
-	le.PutUint64(b[41:], uint64(int64(k.NS)))
-	le.PutUint64(b[49:], seq)
+func appendWALCommon(b []byte, kind byte, id ReqID, k Key, seq uint64) []byte {
+	b = append(b, kind)
+	b = codec.AppendUvarint(b, id.Client)
+	b = codec.AppendUvarint(b, id.Seq)
+	b = codec.AppendSvarint(b, int64(k.Src))
+	b = codec.AppendSvarint(b, int64(k.Dst))
+	b = codec.AppendSvarint(b, int64(k.Tag))
+	b = codec.AppendSvarint(b, int64(k.NS))
+	return codec.AppendUvarint(b, seq)
 }
 
-func decodeWALMutation(p []byte) (walMutation, error) {
+// decodeWALMutation decodes one mutation record in the given payload
+// version (from the WAL header).
+func decodeWALMutation(p []byte, version byte) (walMutation, error) {
+	if version == 1 {
+		return decodeWALMutationV1(p)
+	}
 	var m walMutation
-	if len(p) < walMutFixed {
+	if len(p) < 1 {
+		return m, errors.New("empty mutation record")
+	}
+	m.kind = p[0]
+	b := p[1:]
+	var err error
+	if m.id.Client, b, err = codec.ConsumeUvarint(b); err != nil {
+		return m, err
+	}
+	if m.id.Seq, b, err = codec.ConsumeUvarint(b); err != nil {
+		return m, err
+	}
+	key := []*int{&m.k.Src, &m.k.Dst, &m.k.Tag, &m.k.NS}
+	for _, f := range key {
+		var v int64
+		if v, b, err = codec.ConsumeSvarint(b); err != nil {
+			return m, err
+		}
+		*f = int(v)
+	}
+	if m.seq, b, err = codec.ConsumeUvarint(b); err != nil {
+		return m, err
+	}
+	switch m.kind {
+	case walRecPublish:
+		if m.stamp, b, err = codec.ConsumeSvarint(b); err != nil {
+			return m, err
+		}
+		if m.masks, b, err = codec.ConsumeMasks(b, maxWALPayload); err != nil {
+			return m, err
+		}
+	case walRecConsume:
+	default:
+		return m, fmt.Errorf("unknown record kind %d", m.kind)
+	}
+	if len(b) != 0 {
+		return m, errors.New("trailing bytes in mutation record")
+	}
+	return m, nil
+}
+
+// decodeWALMutationV1 reads the legacy fixed-field layout, kept so a log
+// written before the codec migration still replays.
+func decodeWALMutationV1(p []byte) (walMutation, error) {
+	var m walMutation
+	if len(p) < walMutFixedV1 {
 		return m, errors.New("short mutation record")
 	}
 	m.kind = p[0]
@@ -149,13 +208,13 @@ func decodeWALMutation(p []byte) (walMutation, error) {
 	m.seq = le.Uint64(p[49:])
 	switch m.kind {
 	case walRecPublish:
-		if len(p) < walMutFixed+8 {
+		if len(p) < walMutFixedV1+8 {
 			return m, errors.New("short publish record")
 		}
-		m.stamp = int64(le.Uint64(p[walMutFixed:]))
-		m.masks = append([]uint8(nil), p[walMutFixed+8:]...)
+		m.stamp = int64(le.Uint64(p[walMutFixedV1:]))
+		m.masks = append([]uint8(nil), p[walMutFixedV1+8:]...)
 	case walRecConsume:
-		if len(p) != walMutFixed {
+		if len(p) != walMutFixedV1 {
 			return m, errors.New("oversized consume record")
 		}
 	default:
@@ -166,44 +225,44 @@ func decodeWALMutation(p []byte) (walMutation, error) {
 
 // scanWAL reads the log from the start: the header record (if any), then
 // every intact mutation, calling apply for each. It returns the header
-// generation, whether a header was present, and the offset just past the
-// last intact record — the caller truncates there, so a torn or
-// bit-flipped tail can never be replayed or appended after.
-func scanWAL(f *os.File, apply func(walMutation)) (gen uint64, hasHeader bool, goodOff int64, err error) {
+// generation and payload version, whether a header was present, and the
+// offset just past the last intact record — the caller truncates there, so
+// a torn or bit-flipped tail can never be replayed or appended after.
+func scanWAL(f *os.File, apply func(walMutation)) (gen uint64, version byte, hasHeader bool, goodOff int64, err error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return 0, false, 0, err
+		return 0, 0, false, 0, err
 	}
 	var off int64
 	hdr := make([]byte, 8)
 	first := true
 	for {
 		if _, rerr := io.ReadFull(f, hdr); rerr != nil {
-			return gen, hasHeader, off, nil // clean EOF or torn frame header
+			return gen, version, hasHeader, off, nil // clean EOF or torn frame header
 		}
 		n := le.Uint32(hdr[0:4])
 		if n == 0 || n > maxWALPayload {
-			return gen, hasHeader, off, nil // corrupt length: stop, truncate
+			return gen, version, hasHeader, off, nil // corrupt length: stop, truncate
 		}
 		payload := make([]byte, n)
 		if _, rerr := io.ReadFull(f, payload); rerr != nil {
-			return gen, hasHeader, off, nil // torn payload
+			return gen, version, hasHeader, off, nil // torn payload
 		}
 		if crc32.ChecksumIEEE(payload) != le.Uint32(hdr[4:8]) {
-			return gen, hasHeader, off, nil // bit flip: stop, truncate
+			return gen, version, hasHeader, off, nil // bit flip: stop, truncate
 		}
 		if first {
 			first = false
-			g, herr := decodeWALHeader(payload)
+			g, v, herr := decodeWALHeader(payload)
 			if herr != nil {
-				return 0, false, 0, &CorruptError{File: f.Name(), Reason: "wal header: " + herr.Error()}
+				return 0, 0, false, 0, &CorruptError{File: f.Name(), Reason: "wal header: " + herr.Error()}
 			}
-			gen, hasHeader = g, true
+			gen, version, hasHeader = g, v, true
 			off += int64(8 + n)
 			continue
 		}
-		m, merr := decodeWALMutation(payload)
+		m, merr := decodeWALMutation(payload, version)
 		if merr != nil {
-			return gen, hasHeader, off, nil // undecodable record: stop, truncate
+			return gen, version, hasHeader, off, nil // undecodable record: stop, truncate
 		}
 		if apply != nil {
 			apply(m)

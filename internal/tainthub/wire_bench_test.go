@@ -1,0 +1,128 @@
+package tainthub
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"chaser/internal/tainthub/codec"
+)
+
+// byteCountingProxy forwards TCP between the client and the hub server,
+// counting bytes in both directions, so the benchmark can report real
+// wire traffic per RPC rather than payload-size estimates.
+type byteCountingProxy struct {
+	lis   net.Listener
+	bytes atomic.Int64
+}
+
+func newByteCountingProxy(t testing.TB, backend string) *byteCountingProxy {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &byteCountingProxy{lis: lis}
+	go func() {
+		for {
+			in, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			out, err := net.Dial("tcp", backend)
+			if err != nil {
+				in.Close()
+				continue
+			}
+			pipe := func(dst, src net.Conn) {
+				buf := make([]byte, 64<<10)
+				for {
+					n, err := src.Read(buf)
+					if n > 0 {
+						p.bytes.Add(int64(n))
+						if _, werr := dst.Write(buf[:n]); werr != nil {
+							break
+						}
+					}
+					if err != nil {
+						break
+					}
+				}
+				dst.Close()
+				src.Close()
+			}
+			go pipe(out, in)
+			go pipe(in, out)
+		}
+	}()
+	return p
+}
+
+// sparseBenchMasks builds the mask shape real campaigns publish: a few
+// tainted bytes scattered through an otherwise clean 4 KiB message.
+func sparseBenchMasks() []uint8 {
+	masks := make([]uint8, 4096)
+	for _, i := range []int{3, 64, 65, 66, 1500, 4090} {
+		masks[i] = 0x80 >> (i % 8)
+	}
+	return masks
+}
+
+// BenchmarkHubWire measures hub RPC throughput and wire bytes per logical
+// RPC. The json arm is the status quo before this codec existed: the JSON
+// line protocol, one request per frame, one in flight per connection. The
+// binary arm is the default configuration: compact binary codec with
+// client-side batching and pipelining.
+func BenchmarkHubWire(b *testing.B) {
+	arms := []struct {
+		name string
+		cfg  ClientConfig
+	}{
+		{"json", ClientConfig{Wire: codec.FormatJSON, MaxBatch: 1, MaxInflight: 1}},
+		{"binary", ClientConfig{Wire: codec.FormatBinary}},
+	}
+	masks := sparseBenchMasks()
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			srv, err := NewServerConfig(NewLocal(), "127.0.0.1:0", ServerConfig{Logf: func(string, ...any) {}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			proxy := newByteCountingProxy(b, srv.Addr())
+			defer proxy.lis.Close()
+			c, err := DialConfig(proxy.lis.Addr().String(), arm.cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+
+			var widx atomic.Uint64
+			b.ResetTimer()
+			b.SetParallelism(8)
+			b.RunParallel(func(pb *testing.PB) {
+				w := int(widx.Add(1))
+				client := NewClientID()
+				var seq uint64
+				i := 0
+				for pb.Next() {
+					k := Key{Src: w, Dst: w + 1, Tag: i}
+					seq++
+					if err := c.Publish(ReqID{Client: client, Seq: seq}, k, uint64(i), masks); err != nil {
+						b.Error(err)
+						return
+					}
+					seq++
+					if _, ok, err := c.Poll(ReqID{Client: client, Seq: seq}, k, uint64(i)); err != nil || !ok {
+						b.Errorf("poll: ok=%v err=%v", ok, err)
+						return
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			rpcs := float64(2 * b.N) // each iteration is publish + poll
+			b.ReportMetric(rpcs/b.Elapsed().Seconds(), "rpcs/sec")
+			b.ReportMetric(float64(proxy.bytes.Load())/rpcs, "wirebytes/rpc")
+		})
+	}
+}

@@ -1,10 +1,11 @@
 #!/bin/sh
 # bench.sh — run the repo's ablation benchmarks and emit machine-readable
 # summaries: the shared-translation-cache ablation to BENCH_PR2.json (or $1),
-# the fast-path/fusion ablation to BENCH_PR5.json (or $2), and the fork-point
-# run-multiplexing ablation to BENCH_PR7.json (or $3).
+# the fast-path/fusion ablation to BENCH_PR5.json (or $2), the fork-point
+# run-multiplexing ablation to BENCH_PR7.json (or $3), and the hub wire-codec
+# ablation to BENCH_PR10.json (or $4).
 #
-# Usage: scripts/bench.sh [pr2-output.json] [pr5-output.json] [pr7-output.json]
+# Usage: scripts/bench.sh [pr2-output.json] [pr5-output.json] [pr7-output.json] [pr10-output.json]
 #
 # The PR2 benchmark runs the same 100-run CLAMR campaign twice — once with
 # the shared base cache (default behaviour) and once with per-machine private
@@ -21,6 +22,13 @@
 # multiplexing against the replay-the-prefix-every-run baseline (NoFork), and
 # reports runs/sec per arm, the throughput speedup, and the snapshot cache's
 # memory high-water mark.
+#
+# The PR10 benchmark drives publish+poll RPC pairs (sparse 4 KiB masks)
+# through a byte-counting TCP proxy twice — once over the legacy JSON line
+# protocol with no batching (the pre-codec wire) and once over the compact
+# binary codec with client-side batching and pipelining (the default) — and
+# reports RPC throughput, wire bytes per RPC, and the resulting speedup and
+# bytes-per-op reduction.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -150,3 +158,51 @@ END {
 '
 
 echo "wrote $out7"
+
+out10="${4:-BENCH_PR10.json}"
+
+raw10="$(go test -run '^$' -bench 'HubWire' -benchtime=2s -count=3 ./internal/tainthub/)"
+echo "$raw10"
+
+echo "$raw10" | awk -v out="$out10" '
+/^BenchmarkHubWire\// {
+    split($1, parts, "/")
+    mode = parts[2]
+    sub(/-[0-9]+$/, "", mode)  # strip the -GOMAXPROCS suffix
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "rpcs/sec")     { nr[mode]++; rps[mode "," nr[mode]] = $i }
+        if ($(i+1) == "wirebytes/rpc") { nb[mode]++; bpr[mode "," nb[mode]] = $i }
+    }
+}
+# median of the repeated -count runs, so one noisy run cannot skew the record
+function median(arr, n,    c, i, j, t, v) {
+    c = n
+    for (i = 1; i <= c; i++) v[i] = arr[i] + 0
+    for (i = 1; i <= c; i++)
+        for (j = i + 1; j <= c; j++)
+            if (v[j] < v[i]) { t = v[i]; v[i] = v[j]; v[j] = t }
+    return v[int((c + 1) / 2)]
+}
+function medianOf(tbl, mode, n,    i, v) {
+    for (i = 1; i <= n; i++) v[i] = tbl[mode "," i]
+    return median(v, n)
+}
+END {
+    jrps = medianOf(rps, "json", nr["json"]); brps = medianOf(rps, "binary", nr["binary"])
+    jbpr = medianOf(bpr, "json", nb["json"]); bbpr = medianOf(bpr, "binary", nb["binary"])
+    if (!jrps || !brps || !jbpr || !bbpr) {
+        print "bench.sh: benchmark output missing json/binary wire results" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n" > out
+    printf "  \"benchmark\": \"BenchmarkHubWire\",\n" > out
+    printf "  \"workload\": \"publish+poll pairs, sparse 4 KiB masks, 8x parallel, byte-counting proxy, median of 3\",\n" > out
+    printf "  \"json\":   {\"rpcs_per_sec\": %.0f, \"wire_bytes_per_rpc\": %.1f},\n", jrps, jbpr > out
+    printf "  \"binary\": {\"rpcs_per_sec\": %.0f, \"wire_bytes_per_rpc\": %.1f},\n", brps, bbpr > out
+    printf "  \"rpc_speedup_x\": %.2f,\n", brps / jrps > out
+    printf "  \"bytes_reduction_x\": %.2f\n", jbpr / bbpr > out
+    printf "}\n" > out
+}
+'
+
+echo "wrote $out10"
